@@ -1,0 +1,217 @@
+//! Simulated CPU package and node DRAM devices.
+//!
+//! These are deliberately simple compared to the GPU: SPH-EXA runs entirely
+//! on the GPU, so the host devices mostly idle at a constant activity level —
+//! which is exactly the paper's Fig. 5 observation that CPU energy per
+//! function is proportional to that function's duration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{CpuSpec, MemSpec};
+use crate::time::SimInstant;
+use crate::timeline::PowerTimeline;
+use crate::units::Joules;
+
+/// A simulated CPU package (one socket).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuDevice {
+    spec: CpuSpec,
+    now: SimInstant,
+    power_tl: PowerTimeline,
+    /// Pinned package frequency in kHz (defaults to the maximum; Slurm's
+    /// `--cpu-freq` lowers it).
+    freq_khz: u64,
+}
+
+impl CpuDevice {
+    pub fn new(spec: CpuSpec) -> Self {
+        let freq_khz = spec.max_freq_khz;
+        CpuDevice {
+            spec,
+            now: SimInstant::ZERO,
+            power_tl: PowerTimeline::new(),
+            freq_khz,
+        }
+    }
+
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Current pinned frequency, kHz.
+    pub fn frequency_khz(&self) -> u64 {
+        self.freq_khz
+    }
+
+    /// Pin the package frequency (kHz), clamped to the part's range — the
+    /// `--cpu-freq` path.
+    pub fn set_frequency_khz(&mut self, khz: u64) {
+        self.freq_khz = khz.clamp(self.spec.min_freq_khz, self.spec.max_freq_khz);
+    }
+
+    /// Run at `activity` in `[0, 1]` until instant `t`.
+    pub fn busy_until(&mut self, t: SimInstant, activity: f64) {
+        if t <= self.now {
+            return;
+        }
+        self.power_tl
+            .push_until(t, self.spec.power_at(activity, self.freq_khz));
+        self.now = t;
+    }
+
+    /// Idle until instant `t`.
+    pub fn idle_until(&mut self, t: SimInstant) {
+        self.busy_until(t, 0.0);
+    }
+
+    pub fn power_timeline(&self) -> &PowerTimeline {
+        &self.power_tl
+    }
+
+    pub fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules {
+        self.power_tl.energy_between(a, b)
+    }
+
+    pub fn total_energy(&self) -> Joules {
+        self.power_tl.total_energy()
+    }
+}
+
+/// Node DRAM as a power-drawing device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryDevice {
+    spec: MemSpec,
+    now: SimInstant,
+    power_tl: PowerTimeline,
+}
+
+impl MemoryDevice {
+    pub fn new(spec: MemSpec) -> Self {
+        MemoryDevice {
+            spec,
+            now: SimInstant::ZERO,
+            power_tl: PowerTimeline::new(),
+        }
+    }
+
+    pub fn spec(&self) -> &MemSpec {
+        &self.spec
+    }
+
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Sustain `activity` access intensity until instant `t`.
+    pub fn busy_until(&mut self, t: SimInstant, activity: f64) {
+        if t <= self.now {
+            return;
+        }
+        self.power_tl.push_until(t, self.spec.power(activity));
+        self.now = t;
+    }
+
+    pub fn idle_until(&mut self, t: SimInstant) {
+        self.busy_until(t, 0.0);
+    }
+
+    pub fn power_timeline(&self) -> &PowerTimeline {
+        &self.power_tl
+    }
+
+    pub fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules {
+        self.power_tl.energy_between(a, b)
+    }
+
+    pub fn total_energy(&self) -> Joules {
+        self.power_tl.total_energy()
+    }
+}
+
+/// Advance a CPU through a span at constant activity, splitting it so later
+/// analysis can still see function boundaries in the record.
+pub fn drive_constant(cpu: &mut CpuDevice, spans: &[(SimInstant, f64)], end: SimInstant) {
+    for &(until, activity) in spans {
+        cpu.busy_until(until, activity);
+    }
+    cpu.idle_until(end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Watts;
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn cpu_energy_proportional_to_time_at_constant_activity() {
+        let mut cpu = CpuDevice::new(CpuSpec::epyc_7713());
+        cpu.busy_until(t(1000), 0.2);
+        let half = cpu.energy_between(t(0), t(500));
+        let full = cpu.energy_between(t(0), t(1000));
+        assert!((full.0 - 2.0 * half.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_cpu_frequency_cuts_dynamic_power_quadratically() {
+        let spec = CpuSpec::epyc_7713();
+        let mut full = CpuDevice::new(spec.clone());
+        full.busy_until(t(1000), 0.5);
+        let mut slow = CpuDevice::new(spec.clone());
+        slow.set_frequency_khz(1_800_000); // the paper's --cpu-freq example
+        assert_eq!(slow.frequency_khz(), 1_800_000);
+        slow.busy_until(t(1000), 0.5);
+        let e_full = full.total_energy().0;
+        let e_slow = slow.total_energy().0;
+        assert!(e_slow < e_full);
+        // Dynamic share scales by (1.8/3.675)^2 ~ 0.24.
+        let dyn_full = e_full - spec.idle_power.0;
+        let dyn_slow = e_slow - spec.idle_power.0;
+        let ratio = dyn_slow / dyn_full;
+        assert!(
+            (ratio - (1.8f64 / 3.675).powi(2)).abs() < 0.01,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn cpu_frequency_clamps_to_part_range() {
+        let mut cpu = CpuDevice::new(CpuSpec::xeon_6258r());
+        cpu.set_frequency_khz(100);
+        assert_eq!(cpu.frequency_khz(), 1_200_000);
+        cpu.set_frequency_khz(99_000_000);
+        assert_eq!(cpu.frequency_khz(), 4_000_000);
+    }
+
+    #[test]
+    fn cpu_busy_until_is_monotonic() {
+        let mut cpu = CpuDevice::new(CpuSpec::epyc_7713());
+        cpu.busy_until(t(10), 0.5);
+        cpu.busy_until(t(5), 1.0); // no-op: already past
+        assert_eq!(cpu.now(), t(10));
+    }
+
+    #[test]
+    fn memory_idle_draws_refresh_power() {
+        let mut mem = MemoryDevice::new(MemSpec::ddr4_512gib());
+        mem.idle_until(t(1000));
+        let avg = mem.power_timeline().average_power(t(0), t(1000));
+        assert_eq!(avg, Watts(35.0));
+    }
+
+    #[test]
+    fn drive_constant_splits_spans() {
+        let mut cpu = CpuDevice::new(CpuSpec::xeon_6258r());
+        drive_constant(&mut cpu, &[(t(10), 0.3), (t(20), 0.6)], t(30));
+        assert_eq!(cpu.now(), t(30));
+        assert!(cpu.energy_between(t(10), t(20)) > cpu.energy_between(t(0), t(10)));
+        assert!(cpu.energy_between(t(20), t(30)) < cpu.energy_between(t(10), t(20)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the architecture simulator.
+
+use std::fmt;
+
+use crate::units::MegaHertz;
+
+/// Errors surfaced by the simulator's control plane (the data plane — kernel
+/// execution and timeline recording — is infallible by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A hardware specification was internally inconsistent.
+    InvalidSpec(String),
+    /// A clock request named a frequency the device does not support.
+    UnsupportedClock {
+        requested: MegaHertz,
+        min: MegaHertz,
+        max: MegaHertz,
+    },
+    /// The caller lacks the (simulated) privilege for this operation; mirrors
+    /// `NVML_ERROR_NO_PERMISSION`, the "restricted access" problem the paper's
+    /// user-level frequency control solves.
+    NoPermission(&'static str),
+    /// A device index was out of range.
+    NoSuchDevice { index: usize, count: usize },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidSpec(msg) => write!(f, "invalid hardware spec: {msg}"),
+            ArchError::UnsupportedClock {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "unsupported clock {requested} (device supports {min}..={max})"
+            ),
+            ArchError::NoPermission(op) => write!(f, "no permission for {op}"),
+            ArchError::NoSuchDevice { index, count } => {
+                write!(f, "no device at index {index} ({count} present)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}

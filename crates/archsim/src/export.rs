@@ -1,0 +1,129 @@
+//! Timeline export for external plotting (gnuplot / matplotlib / pandas).
+//!
+//! Power and frequency timelines are the primary artifacts the simulator
+//! produces; these helpers serialize them as plain CSV so the figures can be
+//! redrawn outside the terminal.
+
+use std::io::{self, Write};
+
+use crate::gpu::GpuDevice;
+use crate::time::{SimDuration, SimInstant};
+
+/// Write a device's power timeline as `start_s,end_s,watts` CSV rows.
+pub fn write_power_csv<W: Write>(dev: &GpuDevice, mut out: W) -> io::Result<()> {
+    writeln!(out, "start_s,end_s,watts")?;
+    for seg in dev.power_timeline().segments() {
+        writeln!(
+            out,
+            "{:.9},{:.9},{:.3}",
+            seg.start.as_secs_f64(),
+            seg.end.as_secs_f64(),
+            seg.power.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Write a device's clock trace as `t_s,mhz` CSV rows (change points).
+pub fn write_freq_csv<W: Write>(dev: &GpuDevice, mut out: W) -> io::Result<()> {
+    writeln!(out, "t_s,mhz")?;
+    for &(t, f) in dev.freq_timeline().points() {
+        writeln!(out, "{:.9},{}", t.as_secs_f64(), f.0)?;
+    }
+    Ok(())
+}
+
+/// Write a fixed-rate resampling of both timelines as `t_s,watts,mhz` rows —
+/// one file a plotting script can consume directly.
+pub fn write_sampled_csv<W: Write>(
+    dev: &GpuDevice,
+    from: SimInstant,
+    to: SimInstant,
+    period: SimDuration,
+    mut out: W,
+) -> io::Result<()> {
+    writeln!(out, "t_s,watts,mhz")?;
+    let mut t = from;
+    loop {
+        let w = dev.power_timeline().power_at(t);
+        let f = dev.freq_timeline().freq_at(t).map_or(0, |m| m.0);
+        writeln!(out, "{:.9},{:.3},{}", t.as_secs_f64(), w.0, f)?;
+        if t >= to {
+            break;
+        }
+        t += period;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelWorkload;
+    use crate::spec::GpuSpec;
+    use crate::units::MegaHertz;
+
+    fn busy_device() -> GpuDevice {
+        let mut d = GpuDevice::new(0, GpuSpec::a100_pcie_40gb());
+        d.set_application_clocks(MegaHertz(1410)).expect("pin");
+        d.run_region(&KernelWorkload::new("k", 1e12, 1e11));
+        d.advance_idle(SimDuration::from_millis(5));
+        d.set_application_clocks(MegaHertz(1005)).expect("pin");
+        d.run_region(&KernelWorkload::new("k", 1e12, 1e11));
+        d
+    }
+
+    #[test]
+    fn power_csv_covers_every_segment() {
+        let d = busy_device();
+        let mut buf = Vec::new();
+        write_power_csv(&d, &mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines[0], "start_s,end_s,watts");
+        assert_eq!(lines.len() - 1, d.power_timeline().segments().len());
+        // Rows are contiguous: each start equals the previous end.
+        let mut prev_end: Option<&str> = None;
+        for line in &lines[1..] {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 3);
+            if let Some(pe) = prev_end {
+                assert_eq!(cols[0], pe, "segments must be contiguous");
+            }
+            prev_end = Some(cols[1]);
+        }
+    }
+
+    #[test]
+    fn freq_csv_records_both_pinned_clocks() {
+        let d = busy_device();
+        let mut buf = Vec::new();
+        write_freq_csv(&d, &mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains(",1410"));
+        assert!(text.contains(",1005"));
+    }
+
+    #[test]
+    fn sampled_csv_has_fixed_cadence() {
+        let d = busy_device();
+        let end = d.now();
+        let mut buf = Vec::new();
+        write_sampled_csv(
+            &d,
+            SimInstant::ZERO,
+            end,
+            SimDuration::from_millis(10),
+            &mut buf,
+        )
+        .expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let rows = text.trim_end().lines().count() - 1;
+        let expected = end.as_nanos() / 10_000_000 + 1;
+        assert!(
+            rows as u64 >= expected,
+            "{rows} rows for {expected} samples"
+        );
+        assert!(text.starts_with("t_s,watts,mhz"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Supported-clock tables and voltage/frequency curves.
+//!
+//! Mirrors what `nvmlDeviceGetSupportedGraphicsClocks` exposes: a discrete
+//! ladder of graphics clocks (A100: 210–1410 MHz in 15 MHz steps) plus a fixed
+//! memory clock, and the voltage each clock step requires — the `V(f)` curve
+//! that makes down-scaling pay off quadratically in dynamic power.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::units::{MegaHertz, Volts};
+
+/// Discrete ladder of supported graphics clocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockTable {
+    min: MegaHertz,
+    max: MegaHertz,
+    step: u32,
+}
+
+impl ClockTable {
+    /// Build a table covering `[min, max]` with the given step. `max` must be
+    /// reachable from `min` in whole steps.
+    pub fn new(min: MegaHertz, max: MegaHertz, step: u32) -> Result<Self, ArchError> {
+        if step == 0 {
+            return Err(ArchError::InvalidSpec("clock step must be positive".into()));
+        }
+        if max < min {
+            return Err(ArchError::InvalidSpec(format!(
+                "clock table max {max} below min {min}"
+            )));
+        }
+        if !(max.0 - min.0).is_multiple_of(step) {
+            return Err(ArchError::InvalidSpec(format!(
+                "max {max} not reachable from min {min} in steps of {step} MHz"
+            )));
+        }
+        Ok(ClockTable { min, max, step })
+    }
+
+    /// Nvidia A100 graphics-clock ladder (210..=1410 MHz, 15 MHz steps).
+    pub fn a100() -> Self {
+        ClockTable::new(MegaHertz(210), MegaHertz(1410), 15).expect("valid A100 table")
+    }
+
+    /// AMD MI250X GCD compute-clock ladder (500..=1700 MHz, 25 MHz granularity).
+    pub fn mi250x() -> Self {
+        ClockTable::new(MegaHertz(500), MegaHertz(1700), 25).expect("valid MI250X table")
+    }
+
+    pub fn min(&self) -> MegaHertz {
+        self.min
+    }
+
+    pub fn max(&self) -> MegaHertz {
+        self.max
+    }
+
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Number of supported clock steps.
+    pub fn len(&self) -> usize {
+        ((self.max.0 - self.min.0) / self.step) as usize + 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // a valid table always contains at least `min`
+    }
+
+    /// True if `f` is exactly one of the supported clocks.
+    pub fn supports(&self, f: MegaHertz) -> bool {
+        f >= self.min && f <= self.max && (f.0 - self.min.0).is_multiple_of(self.step)
+    }
+
+    /// All supported clocks, descending — the order NVML enumerates them.
+    pub fn supported_clocks(&self) -> Vec<MegaHertz> {
+        (0..self.len() as u32)
+            .map(|i| MegaHertz(self.max.0 - i * self.step))
+            .collect()
+    }
+
+    /// The nearest supported clock to `f` (clamping to the table range).
+    /// Ties round *down*, matching the conservative behaviour of
+    /// `nvmlDeviceSetApplicationsClocks` when handed an unsupported value.
+    pub fn nearest(&self, f: MegaHertz) -> MegaHertz {
+        if f <= self.min {
+            return self.min;
+        }
+        if f >= self.max {
+            return self.max;
+        }
+        let offset = f.0 - self.min.0;
+        let below = offset / self.step * self.step;
+        let above = below + self.step;
+        let chosen = if offset - below <= above - offset {
+            below
+        } else {
+            above
+        };
+        MegaHertz(self.min.0 + chosen)
+    }
+
+    /// Clocks within `[lo, hi]`, descending. This is the search space handed
+    /// to the tuner (the paper sweeps 1005–1410 MHz).
+    pub fn clocks_in_range(&self, lo: MegaHertz, hi: MegaHertz) -> Vec<MegaHertz> {
+        self.supported_clocks()
+            .into_iter()
+            .filter(|f| *f >= lo && *f <= hi)
+            .collect()
+    }
+}
+
+/// Linear voltage/frequency operating curve.
+///
+/// Real parts ship per-step VF tables; a linear fit between the min- and
+/// max-clock operating points captures the quadratic dynamic-power behaviour
+/// that drives every result in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageCurve {
+    pub v_min: Volts,
+    pub v_max: Volts,
+    pub f_min: MegaHertz,
+    pub f_max: MegaHertz,
+}
+
+impl VoltageCurve {
+    /// A100-like curve: 0.70 V at 210 MHz up to 1.05 V at 1410 MHz.
+    pub fn a100() -> Self {
+        VoltageCurve {
+            v_min: Volts(0.70),
+            v_max: Volts(1.05),
+            f_min: MegaHertz(210),
+            f_max: MegaHertz(1410),
+        }
+    }
+
+    /// MI250X-like curve: 0.75 V at 500 MHz up to 1.10 V at 1700 MHz.
+    pub fn mi250x() -> Self {
+        VoltageCurve {
+            v_min: Volts(0.75),
+            v_max: Volts(1.10),
+            f_min: MegaHertz(500),
+            f_max: MegaHertz(1700),
+        }
+    }
+
+    /// Operating voltage at clock `f`, clamped to the curve's range.
+    pub fn volts(&self, f: MegaHertz) -> Volts {
+        let f = f.0.clamp(self.f_min.0, self.f_max.0);
+        let span = (self.f_max.0 - self.f_min.0) as f64;
+        let x = if span == 0.0 {
+            1.0
+        } else {
+            (f - self.f_min.0) as f64 / span
+        };
+        Volts(self.v_min.0 + (self.v_max.0 - self.v_min.0) * x)
+    }
+
+    /// The `(V(f)/V(f_max))^2 * (f/f_max)` scaling factor of dynamic power.
+    pub fn dynamic_power_scale(&self, f: MegaHertz) -> f64 {
+        self.volts(f).squared_ratio(self.volts(self.f_max)) * f.ratio(self.f_max).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_table_shape() {
+        let t = ClockTable::a100();
+        assert_eq!(t.len(), 81);
+        assert!(t.supports(MegaHertz(1410)));
+        assert!(t.supports(MegaHertz(1005)));
+        assert!(t.supports(MegaHertz(210)));
+        assert!(!t.supports(MegaHertz(1000)));
+        assert!(!t.supports(MegaHertz(1420)));
+    }
+
+    #[test]
+    fn supported_clocks_descending() {
+        let t = ClockTable::new(MegaHertz(100), MegaHertz(130), 15).unwrap();
+        assert_eq!(
+            t.supported_clocks(),
+            vec![MegaHertz(130), MegaHertz(115), MegaHertz(100)]
+        );
+    }
+
+    #[test]
+    fn nearest_clamps_and_rounds() {
+        let t = ClockTable::a100();
+        assert_eq!(t.nearest(MegaHertz(0)), MegaHertz(210));
+        assert_eq!(t.nearest(MegaHertz(9999)), MegaHertz(1410));
+        assert_eq!(t.nearest(MegaHertz(1007)), MegaHertz(1005));
+        assert_eq!(t.nearest(MegaHertz(1013)), MegaHertz(1020));
+        // Exact midpoint rounds down.
+        assert_eq!(t.nearest(MegaHertz(217)), MegaHertz(210));
+        assert_eq!(t.nearest(MegaHertz(218)), MegaHertz(225));
+    }
+
+    #[test]
+    fn range_query_matches_paper_sweep() {
+        let t = ClockTable::a100();
+        let sweep = t.clocks_in_range(MegaHertz(1005), MegaHertz(1410));
+        assert_eq!(sweep.len(), 28);
+        assert_eq!(sweep[0], MegaHertz(1410));
+        assert_eq!(*sweep.last().unwrap(), MegaHertz(1005));
+    }
+
+    #[test]
+    fn invalid_tables_rejected() {
+        assert!(ClockTable::new(MegaHertz(100), MegaHertz(90), 10).is_err());
+        assert!(ClockTable::new(MegaHertz(100), MegaHertz(105), 10).is_err());
+        assert!(ClockTable::new(MegaHertz(100), MegaHertz(110), 0).is_err());
+    }
+
+    #[test]
+    fn voltage_curve_endpoints_and_monotonicity() {
+        let c = VoltageCurve::a100();
+        assert_eq!(c.volts(MegaHertz(210)), Volts(0.70));
+        assert_eq!(c.volts(MegaHertz(1410)), Volts(1.05));
+        let mut prev = 0.0;
+        for f in (210..=1410).step_by(15) {
+            let v = c.volts(MegaHertz(f)).0;
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn dynamic_power_scale_superlinear() {
+        let c = VoltageCurve::a100();
+        // At ~71% clock the dynamic power should be well below 71%.
+        let s = c.dynamic_power_scale(MegaHertz(1005));
+        assert!(s < 0.66, "expected superlinear drop, got {s}");
+        assert!(s > 0.4);
+        assert!((c.dynamic_power_scale(MegaHertz(1410)) - 1.0).abs() < 1e-12);
+    }
+}

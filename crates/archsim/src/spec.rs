@@ -1,0 +1,431 @@
+//! Hardware specifications: GPU, CPU and memory power/performance envelopes.
+//!
+//! Numbers are datasheet-level (peak FLOP/s, memory bandwidth, TDP split into
+//! idle + SM-dynamic + memory-dynamic shares). They do not need to be exact:
+//! every experiment in the paper is reported *normalized* to a baseline; what
+//! matters is that the envelopes respond to frequency, voltage and activity
+//! the way real parts do.
+
+use serde::{Deserialize, Serialize};
+
+use crate::freq::{ClockTable, VoltageCurve};
+use crate::thermal::ThermalSpec;
+use crate::time::SimDuration;
+use crate::units::{Joules, MegaHertz, Volts, Watts};
+
+/// One GPU device (a full card, or one GCD of a dual-die card).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"Nvidia A100-SXM4-80GB"`.
+    pub name: String,
+    /// Supported graphics/compute clocks.
+    pub clock_table: ClockTable,
+    /// Voltage/frequency operating curve.
+    pub voltage: VoltageCurve,
+    /// Default (maximum) memory clock. The paper keeps memory frequency
+    /// untouched; [`GpuSpec::mem_clock_table`] lists the other supported
+    /// points so the choice can be ablated.
+    pub mem_clock: MegaHertz,
+    /// Supported memory clocks, descending (first = `mem_clock`). HBM parts
+    /// expose only a few P-states.
+    pub mem_clock_table: Vec<MegaHertz>,
+    /// Peak FP64 throughput at the maximum clock, FLOP/s.
+    pub peak_flops: f64,
+    /// Peak DRAM bandwidth, bytes/s (core-clock independent: HBM has its own
+    /// clock domain).
+    pub mem_bandwidth: f64,
+    /// Host-side launch/driver overhead per kernel launch.
+    pub launch_overhead: SimDuration,
+    /// Power draw with clocks at the floor and no work resident.
+    pub idle_power: Watts,
+    /// Maximum *dynamic* power of the SM/compute domain (scales with
+    /// `V(f)^2 * f` and compute activity).
+    pub sm_dynamic_max: Watts,
+    /// Maximum dynamic power of the memory subsystem (scales with memory
+    /// activity only).
+    pub mem_dynamic_max: Watts,
+    /// Residual dynamic power burned just by *holding* the core clock high
+    /// while idle (clock tree + leakage at elevated voltage), expressed as a
+    /// fraction of `sm_dynamic_max` at full scale.
+    pub clock_hold_fraction: f64,
+    /// Energy dissipated by one DVFS clock/voltage transition.
+    pub transition_cost: Joules,
+    /// Extra voltage guard-band the autoboost governor applies relative to
+    /// the steady-state V/F point (pinned application clocks run without it).
+    /// This is why the paper measures *higher* energy under DVFS than under a
+    /// pinned 1410 MHz baseline (§IV-D).
+    pub boost_voltage_margin: f64,
+    /// Work items needed to saturate the device. Kernels offering less
+    /// parallelism lose throughput efficiency and clock sensitivity —
+    /// under-utilization in the sense of Fig. 6's 200³ case.
+    pub saturation_parallelism: f64,
+    /// Package thermal envelope (RC response, leakage, slowdown threshold).
+    pub thermal: ThermalSpec,
+}
+
+impl GpuSpec {
+    /// Nvidia A100-SXM4 80 GB (CSCS-A100 system): 9.7 TF FP64, 2.0 TB/s,
+    /// 400 W TDP.
+    pub fn a100_sxm4_80gb() -> Self {
+        GpuSpec {
+            name: "Nvidia A100-SXM4-80GB".into(),
+            clock_table: ClockTable::a100(),
+            voltage: VoltageCurve::a100(),
+            mem_clock: MegaHertz(1593),
+            mem_clock_table: vec![MegaHertz(1593), MegaHertz(1215), MegaHertz(810)],
+            peak_flops: 9.7e12,
+            mem_bandwidth: 2.0e12,
+            launch_overhead: SimDuration::from_micros(4),
+            idle_power: Watts(55.0),
+            sm_dynamic_max: Watts(255.0),
+            mem_dynamic_max: Watts(90.0),
+            clock_hold_fraction: 0.10,
+            transition_cost: Joules(0.015),
+            boost_voltage_margin: 0.025,
+            saturation_parallelism: 30e6,
+            thermal: ThermalSpec::sxm(),
+        }
+    }
+
+    /// Nvidia A100-PCIE 40 GB (miniHPC system): 9.7 TF FP64, 1.56 TB/s,
+    /// 250 W TDP.
+    pub fn a100_pcie_40gb() -> Self {
+        GpuSpec {
+            name: "Nvidia A100-PCIE-40GB".into(),
+            clock_table: ClockTable::a100(),
+            voltage: VoltageCurve::a100(),
+            mem_clock: MegaHertz(1593),
+            mem_clock_table: vec![MegaHertz(1593), MegaHertz(1215), MegaHertz(810)],
+            peak_flops: 9.7e12,
+            mem_bandwidth: 1.555e12,
+            launch_overhead: SimDuration::from_micros(5),
+            idle_power: Watts(40.0),
+            sm_dynamic_max: Watts(160.0),
+            mem_dynamic_max: Watts(50.0),
+            clock_hold_fraction: 0.10,
+            transition_cost: Joules(0.012),
+            boost_voltage_margin: 0.025,
+            saturation_parallelism: 25e6,
+            thermal: ThermalSpec::pcie(),
+        }
+    }
+
+    /// One GCD (half card) of an AMD MI250X (LUMI-G system): ~24 TF FP64,
+    /// 1.6 TB/s, 250 W per GCD.
+    pub fn mi250x_gcd() -> Self {
+        GpuSpec {
+            name: "AMD MI250X GCD".into(),
+            clock_table: ClockTable::mi250x(),
+            voltage: VoltageCurve::mi250x(),
+            mem_clock: MegaHertz(1600),
+            mem_clock_table: vec![MegaHertz(1600), MegaHertz(1200), MegaHertz(800)],
+            peak_flops: 23.9e12,
+            mem_bandwidth: 1.6e12,
+            launch_overhead: SimDuration::from_micros(6),
+            idle_power: Watts(45.0),
+            sm_dynamic_max: Watts(150.0),
+            mem_dynamic_max: Watts(55.0),
+            clock_hold_fraction: 0.12,
+            transition_cost: Joules(0.018),
+            boost_voltage_margin: 0.03,
+            saturation_parallelism: 22e6,
+            thermal: ThermalSpec::oam(),
+        }
+    }
+
+    /// Intel Data Center GPU Max 1550 (Ponte Vecchio) — the Intel target of
+    /// the paper's future-work list (§V): ~52 TF FP64, 3.2 TB/s, 600 W OAM.
+    pub fn intel_max_1550() -> Self {
+        GpuSpec {
+            name: "Intel Data Center GPU Max 1550".into(),
+            clock_table: ClockTable::new(MegaHertz(600), MegaHertz(1600), 50)
+                .expect("valid Max 1550 table"),
+            voltage: VoltageCurve {
+                v_min: Volts(0.65),
+                v_max: Volts(1.00),
+                f_min: MegaHertz(600),
+                f_max: MegaHertz(1600),
+            },
+            mem_clock: MegaHertz(3200),
+            mem_clock_table: vec![MegaHertz(3200), MegaHertz(2400), MegaHertz(1600)],
+            peak_flops: 52.0e12,
+            mem_bandwidth: 3.2e12,
+            launch_overhead: SimDuration::from_micros(6),
+            idle_power: Watts(75.0),
+            sm_dynamic_max: Watts(390.0),
+            mem_dynamic_max: Watts(135.0),
+            clock_hold_fraction: 0.10,
+            transition_cost: Joules(0.02),
+            boost_voltage_margin: 0.03,
+            saturation_parallelism: 45e6,
+            thermal: ThermalSpec::oam(),
+        }
+    }
+
+    /// Instantaneous power while running a kernel region at clock `f` with
+    /// the given activity factors. `boosted` applies the autoboost voltage
+    /// guard-band (true while the DVFS governor — not pinned application
+    /// clocks — owns the V/F point).
+    pub fn busy_power(
+        &self,
+        f: MegaHertz,
+        compute_activity: f64,
+        memory_activity: f64,
+        boosted: bool,
+    ) -> Watts {
+        let mut scale = self.voltage.dynamic_power_scale(f);
+        if boosted {
+            let m = 1.0 + self.boost_voltage_margin;
+            scale *= m * m;
+        }
+        self.idle_power
+            + self.sm_dynamic_max * (compute_activity.clamp(0.0, 1.0) * scale)
+            + self.mem_dynamic_max * memory_activity.clamp(0.0, 1.0)
+    }
+
+    /// Instantaneous power while idle but holding clock `f`.
+    pub fn idle_power_at(&self, f: MegaHertz, boosted: bool) -> Watts {
+        let mut scale = self.voltage.dynamic_power_scale(f);
+        if boosted {
+            let m = 1.0 + self.boost_voltage_margin;
+            scale *= m * m;
+        }
+        self.idle_power + self.sm_dynamic_max * (self.clock_hold_fraction * scale)
+    }
+
+    /// A copy of this spec with the memory subsystem down-clocked to
+    /// `mem_mhz`: bandwidth scales linearly with the memory clock, memory
+    /// dynamic power slightly super-linearly (I/O voltage tracks weakly).
+    pub fn with_memory_clock(&self, mem_mhz: MegaHertz) -> GpuSpec {
+        let ratio = f64::from(mem_mhz.0) / f64::from(self.mem_clock.0);
+        let mut s = self.clone();
+        s.mem_bandwidth *= ratio;
+        s.mem_dynamic_max = s.mem_dynamic_max * ratio.powf(1.3);
+        s
+    }
+
+    /// Occupancy in `[0, 1]` for a kernel offering `parallelism` work
+    /// items; `0` parallelism means "assume saturated".
+    pub fn occupancy(&self, parallelism: f64) -> f64 {
+        if parallelism <= 0.0 || self.saturation_parallelism <= 0.0 {
+            1.0
+        } else {
+            (parallelism / self.saturation_parallelism).min(1.0)
+        }
+    }
+
+    /// Thermal design power (sanity bound: no model state may exceed it).
+    pub fn tdp(&self) -> Watts {
+        self.idle_power + self.sm_dynamic_max + self.mem_dynamic_max
+    }
+}
+
+/// A node's CPU package.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    pub name: String,
+    pub cores: u32,
+    /// Package power with all cores idle.
+    pub idle_power: Watts,
+    /// Package power at full load (TDP-ish).
+    pub max_power: Watts,
+    /// CPU frequency range in kHz (the units Slurm's `--cpu-freq` uses).
+    pub min_freq_khz: u64,
+    pub max_freq_khz: u64,
+}
+
+impl CpuSpec {
+    /// AMD EPYC 7A53 "Trento", 64 cores (LUMI-G).
+    pub fn epyc_7a53() -> Self {
+        CpuSpec {
+            name: "AMD EPYC 7A53".into(),
+            cores: 64,
+            idle_power: Watts(95.0),
+            max_power: Watts(280.0),
+            min_freq_khz: 1_500_000,
+            max_freq_khz: 3_500_000,
+        }
+    }
+
+    /// AMD EPYC 7713, 64 cores (CSCS-A100).
+    pub fn epyc_7713() -> Self {
+        CpuSpec {
+            name: "AMD EPYC 7713".into(),
+            cores: 64,
+            idle_power: Watts(80.0),
+            max_power: Watts(225.0),
+            min_freq_khz: 1_500_000,
+            max_freq_khz: 3_675_000,
+        }
+    }
+
+    /// Intel Xeon Gold 6258R, 28 cores (miniHPC, two sockets per node).
+    pub fn xeon_6258r() -> Self {
+        CpuSpec {
+            name: "Intel Xeon Gold 6258R".into(),
+            cores: 28,
+            idle_power: Watts(60.0),
+            max_power: Watts(205.0),
+            min_freq_khz: 1_200_000,
+            max_freq_khz: 4_000_000,
+        }
+    }
+
+    /// Package power at a given activity level in `[0, 1]` at the maximum
+    /// frequency.
+    pub fn power(&self, activity: f64) -> Watts {
+        self.power_at(activity, self.max_freq_khz)
+    }
+
+    /// Package power at an activity level and a pinned frequency (kHz). The
+    /// dynamic share scales quadratically with frequency (voltage tracks
+    /// frequency on server parts) — the mechanism behind ARCHER2's default
+    /// CPU-frequency reduction (§II-B).
+    pub fn power_at(&self, activity: f64, freq_khz: u64) -> Watts {
+        let f = (freq_khz.clamp(self.min_freq_khz, self.max_freq_khz) as f64)
+            / self.max_freq_khz as f64;
+        self.idle_power + (self.max_power - self.idle_power) * activity.clamp(0.0, 1.0) * f * f
+    }
+}
+
+/// Node DRAM (not GPU HBM — that is inside [`GpuSpec`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSpec {
+    /// Installed capacity in GiB (Table I reports it; the power model uses it
+    /// to scale idle draw).
+    pub capacity_gib: u64,
+    /// Idle (refresh) power.
+    pub idle_power: Watts,
+    /// Power at full access rate.
+    pub max_power: Watts,
+}
+
+impl MemSpec {
+    /// 512 GiB of DDR4 (LUMI-G node).
+    pub fn ddr4_512gib() -> Self {
+        MemSpec {
+            capacity_gib: 512,
+            idle_power: Watts(35.0),
+            max_power: Watts(95.0),
+        }
+    }
+
+    /// 512 GiB (CSCS-A100 node).
+    pub fn ddr4_cscs() -> Self {
+        MemSpec {
+            capacity_gib: 512,
+            idle_power: Watts(32.0),
+            max_power: Watts(90.0),
+        }
+    }
+
+    /// 1.5 TiB (miniHPC node).
+    pub fn ddr4_1536gib() -> Self {
+        MemSpec {
+            capacity_gib: 1536,
+            idle_power: Watts(70.0),
+            max_power: Watts(160.0),
+        }
+    }
+
+    /// Power at a given access activity in `[0, 1]`.
+    pub fn power(&self, activity: f64) -> Watts {
+        self.idle_power + (self.max_power - self.idle_power) * activity.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_tdp_matches_datasheet() {
+        assert_eq!(GpuSpec::a100_sxm4_80gb().tdp(), Watts(400.0));
+        assert_eq!(GpuSpec::a100_pcie_40gb().tdp(), Watts(250.0));
+        assert_eq!(GpuSpec::mi250x_gcd().tdp(), Watts(250.0));
+    }
+
+    #[test]
+    fn intel_max_1550_envelope() {
+        let gpu = GpuSpec::intel_max_1550();
+        assert_eq!(gpu.tdp(), Watts(600.0));
+        assert!(gpu.clock_table.supports(MegaHertz(1600)));
+        assert!(gpu.clock_table.supports(MegaHertz(600)));
+        assert!(!gpu.clock_table.supports(MegaHertz(1410)));
+        assert!(gpu.peak_flops > GpuSpec::mi250x_gcd().peak_flops);
+    }
+
+    #[test]
+    fn busy_power_never_exceeds_tdp() {
+        for gpu in [
+            GpuSpec::a100_sxm4_80gb(),
+            GpuSpec::a100_pcie_40gb(),
+            GpuSpec::mi250x_gcd(),
+            GpuSpec::intel_max_1550(),
+        ] {
+            let p = gpu.busy_power(gpu.clock_table.max(), 1.0, 1.0, false);
+            assert!(
+                p.0 <= gpu.tdp().0 + 1e-9,
+                "{}: {p} > {}",
+                gpu.name,
+                gpu.tdp()
+            );
+        }
+    }
+
+    #[test]
+    fn busy_power_drops_superlinearly_with_clock() {
+        let gpu = GpuSpec::a100_sxm4_80gb();
+        let hi = gpu.busy_power(MegaHertz(1410), 0.9, 0.5, false);
+        let lo = gpu.busy_power(MegaHertz(1005), 0.9, 0.5, false);
+        let power_ratio = lo.0 / hi.0;
+        let clock_ratio = 1005.0 / 1410.0;
+        assert!(power_ratio < 1.0);
+        // Dynamic share drops faster than the clock ratio.
+        let dyn_hi = hi.0 - gpu.idle_power.0;
+        let dyn_lo = lo.0 - gpu.idle_power.0;
+        // The memory term is clock-independent, so compare the SM share only.
+        let sm_hi = dyn_hi - gpu.mem_dynamic_max.0 * 0.5;
+        let sm_lo = dyn_lo - gpu.mem_dynamic_max.0 * 0.5;
+        assert!(sm_lo / sm_hi < clock_ratio, "V^2 term missing");
+    }
+
+    #[test]
+    fn boost_margin_increases_power() {
+        let gpu = GpuSpec::a100_sxm4_80gb();
+        let pinned = gpu.busy_power(MegaHertz(1410), 0.9, 0.5, false);
+        let boosted = gpu.busy_power(MegaHertz(1410), 0.9, 0.5, true);
+        assert!(boosted > pinned);
+        let overhead = (boosted.0 - pinned.0) / pinned.0;
+        assert!(
+            overhead < 0.06,
+            "guard-band overhead should be a few percent: {overhead}"
+        );
+    }
+
+    #[test]
+    fn idle_power_depends_on_held_clock() {
+        let gpu = GpuSpec::a100_sxm4_80gb();
+        let floor = gpu.idle_power_at(MegaHertz(210), false);
+        let held = gpu.idle_power_at(MegaHertz(1410), false);
+        assert!(held > floor);
+        assert!(held.0 < gpu.idle_power.0 + gpu.sm_dynamic_max.0 * 0.2);
+    }
+
+    #[test]
+    fn cpu_and_mem_power_clamped() {
+        let cpu = CpuSpec::epyc_7713();
+        assert_eq!(cpu.power(-1.0), cpu.idle_power);
+        assert_eq!(cpu.power(2.0), cpu.max_power);
+        let mem = MemSpec::ddr4_512gib();
+        assert_eq!(mem.power(0.0), mem.idle_power);
+        assert_eq!(mem.power(1.0), mem.max_power);
+    }
+
+    #[test]
+    fn activity_factors_clamped_in_busy_power() {
+        let gpu = GpuSpec::a100_sxm4_80gb();
+        let p = gpu.busy_power(MegaHertz(1410), 5.0, 5.0, false);
+        assert_eq!(p, gpu.tdp());
+    }
+}

@@ -1,0 +1,94 @@
+//! Microbenchmarks for the architecture simulator: kernel-region execution,
+//! timeline integration, and clock-table operations. These bound the cost of
+//! the virtual-hardware layer relative to the real physics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use archsim::{ClockTable, GpuDevice, GpuSpec, KernelWorkload, MegaHertz, SimDuration, SimInstant};
+
+fn heavy_workload() -> KernelWorkload {
+    KernelWorkload::new("MomentumEnergy", 4.4e11, 7.4e10)
+        .with_activity(0.95, 0.55)
+        .with_parallelism(91e6)
+}
+
+fn stream_workload() -> KernelWorkload {
+    KernelWorkload::new("DomainDecompAndSync", 1.1e10, 5.5e10)
+        .with_launches(300)
+        .with_activity(0.15, 0.40)
+        .with_parallelism(91e6)
+}
+
+fn bench_run_region(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_run_region");
+    g.bench_function("pinned_heavy", |b| {
+        b.iter_batched(
+            || {
+                let mut d = GpuDevice::new(0, GpuSpec::a100_pcie_40gb());
+                d.set_application_clocks(MegaHertz(1410))
+                    .expect("ladder clock");
+                d
+            },
+            |mut d| black_box(d.run_region(&heavy_workload())),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dvfs_heavy", |b| {
+        b.iter_batched(
+            || GpuDevice::new(0, GpuSpec::a100_pcie_40gb()),
+            |mut d| black_box(d.run_region(&heavy_workload())),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dvfs_launch_stream", |b| {
+        b.iter_batched(
+            || GpuDevice::new(0, GpuSpec::a100_pcie_40gb()),
+            |mut d| black_box(d.run_region(&stream_workload())),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    // A device that has run 100 steps' worth of regions.
+    let mut dev = GpuDevice::new(0, GpuSpec::a100_pcie_40gb());
+    for _ in 0..500 {
+        dev.run_region(&heavy_workload());
+        dev.advance_idle(SimDuration::from_millis(1));
+    }
+    let end = dev.now();
+    let mut g = c.benchmark_group("timeline");
+    g.bench_function("energy_between_full_span", |b| {
+        b.iter(|| black_box(dev.energy_between(SimInstant::ZERO, end)))
+    });
+    g.bench_function("sampled_energy_10hz", |b| {
+        b.iter(|| {
+            black_box(dev.power_timeline().sampled_energy(
+                SimInstant::ZERO,
+                end,
+                SimDuration::from_millis(100),
+            ))
+        })
+    });
+    g.bench_function("power_at_point_query", |b| {
+        let mid = SimInstant::from_nanos(end.as_nanos() / 2);
+        b.iter(|| black_box(dev.power_timeline().power_at(mid)))
+    });
+    g.finish();
+}
+
+fn bench_clock_table(c: &mut Criterion) {
+    let table = ClockTable::a100();
+    c.bench_function("clock_table_nearest", |b| {
+        let mut f = 0u32;
+        b.iter(|| {
+            f = (f + 37) % 2000;
+            black_box(table.nearest(MegaHertz(f)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_run_region, bench_timeline, bench_clock_table);
+criterion_main!(benches);

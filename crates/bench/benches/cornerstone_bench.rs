@@ -1,0 +1,81 @@
+//! Microbenchmarks for the octree/domain substrate: SFC keys, octree
+//! construction, neighbor search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cornerstone::{key_of, Box3, CellList, Octree};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn cloud(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut z = Vec::with_capacity(n);
+    for _ in 0..n {
+        x.push(rng.random());
+        y.push(rng.random());
+        z.push(rng.random());
+    }
+    (x, y, z)
+}
+
+fn bench_keys(c: &mut Criterion) {
+    let bbox = Box3::unit_periodic();
+    let (x, y, z) = cloud(10_000, 1);
+    c.bench_function("morton_keys_10k", |b| {
+        b.iter(|| {
+            let keys: Vec<u64> = (0..x.len())
+                .map(|i| key_of(x[i], y[i], z[i], &bbox))
+                .collect();
+            black_box(keys)
+        })
+    });
+}
+
+fn bench_octree(c: &mut Criterion) {
+    let bbox = Box3::unit_periodic();
+    let (x, y, z) = cloud(50_000, 2);
+    let mut keys: Vec<u64> = (0..x.len())
+        .map(|i| key_of(x[i], y[i], z[i], &bbox))
+        .collect();
+    keys.sort_unstable();
+    let mut g = c.benchmark_group("octree");
+    g.bench_function("build_50k_bucket64", |b| {
+        b.iter(|| black_box(Octree::build(&keys, 64)))
+    });
+    let tree = Octree::build(&keys, 64);
+    g.bench_function("partition_32_ranks", |b| {
+        b.iter(|| black_box(tree.partition(32)))
+    });
+    g.bench_function("leaf_of_key", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % keys.len();
+            black_box(tree.leaf_of_key(keys[i]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_celllist(c: &mut Criterion) {
+    let bbox = Box3::unit_periodic();
+    let (x, y, z) = cloud(20_000, 3);
+    let r = 0.05;
+    let mut g = c.benchmark_group("celllist");
+    g.bench_function("build_20k", |b| {
+        b.iter(|| black_box(CellList::build(&x, &y, &z, &bbox, r)))
+    });
+    let cl = CellList::build(&x, &y, &z, &bbox, r);
+    g.bench_function("neighbors_of_one", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 101) % x.len();
+            black_box(cl.neighbors_of(i, r, &x, &y, &z))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_keys, bench_octree, bench_celllist);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end pipeline benchmarks: a full instrumented experiment and one
+//! tuner sweep — the units of work every figure regenerator is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use archsim::{GpuSpec, MegaHertz};
+use freqscale::{run_experiment, ExperimentSpec, FreqPolicy, WorkloadKind};
+use sph::FuncId;
+use tuner::{tune_kernel, Objective, ParamSpace, TuneOptions};
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(10);
+    g.bench_function("minihpc_1rank_2steps", |b| {
+        b.iter(|| {
+            let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 2);
+            spec.workload = WorkloadKind::Turbulence {
+                n_side: 8,
+                mach: 0.3,
+                seed: 1,
+            };
+            spec.target_neighbors = 30;
+            black_box(run_experiment(&spec))
+        })
+    });
+    g.bench_function("cscs_8ranks_2steps", |b| {
+        b.iter(|| {
+            let spec = ExperimentSpec {
+                system: archsim::cscs_a100(),
+                ranks: 8,
+                workload: WorkloadKind::Turbulence {
+                    n_side: 10,
+                    mach: 0.3,
+                    seed: 1,
+                },
+                steps: 2,
+                policy: FreqPolicy::Baseline,
+                target_particles_per_rank: 150e6,
+                setup: archsim::SimDuration::from_secs(1),
+                comm: ranks::CommCost::default(),
+                kernel: sph::Kernel::CubicSpline,
+                target_neighbors: 30,
+                collect_trace: false,
+                slurm_gpu_freq: None,
+                slurm_cpu_freq_khz: None,
+                report_dir: None,
+            };
+            black_box(run_experiment(&spec))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tuner(c: &mut Criterion) {
+    let gpu = GpuSpec::a100_pcie_40gb();
+    let mut space = ParamSpace::new();
+    space.add_frequency_range(MegaHertz(1005), MegaHertz(1410), 15);
+    c.bench_function("tune_momentum_energy_28freqs", |b| {
+        b.iter(|| {
+            black_box(tune_kernel(
+                "MomentumEnergy",
+                |_p, n| FuncId::MomentumEnergy.workload(n),
+                450.0f64.powi(3),
+                &space,
+                &gpu,
+                TuneOptions {
+                    objective: Objective::Edp,
+                    iterations: 3,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_experiment, bench_tuner);
+criterion_main!(benches);

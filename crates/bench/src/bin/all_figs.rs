@@ -1,0 +1,66 @@
+//! Regenerate every exhibit in one go, writing each binary's JSON data into
+//! `results/`. Convenience wrapper: runs the sibling binaries as child
+//! processes so each keeps its own output and CLI.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablation_exec_model",
+    "ablation_sampling",
+    "ablation_governor",
+    "ablation_memclock",
+    "archer2_cpu_freq",
+    "futurework_arch_sweep",
+    "extension_autotune",
+    "weak_scaling",
+    "projection_scale",
+];
+
+fn main() {
+    // Pass through --steps to every child.
+    let extra: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = PathBuf::from("results");
+    std::fs::create_dir_all(&out_dir).expect("create results/");
+    let self_exe = std::env::current_exe().expect("own path");
+    let bin_dir = self_exe.parent().expect("bin directory").to_path_buf();
+
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        let json = out_dir.join(format!("{bin}.json"));
+        println!("\n================= {bin} =================");
+        let status = Command::new(bin_dir.join(bin))
+            .args(&extra)
+            .arg("--json")
+            .arg(&json)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e} (build with `cargo build --release -p bench` first)");
+                failures.push(*bin);
+            }
+        }
+    }
+    println!("\nJSON data written to {}/", out_dir.display());
+    if failures.is_empty() {
+        println!("all {} exhibits regenerated.", BINARIES.len());
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

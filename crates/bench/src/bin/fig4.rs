@@ -1,0 +1,115 @@
+//! Fig. 4 — breakdown of energy consumption by device, Subsonic Turbulence
+//! (150 M/GPU) and Evrard Collapse (80 M/GPU) on LUMI-G and CSCS-A100,
+//! 32 MPI ranks each.
+
+use bench::{banner, n_side_for_ranks, print_table, production_spec, Cli};
+use freqscale::{run_experiment, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    case: String,
+    gpu_pct: f64,
+    cpu_pct: f64,
+    mem_pct: Option<f64>,
+    other_pct: f64,
+    total_j: f64,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    banner(
+        "FIG. 4",
+        "Device-level energy shares over the time-stepping loop, 32 ranks. \
+         CSCS-A100 folds memory into Other (no separate blade counter).",
+    );
+
+    let ranks = 32;
+    let n_side = n_side_for_ranks(ranks);
+    let cases = [
+        (
+            "LUMI-Turb",
+            archsim::lumi_g(),
+            WorkloadKind::Turbulence {
+                n_side,
+                mach: 0.3,
+                seed: 7,
+            },
+            150e6,
+        ),
+        (
+            "LUMI-Evr",
+            archsim::lumi_g(),
+            WorkloadKind::Evrard { n_side },
+            80e6,
+        ),
+        (
+            "CSCS-A100-Turb",
+            archsim::cscs_a100(),
+            WorkloadKind::Turbulence {
+                n_side,
+                mach: 0.3,
+                seed: 7,
+            },
+            150e6,
+        ),
+        (
+            "CSCS-A100-Evr",
+            archsim::cscs_a100(),
+            WorkloadKind::Evrard { n_side },
+            80e6,
+        ),
+    ];
+
+    let mut data = Vec::new();
+    for (name, system, workload, target) in cases {
+        let lumi = system.name == "LUMI-G";
+        let spec = production_spec(system, ranks, workload, cli.steps, target);
+        let r = run_experiment(&spec);
+        let totals = r.device_totals();
+        if lumi {
+            let (g, c, m, o) = totals.shares();
+            data.push(Row {
+                case: name.to_string(),
+                gpu_pct: g * 100.0,
+                cpu_pct: c * 100.0,
+                mem_pct: Some(m * 100.0),
+                other_pct: o * 100.0,
+                total_j: totals.total_j(),
+            });
+        } else {
+            let (g, c, o) = totals.shares_mem_in_other();
+            data.push(Row {
+                case: name.to_string(),
+                gpu_pct: g * 100.0,
+                cpu_pct: c * 100.0,
+                mem_pct: None,
+                other_pct: o * 100.0,
+                total_j: totals.total_j(),
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.clone(),
+                format!("{:.1}%", r.gpu_pct),
+                format!("{:.1}%", r.cpu_pct),
+                r.mem_pct
+                    .map_or("(in Other)".into(), |m| format!("{:.1}%", m)),
+                format!("{:.1}%", r.other_pct),
+                format!("{:.0}", r.total_j),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Case", "GPU", "CPU", "Memory", "Other", "Total [J]"],
+        &rows,
+    );
+
+    println!("\nShape check (paper): GPU share ~74.3% on LUMI-G, ~76.4% on CSCS-A100;");
+    println!("Other is the second-largest consumer; totals 24.4/15.2/12.5/10.7 MJ at full scale.");
+    cli.maybe_write_json(&data);
+}

@@ -1,0 +1,126 @@
+//! Fig. 5 — breakdown of energy consumption by SPH-EXA function, per device,
+//! for the same four cases as Fig. 4.
+
+use bench::{banner, n_side_for_ranks, print_table, production_spec, Cli};
+use freqscale::{run_experiment, WorkloadKind};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct CaseData {
+    case: String,
+    /// Function -> share of GPU energy (percent).
+    gpu_shares_pct: BTreeMap<String, f64>,
+    /// Function -> share of measured CPU energy (percent) — the CPU panel of
+    /// Fig. 5: proportional to duration because the host idles at constant
+    /// power while the GPU computes.
+    cpu_shares_pct: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    banner(
+        "FIG. 5",
+        "Per-function energy shares over the loop (GPU energy and CPU-proportional time), 32 ranks.",
+    );
+
+    let ranks = 32;
+    let n_side = n_side_for_ranks(ranks);
+    let cases = [
+        (
+            "LUMI-Turb",
+            archsim::lumi_g(),
+            WorkloadKind::Turbulence {
+                n_side,
+                mach: 0.3,
+                seed: 7,
+            },
+            150e6,
+        ),
+        (
+            "LUMI-Evr",
+            archsim::lumi_g(),
+            WorkloadKind::Evrard { n_side },
+            80e6,
+        ),
+        (
+            "CSCS-A100-Turb",
+            archsim::cscs_a100(),
+            WorkloadKind::Turbulence {
+                n_side,
+                mach: 0.3,
+                seed: 7,
+            },
+            150e6,
+        ),
+        (
+            "CSCS-A100-Evr",
+            archsim::cscs_a100(),
+            WorkloadKind::Evrard { n_side },
+            80e6,
+        ),
+    ];
+
+    let mut data = Vec::new();
+    for (name, system, workload, target) in cases {
+        let spec = production_spec(system, ranks, workload, cli.steps, target);
+        let r = run_experiment(&spec);
+        let agg = r.functions_all_ranks();
+        let gpu_total: f64 = agg.values().map(|f| f.gpu_j).sum();
+        let cpu_total: f64 = agg.values().map(|f| f.cpu_j).sum();
+        let gpu_shares_pct: BTreeMap<String, f64> = agg
+            .iter()
+            .map(|(k, f)| (k.clone(), 100.0 * f.gpu_j / gpu_total))
+            .collect();
+        let cpu_shares_pct: BTreeMap<String, f64> = agg
+            .iter()
+            .map(|(k, f)| (k.clone(), 100.0 * f.cpu_j / cpu_total))
+            .collect();
+        data.push(CaseData {
+            case: name.to_string(),
+            gpu_shares_pct,
+            cpu_shares_pct,
+        });
+    }
+
+    // One table per case: function, GPU-energy share, time (CPU) share.
+    for case in &data {
+        println!("\n--- {} ---", case.case);
+        let mut functions: Vec<&String> = case.gpu_shares_pct.keys().collect();
+        functions.sort_by(|a, b| {
+            case.gpu_shares_pct[*b]
+                .partial_cmp(&case.gpu_shares_pct[*a])
+                .expect("finite shares")
+        });
+        let rows: Vec<Vec<String>> = functions
+            .iter()
+            .map(|f| {
+                vec![
+                    (*f).clone(),
+                    format!("{:.1}%", case.gpu_shares_pct[*f]),
+                    format!("{:.1}%", case.cpu_shares_pct[*f]),
+                ]
+            })
+            .collect();
+        print_table(&["Function", "GPU energy", "CPU energy"], &rows);
+    }
+
+    // The paper's cross-system comparison for MomentumEnergy.
+    let me = "MomentumEnergy";
+    let lumi = data
+        .iter()
+        .find(|c| c.case == "LUMI-Turb")
+        .expect("case present");
+    let cscs = data
+        .iter()
+        .find(|c| c.case == "CSCS-A100-Turb")
+        .expect("case present");
+    println!(
+        "\nShape check: MomentumEnergy = {:.1}% of GPU energy on CSCS-A100-Turb vs {:.1}% on LUMI-Turb",
+        cscs.gpu_shares_pct[me], lumi.gpu_shares_pct[me]
+    );
+    println!(
+        "(paper: 25.29% vs 45.80% — the kernel is relatively more expensive on the AMD GCDs)."
+    );
+    cli.maybe_write_json(&data);
+}

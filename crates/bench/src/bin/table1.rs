@@ -1,0 +1,67 @@
+//! Table I — simulation and computing system parameters.
+
+use bench::{banner, print_table, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    banner(
+        "TABLE I",
+        "Simulation and computing system parameters (paper Table I).",
+    );
+
+    println!("\nSimulations:");
+    let sim_rows = vec![
+        vec![
+            "Subsonic Turbulence".to_string(),
+            "-n 0.6|1.2|2.4|4.9|7.4|9.2|14.7e9 -s 100".to_string(),
+            "150 M particles/GPU, 100 time-steps".to_string(),
+        ],
+        vec![
+            "Evrard Collapse".to_string(),
+            "-n 0.6|1.2|2.4|3.2|4.8|7.7e9 -s 100".to_string(),
+            "80 M particles/GPU, 100 time-steps".to_string(),
+        ],
+    ];
+    print_table(&["Simulation", "Parameters", "Info"], &sim_rows);
+
+    println!("\nSystems:");
+    let mut rows = Vec::new();
+    for sys in archsim::all_systems() {
+        let node = &sys.node;
+        rows.push(vec![
+            sys.name.clone(),
+            format!(
+                "{}x {} ({} cores) + {} GiB",
+                node.sockets, node.cpu.name, node.cpu.cores, node.mem.capacity_gib
+            ),
+            format!(
+                "{}x {} ({} visible devices)",
+                node.cards(),
+                node.gpu.name,
+                node.gpu_devices
+            ),
+            format!(
+                "compute {} / memory {}",
+                node.default_gpu_freq, node.gpu_mem_freq
+            ),
+            if node.user_clock_control {
+                "user".into()
+            } else {
+                "locked".into()
+            },
+        ]);
+    }
+    print_table(
+        &[
+            "System",
+            "CPU + memory",
+            "GPUs",
+            "GPU frequencies",
+            "Clock control",
+        ],
+        &rows,
+    );
+
+    let systems = archsim::all_systems();
+    cli.maybe_write_json(&systems);
+}

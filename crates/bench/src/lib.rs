@@ -1,0 +1,229 @@
+//! # bench — regenerators for every table and figure of the paper
+//!
+//! One binary per exhibit (run with `cargo run --release -p bench --bin
+//! <name>`):
+//!
+//! | binary    | paper exhibit |
+//! |-----------|---------------|
+//! | `table1`  | Table I — simulation and computing system parameters |
+//! | `fig1`    | Fig. 1 — language efficiency vs time-to-solution (background, from ref. \[9\]) |
+//! | `fig2`    | Fig. 2 — tuned best-EDP frequency per SPH-EXA function |
+//! | `fig3`    | Fig. 3 — PMT vs Slurm energy validation, 8–48 GPUs / 16–96 GCDs |
+//! | `fig4`    | Fig. 4 — energy breakdown by device |
+//! | `fig5`    | Fig. 5 — energy breakdown by SPH-EXA function |
+//! | `fig6`    | Fig. 6 — EDP vs static frequency across particle counts |
+//! | `fig7`    | Fig. 7 — time / energy / EDP: static vs DVFS vs ManDyn |
+//! | `fig8`    | Fig. 8 — per-function time / energy / EDP vs static frequency |
+//! | `fig9`    | Fig. 9 — DVFS clock trace over 10 time-steps |
+//! | `ablation_exec_model` | design ablation: roofline vs naive 1/f execution model |
+//! | `ablation_sampling`   | design ablation: energy error vs sensor sampling period |
+//! | `ablation_governor`   | design ablation: launch-boost governor vs utilization-only |
+//!
+//! Each binary prints the figure's rows/series as text and, when `--json
+//! <path>` is passed, also writes the underlying data as JSON.
+
+use freqscale::{ExperimentSpec, FreqPolicy, WorkloadKind};
+use ranks::CommCost;
+use sph::Kernel;
+
+/// Laptop-scale lattice size used by the figure regenerators: large enough
+/// for healthy neighbor statistics on every rank, small enough to keep every
+/// figure under a minute.
+pub const PHYSICS_N_SIDE: usize = 10;
+/// Physics steps per experiment (the paper runs 100; 8 keeps shapes stable
+/// at a fraction of the cost — pass `--steps N` to any binary to override).
+pub const DEFAULT_STEPS: usize = 8;
+
+/// The paper's §IV-C/D problem size: 450³ particles per GPU.
+pub fn paper_450cubed() -> f64 {
+    450.0f64.powi(3)
+}
+
+/// Standard miniHPC single-GPU turbulence spec (Figs. 2, 6–9).
+pub fn minihpc_spec(policy: FreqPolicy, steps: usize, target: f64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::minihpc_turbulence(policy, steps);
+    spec.workload = WorkloadKind::Turbulence {
+        n_side: PHYSICS_N_SIDE,
+        mach: 0.3,
+        seed: 42,
+    };
+    spec.target_particles_per_rank = target;
+    spec.kernel = Kernel::CubicSpline;
+    spec.comm = CommCost::default();
+    spec
+}
+
+/// Production-system spec for the validation/breakdown figures (Figs. 3–5).
+pub fn production_spec(
+    system: archsim::SystemSpec,
+    ranks: usize,
+    workload: WorkloadKind,
+    steps: usize,
+    target: f64,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        system,
+        ranks,
+        workload,
+        steps,
+        policy: FreqPolicy::Baseline,
+        target_particles_per_rank: target,
+        setup: archsim::SimDuration::from_secs(2),
+        comm: CommCost::default(),
+        kernel: Kernel::CubicSpline,
+        target_neighbors: 40,
+        collect_trace: false,
+        slurm_gpu_freq: None,
+        slurm_cpu_freq_khz: None,
+        report_dir: None,
+    }
+}
+
+/// A lattice side that gives every rank a workable particle count.
+pub fn n_side_for_ranks(ranks: usize) -> usize {
+    // >= ~120 particles per rank.
+    let total_needed = (ranks * 120) as f64;
+    (total_needed.cbrt().ceil() as usize).max(PHYSICS_N_SIDE)
+}
+
+/// Tiny CLI: `--steps N` and `--json PATH` are understood by every binary.
+pub struct Cli {
+    pub steps: usize,
+    pub json: Option<String>,
+}
+
+impl Cli {
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().collect();
+        let mut steps = DEFAULT_STEPS;
+        let mut json = None;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--steps" => {
+                    steps = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--steps needs a number"));
+                    i += 2;
+                }
+                "--json" => {
+                    json = Some(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--json needs a path"))
+                            .clone(),
+                    );
+                    i += 2;
+                }
+                other => panic!("unknown argument {other:?} (expected --steps N / --json PATH)"),
+            }
+        }
+        Cli { steps, json }
+    }
+
+    /// Write `data` as pretty JSON when `--json` was given.
+    pub fn maybe_write_json<T: serde::Serialize>(&self, data: &T) {
+        if let Some(path) = &self.json {
+            let body = serde_json::to_string_pretty(data).expect("serializable");
+            std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Print a header band for a figure/table.
+pub fn banner(title: &str, caption: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{caption}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Render a normalized series as a unicode sparkline (lowest value = deepest
+/// dip). Used by the figure binaries to echo the paper's plot shapes in the
+/// terminal.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if values.is_empty() || !lo.is_finite() || !hi.is_finite() {
+        return String::new();
+    }
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let x = ((v - lo) / span * 7.0).round() as usize;
+            BARS[x.min(7)]
+        })
+        .collect()
+}
+
+/// Render a right-aligned numeric table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_side_scales_with_ranks() {
+        assert_eq!(n_side_for_ranks(1), PHYSICS_N_SIDE);
+        let n96 = n_side_for_ranks(96);
+        assert!(n96.pow(3) >= 96 * 120);
+    }
+
+    #[test]
+    fn sparkline_maps_extremes_to_extreme_bars() {
+        let s = sparkline(&[1.0, 0.5, 0.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '\u{2588}');
+        assert_eq!(chars[2], '\u{2581}');
+        assert!(sparkline(&[]).is_empty());
+        // Flat series renders but does not panic on zero span.
+        assert_eq!(sparkline(&[2.0, 2.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn specs_use_requested_targets() {
+        let s = minihpc_spec(FreqPolicy::Baseline, 5, paper_450cubed());
+        assert_eq!(s.steps, 5);
+        assert_eq!(s.target_particles_per_rank, paper_450cubed());
+        let p = production_spec(
+            archsim::cscs_a100(),
+            8,
+            WorkloadKind::Turbulence {
+                n_side: 12,
+                mach: 0.3,
+                seed: 1,
+            },
+            3,
+            150e6,
+        );
+        assert_eq!(p.ranks, 8);
+        assert_eq!(p.target_particles_per_rank, 150e6);
+    }
+}

@@ -1,0 +1,136 @@
+//! `freqscale-report` — pretty-print an experiment report file.
+//!
+//! The instrumentation stores per-rank measurements "into a file for
+//! post-hoc analysis" (§III-B); this is the analysis tool. It reads the JSON
+//! an experiment (or the `--json` flag of any bench binary) wrote and prints
+//! the device breakdown, the per-function table, and the PMT/Slurm summary.
+//!
+//! ```sh
+//! cargo run -p freqscale --bin freqscale-report -- report.json
+//! # or generate a demo report first:
+//! cargo run -p freqscale --bin freqscale-report -- --demo
+//! ```
+
+use freqscale::{run_experiment, ExperimentResult, ExperimentSpec, FreqPolicy};
+
+fn print_report(r: &ExperimentResult) {
+    println!(
+        "experiment: {} / {} / policy={}",
+        r.system, r.workload, r.policy
+    );
+    println!("ranks: {}   steps: {}", r.ranks, r.steps);
+    println!();
+    println!("time-to-solution : {:>12.4} s", r.time_to_solution_s);
+    println!("job elapsed      : {:>12.4} s", r.job_elapsed_s);
+    println!("PMT GPU energy   : {:>12.2} J", r.pmt_gpu_j);
+    println!("PMT devices      : {:>12.2} J", r.pmt_total_j);
+    println!("Slurm consumed   : {:>12.2} J", r.slurm_consumed_j);
+    println!("loop node energy : {:>12.2} J", r.node_loop_j);
+    println!("loop EDP         : {:>12.2} J*s", r.edp());
+
+    let t = r.device_totals();
+    let (g, c, m, o) = t.shares();
+    println!();
+    println!(
+        "device shares    : GPU {:.1}%  CPU {:.1}%  Mem {:.1}%  Other {:.1}%",
+        g * 100.0,
+        c * 100.0,
+        m * 100.0,
+        o * 100.0
+    );
+
+    println!();
+    println!(
+        "{:>22}  {:>7}  {:>10}  {:>10}  {:>9}  {:>9}",
+        "function", "calls", "time [s]", "GPU [J]", "GPU share", "avg MHz"
+    );
+    let agg = r.functions_all_ranks();
+    let gpu_total: f64 = agg.values().map(|f| f.gpu_j).sum();
+    let mut rows: Vec<_> = agg.into_iter().collect();
+    rows.sort_by(|a, b| b.1.gpu_j.partial_cmp(&a.1.gpu_j).expect("finite energy"));
+    for (name, f) in rows {
+        println!(
+            "{name:>22}  {:>7}  {:>10.4}  {:>10.2}  {:>8.1}%  {:>9.0}",
+            f.calls,
+            f.time_s,
+            f.gpu_j,
+            100.0 * f.gpu_j / gpu_total.max(1e-300),
+            f.avg_freq_mhz
+        );
+    }
+
+    if r.per_rank.iter().any(|rr| rr.clock_control_denied) {
+        println!("\nnote: user-level clock control was DENIED on this system (production lock).");
+    }
+    if !r.per_rank.is_empty() && !r.per_rank[0].freq_trace.is_empty() {
+        println!(
+            "note: rank 0 carries a {}-sample clock trace (Fig. 9 data).",
+            r.per_rank[0].freq_trace.len()
+        );
+    }
+}
+
+fn load(path: &str) -> ExperimentResult {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    ExperimentResult::from_json(&body).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+/// Print `b` normalized against `a` (baseline): the paper's Fig. 7-style
+/// comparison between two report files.
+fn print_comparison(a: &ExperimentResult, b: &ExperimentResult) {
+    println!(
+        "baseline: {} / {} / {}   vs   candidate: {} / {} / {}",
+        a.system, a.workload, a.policy, b.system, b.workload, b.policy
+    );
+    let (t, e, edp) = b.normalized_to(a);
+    println!("\ntime-to-solution : x{t:.4} ({:+.2}%)", (t - 1.0) * 100.0);
+    println!("GPU energy       : x{e:.4} ({:+.2}%)", (e - 1.0) * 100.0);
+    println!(
+        "GPU EDP          : x{edp:.4} ({:+.2}%)",
+        (edp - 1.0) * 100.0
+    );
+    println!(
+        "node energy      : x{:.4}",
+        b.node_loop_j / a.node_loop_j.max(1e-300)
+    );
+
+    println!("\nper-function deltas (time x, energy x):");
+    let fa = a.functions_all_ranks();
+    let fb = b.functions_all_ranks();
+    for (name, fa_rep) in &fa {
+        if let Some(fb_rep) = fb.get(name) {
+            println!(
+                "{name:>22}: time x{:.3}  energy x{:.3}  ({:.0} -> {:.0} MHz)",
+                fb_rep.time_s / fa_rep.time_s.max(1e-300),
+                fb_rep.gpu_j / fa_rep.gpu_j.max(1e-300),
+                fa_rep.avg_freq_mhz,
+                fb_rep.avg_freq_mhz,
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--demo") => {
+            let spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 4);
+            let r = run_experiment(&spec);
+            print_report(&r);
+        }
+        Some("--compare") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: freqscale-report --compare <baseline.json> <candidate.json>");
+                std::process::exit(2);
+            };
+            print_comparison(&load(a), &load(b));
+        }
+        Some(path) => print_report(&load(path)),
+        None => {
+            eprintln!(
+                "usage: freqscale-report <report.json> | --compare <a.json> <b.json> | --demo"
+            );
+            std::process::exit(2);
+        }
+    }
+}

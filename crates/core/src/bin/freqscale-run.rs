@@ -1,0 +1,61 @@
+//! `freqscale-run` — run an experiment described by a JSON spec file.
+//!
+//! Makes the whole pipeline config-driven: describe the system, workload,
+//! policy and scale in a spec file, get the full measurement report back.
+//!
+//! ```sh
+//! cargo run --release -p freqscale --bin freqscale-run -- --print-template > spec.json
+//! # edit spec.json ...
+//! cargo run --release -p freqscale --bin freqscale-run -- spec.json report.json
+//! cargo run --release -p freqscale --bin freqscale-report -- report.json
+//! ```
+
+use freqscale::{run_experiment, ExperimentSpec, FreqPolicy};
+
+fn template() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 10);
+    spec.collect_trace = true;
+    spec
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--print-template") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&template()).expect("template serializes")
+            );
+        }
+        Some(spec_path) => {
+            let body = std::fs::read_to_string(spec_path)
+                .unwrap_or_else(|e| panic!("reading {spec_path}: {e}"));
+            let spec: ExperimentSpec =
+                serde_json::from_str(&body).unwrap_or_else(|e| panic!("parsing {spec_path}: {e}"));
+            eprintln!(
+                "running {} / {} / {} on {} ranks, {} steps...",
+                spec.system.name,
+                spec.workload.name(),
+                spec.policy.label(),
+                spec.ranks,
+                spec.steps
+            );
+            let result = run_experiment(&spec);
+            let json = result.to_json();
+            match args.get(1) {
+                Some(out) => {
+                    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+                    eprintln!(
+                        "t = {:.3}s, GPU = {:.1} J, Slurm = {:.1} J -> {out}",
+                        result.time_to_solution_s, result.pmt_gpu_j, result.slurm_consumed_j
+                    );
+                }
+                None => println!("{json}"),
+            }
+        }
+        None => {
+            eprintln!("usage: freqscale-run <spec.json> [report.json] | --print-template");
+            std::process::exit(2);
+        }
+    }
+}

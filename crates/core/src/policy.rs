@@ -1,0 +1,247 @@
+//! GPU frequency policies: the baseline, static down-scaling, the hardware
+//! DVFS governor, and the paper's contribution — ManDyn, per-function
+//! dynamic frequency selection.
+
+use std::collections::BTreeMap;
+
+use archsim::{GpuSpec, MegaHertz};
+use serde::{Deserialize, Serialize};
+use sph::FuncId;
+use tuner::{tune_kernel, Objective, ParamSpace, TuneOptions, TuneResult};
+
+/// Per-function frequency table (the outcome of the §III-C tuning step,
+/// Fig. 2).
+pub type FreqTable = BTreeMap<FuncId, MegaHertz>;
+
+/// How the GPU compute clock is managed during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FreqPolicy {
+    /// Centre default: application clocks pinned at the maximum
+    /// (1410 MHz on the A100 systems of Table I).
+    Baseline,
+    /// Application clocks pinned at one lower value for the entire run
+    /// (§IV-C).
+    Static(MegaHertz),
+    /// Hand the clock to the hardware/driver DVFS governor (§IV-D/E).
+    Dvfs,
+    /// "ManDyn": before each instrumented function, pin the clock to that
+    /// function's tuned best frequency (§III-D, Fig. 7).
+    ManDyn(FreqTable),
+    /// Extension beyond the paper: learn the per-function table *online*.
+    /// During warm-up, each function's calls rotate through the candidate
+    /// clocks while the instrumentation measures them; once every candidate
+    /// has `rounds` samples, the best-EDP clock wins and the policy behaves
+    /// like ManDyn — no offline KernelTuner pass needed.
+    AutoTune {
+        candidates: Vec<MegaHertz>,
+        /// Samples per candidate before committing.
+        rounds: u32,
+    },
+}
+
+impl FreqPolicy {
+    /// Short label used in reports and figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            FreqPolicy::Baseline => "baseline".into(),
+            FreqPolicy::Static(f) => format!("static-{}", f.0),
+            FreqPolicy::Dvfs => "dvfs".into(),
+            FreqPolicy::ManDyn(_) => "mandyn".into(),
+            FreqPolicy::AutoTune { .. } => "autotune".into(),
+        }
+    }
+
+    /// A default online-tuning policy over the paper's sweep range, snapped
+    /// to the device ladder: five candidates from 1005-class to max.
+    pub fn auto_tune_default(gpu: &GpuSpec) -> FreqPolicy {
+        let max = gpu.clock_table.max().0;
+        let lo = (max as f64 * 0.71) as u32;
+        let candidates = (0..5)
+            .map(|i| gpu.clock_table.nearest(MegaHertz(lo + (max - lo) * i / 4)))
+            .collect();
+        FreqPolicy::AutoTune {
+            candidates,
+            rounds: 2,
+        }
+    }
+
+    /// The clock this policy wants before `func` runs, or `None` for
+    /// governor control.
+    pub fn frequency_for(&self, func: FuncId, gpu: &GpuSpec) -> Option<MegaHertz> {
+        match self {
+            FreqPolicy::Baseline => Some(gpu.clock_table.max()),
+            FreqPolicy::Static(f) => Some(*f),
+            FreqPolicy::Dvfs => None,
+            FreqPolicy::ManDyn(table) => {
+                Some(table.get(&func).copied().unwrap_or(gpu.clock_table.max()))
+            }
+            // AutoTune's clock depends on runtime state; the instrumentation
+            // layer resolves it per call.
+            FreqPolicy::AutoTune { .. } => None,
+        }
+    }
+}
+
+/// Sweep every instrumented function over `[lo, hi]` (the paper uses
+/// 1005–1410 MHz) and return the per-function best frequency under
+/// `objective`, plus the full per-function tuning data (Fig. 2's source).
+pub fn tune_table(
+    gpu: &GpuSpec,
+    problem_size: f64,
+    lo: MegaHertz,
+    hi: MegaHertz,
+    objective: Objective,
+    include_gravity: bool,
+) -> (FreqTable, Vec<(FuncId, TuneResult)>) {
+    let mut space = ParamSpace::new();
+    space.add_frequency_range(lo, hi, gpu.clock_table.step());
+    let mut table = FreqTable::new();
+    let mut detail = Vec::new();
+    for func in FuncId::ALL {
+        if func == FuncId::Gravity && !include_gravity {
+            continue;
+        }
+        let result = tune_kernel(
+            func.name(),
+            |_params, n| func.workload(n),
+            problem_size,
+            &space,
+            gpu,
+            TuneOptions {
+                objective,
+                iterations: 3,
+                ..Default::default()
+            },
+        );
+        table.insert(
+            func,
+            result.best_frequency().expect("frequency axis present"),
+        );
+        detail.push((func, result));
+    }
+    (table, detail)
+}
+
+/// The paper's §III-C configuration: 450³ particles, best-EDP frequency per
+/// kernel, swept over 1005–1410 MHz on an A100.
+pub fn paper_mandyn_table(gpu: &GpuSpec) -> FreqTable {
+    let n = 450.0f64.powi(3);
+    tune_table(
+        gpu,
+        n,
+        MegaHertz(1005),
+        MegaHertz(1410),
+        Objective::Edp,
+        true,
+    )
+    .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::a100_pcie_40gb()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FreqPolicy::Baseline.label(), "baseline");
+        assert_eq!(FreqPolicy::Static(MegaHertz(1005)).label(), "static-1005");
+        assert_eq!(FreqPolicy::Dvfs.label(), "dvfs");
+        assert_eq!(FreqPolicy::ManDyn(FreqTable::new()).label(), "mandyn");
+        assert_eq!(FreqPolicy::auto_tune_default(&gpu()).label(), "autotune");
+    }
+
+    #[test]
+    fn auto_tune_default_candidates_on_ladder() {
+        let g = gpu();
+        let FreqPolicy::AutoTune { candidates, rounds } = FreqPolicy::auto_tune_default(&g) else {
+            panic!("expected AutoTune");
+        };
+        assert_eq!(candidates.len(), 5);
+        assert_eq!(rounds, 2);
+        assert!(candidates.iter().all(|f| g.clock_table.supports(*f)));
+        assert_eq!(*candidates.last().unwrap(), MegaHertz(1410));
+        assert!(candidates[0] <= MegaHertz(1005));
+        // Per-call resolution is deferred to the instrumentation layer.
+        assert_eq!(
+            FreqPolicy::auto_tune_default(&g).frequency_for(FuncId::XMass, &g),
+            None
+        );
+    }
+
+    #[test]
+    fn frequency_for_resolves_policy() {
+        let g = gpu();
+        assert_eq!(
+            FreqPolicy::Baseline.frequency_for(FuncId::XMass, &g),
+            Some(MegaHertz(1410))
+        );
+        assert_eq!(
+            FreqPolicy::Static(MegaHertz(1050)).frequency_for(FuncId::XMass, &g),
+            Some(MegaHertz(1050))
+        );
+        assert_eq!(FreqPolicy::Dvfs.frequency_for(FuncId::XMass, &g), None);
+        let mut table = FreqTable::new();
+        table.insert(FuncId::XMass, MegaHertz(1020));
+        let mandyn = FreqPolicy::ManDyn(table);
+        assert_eq!(
+            mandyn.frequency_for(FuncId::XMass, &g),
+            Some(MegaHertz(1020))
+        );
+        // Functions missing from the table fall back to the max clock.
+        assert_eq!(
+            mandyn.frequency_for(FuncId::MomentumEnergy, &g),
+            Some(MegaHertz(1410))
+        );
+    }
+
+    #[test]
+    fn tuned_table_reproduces_fig2_ordering() {
+        let (table, detail) = tune_table(
+            &gpu(),
+            450.0f64.powi(3),
+            MegaHertz(1005),
+            MegaHertz(1410),
+            Objective::Edp,
+            true,
+        );
+        assert_eq!(table.len(), 12);
+        assert_eq!(detail.len(), 12);
+        let me = table[&FuncId::MomentumEnergy];
+        let iad = table[&FuncId::IADVelocityDivCurl];
+        let xmass = table[&FuncId::XMass];
+        let gradh = table[&FuncId::NormalizationGradh];
+        // Fig. 2: compute-bound kernels tune high, bandwidth-bound tune low.
+        assert!(me >= MegaHertz(1300), "MomentumEnergy tuned to {me}");
+        assert!(iad >= MegaHertz(1200), "IAD tuned to {iad}");
+        assert!(xmass <= MegaHertz(1110), "XMass tuned to {xmass}");
+        assert!(
+            gradh < me,
+            "NormalizationGradh {gradh} below MomentumEnergy {me}"
+        );
+        // All chosen clocks stay inside the sweep.
+        for (&f, &mhz) in &table {
+            assert!(
+                mhz >= MegaHertz(1005) && mhz <= MegaHertz(1410),
+                "{f}: {mhz}"
+            );
+        }
+    }
+
+    #[test]
+    fn turbulence_table_skips_gravity() {
+        let (table, _) = tune_table(
+            &gpu(),
+            1e6,
+            MegaHertz(1005),
+            MegaHertz(1410),
+            Objective::Edp,
+            false,
+        );
+        assert_eq!(table.len(), 11);
+        assert!(!table.contains_key(&FuncId::Gravity));
+    }
+}

@@ -1,0 +1,517 @@
+//! Experiment orchestration: cluster + job lifecycle + instrumented ranks.
+//!
+//! `run_experiment` reproduces the paper's measurement setup end to end:
+//! a Slurm-style job is "submitted" at t = 0, spends a setup phase
+//! (allocation, IC construction, host→device copy) with idle GPUs, then runs
+//! the instrumented time-stepping loop with one MPI rank per GPU/GCD. Slurm
+//! accounts the whole job through pm_counters; PMT measures the loop only —
+//! the §IV-A validation gap.
+
+use archsim::{Cluster, SimDuration, SimInstant, SystemSpec};
+use nvml_shim::Nvml;
+use pm_counters::PmCounters;
+use ranks::CommCost;
+use serde::{Deserialize, Serialize};
+use slurm_sim::{AccountingConfig, JobTimes, Slurm};
+use sph::{evrard, sedov, subsonic_turbulence, InitialConditions, Kernel, SimConfig, Simulation};
+
+use crate::instrument::EnergyInstrument;
+use crate::policy::FreqPolicy;
+use crate::report::{ExperimentResult, NodeBreakdown, RankReport};
+
+/// CPU/DRAM activity during the setup phase (IC generation, H2D staging).
+const SETUP_CPU_ACTIVITY: f64 = 0.50;
+const SETUP_MEM_ACTIVITY: f64 = 0.40;
+/// CPU/DRAM activity while the GPU-resident loop runs — the host mostly
+/// idles, which is why Fig. 5's CPU energy is proportional to function time.
+const LOOP_CPU_ACTIVITY: f64 = 0.22;
+const LOOP_MEM_ACTIVITY: f64 = 0.30;
+
+/// Which Table I workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Subsonic turbulence (no gravity).
+    Turbulence { n_side: usize, mach: f64, seed: u64 },
+    /// Evrard collapse (with gravity).
+    Evrard { n_side: usize },
+    /// Sedov-Taylor blast (no gravity) — the strong-shock validation
+    /// problem, usable as a third instrumented workload.
+    Sedov { n_side: usize, e0: f64 },
+}
+
+impl WorkloadKind {
+    /// Construct the (global) initial model.
+    pub fn build(&self) -> InitialConditions {
+        match *self {
+            WorkloadKind::Turbulence { n_side, mach, seed } => {
+                subsonic_turbulence(n_side, mach, seed)
+            }
+            WorkloadKind::Evrard { n_side } => evrard(n_side),
+            WorkloadKind::Sedov { n_side, e0 } => sedov(n_side, e0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Turbulence { .. } => "SubsonicTurbulence",
+            WorkloadKind::Evrard { .. } => "EvrardCollapse",
+            WorkloadKind::Sedov { .. } => "SedovBlast",
+        }
+    }
+}
+
+/// Everything one experiment needs. Serializable, so experiments can be
+/// described as JSON spec files and run with the `freqscale-run` CLI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    pub system: SystemSpec,
+    pub ranks: usize,
+    pub workload: WorkloadKind,
+    pub steps: usize,
+    pub policy: FreqPolicy,
+    /// Paper-scale particles per GPU assumed by the workload model
+    /// (e.g. 150e6, 80e6, or 450³).
+    pub target_particles_per_rank: f64,
+    /// Job setup time before the loop starts.
+    pub setup: SimDuration,
+    pub comm: CommCost,
+    pub kernel: Kernel,
+    /// Laptop-scale neighbor target for the physics.
+    pub target_neighbors: usize,
+    /// Record rank 0's clock trace (Fig. 9).
+    pub collect_trace: bool,
+    /// Slurm-side `--gpu-freq` request, applied with scheduler privilege at
+    /// allocation (the only frequency control on locked production systems,
+    /// §II-B).
+    pub slurm_gpu_freq: Option<archsim::MegaHertz>,
+    /// Slurm-side `--cpu-freq` request in kHz (§II-B; ARCHER2-style centre
+    /// defaults also come through this path).
+    pub slurm_cpu_freq_khz: Option<u64>,
+    /// When set, per-rank reports and the aggregate report are written here
+    /// as JSON — §III-B's "gathered at the end of the execution and stored
+    /// into a file for post-hoc analysis".
+    pub report_dir: Option<std::path::PathBuf>,
+}
+
+impl ExperimentSpec {
+    /// A miniHPC single-GPU turbulence experiment at 450³ paper scale — the
+    /// configuration of §IV-C/D/E.
+    pub fn minihpc_turbulence(policy: FreqPolicy, steps: usize) -> Self {
+        ExperimentSpec {
+            system: archsim::mini_hpc(),
+            ranks: 1,
+            workload: WorkloadKind::Turbulence {
+                n_side: 8,
+                mach: 0.3,
+                seed: 42,
+            },
+            steps,
+            policy,
+            target_particles_per_rank: 450.0f64.powi(3),
+            setup: SimDuration::from_secs(2),
+            comm: CommCost::default(),
+            kernel: Kernel::CubicSpline,
+            target_neighbors: 40,
+            collect_trace: false,
+            slurm_gpu_freq: None,
+            slurm_cpu_freq_khz: None,
+            report_dir: None,
+        }
+    }
+}
+
+/// Run the experiment and gather every measurement view.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let cluster = Cluster::for_ranks(spec.system.clone(), spec.ranks);
+    let setup_end = SimInstant::ZERO + spec.setup;
+
+    // Slurm applies a requested --gpu-freq with scheduler privilege before
+    // the job starts, regardless of user-level clock-control policy.
+    if let Some(f) = spec.slurm_gpu_freq {
+        for node in cluster.nodes() {
+            node.privileged_set_gpu_clocks(f)
+                .expect("requested --gpu-freq must be on the device ladder");
+        }
+    }
+    if let Some(khz) = spec.slurm_cpu_freq_khz {
+        for node in cluster.nodes() {
+            node.cpu().lock().set_frequency_khz(khz);
+        }
+    }
+
+    // --- setup phase: GPUs idle, host busy staging -----------------------
+    for node in cluster.nodes() {
+        node.settle_until(setup_end, SETUP_CPU_ACTIVITY, SETUP_MEM_ACTIVITY);
+    }
+
+    // --- instrumented loop, one rank per GPU -----------------------------
+    let sim_cfg = SimConfig {
+        kernel: spec.kernel,
+        target_particles_per_rank: spec.target_particles_per_rank,
+        target_neighbors: spec.target_neighbors,
+        bucket_size: 32,
+    };
+    let outputs: Vec<(RankReport, u64)> = ranks::run(spec.ranks, spec.comm, |ctx| {
+        ctx.advance_to(setup_end);
+        let ic = spec.workload.build();
+        let mut sim = if ctx.size() == 1 {
+            Simulation::new(ic, sim_cfg)
+        } else {
+            Simulation::distribute(ic, sim_cfg, ctx.rank(), ctx.size())
+        };
+        let (node_idx, _dev_idx) = cluster.place_rank(ctx.rank());
+        let nvml = Nvml::init_for_node(&cluster.nodes()[node_idx]);
+        let mut inst = EnergyInstrument::new(&nvml, ctx.rank(), spec.policy.clone())
+            .expect("rank binds to a device");
+        if spec.collect_trace && ctx.rank() == 0 {
+            inst = inst.with_freq_trace();
+        }
+        for _ in 0..spec.steps {
+            sim.step(ctx, &mut inst);
+        }
+        let end = ctx.now();
+        (inst.finish(ctx), end.as_nanos())
+    });
+
+    let global_end = SimInstant::from_nanos(
+        outputs
+            .iter()
+            .map(|(_, end)| *end)
+            .max()
+            .expect("at least one rank"),
+    )
+    .max(setup_end);
+
+    // --- close every node's timeline at the common end -------------------
+    for node in cluster.nodes() {
+        node.settle_until(global_end, LOOP_CPU_ACTIVITY, LOOP_MEM_ACTIVITY);
+    }
+
+    // --- node breakdowns over the loop window (exact integrals) ----------
+    let per_node: Vec<NodeBreakdown> = cluster
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| NodeBreakdown {
+            node: i,
+            gpu_j: node.gpu_energy(setup_end, global_end).0,
+            cpu_j: node.cpu_energy(setup_end, global_end).0,
+            mem_j: node.memory_energy(setup_end, global_end).0,
+            other_j: node.aux_energy(setup_end, global_end).0,
+        })
+        .collect();
+
+    // --- Slurm view: whole job, 10 Hz counters ---------------------------
+    let counters: Vec<PmCounters> = cluster.nodes().iter().map(PmCounters::attach).collect();
+    let mut slurm = Slurm::new(AccountingConfig::default());
+    let job_id = slurm.record(
+        format!("{}-{}", spec.workload.name(), spec.policy.label()),
+        JobTimes {
+            submit: SimInstant::ZERO,
+            loop_start: setup_end,
+            end: global_end,
+        },
+        counters,
+    );
+    let slurm_consumed_j = slurm
+        .sacct()
+        .iter()
+        .find(|r| r.job_id == job_id)
+        .and_then(|r| r.consumed_energy_j)
+        .expect("energy TRES enabled");
+
+    let mut per_rank: Vec<RankReport> = outputs.into_iter().map(|(r, _)| r).collect();
+
+    // Post-hoc CPU attribution: the host package draws near-constant power
+    // during the GPU-resident loop, so each function's CPU energy is its
+    // duration times the rank's share of the node's average CPU power.
+    let loop_s = (global_end - setup_end).as_secs_f64();
+    if loop_s > 0.0 {
+        let ranks_per_node = spec.system.node.gpu_devices as usize;
+        for report in &mut per_rank {
+            let (node_idx, _) = cluster.place_rank(report.rank);
+            let node_cpu_w = per_node[node_idx].cpu_j / loop_s;
+            let ranks_on_node =
+                ((spec.ranks - node_idx * ranks_per_node).min(ranks_per_node)).max(1) as f64;
+            for f in report.functions.values_mut() {
+                f.cpu_j = f.time_s * node_cpu_w / ranks_on_node;
+            }
+        }
+    }
+    let pmt_gpu_j: f64 = per_rank.iter().map(|r| r.gpu_loop_j).sum();
+    let pmt_total_j: f64 = pmt_gpu_j + per_node.iter().map(|n| n.cpu_j + n.mem_j).sum::<f64>();
+    let node_loop_j: f64 = per_node.iter().map(NodeBreakdown::total_j).sum();
+
+    let result = ExperimentResult {
+        system: spec.system.name.clone(),
+        workload: spec.workload.name().to_string(),
+        policy: spec.policy.label(),
+        ranks: spec.ranks,
+        steps: spec.steps,
+        time_to_solution_s: (global_end - setup_end).as_secs_f64(),
+        job_elapsed_s: (global_end - SimInstant::ZERO).as_secs_f64(),
+        per_rank,
+        per_node,
+        pmt_gpu_j,
+        pmt_total_j,
+        slurm_consumed_j,
+        node_loop_j,
+    };
+
+    if let Some(dir) = &spec.report_dir {
+        std::fs::create_dir_all(dir).expect("create report directory");
+        for rank in &result.per_rank {
+            let body = serde_json::to_string_pretty(rank).expect("rank report serializes");
+            std::fs::write(dir.join(format!("rank-{:04}.json", rank.rank)), body)
+                .expect("write rank report");
+        }
+        std::fs::write(dir.join("experiment.json"), result.to_json())
+            .expect("write experiment report");
+        std::fs::write(dir.join("functions.csv"), result.functions_csv())
+            .expect("write function CSV");
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::MegaHertz;
+
+    fn quick(policy: FreqPolicy) -> ExperimentResult {
+        let mut spec = ExperimentSpec::minihpc_turbulence(policy, 2);
+        spec.workload = WorkloadKind::Turbulence {
+            n_side: 6,
+            mach: 0.3,
+            seed: 1,
+        };
+        spec.target_neighbors = 30;
+        run_experiment(&spec)
+    }
+
+    #[test]
+    fn baseline_experiment_produces_consistent_views() {
+        let r = quick(FreqPolicy::Baseline);
+        assert_eq!(r.ranks, 1);
+        assert_eq!(r.per_rank.len(), 1);
+        assert_eq!(r.per_node.len(), 1);
+        assert!(r.time_to_solution_s > 0.0);
+        assert!(r.job_elapsed_s > r.time_to_solution_s, "job includes setup");
+        // Slurm sees the whole job (setup + aux), PMT only loop devices.
+        assert!(r.slurm_consumed_j > r.pmt_total_j);
+        // GPU energy measured by PMT matches the node-breakdown GPU energy
+        // (same window, same device, modulo the idle remainder of the node's
+        // second GPU on miniHPC).
+        let node_gpu = r.per_node[0].gpu_j;
+        assert!(r.pmt_gpu_j <= node_gpu + 1e-9);
+        assert!(r.pmt_gpu_j > 0.3 * node_gpu, "instrumented GPU dominates");
+        // EDP is positive and consistent.
+        assert!((r.edp() - r.node_loop_j * r.time_to_solution_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_downscaling_trades_time_for_gpu_energy() {
+        let base = quick(FreqPolicy::Baseline);
+        let low = quick(FreqPolicy::Static(MegaHertz(1005)));
+        let (t, e, _) = low.normalized_to(&base);
+        assert!(t > 1.02, "static-1005 must be slower: {t}");
+        assert!(t < 1.45, "slowdown bounded by 1/f: {t}");
+        assert!(e < 0.95, "static-1005 must save GPU energy: {e}");
+    }
+
+    #[test]
+    fn multirank_experiment_on_production_system_denies_clock_control() {
+        let spec = ExperimentSpec {
+            system: archsim::cscs_a100(),
+            ranks: 8,
+            workload: WorkloadKind::Turbulence {
+                n_side: 8,
+                mach: 0.3,
+                seed: 2,
+            },
+            steps: 2,
+            policy: FreqPolicy::Static(MegaHertz(1005)),
+            target_particles_per_rank: 150e6,
+            setup: SimDuration::from_secs(1),
+            comm: CommCost::default(),
+            kernel: Kernel::CubicSpline,
+            target_neighbors: 30,
+            collect_trace: false,
+            slurm_gpu_freq: None,
+            slurm_cpu_freq_khz: None,
+            report_dir: None,
+        };
+        let r = run_experiment(&spec);
+        assert_eq!(r.per_rank.len(), 8);
+        assert_eq!(r.per_node.len(), 2, "8 ranks on 4-GPU nodes");
+        assert!(
+            r.per_rank.iter().all(|rr| rr.clock_control_denied),
+            "production systems lock SetApplicationsClocks"
+        );
+        // Baseline behaviour: pinned at the centre default anyway.
+        assert!(r.pmt_gpu_j > 0.0);
+    }
+
+    #[test]
+    fn evrard_workload_reports_gravity() {
+        let spec = ExperimentSpec {
+            workload: WorkloadKind::Evrard { n_side: 8 },
+            target_particles_per_rank: 80e6,
+            ..ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 2)
+        };
+        let r = run_experiment(&spec);
+        assert_eq!(r.workload, "EvrardCollapse");
+        assert!(r.per_rank[0].functions.contains_key("Gravity"));
+        assert_eq!(r.per_rank[0].functions.len(), 12);
+    }
+
+    #[test]
+    fn slurm_gpu_freq_overrides_locked_production_clocks() {
+        // §II-B: --gpu-freq is applied with scheduler privilege, so it works
+        // even where user-level SetApplicationsClocks is denied.
+        let mut spec = ExperimentSpec {
+            system: archsim::cscs_a100(),
+            ranks: 4,
+            workload: WorkloadKind::Turbulence {
+                n_side: 8,
+                mach: 0.3,
+                seed: 3,
+            },
+            steps: 2,
+            policy: FreqPolicy::Baseline,
+            target_particles_per_rank: 150e6,
+            setup: SimDuration::from_secs(1),
+            comm: CommCost::default(),
+            kernel: Kernel::CubicSpline,
+            target_neighbors: 30,
+            collect_trace: false,
+            slurm_gpu_freq: Some(MegaHertz(1005)),
+            slurm_cpu_freq_khz: None,
+            report_dir: None,
+        };
+        let low = run_experiment(&spec);
+        // User-level control is still denied (Baseline tries to pin 1410 and
+        // fails), but the Slurm-applied 1005 MHz governs every function.
+        assert!(low.per_rank.iter().all(|r| r.clock_control_denied));
+        for rank in &low.per_rank {
+            for (name, f) in &rank.functions {
+                assert!(
+                    (f.avg_freq_mhz - 1005.0).abs() < 1.0,
+                    "{name} ran at {} despite --gpu-freq=1005",
+                    f.avg_freq_mhz
+                );
+            }
+        }
+        // And it actually saves energy vs the default clocks.
+        spec.slurm_gpu_freq = None;
+        let default = run_experiment(&spec);
+        assert!(low.pmt_gpu_j < default.pmt_gpu_j);
+        assert!(low.time_to_solution_s > default.time_to_solution_s);
+    }
+
+    #[test]
+    fn cpu_energy_attribution_is_time_proportional() {
+        let r = quick(FreqPolicy::Baseline);
+        let rank = &r.per_rank[0];
+        let cpu_sum: f64 = rank.functions.values().map(|f| f.cpu_j).sum();
+        assert!(cpu_sum > 0.0, "cpu_j must be filled post-hoc");
+        // Proportionality: cpu_j / time_s is the same constant everywhere.
+        let rates: Vec<f64> = rank
+            .functions
+            .values()
+            .map(|f| f.cpu_j / f.time_s)
+            .collect();
+        let first = rates[0];
+        assert!(
+            rates.iter().all(|r| (r - first).abs() / first < 1e-9),
+            "CPU power attribution must be constant: {rates:?}"
+        );
+        // And the per-function CPU energy sums to (about) the rank's share
+        // of the node CPU energy.
+        let node_cpu: f64 = r.per_node.iter().map(|n| n.cpu_j).sum();
+        assert!(cpu_sum <= node_cpu + 1e-9);
+        assert!(
+            cpu_sum > 0.9 * node_cpu,
+            "rank share {cpu_sum} vs node {node_cpu}"
+        );
+    }
+
+    #[test]
+    fn slurm_cpu_freq_reduces_cpu_energy_without_time_cost() {
+        let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 2);
+        spec.workload = WorkloadKind::Turbulence {
+            n_side: 6,
+            mach: 0.3,
+            seed: 1,
+        };
+        spec.target_neighbors = 30;
+        let base = run_experiment(&spec);
+        spec.slurm_cpu_freq_khz = Some(2_000_000);
+        let slow = run_experiment(&spec);
+        assert_eq!(
+            slow.time_to_solution_s, base.time_to_solution_s,
+            "GPU-bound: no time cost"
+        );
+        let cpu_base: f64 = base.per_node.iter().map(|n| n.cpu_j).sum();
+        let cpu_slow: f64 = slow.per_node.iter().map(|n| n.cpu_j).sum();
+        assert!(
+            cpu_slow < cpu_base * 0.95,
+            "CPU energy must drop: {cpu_slow} vs {cpu_base}"
+        );
+    }
+
+    #[test]
+    fn report_dir_writes_per_rank_files() {
+        let dir = std::env::temp_dir().join("freqscale_report_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 1);
+        spec.workload = WorkloadKind::Turbulence {
+            n_side: 6,
+            mach: 0.3,
+            seed: 1,
+        };
+        spec.target_neighbors = 30;
+        spec.ranks = 2;
+        spec.report_dir = Some(dir.clone());
+        let r = run_experiment(&spec);
+        // Per-rank files + aggregate + CSV.
+        assert!(dir.join("rank-0000.json").exists());
+        assert!(dir.join("rank-0001.json").exists());
+        let exp = std::fs::read_to_string(dir.join("experiment.json")).expect("file written");
+        let parsed = crate::report::ExperimentResult::from_json(&exp).expect("valid JSON");
+        assert_eq!(parsed.ranks, r.ranks);
+        let csv = std::fs::read_to_string(dir.join("functions.csv")).expect("csv written");
+        assert!(csv.starts_with("function,calls"));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn sedov_workload_runs_instrumented() {
+        let spec = ExperimentSpec {
+            workload: WorkloadKind::Sedov { n_side: 8, e0: 1.0 },
+            target_particles_per_rank: 125e6,
+            ..ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 2)
+        };
+        let r = run_experiment(&spec);
+        assert_eq!(r.workload, "SedovBlast");
+        assert_eq!(r.per_rank[0].functions.len(), 11, "hydro set, no gravity");
+        assert!(r.pmt_gpu_j > 0.0);
+    }
+
+    #[test]
+    fn trace_collection_is_opt_in() {
+        let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Dvfs, 1);
+        spec.workload = WorkloadKind::Turbulence {
+            n_side: 6,
+            mach: 0.3,
+            seed: 1,
+        };
+        spec.target_neighbors = 30;
+        let without = run_experiment(&spec);
+        assert!(without.per_rank[0].freq_trace.is_empty());
+        spec.collect_trace = true;
+        let with = run_experiment(&spec);
+        assert!(!with.per_rank[0].freq_trace.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Uniform-grid neighbor search (cell lists) with periodic support.
+//!
+//! SPH needs all neighbors within the interaction radius `r = 2h`. A cell
+//! list with cell edge `>= r` finds them by scanning the 27 surrounding
+//! cells. Correctness is property-tested against the brute-force reference
+//! ([`brute_force_neighbors`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::box3::Box3;
+
+/// CSR-layout uniform grid over particle positions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellList {
+    bbox: Box3,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// CSR offsets per cell (length `nx*ny*nz + 1`).
+    cell_start: Vec<u32>,
+    /// Particle indices grouped by cell.
+    order: Vec<u32>,
+}
+
+impl CellList {
+    /// Build over positions with cells at least `cell_size` wide. The number
+    /// of cells per axis is clamped to at least 1.
+    pub fn build(x: &[f64], y: &[f64], z: &[f64], bbox: &Box3, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), z.len());
+        let nx = ((bbox.lx() / cell_size).floor() as usize).max(1);
+        let ny = ((bbox.ly() / cell_size).floor() as usize).max(1);
+        let nz = ((bbox.lz() / cell_size).floor() as usize).max(1);
+        let ncells = nx * ny * nz;
+
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |i: usize| -> usize {
+            let (ux, uy, uz) = bbox.normalize(x[i], y[i], z[i]);
+            let cx = ((ux * nx as f64) as usize).min(nx - 1);
+            let cy = ((uy * ny as f64) as usize).min(ny - 1);
+            let cz = ((uz * nz as f64) as usize).min(nz - 1);
+            (cx * ny + cy) * nz + cz
+        };
+        for i in 0..x.len() {
+            counts[cell_of(i) + 1] += 1;
+        }
+        for c in 1..=ncells {
+            counts[c] += counts[c - 1];
+        }
+        let cell_start = counts.clone();
+        let mut cursor = counts;
+        let mut order = vec![0u32; x.len()];
+        for i in 0..x.len() {
+            let c = cell_of(i);
+            order[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        CellList {
+            bbox: *bbox,
+            nx,
+            ny,
+            nz,
+            cell_start,
+            order,
+        }
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Particles stored.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Distinct wrapped indices of `{c-1, c, c+1}` along an axis of `n` cells.
+    fn axis_candidates(&self, c: isize, n: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(3);
+        for d in -1isize..=1 {
+            let raw = c + d;
+            let idx = if self.bbox.periodic {
+                raw.rem_euclid(n as isize) as usize
+            } else if raw < 0 || raw >= n as isize {
+                continue;
+            } else {
+                raw as usize
+            };
+            if !out.contains(&idx) {
+                out.push(idx);
+            }
+        }
+        out
+    }
+
+    /// Visit every particle within distance `r` of `(px, py, pz)` (inclusive),
+    /// calling `f(index, dist2)`. The query point itself is visited if it is
+    /// one of the stored particles — callers filter self-interaction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_neighbors<F: FnMut(usize, f64)>(
+        &self,
+        px: f64,
+        py: f64,
+        pz: f64,
+        r: f64,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        mut f: F,
+    ) {
+        let (ux, uy, uz) = self.bbox.normalize(px, py, pz);
+        let cx = ((ux * self.nx as f64) as isize).min(self.nx as isize - 1);
+        let cy = ((uy * self.ny as f64) as isize).min(self.ny as isize - 1);
+        let cz = ((uz * self.nz as f64) as isize).min(self.nz as isize - 1);
+        let r2 = r * r;
+        for &ix in &self.axis_candidates(cx, self.nx) {
+            for &iy in &self.axis_candidates(cy, self.ny) {
+                for &iz in &self.axis_candidates(cz, self.nz) {
+                    let c = (ix * self.ny + iy) * self.nz + iz;
+                    let (s, e) = (self.cell_start[c] as usize, self.cell_start[c + 1] as usize);
+                    for &j in &self.order[s..e] {
+                        let j = j as usize;
+                        let d2 = self.bbox.dist2(px, py, pz, x[j], y[j], z[j]);
+                        if d2 <= r2 {
+                            f(j, d2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect neighbor indices of particle `i` within `r`, excluding `i`.
+    pub fn neighbors_of(&self, i: usize, r: f64, x: &[f64], y: &[f64], z: &[f64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_neighbors(x[i], y[i], z[i], r, x, y, z, |j, _| {
+            if j != i {
+                out.push(j);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+}
+
+/// O(n²) reference neighbor search, used to validate the cell list.
+pub fn brute_force_neighbors(
+    i: usize,
+    r: f64,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    bbox: &Box3,
+) -> Vec<usize> {
+    let r2 = r * r;
+    (0..x.len())
+        .filter(|&j| j != i && bbox.dist2(x[i], y[i], z[i], x[j], y[j], z[j]) <= r2)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = || (0..n).map(|_| rng.random::<f64>()).collect::<Vec<_>>();
+        let x = f();
+        let y = f();
+        let z = f();
+        (x, y, z)
+    }
+
+    #[test]
+    fn matches_brute_force_periodic() {
+        let (x, y, z) = cloud(300, 1);
+        let bbox = Box3::unit_periodic();
+        let r = 0.12;
+        let cl = CellList::build(&x, &y, &z, &bbox, r);
+        for i in (0..300).step_by(17) {
+            assert_eq!(
+                cl.neighbors_of(i, r, &x, &y, &z),
+                brute_force_neighbors(i, r, &x, &y, &z, &bbox),
+                "mismatch at particle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_open_box() {
+        let (x, y, z) = cloud(300, 2);
+        let bbox = Box3::cube(0.0, 1.0, false);
+        let r = 0.09;
+        let cl = CellList::build(&x, &y, &z, &bbox, r);
+        for i in (0..300).step_by(13) {
+            assert_eq!(
+                cl.neighbors_of(i, r, &x, &y, &z),
+                brute_force_neighbors(i, r, &x, &y, &z, &bbox)
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_grid_does_not_duplicate_periodic_images() {
+        // Radius so large the grid collapses to 2 cells per axis: wrapped
+        // offsets would visit the same cell twice without deduplication.
+        let (x, y, z) = cloud(50, 3);
+        let bbox = Box3::unit_periodic();
+        let r = 0.45;
+        let cl = CellList::build(&x, &y, &z, &bbox, r);
+        assert!(cl.dims().0 <= 2);
+        for i in 0..50 {
+            let mut found = cl.neighbors_of(i, r, &x, &y, &z);
+            let len = found.len();
+            found.dedup();
+            assert_eq!(found.len(), len, "duplicate neighbors for {i}");
+            assert_eq!(found, brute_force_neighbors(i, r, &x, &y, &z, &bbox));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_particle() {
+        let bbox = Box3::unit_periodic();
+        let cl = CellList::build(&[], &[], &[], &bbox, 0.1);
+        assert!(cl.is_empty());
+        let (x, y, z) = (vec![0.5], vec![0.5], vec![0.5]);
+        let cl = CellList::build(&x, &y, &z, &bbox, 0.1);
+        assert_eq!(cl.neighbors_of(0, 0.1, &x, &y, &z), Vec::<usize>::new());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_celllist_equals_brute_force(
+            seed in 0u64..1000,
+            n in 1usize..150,
+            r in 0.02f64..0.5,
+            periodic in proptest::bool::ANY,
+        ) {
+            let (x, y, z) = cloud(n, seed);
+            let bbox = Box3::cube(0.0, 1.0, periodic);
+            let cl = CellList::build(&x, &y, &z, &bbox, r);
+            let i = (seed as usize) % n;
+            prop_assert_eq!(
+                cl.neighbors_of(i, r, &x, &y, &z),
+                brute_force_neighbors(i, r, &x, &y, &z, &bbox)
+            );
+        }
+    }
+}

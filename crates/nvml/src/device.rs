@@ -1,0 +1,276 @@
+//! NVML device handles and queries.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use archsim::{GpuDevice, MegaHertz, SimDuration};
+
+use crate::error::NvmlError;
+
+/// `nvmlClockType_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockType {
+    Graphics,
+    Sm,
+    Mem,
+}
+
+/// `nvmlUtilization_t`: coarse percent-of-time utilization over the last
+/// sample window. Known to overestimate real occupancy (paper ref. \[25\]):
+/// any resident kernel — even pure launch overhead — counts as busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Percent of time at least one kernel was resident.
+    pub gpu: u32,
+    /// Percent of time the memory subsystem was active.
+    pub memory: u32,
+}
+
+/// Bit flags mirroring `nvmlClocksEventReasons*` (formerly throttle reasons).
+pub mod clocks_event_reasons {
+    /// Nothing is holding clocks back.
+    pub const NONE: u64 = 0x0;
+    /// Clocks are low because the GPU is idle.
+    pub const GPU_IDLE: u64 = 0x1;
+    /// Clocks are pinned by an applications-clocks setting.
+    pub const APPLICATIONS_CLOCKS_SETTING: u64 = 0x2;
+    /// The software power cap is pulling clocks down.
+    pub const SW_POWER_CAP: u64 = 0x4;
+    /// Thermal slowdown (HW) is pulling clocks down.
+    pub const HW_THERMAL_SLOWDOWN: u64 = 0x40;
+}
+
+/// `nvmlTemperatureSensors_t` (only the GPU die sensor is modeled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemperatureSensor {
+    Gpu,
+}
+
+/// The utilization window NVML averages over.
+const UTIL_WINDOW: SimDuration = SimDuration::from_millis(100);
+
+/// A device handle (`nvmlDevice_t`). Cheap to clone; all handles observe the
+/// same underlying simulated device.
+#[derive(Clone)]
+pub struct NvmlDevice {
+    index: usize,
+    inner: Arc<Mutex<GpuDevice>>,
+}
+
+impl NvmlDevice {
+    pub(crate) fn new(index: usize, inner: Arc<Mutex<GpuDevice>>) -> Self {
+        NvmlDevice { index, inner }
+    }
+
+    /// NVML device index on the node.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// `nvmlDeviceGetName`.
+    pub fn name(&self) -> String {
+        self.inner.lock().spec().name.clone()
+    }
+
+    /// `nvmlDeviceGetUUID` — stable per device identity, derived from the
+    /// model and index the way monitoring stacks key their series.
+    pub fn uuid(&self) -> String {
+        let d = self.inner.lock();
+        // FNV-1a over the name for a deterministic pseudo-UUID body.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in d.spec().name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        format!(
+            "GPU-{:08x}-{:04x}-{:04x}",
+            h as u32,
+            (h >> 32) as u16,
+            self.index as u16
+        )
+    }
+
+    /// `nvmlDeviceGetPowerUsage` — current draw in **milliwatts**.
+    pub fn power_usage(&self) -> Result<u64, NvmlError> {
+        Ok(self
+            .inner
+            .lock()
+            .power_timeline()
+            .last_power()
+            .as_milliwatts())
+    }
+
+    /// `nvmlDeviceGetTotalEnergyConsumption` — cumulative energy in
+    /// **millijoules** since the driver loaded (supported on A100-class
+    /// parts; this is what PMT's NVML backend prefers when present).
+    pub fn total_energy_consumption(&self) -> Result<u64, NvmlError> {
+        let j = self.inner.lock().total_energy().0;
+        Ok((j * 1e3).round().max(0.0) as u64)
+    }
+
+    /// `nvmlDeviceGetClockInfo` — the *current* clock in MHz.
+    pub fn clock_info(&self, which: ClockType) -> Result<u32, NvmlError> {
+        let d = self.inner.lock();
+        Ok(match which {
+            ClockType::Graphics | ClockType::Sm => d.current_freq().0,
+            ClockType::Mem => d.current_mem_clock().0,
+        })
+    }
+
+    /// `nvmlDeviceGetApplicationsClock` — the pinned clock, if any.
+    pub fn applications_clock(&self, which: ClockType) -> Result<u32, NvmlError> {
+        let d = self.inner.lock();
+        match which {
+            ClockType::Mem => Ok(d.spec().mem_clock.0),
+            ClockType::Graphics | ClockType::Sm => match d.policy() {
+                archsim::ClockPolicy::ApplicationClocks(f) => Ok(f.0),
+                archsim::ClockPolicy::Dvfs(_) => {
+                    Err(NvmlError::NotSupported("no applications clock set"))
+                }
+            },
+        }
+    }
+
+    /// `nvmlDeviceSetApplicationsClocks(mem, graphics)` — the call the paper
+    /// instruments SPH-EXA with (§III-D). Argument order matches NVML: memory
+    /// clock first. The memory clock must be the device's (the paper never
+    /// changes it); the graphics clock must be on the supported ladder.
+    pub fn set_applications_clocks(
+        &self,
+        mem_mhz: u32,
+        graphics_mhz: u32,
+    ) -> Result<(), NvmlError> {
+        let mut d = self.inner.lock();
+        if !d.spec().mem_clock_table.contains(&MegaHertz(mem_mhz)) {
+            return Err(NvmlError::InvalidArgument(format!(
+                "memory clock {mem_mhz} MHz not supported (device supports {:?})",
+                d.spec().mem_clock_table
+            )));
+        }
+        // Graphics clock first: it carries the permission/ladder checks and
+        // leaves the device untouched on failure.
+        d.set_application_clocks(MegaHertz(graphics_mhz))?;
+        d.set_memory_clock(MegaHertz(mem_mhz))?;
+        Ok(())
+    }
+
+    /// `nvmlDeviceResetApplicationsClocks` — hand the clock back to DVFS.
+    pub fn reset_applications_clocks(&self) -> Result<(), NvmlError> {
+        self.inner.lock().reset_application_clocks()?;
+        Ok(())
+    }
+
+    /// `nvmlDeviceGetSupportedMemoryClocks` — descending P-states.
+    pub fn supported_memory_clocks(&self) -> Result<Vec<u32>, NvmlError> {
+        Ok(self
+            .inner
+            .lock()
+            .spec()
+            .mem_clock_table
+            .iter()
+            .map(|f| f.0)
+            .collect())
+    }
+
+    /// `nvmlDeviceGetSupportedGraphicsClocks(mem)` — descending, as NVML
+    /// enumerates them.
+    pub fn supported_graphics_clocks(&self, mem_mhz: u32) -> Result<Vec<u32>, NvmlError> {
+        let d = self.inner.lock();
+        if mem_mhz != d.spec().mem_clock.0 {
+            return Err(NvmlError::InvalidArgument(format!(
+                "no graphics clocks for memory clock {mem_mhz} MHz"
+            )));
+        }
+        Ok(d.spec()
+            .clock_table
+            .supported_clocks()
+            .into_iter()
+            .map(|f| f.0)
+            .collect())
+    }
+
+    /// `nvmlDeviceGetUtilizationRates` — coarse busy-percent over the last
+    /// ~100 ms of device time.
+    pub fn utilization_rates(&self) -> Result<Utilization, NvmlError> {
+        let d = self.inner.lock();
+        let now = d.now();
+        let from = now - UTIL_WINDOW;
+        let busy = d.utilization_coarse(from, now);
+        Ok(Utilization {
+            gpu: (busy * 100.0).round() as u32,
+            // The memory pipe is assumed active whenever kernels are
+            // resident; NVML reports it similarly coarsely.
+            memory: (busy * 100.0 * 0.7).round() as u32,
+        })
+    }
+
+    /// `nvmlDeviceGetCurrentClocksEventReasons`.
+    pub fn current_clocks_event_reasons(&self) -> Result<u64, NvmlError> {
+        let d = self.inner.lock();
+        let mut reasons = clocks_event_reasons::NONE;
+        match d.policy() {
+            archsim::ClockPolicy::ApplicationClocks(_) => {
+                reasons |= clocks_event_reasons::APPLICATIONS_CLOCKS_SETTING;
+            }
+            archsim::ClockPolicy::Dvfs(p) => {
+                if d.current_freq() <= p.idle_floor {
+                    reasons |= clocks_event_reasons::GPU_IDLE;
+                }
+            }
+        }
+        let (sw_cap, thermal) = d.cap_state();
+        if sw_cap {
+            reasons |= clocks_event_reasons::SW_POWER_CAP;
+        }
+        if thermal {
+            reasons |= clocks_event_reasons::HW_THERMAL_SLOWDOWN;
+        }
+        Ok(reasons)
+    }
+
+    /// `nvmlDeviceGetTemperature` — junction temperature in whole °C.
+    pub fn temperature(&self, _sensor: TemperatureSensor) -> Result<u32, NvmlError> {
+        Ok(self.inner.lock().temperature_c().round().max(0.0) as u32)
+    }
+
+    /// `nvmlDeviceGetPowerManagementLimit` — enforced limit in milliwatts.
+    pub fn power_management_limit(&self) -> Result<u64, NvmlError> {
+        Ok(self.inner.lock().power_limit().as_milliwatts())
+    }
+
+    /// `nvmlDeviceGetPowerManagementLimitConstraints` — `(min, max)` in
+    /// milliwatts.
+    pub fn power_management_limit_constraints(&self) -> Result<(u64, u64), NvmlError> {
+        let d = self.inner.lock();
+        Ok((
+            d.spec().idle_power.as_milliwatts(),
+            d.spec().tdp().as_milliwatts(),
+        ))
+    }
+
+    /// `nvmlDeviceSetPowerManagementLimit` — takes milliwatts; requires the
+    /// same privilege as clock control.
+    pub fn set_power_management_limit(&self, limit_mw: u64) -> Result<(), NvmlError> {
+        self.inner
+            .lock()
+            .set_power_limit(archsim::Watts(limit_mw as f64 / 1e3))?;
+        Ok(())
+    }
+
+    /// Escape hatch for tools layered on the shim (PMT backends, the tuner):
+    /// the underlying simulated device.
+    pub fn raw(&self) -> Arc<Mutex<GpuDevice>> {
+        Arc::clone(&self.inner)
+    }
+}
+
+impl std::fmt::Debug for NvmlDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmlDevice")
+            .field("index", &self.index)
+            .field("name", &self.name())
+            .finish()
+    }
+}

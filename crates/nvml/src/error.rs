@@ -1,0 +1,55 @@
+//! NVML-style error codes.
+
+use std::fmt;
+
+use archsim::ArchError;
+
+/// Mirrors `nvmlReturn_t`. Only the variants the instrumentation layer can
+/// actually encounter are modeled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmlError {
+    /// `NVML_ERROR_UNINITIALIZED` — library handle was shut down.
+    Uninitialized,
+    /// `NVML_ERROR_INVALID_ARGUMENT` — e.g. an unsupported clock pair.
+    InvalidArgument(String),
+    /// `NVML_ERROR_NOT_SUPPORTED` — query not available on this device.
+    NotSupported(&'static str),
+    /// `NVML_ERROR_NO_PERMISSION` — the root-only operation the paper's
+    /// user-level frequency control works around.
+    NoPermission(&'static str),
+    /// `NVML_ERROR_NOT_FOUND` — bad device index.
+    NotFound { index: usize, count: usize },
+}
+
+impl fmt::Display for NvmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmlError::Uninitialized => write!(f, "NVML_ERROR_UNINITIALIZED"),
+            NvmlError::InvalidArgument(m) => write!(f, "NVML_ERROR_INVALID_ARGUMENT: {m}"),
+            NvmlError::NotSupported(m) => write!(f, "NVML_ERROR_NOT_SUPPORTED: {m}"),
+            NvmlError::NoPermission(m) => write!(f, "NVML_ERROR_NO_PERMISSION: {m}"),
+            NvmlError::NotFound { index, count } => {
+                write!(f, "NVML_ERROR_NOT_FOUND: device {index} of {count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmlError {}
+
+impl From<ArchError> for NvmlError {
+    fn from(e: ArchError) -> Self {
+        match e {
+            ArchError::UnsupportedClock {
+                requested,
+                min,
+                max,
+            } => NvmlError::InvalidArgument(format!(
+                "clock {requested} outside supported range {min}..={max}"
+            )),
+            ArchError::NoPermission(op) => NvmlError::NoPermission(op),
+            ArchError::NoSuchDevice { index, count } => NvmlError::NotFound { index, count },
+            ArchError::InvalidSpec(m) => NvmlError::InvalidArgument(m),
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! # pm-counters — HPE/Cray out-of-band power/energy counters
+//!
+//! Cray EX blades collect node power out-of-band at 10 Hz and publish it
+//! through read-only sysfs files under `/sys/cray/pm_counters/`: `energy`,
+//! `cpu_energy`, `memory_energy`, `accel[0-3]_energy` and the matching
+//! `*_power` files (Martin, CUG 2014/2018 — the paper's refs \[18\], \[19\]).
+//!
+//! This crate reproduces that collector against [`archsim`] device timelines:
+//!
+//! * counters advance only on 10 Hz ticks (quantization a real reader sees);
+//! * energy is the left-rectangle integral of 10 Hz power samples, so short
+//!   spikes between ticks are missed exactly as on real blades;
+//! * one `accel*` counter covers one *card* — on LUMI-G that is two GCDs,
+//!   i.e. two MPI ranks share one counter (§III-B's measurement quirk);
+//! * node energy includes the auxiliary draw no per-device counter covers,
+//!   which is why "Other" in the paper is a *calculated* value.
+
+pub mod snapshot;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use archsim::{
+    CpuDevice, GpuDevice, Joules, MemoryDevice, Node, NodeSpec, SimDuration, SimInstant, Watts,
+};
+
+pub use snapshot::{capture_series, series_to_csv, PmSnapshot};
+
+/// Default out-of-band collection rate (10 Hz).
+pub const DEFAULT_SCAN_PERIOD: SimDuration = SimDuration::from_millis(100);
+
+/// Error reading a pm_counters file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmError {
+    /// The named file does not exist on this blade.
+    NoSuchFile(String),
+}
+
+impl std::fmt::Display for PmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmError::NoSuchFile(name) => write!(f, "pm_counters: no such file {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PmError {}
+
+/// The out-of-band collector attached to one node.
+pub struct PmCounters {
+    spec: NodeSpec,
+    cpu: Arc<Mutex<CpuDevice>>,
+    mem: Arc<Mutex<MemoryDevice>>,
+    gpus: Vec<Arc<Mutex<GpuDevice>>>,
+    scan_period: SimDuration,
+}
+
+impl PmCounters {
+    /// Attach the collector to a node's devices.
+    pub fn attach(node: &Node) -> Self {
+        PmCounters {
+            spec: node.spec().clone(),
+            cpu: node.cpu(),
+            mem: node.mem(),
+            gpus: node.gpus().to_vec(),
+            scan_period: DEFAULT_SCAN_PERIOD,
+        }
+    }
+
+    /// Override the collection rate (the `raw_scan_hz` file).
+    pub fn with_scan_period(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "scan period must be positive");
+        self.scan_period = period;
+        self
+    }
+
+    pub fn scan_period(&self) -> SimDuration {
+        self.scan_period
+    }
+
+    /// Number of `accel*` counters = physical cards.
+    pub fn accel_count(&self) -> usize {
+        self.spec.cards() as usize
+    }
+
+    /// Latest instant for which every attached device timeline is recorded —
+    /// the newest instant a live reader can trust.
+    pub fn recorded_until(&self) -> SimInstant {
+        let mut t = self.cpu.lock().now().min(self.mem.lock().now());
+        for g in &self.gpus {
+            t = t.min(g.lock().now());
+        }
+        t
+    }
+
+    /// The last collection tick at or before `t`.
+    pub fn tick(&self, t: SimInstant) -> SimInstant {
+        let p = self.scan_period.as_nanos();
+        SimInstant::from_nanos(t.as_nanos() / p * p)
+    }
+
+    /// CPU package energy counter at `t` (joules, all sockets).
+    pub fn cpu_energy(&self, t: SimInstant) -> Joules {
+        let until = self.tick(t);
+        self.cpu
+            .lock()
+            .power_timeline()
+            .sampled_energy(SimInstant::ZERO, until, self.scan_period)
+            * f64::from(self.spec.sockets)
+    }
+
+    /// Node DRAM energy counter at `t`.
+    pub fn memory_energy(&self, t: SimInstant) -> Joules {
+        let until = self.tick(t);
+        self.mem
+            .lock()
+            .power_timeline()
+            .sampled_energy(SimInstant::ZERO, until, self.scan_period)
+    }
+
+    /// `accel<card>_energy` counter at `t`: sums every GCD on the card.
+    pub fn accel_energy(&self, card: usize, t: SimInstant) -> Result<Joules, PmError> {
+        if card >= self.accel_count() {
+            return Err(PmError::NoSuchFile(format!("accel{card}_energy")));
+        }
+        let until = self.tick(t);
+        let per_card = self.spec.gcds_per_card as usize;
+        let mut e = Joules::ZERO;
+        for g in &self.gpus[card * per_card..(card + 1) * per_card] {
+            e +=
+                g.lock()
+                    .power_timeline()
+                    .sampled_energy(SimInstant::ZERO, until, self.scan_period);
+        }
+        Ok(e)
+    }
+
+    /// All accelerator energy combined.
+    pub fn total_accel_energy(&self, t: SimInstant) -> Joules {
+        (0..self.accel_count())
+            .map(|c| self.accel_energy(c, t).expect("card index in range"))
+            .sum()
+    }
+
+    /// Node-level `energy` counter at `t`: devices plus auxiliary draw.
+    pub fn node_energy(&self, t: SimInstant) -> Joules {
+        let until = self.tick(t);
+        self.cpu_energy(t)
+            + self.memory_energy(t)
+            + self.total_accel_energy(t)
+            + self.spec.aux_power.energy_over(until - SimInstant::ZERO)
+    }
+
+    /// Instantaneous CPU power at the last tick.
+    pub fn cpu_power(&self, t: SimInstant) -> Watts {
+        self.cpu.lock().power_timeline().power_at(self.tick(t)) * f64::from(self.spec.sockets)
+    }
+
+    /// Instantaneous DRAM power at the last tick.
+    pub fn memory_power(&self, t: SimInstant) -> Watts {
+        self.mem.lock().power_timeline().power_at(self.tick(t))
+    }
+
+    /// `accel<card>_power` at the last tick.
+    pub fn accel_power(&self, card: usize, t: SimInstant) -> Result<Watts, PmError> {
+        if card >= self.accel_count() {
+            return Err(PmError::NoSuchFile(format!("accel{card}_power")));
+        }
+        let tick = self.tick(t);
+        let per_card = self.spec.gcds_per_card as usize;
+        let mut p = Watts::ZERO;
+        for g in &self.gpus[card * per_card..(card + 1) * per_card] {
+            p += g.lock().power_timeline().power_at(tick);
+        }
+        Ok(p)
+    }
+
+    /// Node `power` file at the last tick.
+    pub fn node_power(&self, t: SimInstant) -> Watts {
+        let mut p = self.cpu_power(t) + self.memory_power(t) + self.spec.aux_power;
+        for c in 0..self.accel_count() {
+            p += self.accel_power(c, t).expect("card index in range");
+        }
+        p
+    }
+
+    /// The blade-level `power_cap` file: the sum of enforced board power
+    /// limits across accelerators plus the host budget (0 = uncapped, as on
+    /// the real files when no cap is set).
+    pub fn power_cap(&self) -> Watts {
+        let mut cap = Watts::ZERO;
+        let mut any = false;
+        for g in &self.gpus {
+            let g = g.lock();
+            if g.power_limit() < g.spec().tdp() {
+                any = true;
+            }
+            cap += g.power_limit();
+        }
+        if any {
+            cap + self.spec.cpu.max_power * f64::from(self.spec.sockets) + self.spec.mem.max_power
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// Names of every file this blade publishes.
+    pub fn files(&self) -> Vec<String> {
+        let mut names = vec![
+            "power".to_string(),
+            "power_cap".to_string(),
+            "energy".to_string(),
+            "cpu_power".to_string(),
+            "cpu_energy".to_string(),
+            "memory_power".to_string(),
+            "memory_energy".to_string(),
+            "generation".to_string(),
+            "startup".to_string(),
+            "freshness".to_string(),
+            "version".to_string(),
+            "raw_scan_hz".to_string(),
+        ];
+        for c in 0..self.accel_count() {
+            names.push(format!("accel{c}_power"));
+            names.push(format!("accel{c}_energy"));
+        }
+        names
+    }
+
+    /// Read one sysfs file's contents as of instant `t`. Values carry their
+    /// unit suffix exactly like the real files (`"482 W"`, `"1288383 J"`).
+    pub fn read_file(&self, name: &str, t: SimInstant) -> Result<String, PmError> {
+        let fmt_j = |j: Joules| format!("{} J", j.0.round() as u64);
+        let fmt_w = |w: Watts| format!("{} W", w.0.round() as u64);
+        match name {
+            "power" => return Ok(fmt_w(self.node_power(t))),
+            "power_cap" => return Ok(fmt_w(self.power_cap())),
+            "energy" => return Ok(fmt_j(self.node_energy(t))),
+            "cpu_power" => return Ok(fmt_w(self.cpu_power(t))),
+            "cpu_energy" => return Ok(fmt_j(self.cpu_energy(t))),
+            "memory_power" => return Ok(fmt_w(self.memory_power(t))),
+            "memory_energy" => return Ok(fmt_j(self.memory_energy(t))),
+            "generation" => return Ok("1".into()),
+            "startup" => return Ok("0".into()),
+            "freshness" => {
+                return Ok(format!(
+                    "{}",
+                    self.tick(t).as_nanos() / self.scan_period.as_nanos()
+                ))
+            }
+            "version" => return Ok("archsim-pm 1".into()),
+            "raw_scan_hz" => {
+                return Ok(format!(
+                    "{}",
+                    (1.0 / self.scan_period.as_secs_f64()).round() as u64
+                ))
+            }
+            _ => {}
+        }
+        if let Some(rest) = name.strip_prefix("accel") {
+            if let Some(card_str) = rest.strip_suffix("_power") {
+                if let Ok(card) = card_str.parse::<usize>() {
+                    return Ok(fmt_w(self.accel_power(card, t)?));
+                }
+            }
+            if let Some(card_str) = rest.strip_suffix("_energy") {
+                if let Ok(card) = card_str.parse::<usize>() {
+                    return Ok(fmt_j(self.accel_energy(card, t)?));
+                }
+            }
+        }
+        Err(PmError::NoSuchFile(name.into()))
+    }
+
+    /// Capture a serializable snapshot of every counter as of `t`.
+    pub fn snapshot(&self, t: SimInstant) -> PmSnapshot {
+        PmSnapshot::capture(self, t)
+    }
+
+    /// Materialize the sysfs tree on disk (post-hoc inspection; analysis
+    /// scripts in the paper's workflow read these files).
+    pub fn publish_to_dir(&self, dir: &std::path::Path, t: SimInstant) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for name in self.files() {
+            let contents = self.read_file(&name, t).expect("listed file must read");
+            std::fs::write(dir.join(name), contents + "\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::{cscs_a100, lumi_g, KernelWorkload};
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::from_nanos(ms * 1_000_000)
+    }
+
+    fn settled_node(spec: archsim::SystemSpec, until_ms: u64) -> (Node, PmCounters) {
+        let node = Node::new(spec.node);
+        node.settle_until(t(until_ms), 0.2, 0.3);
+        let pm = PmCounters::attach(&node);
+        (node, pm)
+    }
+
+    #[test]
+    fn counters_quantize_to_ten_hz_ticks() {
+        let (_node, pm) = settled_node(cscs_a100(), 1000);
+        assert_eq!(pm.tick(t(99)), SimInstant::ZERO);
+        assert_eq!(pm.tick(t(100)), t(100));
+        assert_eq!(pm.tick(t(199)), t(100));
+        // Energy does not advance between ticks.
+        assert_eq!(pm.node_energy(t(150)), pm.node_energy(t(100)));
+        assert!(pm.node_energy(t(200)) > pm.node_energy(t(100)));
+    }
+
+    #[test]
+    fn lumi_publishes_four_accel_counters_for_eight_gcds() {
+        let (_node, pm) = settled_node(lumi_g(), 500);
+        assert_eq!(pm.accel_count(), 4);
+        let files = pm.files();
+        assert!(files.contains(&"accel3_energy".to_string()));
+        assert!(!files.contains(&"accel4_energy".to_string()));
+        assert!(pm.accel_energy(4, t(500)).is_err());
+    }
+
+    #[test]
+    fn accel_counter_covers_both_gcds_of_a_card() {
+        let node = Node::new(lumi_g().node);
+        // Run work on GCD 0 only; its card counter must still include GCD 1's
+        // idle draw.
+        {
+            let g0 = node.gpu(0).unwrap();
+            g0.lock()
+                .run_region(&KernelWorkload::new("k", 5e12, 5e11).with_activity(0.9, 0.6));
+        }
+        let end = node.gpu(0).unwrap().lock().now();
+        node.settle_until(end.max(t(500)), 0.2, 0.3);
+        let pm = PmCounters::attach(&node);
+        let at = t(500);
+        let card0 = pm.accel_energy(0, at).unwrap();
+        let card1 = pm.accel_energy(1, at).unwrap();
+        assert!(
+            card0 > card1,
+            "busy card must read higher: {card0} vs {card1}"
+        );
+        // Both ranks of card 0 would see the same (combined) number — the
+        // §III-B measurement ambiguity.
+        assert!(card1.0 > 0.0, "idle GCDs still draw");
+    }
+
+    #[test]
+    fn node_energy_includes_auxiliary_draw() {
+        let (node, pm) = settled_node(cscs_a100(), 1000);
+        let at = t(1000);
+        let devices = pm.cpu_energy(at) + pm.memory_energy(at) + pm.total_accel_energy(at);
+        let node_e = pm.node_energy(at);
+        let aux = node_e - devices;
+        let expected_aux = node.spec().aux_power.energy_over(SimDuration::from_secs(1));
+        assert!((aux.0 - expected_aux.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn files_read_with_unit_suffixes() {
+        let (_node, pm) = settled_node(cscs_a100(), 500);
+        let e = pm.read_file("energy", t(500)).unwrap();
+        assert!(e.ends_with(" J"), "got {e:?}");
+        let p = pm.read_file("cpu_power", t(500)).unwrap();
+        assert!(p.ends_with(" W"), "got {p:?}");
+        assert_eq!(pm.read_file("raw_scan_hz", t(0)).unwrap(), "10");
+        assert!(matches!(
+            pm.read_file("accel9_energy", t(0)),
+            Err(PmError::NoSuchFile(_))
+        ));
+        assert!(matches!(
+            pm.read_file("nonsense", t(0)),
+            Err(PmError::NoSuchFile(_))
+        ));
+    }
+
+    #[test]
+    fn every_listed_file_is_readable() {
+        let (_node, pm) = settled_node(lumi_g(), 300);
+        for f in pm.files() {
+            assert!(pm.read_file(&f, t(300)).is_ok(), "file {f} unreadable");
+        }
+    }
+
+    #[test]
+    fn sampled_energy_close_to_exact_for_steady_load() {
+        let (node, pm) = settled_node(cscs_a100(), 2000);
+        let at = t(2000);
+        let exact = node.node_energy(SimInstant::ZERO, at);
+        let counted = pm.node_energy(at);
+        let rel = (exact.0 - counted.0).abs() / exact.0;
+        assert!(rel < 0.01, "10 Hz sampling error too large: {rel}");
+    }
+
+    #[test]
+    fn publish_to_dir_writes_sysfs_tree() {
+        let (_node, pm) = settled_node(cscs_a100(), 200);
+        let dir = std::env::temp_dir().join("pm_counters_test_sysfs");
+        let _ = std::fs::remove_dir_all(&dir);
+        pm.publish_to_dir(&dir, t(200)).unwrap();
+        let energy = std::fs::read_to_string(dir.join("energy")).unwrap();
+        assert!(energy.trim().ends_with("J"));
+        assert!(dir.join("accel0_power").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn power_cap_file_reflects_board_limits() {
+        let node = Node::new(cscs_a100().node);
+        node.settle_until(t(100), 0.1, 0.1);
+        let pm = PmCounters::attach(&node);
+        // Uncapped: file reads 0 W, matching real blades with no cap.
+        assert_eq!(pm.read_file("power_cap", t(100)).unwrap(), "0 W");
+        // Cap one GPU (privileged path: unlock, set, relock).
+        {
+            let g = node.gpu(0).unwrap();
+            let mut g = g.lock();
+            g.unlock_clock_control();
+            g.set_power_limit(archsim::Watts(300.0)).unwrap();
+            g.lock_clock_control();
+        }
+        let cap = pm.power_cap();
+        assert!(cap.0 > 0.0);
+        // 300 + 3x400 (uncapped GPUs) + 225 CPU + 90 mem = 1815 W.
+        assert!((cap.0 - 1815.0).abs() < 1e-9, "cap {cap}");
+        assert!(pm.files().contains(&"power_cap".to_string()));
+    }
+
+    #[test]
+    fn custom_scan_period_changes_quantization() {
+        let node = Node::new(cscs_a100().node);
+        node.settle_until(t(1000), 0.2, 0.3);
+        let pm = PmCounters::attach(&node).with_scan_period(SimDuration::from_millis(250));
+        assert_eq!(pm.tick(t(499)), t(250));
+        assert_eq!(pm.read_file("raw_scan_hz", t(0)).unwrap(), "4");
+    }
+}

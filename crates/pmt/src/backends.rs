@@ -1,0 +1,275 @@
+//! PMT backends: NVML, rocm-smi, RAPL, Cray pm_counters, and Dummy.
+//!
+//! Like upstream PMT, each backend adapts one vendor interface to the common
+//! [`PowerSensor`] trait so instrumented application code never changes when
+//! the machine under it does.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use archsim::{CpuDevice, GpuDevice, Joules, MemoryDevice, SimDuration, SimInstant, Watts};
+use nvml_shim::NvmlDevice;
+use pm_counters::PmCounters;
+
+use crate::sensor::{PowerSensor, SensorKind};
+
+/// NVML backend: watches one Nvidia GPU through its device handle.
+pub struct NvmlSensor {
+    index: usize,
+    device: Arc<Mutex<GpuDevice>>,
+}
+
+impl NvmlSensor {
+    pub fn new(device: &NvmlDevice) -> Self {
+        NvmlSensor {
+            index: device.index(),
+            device: device.raw(),
+        }
+    }
+
+    /// Attach directly to a simulated device (bypassing the shim).
+    pub fn from_raw(index: usize, device: Arc<Mutex<GpuDevice>>) -> Self {
+        NvmlSensor { index, device }
+    }
+}
+
+impl PowerSensor for NvmlSensor {
+    fn kind(&self) -> SensorKind {
+        SensorKind::Gpu
+    }
+
+    fn label(&self) -> String {
+        format!("nvml:{}", self.index)
+    }
+
+    fn now(&self) -> SimInstant {
+        self.device.lock().now()
+    }
+
+    fn power_now(&self) -> Watts {
+        self.device.lock().power_timeline().last_power()
+    }
+
+    fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules {
+        self.device.lock().energy_between(a, b)
+    }
+
+    fn sampled_energy_between(&self, a: SimInstant, b: SimInstant, period: SimDuration) -> Joules {
+        self.device
+            .lock()
+            .power_timeline()
+            .sampled_energy(a, b, period)
+    }
+}
+
+/// rocm-smi backend: watches one AMD GCD. Identical mechanics to NVML —
+/// only the label differs, mirroring PMT's thin backend layers.
+pub struct RocmSensor {
+    index: usize,
+    device: Arc<Mutex<GpuDevice>>,
+}
+
+impl RocmSensor {
+    pub fn new(index: usize, device: Arc<Mutex<GpuDevice>>) -> Self {
+        RocmSensor { index, device }
+    }
+}
+
+impl PowerSensor for RocmSensor {
+    fn kind(&self) -> SensorKind {
+        SensorKind::Gpu
+    }
+
+    fn label(&self) -> String {
+        format!("rocm:{}", self.index)
+    }
+
+    fn now(&self) -> SimInstant {
+        self.device.lock().now()
+    }
+
+    fn power_now(&self) -> Watts {
+        self.device.lock().power_timeline().last_power()
+    }
+
+    fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules {
+        self.device.lock().energy_between(a, b)
+    }
+
+    fn sampled_energy_between(&self, a: SimInstant, b: SimInstant, period: SimDuration) -> Joules {
+        self.device
+            .lock()
+            .power_timeline()
+            .sampled_energy(a, b, period)
+    }
+}
+
+/// RAPL backend: package-level CPU energy. All ranks on a node read the same
+/// package counter — the paper's note that "all MPI ranks on the same node
+/// report the same energy measurement" (§III-B).
+pub struct RaplSensor {
+    sockets: u32,
+    cpu: Arc<Mutex<CpuDevice>>,
+}
+
+impl RaplSensor {
+    pub fn new(cpu: Arc<Mutex<CpuDevice>>, sockets: u32) -> Self {
+        RaplSensor { cpu, sockets }
+    }
+}
+
+impl PowerSensor for RaplSensor {
+    fn kind(&self) -> SensorKind {
+        SensorKind::Cpu
+    }
+
+    fn label(&self) -> String {
+        format!("rapl:package*{}", self.sockets)
+    }
+
+    fn now(&self) -> SimInstant {
+        self.cpu.lock().now()
+    }
+
+    fn power_now(&self) -> Watts {
+        self.cpu.lock().power_timeline().last_power() * f64::from(self.sockets)
+    }
+
+    fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules {
+        self.cpu.lock().energy_between(a, b) * f64::from(self.sockets)
+    }
+
+    fn sampled_energy_between(&self, a: SimInstant, b: SimInstant, period: SimDuration) -> Joules {
+        self.cpu
+            .lock()
+            .power_timeline()
+            .sampled_energy(a, b, period)
+            * f64::from(self.sockets)
+    }
+}
+
+/// DRAM sensor (RAPL's DRAM domain).
+pub struct DramSensor {
+    mem: Arc<Mutex<MemoryDevice>>,
+}
+
+impl DramSensor {
+    pub fn new(mem: Arc<Mutex<MemoryDevice>>) -> Self {
+        DramSensor { mem }
+    }
+}
+
+impl PowerSensor for DramSensor {
+    fn kind(&self) -> SensorKind {
+        SensorKind::Memory
+    }
+
+    fn label(&self) -> String {
+        "rapl:dram".into()
+    }
+
+    fn now(&self) -> SimInstant {
+        self.mem.lock().now()
+    }
+
+    fn power_now(&self) -> Watts {
+        self.mem.lock().power_timeline().last_power()
+    }
+
+    fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules {
+        self.mem.lock().energy_between(a, b)
+    }
+
+    fn sampled_energy_between(&self, a: SimInstant, b: SimInstant, period: SimDuration) -> Joules {
+        self.mem
+            .lock()
+            .power_timeline()
+            .sampled_energy(a, b, period)
+    }
+}
+
+/// Cray backend: whole-node energy through pm_counters. Natively 10 Hz
+/// quantized — `sampled_energy_between` ignores the caller's period.
+pub struct CraySensor {
+    pm: PmCounters,
+}
+
+impl CraySensor {
+    pub fn new(pm: PmCounters) -> Self {
+        CraySensor { pm }
+    }
+
+    /// The underlying counters (for per-device breakdowns).
+    pub fn counters(&self) -> &PmCounters {
+        &self.pm
+    }
+}
+
+impl PowerSensor for CraySensor {
+    fn kind(&self) -> SensorKind {
+        SensorKind::Node
+    }
+
+    fn label(&self) -> String {
+        "cray:pm_counters".into()
+    }
+
+    fn now(&self) -> SimInstant {
+        self.pm.recorded_until()
+    }
+
+    fn power_now(&self) -> Watts {
+        self.pm.node_power(self.now())
+    }
+
+    fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules {
+        if b <= a {
+            return Joules::ZERO;
+        }
+        self.pm.node_energy(b) - self.pm.node_energy(a)
+    }
+
+    fn sampled_energy_between(&self, a: SimInstant, b: SimInstant, _period: SimDuration) -> Joules {
+        self.energy_between(a, b)
+    }
+}
+
+/// Dummy backend: reads zero forever. PMT ships one for exactly this purpose —
+/// keeping instrumentation compiled in on machines with no sensors.
+#[derive(Default)]
+pub struct DummySensor {
+    now: SimInstant,
+}
+
+impl DummySensor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PowerSensor for DummySensor {
+    fn kind(&self) -> SensorKind {
+        SensorKind::Dummy
+    }
+
+    fn label(&self) -> String {
+        "dummy".into()
+    }
+
+    fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    fn power_now(&self) -> Watts {
+        Watts::ZERO
+    }
+
+    fn energy_between(&self, _a: SimInstant, _b: SimInstant) -> Joules {
+        Joules::ZERO
+    }
+
+    fn sampled_energy_between(&self, _a: SimInstant, _b: SimInstant, _p: SimDuration) -> Joules {
+        Joules::ZERO
+    }
+}

@@ -1,0 +1,98 @@
+//! The `PowerSensor` abstraction and measurement `State`.
+
+use serde::{Deserialize, Serialize};
+
+use archsim::{Joules, SimDuration, SimInstant, Watts};
+
+/// What a sensor measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// One GPU device (NVML / rocm-smi backends).
+    Gpu,
+    /// A CPU package (RAPL backend).
+    Cpu,
+    /// Node DRAM.
+    Memory,
+    /// The whole node (Cray pm_counters backend).
+    Node,
+    /// The zero-reading placeholder backend.
+    Dummy,
+}
+
+/// One measurement: the PMT `State` — timestamp, instantaneous power, and
+/// cumulative energy since sensor start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    pub timestamp: SimInstant,
+    pub watts: Watts,
+    /// Cumulative joules since the sensor was created.
+    pub joules: Joules,
+}
+
+/// Elapsed seconds between two states (PMT's `PMT::seconds`).
+pub fn seconds(start: &State, end: &State) -> f64 {
+    (end.timestamp - start.timestamp).as_secs_f64()
+}
+
+/// Energy between two states (PMT's `PMT::joules`).
+pub fn joules(start: &State, end: &State) -> Joules {
+    end.joules - start.joules
+}
+
+/// Average power between two states (PMT's `PMT::watts`).
+pub fn watts(start: &State, end: &State) -> Watts {
+    joules(start, end).average_power(end.timestamp - start.timestamp)
+}
+
+/// A power-measurement backend. All backends answer three questions about
+/// the device they watch: what time is it there, what is it drawing now, and
+/// how much energy flowed over a window.
+pub trait PowerSensor: Send {
+    /// Which device class this sensor watches.
+    fn kind(&self) -> SensorKind;
+
+    /// Human-readable backend/device label (e.g. `"nvml:0"`).
+    fn label(&self) -> String;
+
+    /// The device-local virtual instant up to which readings are valid.
+    fn now(&self) -> SimInstant;
+
+    /// Instantaneous power at [`PowerSensor::now`].
+    fn power_now(&self) -> Watts;
+
+    /// Exact energy integral over `[a, b)`.
+    fn energy_between(&self, a: SimInstant, b: SimInstant) -> Joules;
+
+    /// Energy over `[a, b)` as a polling tool sampling at `period` would
+    /// estimate it. Backends that are themselves sampled (Cray) return their
+    /// native quantization regardless of `period`.
+    fn sampled_energy_between(&self, a: SimInstant, b: SimInstant, period: SimDuration) -> Joules;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(ms: u64, w: f64, j: f64) -> State {
+        State {
+            timestamp: SimInstant::from_nanos(ms * 1_000_000),
+            watts: Watts(w),
+            joules: Joules(j),
+        }
+    }
+
+    #[test]
+    fn state_combinators_match_pmt_semantics() {
+        let a = st(0, 100.0, 0.0);
+        let b = st(2000, 150.0, 250.0);
+        assert_eq!(seconds(&a, &b), 2.0);
+        assert_eq!(joules(&a, &b), Joules(250.0));
+        assert_eq!(watts(&a, &b), Watts(125.0));
+    }
+
+    #[test]
+    fn watts_of_zero_window_is_zero() {
+        let a = st(10, 0.0, 5.0);
+        assert_eq!(watts(&a, &a), Watts::ZERO);
+    }
+}

@@ -1,0 +1,99 @@
+//! Communication cost model for virtual time.
+//!
+//! Collectives and halo exchanges advance rank clocks by a latency/bandwidth
+//! (Hockney-style) model: `T = L * ceil(log2(P)) + bytes / B`. The absolute
+//! constants (Slingshot-class interconnect) matter less than the qualitative
+//! effect the paper observes: communication phases leave the GPU idle, which
+//! is where the DVFS governor's clock decays below 1000 MHz (§IV-E).
+
+use serde::{Deserialize, Serialize};
+
+use archsim::SimDuration;
+
+/// Latency/bandwidth parameters of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommCost {
+    /// Per-hop message latency.
+    pub latency: SimDuration,
+    /// Link bandwidth, bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Default for CommCost {
+    fn default() -> Self {
+        // Slingshot-11-like: ~2 us MPI latency, 25 GB/s effective per rank.
+        CommCost {
+            latency: SimDuration::from_micros(2),
+            bandwidth: 25e9,
+        }
+    }
+}
+
+impl CommCost {
+    /// A zero-cost model (unit tests that only care about values).
+    pub fn free() -> Self {
+        CommCost {
+            latency: SimDuration::ZERO,
+            bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Cost of a point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: usize) -> SimDuration {
+        self.latency + self.transfer(bytes)
+    }
+
+    /// Cost of a collective over `size` ranks moving `bytes` per rank.
+    pub fn collective(&self, size: usize, bytes: usize) -> SimDuration {
+        let hops = usize::BITS - size.max(1).next_power_of_two().leading_zeros() - 1;
+        self.latency * u64::from(hops.max(1)) + self.transfer(bytes)
+    }
+
+    fn transfer(&self, bytes: usize) -> SimDuration {
+        if self.bandwidth.is_infinite() || bytes == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_cost_is_latency_plus_transfer() {
+        let c = CommCost {
+            latency: SimDuration::from_micros(2),
+            bandwidth: 1e9,
+        };
+        let d = c.p2p(1_000_000); // 1 MB at 1 GB/s = 1 ms
+        assert_eq!(d, SimDuration::from_micros(2) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn collective_scales_with_log_ranks() {
+        let c = CommCost {
+            latency: SimDuration::from_micros(2),
+            bandwidth: f64::INFINITY,
+        };
+        let d2 = c.collective(2, 0);
+        let d32 = c.collective(32, 0);
+        assert_eq!(d2, SimDuration::from_micros(2));
+        assert_eq!(d32, SimDuration::from_micros(10)); // log2(32)=5 hops
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let c = CommCost::free();
+        assert_eq!(c.p2p(1 << 30), SimDuration::ZERO);
+        assert_eq!(c.collective(64, 1 << 30), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_rank_collective_still_has_latency_floor() {
+        let c = CommCost::default();
+        assert!(c.collective(1, 0) >= c.latency);
+    }
+}

@@ -1,0 +1,137 @@
+//! `sbatch`/`srun` frequency flags: `--gpu-freq` and `--cpu-freq` (§II-B).
+//!
+//! "CPU and GPU frequencies can be controlled by Slurm and be set to a
+//! specific value or a range of values. For example, the
+//! `--cpu-freq=1800000` flag would set the CPU frequency to 1.8 GHz, and the
+//! `--gpu-freq=900` flag would set the GPU frequency to 900 MHz. This is
+//! possible under the condition that the supercomputing centre is allowing
+//! users to change default values."
+
+use archsim::MegaHertz;
+use serde::{Deserialize, Serialize};
+
+/// Parsed frequency requests for one job submission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreqFlags {
+    /// `--gpu-freq=<MHz>` (Slurm takes the value in megahertz).
+    pub gpu_freq: Option<MegaHertz>,
+    /// `--cpu-freq=<kHz>` (Slurm takes the value in kilohertz).
+    pub cpu_freq_khz: Option<u64>,
+}
+
+/// Errors parsing or validating frequency flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreqFlagError {
+    /// Unparseable flag syntax.
+    Malformed(String),
+    /// The centre disallows user frequency selection
+    /// (`SlurmctldParameters` policy).
+    DisallowedByCentre,
+}
+
+impl std::fmt::Display for FreqFlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreqFlagError::Malformed(s) => write!(f, "malformed frequency flag: {s:?}"),
+            FreqFlagError::DisallowedByCentre => {
+                write!(f, "centre policy disallows user frequency selection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FreqFlagError {}
+
+impl FreqFlags {
+    /// Parse from submission arguments; unrelated arguments are ignored.
+    ///
+    /// Accepted forms: `--gpu-freq=900`, `--cpu-freq=1800000`. (Slurm also
+    /// accepts symbolic values like `low`/`medium`/`high`; `high` and `low`
+    /// are supported here, mapped at application time.)
+    pub fn parse(args: &[&str]) -> Result<Self, FreqFlagError> {
+        let mut flags = FreqFlags::default();
+        for arg in args {
+            if let Some(v) = arg.strip_prefix("--gpu-freq=") {
+                flags.gpu_freq = Some(match v {
+                    "high" => MegaHertz(u32::MAX), // resolved against the device later
+                    "low" => MegaHertz(0),
+                    _ => MegaHertz(
+                        v.parse::<u32>()
+                            .map_err(|_| FreqFlagError::Malformed(arg.to_string()))?,
+                    ),
+                });
+            } else if let Some(v) = arg.strip_prefix("--cpu-freq=") {
+                flags.cpu_freq_khz = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| FreqFlagError::Malformed(arg.to_string()))?,
+                );
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Resolve symbolic gpu-freq values against a device's clock ladder.
+    pub fn resolve_gpu_freq(&self, table: &archsim::ClockTable) -> Option<MegaHertz> {
+        self.gpu_freq.map(|f| {
+            if f == MegaHertz(u32::MAX) {
+                table.max()
+            } else if f == MegaHertz(0) {
+                table.min()
+            } else {
+                table.nearest(f)
+            }
+        })
+    }
+
+    /// True if the submission asked for any non-default frequency.
+    pub fn any(&self) -> bool {
+        self.gpu_freq.is_some() || self.cpu_freq_khz.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::ClockTable;
+
+    #[test]
+    fn parses_paper_examples() {
+        let f = FreqFlags::parse(&["--cpu-freq=1800000", "--gpu-freq=900", "-n", "32"]).unwrap();
+        assert_eq!(f.cpu_freq_khz, Some(1_800_000));
+        assert_eq!(f.gpu_freq, Some(MegaHertz(900)));
+        assert!(f.any());
+    }
+
+    #[test]
+    fn ignores_unrelated_args_and_defaults_to_none() {
+        let f = FreqFlags::parse(&["-N", "4", "--time=01:00"]).unwrap();
+        assert_eq!(f, FreqFlags::default());
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert!(matches!(
+            FreqFlags::parse(&["--gpu-freq=fast"]),
+            Err(FreqFlagError::Malformed(_))
+        ));
+        assert!(matches!(
+            FreqFlags::parse(&["--cpu-freq=1.8GHz"]),
+            Err(FreqFlagError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn symbolic_values_resolve_against_the_ladder() {
+        let table = ClockTable::a100();
+        let high = FreqFlags::parse(&["--gpu-freq=high"]).unwrap();
+        assert_eq!(high.resolve_gpu_freq(&table), Some(MegaHertz(1410)));
+        let low = FreqFlags::parse(&["--gpu-freq=low"]).unwrap();
+        assert_eq!(low.resolve_gpu_freq(&table), Some(MegaHertz(210)));
+        // Numeric values snap to the nearest supported step.
+        let v = FreqFlags::parse(&["--gpu-freq=1001"]).unwrap();
+        assert_eq!(v.resolve_gpu_freq(&table), Some(MegaHertz(1005)));
+        // No request -> no resolution.
+        assert_eq!(FreqFlags::default().resolve_gpu_freq(&table), None);
+    }
+}

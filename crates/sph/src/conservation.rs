@@ -1,0 +1,138 @@
+//! `EnergyConservation`: global energy and momentum bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::particles::Particles;
+
+/// Per-rank (local) conserved-quantity sums; the global values come from a
+/// collective sum over ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBudget {
+    pub kinetic: f64,
+    pub internal: f64,
+    /// Gravitational potential energy (0 for the turbulence workload).
+    pub potential: f64,
+    pub px: f64,
+    pub py: f64,
+    pub pz: f64,
+}
+
+impl EnergyBudget {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.internal + self.potential
+    }
+
+    /// Element-wise sum (for reductions over ranks).
+    pub fn merged(&self, other: &EnergyBudget) -> EnergyBudget {
+        EnergyBudget {
+            kinetic: self.kinetic + other.kinetic,
+            internal: self.internal + other.internal,
+            potential: self.potential + other.potential,
+            px: self.px + other.px,
+            py: self.py + other.py,
+            pz: self.pz + other.pz,
+        }
+    }
+
+    /// Pack as 6 f64 for the rank runtime.
+    pub fn to_slice(&self) -> [f64; 6] {
+        [
+            self.kinetic,
+            self.internal,
+            self.potential,
+            self.px,
+            self.py,
+            self.pz,
+        ]
+    }
+
+    pub fn from_slice(v: &[f64]) -> EnergyBudget {
+        assert_eq!(v.len(), 6);
+        EnergyBudget {
+            kinetic: v[0],
+            internal: v[1],
+            potential: v[2],
+            px: v[3],
+            py: v[4],
+            pz: v[5],
+        }
+    }
+}
+
+/// Local sums over owned particles. `potential` is the rank's share of the
+/// gravitational energy (pre-halved by the caller if summing pairwise).
+pub fn local_budget(parts: &Particles, potential: f64) -> EnergyBudget {
+    let mut b = EnergyBudget {
+        potential,
+        ..Default::default()
+    };
+    for i in 0..parts.n_local {
+        let m = parts.m[i];
+        let v2 = parts.vx[i].powi(2) + parts.vy[i].powi(2) + parts.vz[i].powi(2);
+        b.kinetic += 0.5 * m * v2;
+        b.internal += m * parts.u[i];
+        b.px += m * parts.vx[i];
+        b.py += m * parts.vy[i];
+        b.pz += m * parts.vz[i];
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_sums_kinetic_internal_momentum() {
+        let mut p = Particles::new();
+        p.push(0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.1, 1.5); // ke = 6, u*m = 4.5
+        p.push(0.0, 0.0, 0.0, 0.0, -1.0, 0.0, 2.0, 0.1, 0.5); // ke = 1, u*m = 1
+        let b = local_budget(&p, -2.0);
+        assert!((b.kinetic - 7.0).abs() < 1e-12);
+        assert!((b.internal - 5.5).abs() < 1e-12);
+        assert_eq!(b.potential, -2.0);
+        assert!((b.total() - 10.5).abs() < 1e-12);
+        assert!((b.px - 6.0).abs() < 1e-12);
+        assert!((b.py + 2.0).abs() < 1e-12);
+        assert_eq!(b.pz, 0.0);
+    }
+
+    #[test]
+    fn merge_and_slice_roundtrip() {
+        let a = EnergyBudget {
+            kinetic: 1.0,
+            internal: 2.0,
+            potential: -3.0,
+            px: 0.1,
+            py: 0.2,
+            pz: 0.3,
+        };
+        let b = EnergyBudget {
+            kinetic: 4.0,
+            internal: 5.0,
+            potential: -6.0,
+            px: 1.0,
+            py: 2.0,
+            pz: 3.0,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.kinetic, 5.0);
+        assert_eq!(m.potential, -9.0);
+        let rt = EnergyBudget::from_slice(&m.to_slice());
+        assert_eq!(rt, m);
+    }
+
+    #[test]
+    fn halos_are_excluded_from_budget() {
+        let mut p = Particles::new();
+        p.push(0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+        let src = p.clone();
+        p.append_halos(&src, &[0]);
+        let b = local_budget(&p, 0.0);
+        assert!(
+            (b.kinetic - 0.5).abs() < 1e-12,
+            "only the owned particle counts"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Equations of state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::particles::Particles;
+
+/// Equation of state choices used by the two paper workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Eos {
+    /// Ideal gas `p = (gamma - 1) rho u` (Evrard collapse, gamma = 5/3).
+    IdealGas { gamma: f64 },
+    /// Isothermal `p = c_s^2 rho` (subsonic turbulence driving regime).
+    Isothermal { sound_speed: f64 },
+}
+
+impl Eos {
+    /// Standard monatomic ideal gas.
+    pub fn ideal_monatomic() -> Self {
+        Eos::IdealGas { gamma: 5.0 / 3.0 }
+    }
+
+    /// Pressure for one particle.
+    pub fn pressure(&self, rho: f64, u: f64) -> f64 {
+        match *self {
+            Eos::IdealGas { gamma } => (gamma - 1.0) * rho * u,
+            Eos::Isothermal { sound_speed } => sound_speed * sound_speed * rho,
+        }
+    }
+
+    /// Sound speed for one particle.
+    pub fn sound_speed(&self, rho: f64, u: f64) -> f64 {
+        match *self {
+            Eos::IdealGas { gamma } => (gamma * (gamma - 1.0) * u).max(0.0).sqrt(),
+            Eos::Isothermal { sound_speed } => {
+                let _ = (rho, u);
+                sound_speed
+            }
+        }
+    }
+
+    /// The `EquationOfState` step: fill `p` and `c` for every particle
+    /// (owned and halo — halos need pressure for the force loop).
+    pub fn apply(&self, parts: &mut Particles) {
+        for i in 0..parts.len() {
+            parts.p[i] = self.pressure(parts.rho[i], parts.u[i]);
+            parts.c[i] = self.sound_speed(parts.rho[i], parts.u[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_gas_pressure_and_sound_speed() {
+        let eos = Eos::ideal_monatomic();
+        let p = eos.pressure(2.0, 1.5);
+        assert!((p - (2.0 / 3.0) * 2.0 * 1.5).abs() < 1e-12);
+        let c = eos.sound_speed(2.0, 1.5);
+        assert!((c * c - 5.0 / 3.0 * 2.0 / 3.0 * 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isothermal_ignores_internal_energy() {
+        let eos = Eos::Isothermal { sound_speed: 0.5 };
+        assert_eq!(eos.sound_speed(1.0, 9.9), 0.5);
+        assert!((eos.pressure(4.0, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_fills_all_particles_including_halos() {
+        let mut parts = Particles::new();
+        parts.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+        parts.push(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 2.0);
+        let src = parts.clone();
+        parts.append_halos(&src, &[0]);
+        parts.rho.iter_mut().for_each(|r| *r = 1.0);
+        Eos::ideal_monatomic().apply(&mut parts);
+        assert!(parts.p.iter().all(|&p| p > 0.0));
+        assert!(parts.c.iter().all(|&c| c > 0.0));
+        assert_eq!(parts.p.len(), 3);
+    }
+
+    #[test]
+    fn cold_gas_has_zero_sound_speed_not_nan() {
+        let eos = Eos::ideal_monatomic();
+        assert_eq!(eos.sound_speed(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Barnes-Hut gravity (the `Gravity` function of the Evrard collapse
+//! workload; the turbulence workload does not call it — the functional
+//! difference the paper selects its two workloads for).
+
+use cornerstone::Aabb;
+
+/// A Barnes-Hut octree node over a point-mass set.
+#[derive(Debug)]
+enum BhNode {
+    /// No particles.
+    Empty,
+    /// One particle: index into the source arrays.
+    Leaf(usize),
+    /// Internal node with aggregated mass and center of mass.
+    Internal {
+        children: Box<[BhNode; 8]>,
+        mass: f64,
+        com: [f64; 3],
+        /// Geometric edge length of the node's cube.
+        size: f64,
+    },
+}
+
+/// Barnes-Hut tree with configurable opening angle and Plummer softening.
+#[derive(Debug)]
+pub struct BhTree {
+    root: BhNode,
+    theta2: f64,
+    eps2: f64,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    m: Vec<f64>,
+}
+
+/// Gravitational constant in simulation units (Evrard uses G = 1).
+pub const G: f64 = 1.0;
+
+impl BhTree {
+    /// Build over a global particle set. `theta` is the opening angle
+    /// (0 = exact Newton sum), `eps` the Plummer softening length.
+    pub fn build(x: &[f64], y: &[f64], z: &[f64], m: &[f64], theta: f64, eps: f64) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), z.len());
+        assert_eq!(x.len(), m.len());
+        let bb = Aabb::of_points(x, y, z);
+        let (cx, cy, cz, half) = if bb.is_empty() {
+            (0.0, 0.0, 0.0, 1.0)
+        } else {
+            let half = ((bb.xmax - bb.xmin)
+                .max(bb.ymax - bb.ymin)
+                .max(bb.zmax - bb.zmin)
+                / 2.0)
+                .max(1e-9)
+                * 1.001;
+            (
+                (bb.xmin + bb.xmax) / 2.0,
+                (bb.ymin + bb.ymax) / 2.0,
+                (bb.zmin + bb.zmax) / 2.0,
+                half,
+            )
+        };
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let root = build_node(x, y, z, m, indices, [cx, cy, cz], half, 0);
+        BhTree {
+            root,
+            theta2: theta * theta,
+            eps2: eps * eps,
+            x: x.to_vec(),
+            y: y.to_vec(),
+            z: z.to_vec(),
+            m: m.to_vec(),
+        }
+    }
+
+    /// Acceleration and potential at a field point. `skip` excludes one
+    /// source index (self-interaction).
+    pub fn accel_at(&self, px: f64, py: f64, pz: f64, skip: Option<usize>) -> ([f64; 3], f64) {
+        let mut acc = [0.0f64; 3];
+        let mut phi = 0.0f64;
+        self.walk(&self.root, px, py, pz, skip, &mut acc, &mut phi);
+        (acc, phi)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        node: &BhNode,
+        px: f64,
+        py: f64,
+        pz: f64,
+        skip: Option<usize>,
+        acc: &mut [f64; 3],
+        phi: &mut f64,
+    ) {
+        match node {
+            BhNode::Empty => {}
+            BhNode::Leaf(i) => {
+                if skip == Some(*i) {
+                    return;
+                }
+                self.point_contribution(
+                    self.x[*i], self.y[*i], self.z[*i], self.m[*i], px, py, pz, acc, phi,
+                );
+            }
+            BhNode::Internal {
+                children,
+                mass,
+                com,
+                size,
+            } => {
+                let dx = com[0] - px;
+                let dy = com[1] - py;
+                let dz = com[2] - pz;
+                let d2 = dx * dx + dy * dy + dz * dz;
+                if size * size < self.theta2 * d2 {
+                    self.point_contribution(com[0], com[1], com[2], *mass, px, py, pz, acc, phi);
+                } else {
+                    for c in children.iter() {
+                        self.walk(c, px, py, pz, skip, acc, phi);
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn point_contribution(
+        &self,
+        sx: f64,
+        sy: f64,
+        sz: f64,
+        sm: f64,
+        px: f64,
+        py: f64,
+        pz: f64,
+        acc: &mut [f64; 3],
+        phi: &mut f64,
+    ) {
+        let dx = sx - px;
+        let dy = sy - py;
+        let dz = sz - pz;
+        let d2 = dx * dx + dy * dy + dz * dz + self.eps2;
+        let d = d2.sqrt();
+        let f = G * sm / (d2 * d);
+        acc[0] += f * dx;
+        acc[1] += f * dy;
+        acc[2] += f * dz;
+        *phi -= G * sm / d;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    m: &[f64],
+    indices: Vec<usize>,
+    center: [f64; 3],
+    half: f64,
+    depth: u32,
+) -> BhNode {
+    match indices.len() {
+        0 => BhNode::Empty,
+        1 => BhNode::Leaf(indices[0]),
+        _ => {
+            // Depth guard: coincident points cannot be separated; aggregate.
+            if depth > 48 {
+                let mass: f64 = indices.iter().map(|&i| m[i]).sum();
+                let com = com_of(x, y, z, m, &indices, mass);
+                return BhNode::Internal {
+                    children: Box::new([
+                        BhNode::Empty,
+                        BhNode::Empty,
+                        BhNode::Empty,
+                        BhNode::Empty,
+                        BhNode::Empty,
+                        BhNode::Empty,
+                        BhNode::Empty,
+                        BhNode::Leaf(indices[0]),
+                    ]),
+                    mass,
+                    com,
+                    size: half * 2.0,
+                };
+            }
+            let mut buckets: [Vec<usize>; 8] = Default::default();
+            for &i in &indices {
+                let mut oct = 0usize;
+                if x[i] >= center[0] {
+                    oct |= 1;
+                }
+                if y[i] >= center[1] {
+                    oct |= 2;
+                }
+                if z[i] >= center[2] {
+                    oct |= 4;
+                }
+                buckets[oct].push(i);
+            }
+            let quarter = half / 2.0;
+            let children: Vec<BhNode> = buckets
+                .into_iter()
+                .enumerate()
+                .map(|(oct, bucket)| {
+                    let cx = center[0] + if oct & 1 != 0 { quarter } else { -quarter };
+                    let cy = center[1] + if oct & 2 != 0 { quarter } else { -quarter };
+                    let cz = center[2] + if oct & 4 != 0 { quarter } else { -quarter };
+                    build_node(x, y, z, m, bucket, [cx, cy, cz], quarter, depth + 1)
+                })
+                .collect();
+            let mass: f64 = indices.iter().map(|&i| m[i]).sum();
+            let com = com_of(x, y, z, m, &indices, mass);
+            BhNode::Internal {
+                children: Box::new(children.try_into().expect("exactly 8 children")),
+                mass,
+                com,
+                size: half * 2.0,
+            }
+        }
+    }
+}
+
+fn com_of(x: &[f64], y: &[f64], z: &[f64], m: &[f64], indices: &[usize], mass: f64) -> [f64; 3] {
+    let mut c = [0.0f64; 3];
+    for &i in indices {
+        c[0] += m[i] * x[i];
+        c[1] += m[i] * y[i];
+        c[2] += m[i] * z[i];
+    }
+    if mass > 0.0 {
+        c[0] /= mass;
+        c[1] /= mass;
+        c[2] /= mass;
+    }
+    c
+}
+
+/// Direct O(n²) reference sum (tests and small systems).
+pub fn direct_accel(
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    m: &[f64],
+    i: usize,
+    eps: f64,
+) -> ([f64; 3], f64) {
+    let mut acc = [0.0f64; 3];
+    let mut phi = 0.0;
+    let eps2 = eps * eps;
+    for j in 0..x.len() {
+        if j == i {
+            continue;
+        }
+        let dx = x[j] - x[i];
+        let dy = y[j] - y[i];
+        let dz = z[j] - z[i];
+        let d2 = dx * dx + dy * dy + dz * dz + eps2;
+        let d = d2.sqrt();
+        let f = G * m[j] / (d2 * d);
+        acc[0] += f * dx;
+        acc[1] += f * dy;
+        acc[2] += f * dz;
+        phi -= G * m[j] / d;
+    }
+    (acc, phi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sphere_cloud(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        while x.len() < n {
+            let (a, b, c) = (
+                rng.random::<f64>() * 2.0 - 1.0,
+                rng.random::<f64>() * 2.0 - 1.0,
+                rng.random::<f64>() * 2.0 - 1.0,
+            );
+            if a * a + b * b + c * c <= 1.0 {
+                x.push(a);
+                y.push(b);
+                z.push(c);
+            }
+        }
+        let m = vec![1.0 / n as f64; n];
+        (x, y, z, m)
+    }
+
+    #[test]
+    fn two_body_matches_newton() {
+        let x = vec![-0.5, 0.5];
+        let y = vec![0.0, 0.0];
+        let z = vec![0.0, 0.0];
+        let m = vec![2.0, 3.0];
+        let tree = BhTree::build(&x, &y, &z, &m, 0.5, 0.0);
+        let (a0, phi0) = tree.accel_at(x[0], y[0], z[0], Some(0));
+        // F = G m2 / d^2 = 3.0 toward +x.
+        assert!((a0[0] - 3.0).abs() < 1e-12, "ax {}", a0[0]);
+        assert!(a0[1].abs() < 1e-12 && a0[2].abs() < 1e-12);
+        assert!((phi0 + 3.0).abs() < 1e-12, "phi {phi0}");
+        let (a1, _) = tree.accel_at(x[1], y[1], z[1], Some(1));
+        assert!((a1[0] + 2.0).abs() < 1e-12, "reaction force");
+    }
+
+    #[test]
+    fn theta_zero_matches_direct_sum_exactly() {
+        let (x, y, z, m) = sphere_cloud(150, 1);
+        let tree = BhTree::build(&x, &y, &z, &m, 0.0, 0.01);
+        for i in (0..150).step_by(29) {
+            let (at, pt) = tree.accel_at(x[i], y[i], z[i], Some(i));
+            let (ad, pd) = direct_accel(&x, &y, &z, &m, i, 0.01);
+            for k in 0..3 {
+                assert!(
+                    (at[k] - ad[k]).abs() < 1e-10,
+                    "component {k}: {} vs {}",
+                    at[k],
+                    ad[k]
+                );
+            }
+            assert!((pt - pd).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn moderate_theta_approximates_direct_sum() {
+        let (x, y, z, m) = sphere_cloud(400, 2);
+        let tree = BhTree::build(&x, &y, &z, &m, 0.6, 0.01);
+        let mut max_rel = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut count = 0usize;
+        for i in (0..400).step_by(31) {
+            let (at, _) = tree.accel_at(x[i], y[i], z[i], Some(i));
+            let (ad, _) = direct_accel(&x, &y, &z, &m, i, 0.01);
+            let mag = (ad[0].powi(2) + ad[1].powi(2) + ad[2].powi(2))
+                .sqrt()
+                .max(1e-12);
+            let err = ((at[0] - ad[0]).powi(2) + (at[1] - ad[1]).powi(2) + (at[2] - ad[2]).powi(2))
+                .sqrt()
+                / mag;
+            max_rel = max_rel.max(err);
+            sum_sq += err * err;
+            count += 1;
+        }
+        let rms = (sum_sq / count as f64).sqrt();
+        assert!(rms < 0.04, "BH rms error {rms} too large for theta=0.6");
+        assert!(max_rel < 0.15, "BH worst-case error {max_rel} too large");
+    }
+
+    #[test]
+    fn far_field_looks_like_point_mass() {
+        let (x, y, z, m) = sphere_cloud(200, 3);
+        let tree = BhTree::build(&x, &y, &z, &m, 0.7, 0.0);
+        // Total mass 1 at ~origin; field at distance 10 ~ 1/100.
+        let (a, phi) = tree.accel_at(10.0, 0.0, 0.0, None);
+        assert!((a[0] + 0.01).abs() < 5e-4, "ax {}", a[0]);
+        assert!((phi + 0.1).abs() < 5e-3, "phi {phi}");
+    }
+
+    #[test]
+    fn coincident_points_do_not_recurse_forever() {
+        let x = vec![0.25; 10];
+        let y = vec![0.25; 10];
+        let z = vec![0.25; 10];
+        let m = vec![0.1; 10];
+        let tree = BhTree::build(&x, &y, &z, &m, 0.5, 0.05);
+        let (a, _) = tree.accel_at(0.5, 0.5, 0.5, None);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_tree_exerts_no_force() {
+        let tree = BhTree::build(&[], &[], &[], &[], 0.5, 0.0);
+        let (a, phi) = tree.accel_at(1.0, 2.0, 3.0, None);
+        assert_eq!(a, [0.0; 3]);
+        assert_eq!(phi, 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! `IADVelocityDivCurl`: Integral Approach to Derivatives tensor plus
+//! velocity divergence and curl.
+//!
+//! The IAD scheme (García-Senz et al.) replaces kernel-gradient derivatives
+//! with a linearly-exact integral formulation: each particle carries the
+//! inverse `C = tau^{-1}` of the local moment matrix
+//! `tau_ab = sum_j V_j (r_j - r_i)_a (r_j - r_i)_b W_ij`.
+
+use cornerstone::{Box3, CellList};
+
+use crate::kernels::Kernel;
+use crate::particles::Particles;
+
+/// Invert a symmetric 3x3 matrix given as `[xx, xy, xz, yy, yz, zz]`.
+/// Falls back to a scaled identity when the matrix is near-singular
+/// (degenerate particle configurations: isolated particles, collinear sets).
+pub fn invert_sym3(t: [f64; 6]) -> [f64; 6] {
+    let [xx, xy, xz, yy, yz, zz] = t;
+    let det = xx * (yy * zz - yz * yz) - xy * (xy * zz - yz * xz) + xz * (xy * yz - yy * xz);
+    let scale = xx.abs().max(yy.abs()).max(zz.abs());
+    if !det.is_finite() || det.abs() <= 1e-12 * scale.powi(3).max(1e-300) {
+        // Regularized fallback: pseudo-inverse of the diagonal.
+        let inv = |d: f64| {
+            if d.is_finite() && d.abs() > 1e-300 {
+                1.0 / d
+            } else {
+                0.0
+            }
+        };
+        return [inv(xx), 0.0, 0.0, inv(yy), 0.0, inv(zz)];
+    }
+    let idet = 1.0 / det;
+    [
+        (yy * zz - yz * yz) * idet,
+        (xz * yz - xy * zz) * idet,
+        (xy * yz - xz * yy) * idet,
+        (xx * zz - xz * xz) * idet,
+        (xy * xz - xx * yz) * idet,
+        (xx * yy - xy * xy) * idet,
+    ]
+}
+
+/// Compute IAD tensors, velocity divergence and curl magnitude for owned
+/// particles.
+pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kernel: Kernel) {
+    let (x, y, z) = (&parts.x, &parts.y, &parts.z);
+    let n = parts.n_local;
+    let mut tensors = vec![[0.0f64; 6]; n];
+    let mut divv = vec![0.0f64; n];
+    let mut curl = vec![[0.0f64; 3]; n];
+
+    for i in 0..n {
+        let hi = parts.h[i];
+        let radius = kernel.support(hi);
+        let mut tau = [0.0f64; 6];
+        grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
+            if j == i || d2 == 0.0 {
+                return;
+            }
+            // Bootstrap volume for particles whose density is not yet
+            // known (first-step halos): fall back to the mass itself, the
+            // same rule XMass uses.
+            let vj = if parts.rho[j] > 0.0 {
+                parts.m[j] / parts.rho[j]
+            } else {
+                parts.m[j]
+            };
+            let (dx, dy, dz) = bbox.delta(x[j], y[j], z[j], x[i], y[i], z[i]);
+            let w = kernel.w(d2.sqrt(), hi);
+            tau[0] += vj * dx * dx * w;
+            tau[1] += vj * dx * dy * w;
+            tau[2] += vj * dx * dz * w;
+            tau[3] += vj * dy * dy * w;
+            tau[4] += vj * dy * dz * w;
+            tau[5] += vj * dz * dz * w;
+        });
+        tensors[i] = invert_sym3(tau);
+
+        // Divergence and curl via the IAD linear operator:
+        // dv_a/dx_b ~= sum_j V_j (v_j - v_i)_a (C (r_j - r_i))_b W_ij
+        let c = tensors[i];
+        let mut grad = [[0.0f64; 3]; 3]; // grad[a][b] = dv_a/dx_b
+        grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
+            if j == i || d2 == 0.0 {
+                return;
+            }
+            // Bootstrap volume for particles whose density is not yet
+            // known (first-step halos): fall back to the mass itself, the
+            // same rule XMass uses.
+            let vj = if parts.rho[j] > 0.0 {
+                parts.m[j] / parts.rho[j]
+            } else {
+                parts.m[j]
+            };
+            let (dx, dy, dz) = bbox.delta(x[j], y[j], z[j], x[i], y[i], z[i]);
+            let w = kernel.w(d2.sqrt(), hi);
+            // C * d (symmetric storage: xx xy xz yy yz zz)
+            let cdx = c[0] * dx + c[1] * dy + c[2] * dz;
+            let cdy = c[1] * dx + c[3] * dy + c[4] * dz;
+            let cdz = c[2] * dx + c[4] * dy + c[5] * dz;
+            let dvx = parts.vx[j] - parts.vx[i];
+            let dvy = parts.vy[j] - parts.vy[i];
+            let dvz = parts.vz[j] - parts.vz[i];
+            for (a, dva) in [dvx, dvy, dvz].into_iter().enumerate() {
+                grad[a][0] += vj * dva * cdx * w;
+                grad[a][1] += vj * dva * cdy * w;
+                grad[a][2] += vj * dva * cdz * w;
+            }
+        });
+        divv[i] = grad[0][0] + grad[1][1] + grad[2][2];
+        curl[i] = [
+            grad[2][1] - grad[1][2],
+            grad[0][2] - grad[2][0],
+            grad[1][0] - grad[0][1],
+        ];
+    }
+
+    for i in 0..n {
+        let t = tensors[i];
+        parts.c11[i] = t[0];
+        parts.c12[i] = t[1];
+        parts.c13[i] = t[2];
+        parts.c22[i] = t[3];
+        parts.c23[i] = t[4];
+        parts.c33[i] = t[5];
+        parts.divv[i] = divv[i];
+        let [cx, cy, cz] = curl[i];
+        parts.curlv[i] = (cx * cx + cy * cy + cz * cz).sqrt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn glass(n_side: usize, seed: u64) -> (Particles, Box3) {
+        let bbox = Box3::unit_periodic();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parts = Particles::new();
+        let spacing = 1.0 / n_side as f64;
+        let m = 1.0 / (n_side * n_side * n_side) as f64;
+        for ix in 0..n_side {
+            for iy in 0..n_side {
+                for iz in 0..n_side {
+                    let mut jitter = || (rng.random::<f64>() - 0.5) * 0.2 * spacing;
+                    parts.push(
+                        (ix as f64 + 0.5) * spacing + jitter(),
+                        (iy as f64 + 0.5) * spacing + jitter(),
+                        (iz as f64 + 0.5) * spacing + jitter(),
+                        0.0,
+                        0.0,
+                        0.0,
+                        m,
+                        1.3 * spacing,
+                        1.0,
+                    );
+                }
+            }
+        }
+        (parts, bbox)
+    }
+
+    fn prepare(parts: &mut Particles, bbox: &Box3, kernel: Kernel) -> CellList {
+        let grid = CellList::build(
+            &parts.x,
+            &parts.y,
+            &parts.z,
+            bbox,
+            kernel.support(parts.h[0]),
+        );
+        crate::density::density_gradh(parts, &grid, bbox, kernel);
+        grid
+    }
+
+    #[test]
+    fn invert_sym3_roundtrip() {
+        let t = [4.0, 1.0, 0.5, 3.0, 0.2, 5.0];
+        let inv = invert_sym3(t);
+        // Multiply T * T^-1 and check identity (symmetric packing).
+        #[allow(clippy::needless_range_loop)]
+        let mul = |a: [f64; 6], b: [f64; 6]| -> [[f64; 3]; 3] {
+            let am = [[a[0], a[1], a[2]], [a[1], a[3], a[4]], [a[2], a[4], a[5]]];
+            let bm = [[b[0], b[1], b[2]], [b[1], b[3], b[4]], [b[2], b[4], b[5]]];
+            let mut out = [[0.0; 3]; 3];
+            for r in 0..3 {
+                for c in 0..3 {
+                    out[r][c] = (0..3).map(|k| am[r][k] * bm[k][c]).sum();
+                }
+            }
+            out
+        };
+        let id = mul(t, inv);
+        for (r, row) in id.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-12, "at ({r},{c}): {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn invert_sym3_singular_falls_back() {
+        let inv = invert_sym3([0.0; 6]);
+        assert_eq!(inv, [0.0; 6]);
+        let inv = invert_sym3([2.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(inv[0], 0.5);
+    }
+
+    #[test]
+    fn linear_velocity_field_recovers_exact_divergence() {
+        // v = (x, 2y, 3z) -> div v = 6, curl v = 0. IAD is linearly exact in
+        // the interior; tolerate small periodic-wrap edge effects.
+        let kernel = Kernel::CubicSpline;
+        let (mut parts, bbox) = glass(10, 5);
+        for i in 0..parts.len() {
+            parts.vx[i] = parts.x[i];
+            parts.vy[i] = 2.0 * parts.y[i];
+            parts.vz[i] = 3.0 * parts.z[i];
+        }
+        let grid = prepare(&mut parts, &bbox, kernel);
+        iad_divv_curlv(&mut parts, &grid, &bbox, kernel);
+        // Check interior particles (away from the periodic wrap where the
+        // linear field is discontinuous).
+        let mut checked = 0;
+        for i in 0..parts.n_local {
+            let interior = parts.x[i] > 0.25
+                && parts.x[i] < 0.75
+                && parts.y[i] > 0.25
+                && parts.y[i] < 0.75
+                && parts.z[i] > 0.25
+                && parts.z[i] < 0.75;
+            if !interior {
+                continue;
+            }
+            checked += 1;
+            assert!(
+                (parts.divv[i] - 6.0).abs() < 0.35,
+                "divv {} at interior particle {i}",
+                parts.divv[i]
+            );
+            assert!(
+                parts.curlv[i] < 0.35,
+                "curl {} should vanish",
+                parts.curlv[i]
+            );
+        }
+        assert!(
+            checked > 50,
+            "too few interior particles checked: {checked}"
+        );
+    }
+
+    #[test]
+    fn rigid_rotation_recovers_curl_not_div() {
+        // v = omega x r with omega = (0,0,1): div = 0, |curl| = 2.
+        let kernel = Kernel::CubicSpline;
+        let (mut parts, bbox) = glass(10, 6);
+        for i in 0..parts.len() {
+            let (dx, dy) = (parts.x[i] - 0.5, parts.y[i] - 0.5);
+            parts.vx[i] = -dy;
+            parts.vy[i] = dx;
+            parts.vz[i] = 0.0;
+        }
+        let grid = prepare(&mut parts, &bbox, kernel);
+        iad_divv_curlv(&mut parts, &grid, &bbox, kernel);
+        let mut checked = 0;
+        for i in 0..parts.n_local {
+            let r2 = (parts.x[i] - 0.5).powi(2) + (parts.y[i] - 0.5).powi(2);
+            let interior = r2 < 0.04 && parts.z[i] > 0.25 && parts.z[i] < 0.75;
+            if !interior {
+                continue;
+            }
+            checked += 1;
+            assert!(
+                parts.divv[i].abs() < 0.3,
+                "div {} should vanish",
+                parts.divv[i]
+            );
+            assert!(
+                (parts.curlv[i] - 2.0).abs() < 0.4,
+                "curl {}",
+                parts.curlv[i]
+            );
+        }
+        assert!(
+            checked > 20,
+            "too few interior particles checked: {checked}"
+        );
+    }
+
+    #[test]
+    fn iad_tensor_is_finite_everywhere() {
+        let kernel = Kernel::WendlandC6;
+        let (mut parts, bbox) = glass(8, 7);
+        let grid = prepare(&mut parts, &bbox, kernel);
+        iad_divv_curlv(&mut parts, &grid, &bbox, kernel);
+        for i in 0..parts.n_local {
+            for v in [
+                parts.c11[i],
+                parts.c12[i],
+                parts.c13[i],
+                parts.c22[i],
+                parts.c23[i],
+                parts.c33[i],
+            ] {
+                assert!(v.is_finite(), "non-finite tensor entry at {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! SPH smoothing kernels (3D): cubic spline (M4) and Wendland C6.
+//!
+//! SPH-EXA uses sinc-family kernels; the cubic spline and Wendland C6 span
+//! the same qualitative range (compact support `2h`, normalized, monotone)
+//! and are the standard choices in the codes the paper cites (\[5\]–\[8\]).
+
+use serde::{Deserialize, Serialize};
+
+/// Kernel selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Monaghan & Lattanzio M4 cubic spline.
+    CubicSpline,
+    /// Wendland C6 — higher order, resistant to pairing instability.
+    WendlandC6,
+    /// Sinc^5 kernel — the harmonic (sinc-family) kernel SPH-EXA actually
+    /// ships (Cabezón et al.), exponent n = 5.
+    Sinc5,
+}
+
+/// Normalization of the sinc^5 kernel: `1 / (4 pi I)` with
+/// `I = integral_0^2 q^2 sinc(pi q / 2)^5 dq` (computed numerically).
+const SINC5_SIGMA: f64 = 0.617_012_654_222_673_5;
+
+#[inline]
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-8 {
+        1.0 - x * x / 6.0
+    } else {
+        x.sin() / x
+    }
+}
+
+/// d/dx sinc(x) = (x cos x - sin x) / x^2.
+#[inline]
+fn dsinc(x: f64) -> f64 {
+    if x.abs() < 1e-6 {
+        -x / 3.0
+    } else {
+        (x * x.cos() - x.sin()) / (x * x)
+    }
+}
+
+impl Kernel {
+    /// Kernel value `W(r, h)`. Support radius is `2h`: zero at and beyond.
+    pub fn w(self, r: f64, h: f64) -> f64 {
+        debug_assert!(h > 0.0);
+        let q = r / h;
+        match self {
+            Kernel::CubicSpline => {
+                // sigma_3D = 1/(pi h^3), support q in [0, 2].
+                let sigma = 1.0 / (std::f64::consts::PI * h * h * h);
+                if q < 1.0 {
+                    sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q)
+                } else if q < 2.0 {
+                    let t = 2.0 - q;
+                    sigma * 0.25 * t * t * t
+                } else {
+                    0.0
+                }
+            }
+            Kernel::WendlandC6 => {
+                // 3D Wendland C6 on support q in [0, 2]:
+                // W = sigma (1-q/2)^8 (4q^3 + 6.25q^2 + 4q + 1),
+                // sigma = 1365/(512 pi h^3).
+                if q >= 2.0 {
+                    return 0.0;
+                }
+                let sigma = 1365.0 / (512.0 * std::f64::consts::PI * h * h * h);
+                let om = 1.0 - 0.5 * q;
+                let om2 = om * om;
+                let om8 = om2 * om2 * om2 * om2;
+                sigma * om8 * (4.0 * q * q * q + 6.25 * q * q + 4.0 * q + 1.0)
+            }
+            Kernel::Sinc5 => {
+                if q >= 2.0 {
+                    return 0.0;
+                }
+                let s = sinc(std::f64::consts::FRAC_PI_2 * q);
+                SINC5_SIGMA / (h * h * h) * s.powi(5)
+            }
+        }
+    }
+
+    /// Radial derivative `dW/dr` (non-positive everywhere).
+    pub fn dw_dr(self, r: f64, h: f64) -> f64 {
+        debug_assert!(h > 0.0);
+        let q = r / h;
+        match self {
+            Kernel::CubicSpline => {
+                let sigma = 1.0 / (std::f64::consts::PI * h * h * h);
+                let dq = 1.0 / h;
+                if q < 1.0 {
+                    sigma * (-3.0 * q + 2.25 * q * q) * dq
+                } else if q < 2.0 {
+                    let t = 2.0 - q;
+                    sigma * (-0.75 * t * t) * dq
+                } else {
+                    0.0
+                }
+            }
+            Kernel::WendlandC6 => {
+                if q >= 2.0 {
+                    return 0.0;
+                }
+                let sigma = 1365.0 / (512.0 * std::f64::consts::PI * h * h * h);
+                let om = 1.0 - 0.5 * q;
+                let om2 = om * om;
+                let om7 = om2 * om2 * om2 * om;
+                let poly = 4.0 * q * q * q + 6.25 * q * q + 4.0 * q + 1.0;
+                let dpoly = 12.0 * q * q + 12.5 * q + 4.0;
+                let om8 = om7 * om;
+                sigma * (om8 * dpoly - 4.0 * om7 * poly) / h
+            }
+            Kernel::Sinc5 => {
+                if q >= 2.0 {
+                    return 0.0;
+                }
+                let a = std::f64::consts::FRAC_PI_2;
+                let s = sinc(a * q);
+                // dW/dr = sigma/h^3 * 5 s^4 * dsinc(a q) * a / h
+                SINC5_SIGMA / (h * h * h) * 5.0 * s.powi(4) * dsinc(a * q) * a / h
+            }
+        }
+    }
+
+    /// Derivative with respect to `h` at fixed `r` — the grad-h correction
+    /// term. Obtained from the scaling identity `W = h^-3 f(r/h)`:
+    /// `dW/dh = -(3 W + r dW/dr) / h`.
+    pub fn dw_dh(self, r: f64, h: f64) -> f64 {
+        -(3.0 * self.w(r, h) + r * self.dw_dr(r, h)) / h
+    }
+
+    /// Support radius: the distance beyond which the kernel is exactly zero.
+    pub fn support(self, h: f64) -> f64 {
+        2.0 * h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KERNELS: [Kernel; 3] = [Kernel::CubicSpline, Kernel::WendlandC6, Kernel::Sinc5];
+
+    /// Numeric radial integral of `4 pi r^2 W(r)` — must be ~1.
+    fn norm(k: Kernel, h: f64) -> f64 {
+        let n = 20_000;
+        let rmax = k.support(h);
+        let dr = rmax / n as f64;
+        (0..n)
+            .map(|i| {
+                let r = (i as f64 + 0.5) * dr;
+                4.0 * std::f64::consts::PI * r * r * k.w(r, h) * dr
+            })
+            .sum()
+    }
+
+    #[test]
+    fn kernels_are_normalized() {
+        for k in KERNELS {
+            for h in [0.5, 1.0, 2.3] {
+                let m = norm(k, h);
+                assert!((m - 1.0).abs() < 1e-3, "{k:?} h={h}: integral {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_support_at_2h() {
+        for k in KERNELS {
+            assert_eq!(k.w(2.0, 1.0), 0.0);
+            assert_eq!(k.w(2.5, 1.0), 0.0);
+            assert_eq!(k.dw_dr(2.0, 1.0), 0.0);
+            assert!(k.w(1.999, 1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_maximum_at_center() {
+        for k in KERNELS {
+            let w0 = k.w(0.0, 1.0);
+            assert!(w0 > 0.0);
+            assert!(k.w(0.5, 1.0) < w0);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for k in KERNELS {
+            for r in [0.1, 0.5, 0.9, 1.1, 1.7] {
+                let h = 1.0;
+                let eps = 1e-6;
+                let fd = (k.w(r + eps, h) - k.w(r - eps, h)) / (2.0 * eps);
+                let an = k.dw_dr(r, h);
+                assert!((fd - an).abs() < 1e-5, "{k:?} r={r}: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn dh_derivative_matches_finite_difference() {
+        for k in KERNELS {
+            for (r, h) in [(0.3, 1.0), (1.2, 1.0), (0.7, 0.8)] {
+                let eps = 1e-6;
+                let fd = (k.w(r, h + eps) - k.w(r, h - eps)) / (2.0 * eps);
+                let an = k.dw_dh(r, h);
+                assert!((fd - an).abs() < 1e-4, "{k:?} r={r} h={h}: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kernel_nonnegative_and_derivative_nonpositive(
+            r in 0.0f64..3.0, h in 0.1f64..3.0
+        ) {
+            for k in KERNELS {
+                prop_assert!(k.w(r, h) >= 0.0);
+                prop_assert!(k.dw_dr(r, h) <= 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_kernel_scales_as_h_cubed(r in 0.0f64..1.9, s in 0.5f64..2.0) {
+            // W(s r, s h) = W(r, h) / s^3
+            for k in KERNELS {
+                let lhs = k.w(r * s, s);
+                let rhs = k.w(r, 1.0) / (s * s * s);
+                prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
+            }
+        }
+    }
+}

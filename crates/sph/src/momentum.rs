@@ -1,0 +1,259 @@
+//! `MomentumEnergy`: the grad-h SPH momentum and energy equations with
+//! artificial viscosity — the most compute-intensive kernel in the paper's
+//! per-function breakdown (Figs. 5 and 8).
+
+use cornerstone::{Box3, CellList};
+
+use crate::av::viscosity_pi;
+use crate::kernels::Kernel;
+use crate::particles::Particles;
+
+/// Compute accelerations `(ax, ay, az)` and energy rates `du` for owned
+/// particles:
+///
+/// ```text
+/// a_i  = -sum_j m_j [ P_i/(Om_i rho_i^2) gradW(h_i)
+///                   + P_j/(Om_j rho_j^2) gradW(h_j)
+///                   + Pi_ij gradW_avg ]
+/// du_i =  P_i/(Om_i rho_i^2) sum_j m_j v_ij . gradW(h_i)
+///       + 1/2 sum_j m_j Pi_ij v_ij . gradW_avg
+/// ```
+pub fn momentum_energy(parts: &mut Particles, grid: &CellList, bbox: &Box3, kernel: Kernel) {
+    let (x, y, z) = (&parts.x, &parts.y, &parts.z);
+    let n = parts.n_local;
+    let mut ax = vec![0.0f64; n];
+    let mut ay = vec![0.0f64; n];
+    let mut az = vec![0.0f64; n];
+    let mut du = vec![0.0f64; n];
+
+    for i in 0..n {
+        let hi = parts.h[i];
+        let rho_i = parts.rho[i].max(1e-300);
+        let pi_term = parts.p[i] / (parts.gradh[i] * rho_i * rho_i);
+        // Search must cover the larger support of interacting pairs; h is
+        // smooth so 1.4x covers neighbor h differences.
+        let radius = kernel.support(hi) * 1.4;
+        let (mut axi, mut ayi, mut azi, mut dui) = (0.0, 0.0, 0.0, 0.0);
+
+        grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
+            if j == i || d2 == 0.0 {
+                return;
+            }
+            let r = d2.sqrt();
+            let hj = parts.h[j];
+            // Pair interacts if within either particle's support.
+            if r >= kernel.support(hi) && r >= kernel.support(hj) {
+                return;
+            }
+            let (dx, dy, dz) = bbox.delta(x[i], y[i], z[i], x[j], y[j], z[j]);
+            let dwi = kernel.dw_dr(r, hi) / r;
+            let dwj = kernel.dw_dr(r, hj) / r;
+            let dw_avg = 0.5 * (dwi + dwj);
+
+            // First-step halos arrive before their owner computed a density;
+            // they carry no pressure yet and must not divide by rho^2 = 0
+            // (which underflows to 0/0 = NaN).
+            let rho_j = parts.rho[j];
+            let pj_term = if rho_j > 0.0 {
+                parts.p[j] / (parts.gradh[j] * rho_j * rho_j)
+            } else {
+                0.0
+            };
+            let rho_j = rho_j.max(1e-300);
+
+            let dvx = parts.vx[i] - parts.vx[j];
+            let dvy = parts.vy[i] - parts.vy[j];
+            let dvz = parts.vz[i] - parts.vz[j];
+            let vdotr = dvx * dx + dvy * dy + dvz * dz;
+
+            let alpha_ij = 0.5 * (parts.alpha[i] + parts.alpha[j]);
+            let h_ij = 0.5 * (hi + hj);
+            let c_ij = 0.5 * (parts.c[i] + parts.c[j]);
+            let rho_ij = 0.5 * (rho_i + rho_j);
+            let visc = viscosity_pi(alpha_ij, h_ij, c_ij, rho_ij, vdotr, d2);
+
+            let mj = parts.m[j];
+            let grad_scale = pi_term * dwi + pj_term * dwj + visc * dw_avg;
+            axi -= mj * grad_scale * dx;
+            ayi -= mj * grad_scale * dy;
+            azi -= mj * grad_scale * dz;
+            dui += mj * (pi_term * dwi + 0.5 * visc * dw_avg) * vdotr;
+        });
+
+        ax[i] = axi;
+        ay[i] = ayi;
+        az[i] = azi;
+        du[i] = dui;
+    }
+
+    parts.ax[..n].copy_from_slice(&ax);
+    parts.ay[..n].copy_from_slice(&ay);
+    parts.az[..n].copy_from_slice(&az);
+    parts.du[..n].copy_from_slice(&du);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::density_gradh;
+    use crate::eos::Eos;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn uniform_gas(n_side: usize, jitter: f64, seed: u64) -> (Particles, Box3) {
+        let bbox = Box3::unit_periodic();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parts = Particles::new();
+        let spacing = 1.0 / n_side as f64;
+        let m = 1.0 / (n_side * n_side * n_side) as f64;
+        for ix in 0..n_side {
+            for iy in 0..n_side {
+                for iz in 0..n_side {
+                    let mut j = || (rng.random::<f64>() - 0.5) * jitter * spacing;
+                    let (jx, jy, jz) = (j(), j(), j());
+                    parts.push(
+                        (ix as f64 + 0.5) * spacing + jx,
+                        (iy as f64 + 0.5) * spacing + jy,
+                        (iz as f64 + 0.5) * spacing + jz,
+                        0.0,
+                        0.0,
+                        0.0,
+                        m,
+                        1.3 * spacing,
+                        1.0,
+                    );
+                }
+            }
+        }
+        (parts, bbox)
+    }
+
+    fn prep(parts: &mut Particles, bbox: &Box3, kernel: Kernel) -> CellList {
+        let grid = CellList::build(
+            &parts.x,
+            &parts.y,
+            &parts.z,
+            bbox,
+            kernel.support(parts.h[0]) * 1.4,
+        );
+        density_gradh(parts, &grid, bbox, kernel);
+        Eos::ideal_monatomic().apply(parts);
+        grid
+    }
+
+    #[test]
+    fn uniform_lattice_has_negligible_forces() {
+        let kernel = Kernel::CubicSpline;
+        let (mut parts, bbox) = uniform_gas(8, 0.0, 1);
+        let grid = prep(&mut parts, &bbox, kernel);
+        momentum_energy(&mut parts, &grid, &bbox, kernel);
+        // Perfect symmetry -> pressure gradients cancel.
+        let amax = parts
+            .ax
+            .iter()
+            .chain(&parts.ay)
+            .chain(&parts.az)
+            .fold(0.0f64, |m, &a| m.max(a.abs()));
+        // Pressure scale: P/rho/spacing ~ 0.67/0.125 = 5.3; forces must be
+        // orders of magnitude below that.
+        assert!(amax < 0.15, "residual force {amax} too large");
+    }
+
+    #[test]
+    fn momentum_is_conserved_pairwise() {
+        // Total momentum rate must vanish for a closed (periodic) system.
+        let kernel = Kernel::CubicSpline;
+        let (mut parts, bbox) = uniform_gas(7, 0.4, 2);
+        // Give particles random velocities so AV participates.
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..parts.len() {
+            parts.vx[i] = rng.random::<f64>() - 0.5;
+            parts.vy[i] = rng.random::<f64>() - 0.5;
+            parts.vz[i] = rng.random::<f64>() - 0.5;
+        }
+        let grid = prep(&mut parts, &bbox, kernel);
+        momentum_energy(&mut parts, &grid, &bbox, kernel);
+        let (mut px, mut py, mut pz) = (0.0, 0.0, 0.0);
+        let mut scale = 0.0f64;
+        for i in 0..parts.n_local {
+            px += parts.m[i] * parts.ax[i];
+            py += parts.m[i] * parts.ay[i];
+            pz += parts.m[i] * parts.az[i];
+            scale += parts.m[i] * (parts.ax[i].abs() + parts.ay[i].abs() + parts.az[i].abs());
+        }
+        let tol = (scale * 1e-10).max(1e-12);
+        assert!(px.abs() < tol, "px {px} vs scale {scale}");
+        assert!(py.abs() < tol, "py {py}");
+        assert!(pz.abs() < tol, "pz {pz}");
+    }
+
+    #[test]
+    fn compression_heats_the_gas() {
+        // A radially-converging velocity field must produce du > 0 overall
+        // (pdV work + viscous dissipation).
+        let kernel = Kernel::CubicSpline;
+        let (mut parts, bbox) = uniform_gas(8, 0.2, 4);
+        for i in 0..parts.len() {
+            parts.vx[i] = -(parts.x[i] - 0.5);
+            parts.vy[i] = -(parts.y[i] - 0.5);
+            parts.vz[i] = -(parts.z[i] - 0.5);
+            parts.alpha[i] = 0.5;
+        }
+        let grid = prep(&mut parts, &bbox, kernel);
+        momentum_energy(&mut parts, &grid, &bbox, kernel);
+        let total_du: f64 = (0..parts.n_local).map(|i| parts.m[i] * parts.du[i]).sum();
+        assert!(total_du > 0.0, "compression must heat: {total_du}");
+    }
+
+    #[test]
+    fn expansion_cools_the_gas() {
+        let kernel = Kernel::CubicSpline;
+        let (mut parts, bbox) = uniform_gas(8, 0.2, 5);
+        for i in 0..parts.len() {
+            parts.vx[i] = parts.x[i] - 0.5;
+            parts.vy[i] = parts.y[i] - 0.5;
+            parts.vz[i] = parts.z[i] - 0.5;
+        }
+        let grid = prep(&mut parts, &bbox, kernel);
+        momentum_energy(&mut parts, &grid, &bbox, kernel);
+        // Restrict to the interior: at the periodic wrap the "expansion"
+        // field collides with its own image and heats viscously.
+        let interior = |i: usize| {
+            [parts.x[i], parts.y[i], parts.z[i]]
+                .iter()
+                .all(|&c| (0.25..0.75).contains(&c))
+        };
+        let total_du: f64 = (0..parts.n_local)
+            .filter(|&i| interior(i))
+            .map(|i| parts.m[i] * parts.du[i])
+            .sum();
+        assert!(total_du < 0.0, "expansion must cool: {total_du}");
+    }
+
+    #[test]
+    fn overdense_region_pushes_outward() {
+        // Two particles close together in a cold background: they repel.
+        let kernel = Kernel::CubicSpline;
+        let bbox = Box3::cube(0.0, 1.0, false);
+        let mut parts = Particles::new();
+        parts.push(0.48, 0.5, 0.5, 0.0, 0.0, 0.0, 1.0, 0.05, 1.0);
+        parts.push(0.52, 0.5, 0.5, 0.0, 0.0, 0.0, 1.0, 0.05, 1.0);
+        let grid = CellList::build(&parts.x, &parts.y, &parts.z, &bbox, 0.15);
+        density_gradh(&mut parts, &grid, &bbox, kernel);
+        Eos::ideal_monatomic().apply(&mut parts);
+        momentum_energy(&mut parts, &grid, &bbox, kernel);
+        assert!(
+            parts.ax[0] < 0.0,
+            "left particle pushed left: {}",
+            parts.ax[0]
+        );
+        assert!(
+            parts.ax[1] > 0.0,
+            "right particle pushed right: {}",
+            parts.ax[1]
+        );
+        assert!(
+            (parts.ax[0] + parts.ax[1]).abs() < 1e-10,
+            "equal and opposite"
+        );
+    }
+}

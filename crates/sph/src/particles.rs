@@ -1,0 +1,441 @@
+//! Structure-of-arrays particle storage.
+//!
+//! Matches SPH-EXA's field layout: positions, velocities, smoothing lengths,
+//! densities, pressures, internal energy, grad-h terms, IAD tensor
+//! components, velocity divergence/curl and artificial-viscosity switches.
+//! The SoA layout is what the real code uploads to the GPU wholesale at
+//! simulation start (§III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// All per-particle fields. Locally-owned particles occupy `0..n_local`;
+/// halo copies received from peers live in `n_local..len()`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Particles {
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub z: Vec<f64>,
+    pub vx: Vec<f64>,
+    pub vy: Vec<f64>,
+    pub vz: Vec<f64>,
+    /// Particle mass.
+    pub m: Vec<f64>,
+    /// Smoothing length.
+    pub h: Vec<f64>,
+    /// Density.
+    pub rho: Vec<f64>,
+    /// Pressure.
+    pub p: Vec<f64>,
+    /// Sound speed.
+    pub c: Vec<f64>,
+    /// Specific internal energy.
+    pub u: Vec<f64>,
+    /// du/dt accumulated by MomentumEnergy.
+    pub du: Vec<f64>,
+    /// Accelerations.
+    pub ax: Vec<f64>,
+    pub ay: Vec<f64>,
+    pub az: Vec<f64>,
+    /// Grad-h correction factor (Omega).
+    pub gradh: Vec<f64>,
+    /// Generalized volume element estimate (the `XMass` field).
+    pub xmass: Vec<f64>,
+    /// Velocity divergence.
+    pub divv: Vec<f64>,
+    /// Magnitude of velocity curl.
+    pub curlv: Vec<f64>,
+    /// Artificial-viscosity switch (alpha).
+    pub alpha: Vec<f64>,
+    /// IAD tensor components (symmetric 3x3: c11, c12, c13, c22, c23, c33).
+    pub c11: Vec<f64>,
+    pub c12: Vec<f64>,
+    pub c13: Vec<f64>,
+    pub c22: Vec<f64>,
+    pub c23: Vec<f64>,
+    pub c33: Vec<f64>,
+    /// Count of locally-owned (non-halo) particles.
+    pub n_local: usize,
+}
+
+macro_rules! for_each_field {
+    ($self:ident, $f:ident) => {
+        $f!($self.x);
+        $f!($self.y);
+        $f!($self.z);
+        $f!($self.vx);
+        $f!($self.vy);
+        $f!($self.vz);
+        $f!($self.m);
+        $f!($self.h);
+        $f!($self.rho);
+        $f!($self.p);
+        $f!($self.c);
+        $f!($self.u);
+        $f!($self.du);
+        $f!($self.ax);
+        $f!($self.ay);
+        $f!($self.az);
+        $f!($self.gradh);
+        $f!($self.xmass);
+        $f!($self.divv);
+        $f!($self.curlv);
+        $f!($self.alpha);
+        $f!($self.c11);
+        $f!($self.c12);
+        $f!($self.c13);
+        $f!($self.c22);
+        $f!($self.c23);
+        $f!($self.c33);
+    };
+}
+
+impl Particles {
+    /// Number of fields a full particle carries (used for paper-scale
+    /// communication volume estimates).
+    pub const FIELD_COUNT: usize = 27;
+
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total stored particles (local + halo).
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Add one locally-owned particle with kinematic state; derived fields
+    /// start at sane defaults. Panics if halos are already attached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        x: f64,
+        y: f64,
+        z: f64,
+        vx: f64,
+        vy: f64,
+        vz: f64,
+        m: f64,
+        h: f64,
+        u: f64,
+    ) {
+        assert_eq!(
+            self.len(),
+            self.n_local,
+            "cannot push owned particles after halos"
+        );
+        self.x.push(x);
+        self.y.push(y);
+        self.z.push(z);
+        self.vx.push(vx);
+        self.vy.push(vy);
+        self.vz.push(vz);
+        self.m.push(m);
+        self.h.push(h);
+        self.u.push(u);
+        self.rho.push(0.0);
+        self.p.push(0.0);
+        self.c.push(0.0);
+        self.du.push(0.0);
+        self.ax.push(0.0);
+        self.ay.push(0.0);
+        self.az.push(0.0);
+        self.gradh.push(1.0);
+        self.xmass.push(m);
+        self.divv.push(0.0);
+        self.curlv.push(0.0);
+        self.alpha.push(crate::av::ALPHA_MIN);
+        self.c11.push(0.0);
+        self.c12.push(0.0);
+        self.c13.push(0.0);
+        self.c22.push(0.0);
+        self.c23.push(0.0);
+        self.c33.push(0.0);
+        self.n_local += 1;
+    }
+
+    /// Drop halo copies, keeping only owned particles.
+    pub fn truncate_halos(&mut self) {
+        let n = self.n_local;
+        macro_rules! trunc {
+            ($v:expr) => {
+                $v.truncate(n)
+            };
+        }
+        for_each_field!(self, trunc);
+    }
+
+    /// Append halo particles received from a peer (kinematic + derived
+    /// fields all copied — receivers treat halos as read-only).
+    pub fn append_halos(&mut self, other: &Particles, indices: &[usize]) {
+        for &i in indices {
+            self.x.push(other.x[i]);
+            self.y.push(other.y[i]);
+            self.z.push(other.z[i]);
+            self.vx.push(other.vx[i]);
+            self.vy.push(other.vy[i]);
+            self.vz.push(other.vz[i]);
+            self.m.push(other.m[i]);
+            self.h.push(other.h[i]);
+            self.rho.push(other.rho[i]);
+            self.p.push(other.p[i]);
+            self.c.push(other.c[i]);
+            self.u.push(other.u[i]);
+            self.du.push(0.0);
+            self.ax.push(0.0);
+            self.ay.push(0.0);
+            self.az.push(0.0);
+            self.gradh.push(other.gradh[i]);
+            self.xmass.push(other.xmass[i]);
+            self.divv.push(other.divv[i]);
+            self.curlv.push(other.curlv[i]);
+            self.alpha.push(other.alpha[i]);
+            self.c11.push(other.c11[i]);
+            self.c12.push(other.c12[i]);
+            self.c13.push(other.c13[i]);
+            self.c22.push(other.c22[i]);
+            self.c23.push(other.c23[i]);
+            self.c33.push(other.c33[i]);
+        }
+    }
+
+    /// Number of f64 fields in a packed halo/migration record.
+    pub const PACK_FIELDS: usize = 13;
+
+    /// Serialize the halo-relevant state of `indices` into a flat f64 buffer
+    /// (for the rank runtime's byte channels). Also used for domain
+    /// migration, so the viscosity switch `alpha` travels along.
+    pub fn pack_halo(&self, indices: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(indices.len() * Self::PACK_FIELDS);
+        for &i in indices {
+            out.extend_from_slice(&[
+                self.x[i],
+                self.y[i],
+                self.z[i],
+                self.vx[i],
+                self.vy[i],
+                self.vz[i],
+                self.m[i],
+                self.h[i],
+                self.rho[i],
+                self.p[i],
+                self.c[i],
+                self.u[i],
+                self.alpha[i],
+            ]);
+        }
+        out
+    }
+
+    /// Append halos from a buffer produced by [`Particles::pack_halo`].
+    pub fn unpack_halo(&mut self, data: &[f64]) {
+        assert_eq!(
+            data.len() % Self::PACK_FIELDS,
+            0,
+            "halo buffer must be {} f64 per particle",
+            Self::PACK_FIELDS
+        );
+        for chunk in data.chunks_exact(Self::PACK_FIELDS) {
+            self.x.push(chunk[0]);
+            self.y.push(chunk[1]);
+            self.z.push(chunk[2]);
+            self.vx.push(chunk[3]);
+            self.vy.push(chunk[4]);
+            self.vz.push(chunk[5]);
+            self.m.push(chunk[6]);
+            self.h.push(chunk[7]);
+            self.rho.push(chunk[8]);
+            self.p.push(chunk[9]);
+            self.c.push(chunk[10]);
+            self.u.push(chunk[11]);
+            self.du.push(0.0);
+            self.ax.push(0.0);
+            self.ay.push(0.0);
+            self.az.push(0.0);
+            self.gradh.push(1.0);
+            self.xmass.push(chunk[6]);
+            self.divv.push(0.0);
+            self.curlv.push(0.0);
+            self.alpha.push(chunk[12]);
+            self.c11.push(0.0);
+            self.c12.push(0.0);
+            self.c13.push(0.0);
+            self.c22.push(0.0);
+            self.c23.push(0.0);
+            self.c33.push(0.0);
+        }
+    }
+
+    /// Keep only owned particles selected by `keep` (used when re-assigning
+    /// domains); halo region must already be truncated.
+    pub fn retain_owned(&mut self, keep: &[bool]) {
+        assert_eq!(self.len(), self.n_local, "truncate halos first");
+        assert_eq!(keep.len(), self.n_local);
+        macro_rules! filter {
+            ($v:expr) => {{
+                let mut it = keep.iter();
+                $v.retain(|_| *it.next().expect("keep mask length"));
+            }};
+        }
+        for_each_field!(self, filter);
+        self.n_local = self.x.len();
+    }
+
+    /// Reorder owned particles by `perm` (the SFC sort); halo region must be
+    /// empty. `perm[k]` is the old index that moves to position `k`.
+    pub fn permute_owned(&mut self, perm: &[usize]) {
+        assert_eq!(self.len(), self.n_local, "truncate halos first");
+        assert_eq!(perm.len(), self.n_local);
+        macro_rules! apply {
+            ($v:expr) => {{
+                let old = std::mem::take(&mut $v);
+                $v = perm.iter().map(|&i| old[i]).collect();
+            }};
+        }
+        for_each_field!(self, apply);
+    }
+
+    /// Extract owned particles at `indices` into a new set (domain migration).
+    pub fn extract(&self, indices: &[usize]) -> Particles {
+        let mut out = Particles::new();
+        for &i in indices {
+            out.push(
+                self.x[i], self.y[i], self.z[i], self.vx[i], self.vy[i], self.vz[i], self.m[i],
+                self.h[i], self.u[i],
+            );
+            let k = out.n_local - 1;
+            out.rho[k] = self.rho[i];
+            out.p[k] = self.p[i];
+            out.c[k] = self.c[i];
+            out.gradh[k] = self.gradh[i];
+            out.xmass[k] = self.xmass[i];
+            out.alpha[k] = self.alpha[i];
+        }
+        out
+    }
+
+    /// Merge another set's owned particles into this one's owned region.
+    pub fn absorb(&mut self, other: Particles) {
+        assert_eq!(self.len(), self.n_local, "truncate halos first");
+        self.x.extend(other.x);
+        self.y.extend(other.y);
+        self.z.extend(other.z);
+        self.vx.extend(other.vx);
+        self.vy.extend(other.vy);
+        self.vz.extend(other.vz);
+        self.m.extend(other.m);
+        self.h.extend(other.h);
+        self.rho.extend(other.rho);
+        self.p.extend(other.p);
+        self.c.extend(other.c);
+        self.u.extend(other.u);
+        self.du.extend(other.du);
+        self.ax.extend(other.ax);
+        self.ay.extend(other.ay);
+        self.az.extend(other.az);
+        self.gradh.extend(other.gradh);
+        self.xmass.extend(other.xmass);
+        self.divv.extend(other.divv);
+        self.curlv.extend(other.curlv);
+        self.alpha.extend(other.alpha);
+        self.c11.extend(other.c11);
+        self.c12.extend(other.c12);
+        self.c13.extend(other.c13);
+        self.c22.extend(other.c22);
+        self.c23.extend(other.c23);
+        self.c33.extend(other.c33);
+        self.n_local = self.x.len();
+    }
+
+    /// Total mass of owned particles.
+    pub fn total_mass(&self) -> f64 {
+        self.m[..self.n_local].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> Particles {
+        let mut p = Particles::new();
+        p.push(0.1, 0.2, 0.3, 1.0, 0.0, 0.0, 2.0, 0.05, 1.5);
+        p.push(0.4, 0.5, 0.6, 0.0, 1.0, 0.0, 3.0, 0.06, 1.6);
+        p.push(0.7, 0.8, 0.9, 0.0, 0.0, 1.0, 4.0, 0.07, 1.7);
+        p
+    }
+
+    #[test]
+    fn push_initializes_all_fields_consistently() {
+        let p = three();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.n_local, 3);
+        assert_eq!(p.gradh, vec![1.0; 3]);
+        assert_eq!(p.xmass, p.m);
+        assert_eq!(p.total_mass(), 9.0);
+    }
+
+    #[test]
+    fn halo_pack_unpack_roundtrip() {
+        let src = three();
+        let buf = src.pack_halo(&[0, 2]);
+        assert_eq!(buf.len(), 26);
+        let mut dst = three();
+        dst.unpack_halo(&buf);
+        assert_eq!(dst.len(), 5);
+        assert_eq!(dst.n_local, 3, "halos are not owned");
+        assert_eq!(dst.x[3], 0.1);
+        assert_eq!(dst.m[4], 4.0);
+        dst.truncate_halos();
+        assert_eq!(dst.len(), 3);
+    }
+
+    #[test]
+    fn append_halos_copies_derived_fields() {
+        let mut src = three();
+        src.rho[1] = 7.0;
+        src.alpha[1] = 0.9;
+        let mut dst = three();
+        dst.append_halos(&src, &[1]);
+        assert_eq!(dst.len(), 4);
+        assert_eq!(dst.rho[3], 7.0);
+        assert_eq!(dst.alpha[3], 0.9);
+    }
+
+    #[test]
+    fn permute_reorders_every_field() {
+        let mut p = three();
+        p.permute_owned(&[2, 0, 1]);
+        assert_eq!(p.x, vec![0.7, 0.1, 0.4]);
+        assert_eq!(p.m, vec![4.0, 2.0, 3.0]);
+        assert_eq!(p.vz, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn retain_and_extract_and_absorb() {
+        let mut p = three();
+        let moved = p.extract(&[1]);
+        p.retain_owned(&[true, false, true]);
+        assert_eq!(p.n_local, 2);
+        assert_eq!(p.x, vec![0.1, 0.7]);
+        assert_eq!(moved.n_local, 1);
+        assert_eq!(moved.m, vec![3.0]);
+        let mut q = p.clone();
+        q.absorb(moved);
+        assert_eq!(q.n_local, 3);
+        assert_eq!(q.total_mass(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "halos")]
+    fn push_after_halos_panics() {
+        let mut p = three();
+        let src = three();
+        p.append_halos(&src, &[0]);
+        p.push(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,869 @@
+//! The time-stepping propagator with instrumentation hooks.
+//!
+//! `Simulation::step` runs the full SPH-EXA function sequence
+//! (`DomainDecompAndSync` → … → `EnergyConservation`), calling a
+//! [`StepObserver`] around every function. The observer is where the paper's
+//! contribution lives: energy measurement (`PMT` regions) and dynamic GPU
+//! frequency selection (`ManDyn`) both attach there, exactly like SPH-EXA's
+//! low-overhead profiling hooks (§III-B).
+
+use archsim::{KernelWorkload, SimDuration};
+use cornerstone::{halo_candidates, Aabb, Assignment, Box3, CellList, Octree};
+use ranks::{Op, RankCtx};
+use serde::{Deserialize, Serialize};
+
+use crate::av::av_switches;
+use crate::conservation::{local_budget, EnergyBudget};
+use crate::density::{density_gradh, neighbor_counts, xmass};
+use crate::eos::Eos;
+use crate::funcs::FuncId;
+use crate::gravity::BhTree;
+use crate::iad::iad_divv_curlv;
+use crate::ic::InitialConditions;
+use crate::kernels::Kernel;
+use crate::momentum::momentum_energy;
+use crate::particles::Particles;
+use crate::timestep::local_timestep;
+use crate::update::{update_quantities, update_smoothing_lengths};
+
+/// Hooks wrapped around every instrumented function.
+pub trait StepObserver {
+    /// Called immediately before the function's physics; ManDyn performs its
+    /// `nvmlDeviceSetApplicationsClocks` call here (§III-D).
+    fn before(&mut self, func: FuncId, ctx: &mut RankCtx);
+
+    /// Called after the physics with the paper-scale GPU workload descriptor
+    /// and the host-side gap preceding the kernels. Implementations advance
+    /// device and rank virtual time and record energy.
+    fn after(
+        &mut self,
+        func: FuncId,
+        workload: &KernelWorkload,
+        host_pre: SimDuration,
+        ctx: &mut RankCtx,
+    );
+}
+
+/// Observer that does nothing (pure-physics runs and tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl StepObserver for NullObserver {
+    fn before(&mut self, _func: FuncId, _ctx: &mut RankCtx) {}
+    fn after(&mut self, _f: FuncId, _w: &KernelWorkload, _h: SimDuration, _ctx: &mut RankCtx) {}
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub kernel: Kernel,
+    /// Particles per rank assumed by the *paper-scale* workload model
+    /// (150 M for turbulence, 80 M for Evrard, 450³ on miniHPC).
+    pub target_particles_per_rank: f64,
+    /// Target neighbor count for the smoothing-length iteration at the
+    /// laptop (physics) scale.
+    pub target_neighbors: usize,
+    /// Octree leaf bucket size.
+    pub bucket_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            kernel: Kernel::CubicSpline,
+            target_particles_per_rank: 150e6,
+            target_neighbors: 60,
+            bucket_size: 64,
+        }
+    }
+}
+
+/// Result of one time-step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepStats {
+    pub step: u64,
+    pub dt: f64,
+    pub time: f64,
+    /// Globally-reduced conserved quantities.
+    pub budget: EnergyBudget,
+    pub n_local: usize,
+    pub n_halo: usize,
+}
+
+/// One rank's share of the simulation.
+pub struct Simulation {
+    pub cfg: SimConfig,
+    pub parts: Particles,
+    pub bbox: Box3,
+    pub eos: Eos,
+    pub gravity: bool,
+    pub name: &'static str,
+    nn: Vec<usize>,
+    dt: f64,
+    time: f64,
+    step_index: u64,
+    potential: f64,
+}
+
+impl Simulation {
+    /// Single-rank simulation over a full initial model.
+    pub fn new(ic: InitialConditions, cfg: SimConfig) -> Self {
+        Simulation {
+            cfg,
+            parts: ic.parts,
+            bbox: ic.bbox,
+            eos: ic.eos,
+            gravity: ic.gravity,
+            name: ic.name,
+            nn: Vec::new(),
+            dt: 0.0,
+            time: 0.0,
+            step_index: 0,
+            potential: 0.0,
+        }
+    }
+
+    /// Split a global initial model among ranks by SFC order — the initial
+    /// decomposition every rank computes identically.
+    pub fn distribute(ic: InitialConditions, cfg: SimConfig, rank: usize, size: usize) -> Self {
+        let mut keys: Vec<(u64, usize)> = (0..ic.parts.len())
+            .map(|i| {
+                (
+                    cornerstone::key_of(ic.parts.x[i], ic.parts.y[i], ic.parts.z[i], &ic.bbox),
+                    i,
+                )
+            })
+            .collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        let lo = n * rank / size;
+        let hi = n * (rank + 1) / size;
+        let indices: Vec<usize> = keys[lo..hi].iter().map(|&(_, i)| i).collect();
+        let parts = ic.parts.extract(&indices);
+        Simulation {
+            cfg,
+            parts,
+            bbox: ic.bbox,
+            eos: ic.eos,
+            gravity: ic.gravity,
+            name: ic.name,
+            nn: Vec::new(),
+            dt: 0.0,
+            time: 0.0,
+            step_index: 0,
+            potential: 0.0,
+        }
+    }
+
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
+    /// The functions this workload actually calls (Evrard includes Gravity).
+    pub fn active_funcs(&self) -> Vec<FuncId> {
+        FuncId::ALL
+            .into_iter()
+            .filter(|f| *f != FuncId::Gravity || self.gravity)
+            .collect()
+    }
+
+    /// Run one full time-step.
+    pub fn step(&mut self, ctx: &mut RankCtx, obs: &mut dyn StepObserver) -> StepStats {
+        let target = self.cfg.target_particles_per_rank;
+        let size = ctx.size();
+        let kernel = self.cfg.kernel;
+
+        // ---- DomainDecompAndSync -------------------------------------
+        obs.before(FuncId::DomainDecompAndSync, ctx);
+        self.domain_decomp_and_sync(ctx);
+        obs.after(
+            FuncId::DomainDecompAndSync,
+            &FuncId::DomainDecompAndSync.workload(target),
+            FuncId::DomainDecompAndSync.host_overhead(size),
+            ctx,
+        );
+
+        // ---- FindNeighbors -------------------------------------------
+        obs.before(FuncId::FindNeighbors, ctx);
+        let grid = self.build_grid();
+        self.nn = neighbor_counts(&self.parts, &grid, &self.bbox, kernel);
+        obs.after(
+            FuncId::FindNeighbors,
+            &FuncId::FindNeighbors.workload(target),
+            FuncId::FindNeighbors.host_overhead(size),
+            ctx,
+        );
+
+        // ---- XMass ----------------------------------------------------
+        obs.before(FuncId::XMass, ctx);
+        xmass(&mut self.parts);
+        obs.after(
+            FuncId::XMass,
+            &FuncId::XMass.workload(target),
+            FuncId::XMass.host_overhead(size),
+            ctx,
+        );
+
+        // ---- NormalizationGradh (density + grad-h) ---------------------
+        obs.before(FuncId::NormalizationGradh, ctx);
+        density_gradh(&mut self.parts, &grid, &self.bbox, kernel);
+        obs.after(
+            FuncId::NormalizationGradh,
+            &FuncId::NormalizationGradh.workload(target),
+            FuncId::NormalizationGradh.host_overhead(size),
+            ctx,
+        );
+
+        // ---- EquationOfState -------------------------------------------
+        obs.before(FuncId::EquationOfState, ctx);
+        self.eos.apply(&mut self.parts);
+        obs.after(
+            FuncId::EquationOfState,
+            &FuncId::EquationOfState.workload(target),
+            FuncId::EquationOfState.host_overhead(size),
+            ctx,
+        );
+
+        // ---- IADVelocityDivCurl ----------------------------------------
+        obs.before(FuncId::IADVelocityDivCurl, ctx);
+        iad_divv_curlv(&mut self.parts, &grid, &self.bbox, kernel);
+        obs.after(
+            FuncId::IADVelocityDivCurl,
+            &FuncId::IADVelocityDivCurl.workload(target),
+            FuncId::IADVelocityDivCurl.host_overhead(size),
+            ctx,
+        );
+
+        // ---- AVSwitches -------------------------------------------------
+        obs.before(FuncId::AVSwitches, ctx);
+        av_switches(&mut self.parts, self.dt);
+        obs.after(
+            FuncId::AVSwitches,
+            &FuncId::AVSwitches.workload(target),
+            FuncId::AVSwitches.host_overhead(size),
+            ctx,
+        );
+
+        // ---- MomentumEnergy ----------------------------------------------
+        obs.before(FuncId::MomentumEnergy, ctx);
+        momentum_energy(&mut self.parts, &grid, &self.bbox, kernel);
+        obs.after(
+            FuncId::MomentumEnergy,
+            &FuncId::MomentumEnergy.workload(target),
+            FuncId::MomentumEnergy.host_overhead(size),
+            ctx,
+        );
+
+        // Numerical-health check (debug builds): no instrumented function may
+        // leave non-finite state behind.
+        #[cfg(debug_assertions)]
+        {
+            let nan = |v: &[f64]| v.iter().filter(|x| !x.is_finite()).count();
+            let p = &self.parts;
+            for (field, count) in [
+                ("rho", nan(&p.rho)),
+                ("gradh", nan(&p.gradh)),
+                ("p", nan(&p.p)),
+                ("divv", nan(&p.divv)),
+                ("alpha", nan(&p.alpha)),
+                ("ax", nan(&p.ax)),
+                ("du", nan(&p.du)),
+            ] {
+                debug_assert_eq!(
+                    count,
+                    0,
+                    "rank {} step {}: {count} non-finite {field} values",
+                    ctx.rank(),
+                    self.step_index
+                );
+            }
+        }
+
+        // ---- Gravity (Evrard only) ----------------------------------------
+        if self.gravity {
+            obs.before(FuncId::Gravity, ctx);
+            self.apply_gravity(ctx);
+            obs.after(
+                FuncId::Gravity,
+                &FuncId::Gravity.workload(target),
+                FuncId::Gravity.host_overhead(size),
+                ctx,
+            );
+        } else {
+            self.potential = 0.0;
+        }
+
+        // ---- Timestep (global min reduction) -------------------------------
+        obs.before(FuncId::Timestep, ctx);
+        let dt_local = local_timestep(&self.parts, self.dt);
+        let dt = ctx.allreduce_f64(dt_local, Op::Min);
+        self.dt = dt;
+        self.time += dt;
+        obs.after(
+            FuncId::Timestep,
+            &FuncId::Timestep.workload(target),
+            FuncId::Timestep.host_overhead(size),
+            ctx,
+        );
+
+        // ---- UpdateQuantities ----------------------------------------------
+        obs.before(FuncId::UpdateQuantities, ctx);
+        update_quantities(&mut self.parts, dt, &self.bbox);
+        update_smoothing_lengths(&mut self.parts, &self.nn, self.cfg.target_neighbors);
+        obs.after(
+            FuncId::UpdateQuantities,
+            &FuncId::UpdateQuantities.workload(target),
+            FuncId::UpdateQuantities.host_overhead(size),
+            ctx,
+        );
+
+        // ---- EnergyConservation ----------------------------------------------
+        obs.before(FuncId::EnergyConservation, ctx);
+        let local = local_budget(&self.parts, self.potential);
+        let gathered = ctx.allgather_f64s(&local.to_slice());
+        let budget = gathered
+            .iter()
+            .map(|v| EnergyBudget::from_slice(v))
+            .fold(EnergyBudget::default(), |acc, b| acc.merged(&b));
+        obs.after(
+            FuncId::EnergyConservation,
+            &FuncId::EnergyConservation.workload(target),
+            FuncId::EnergyConservation.host_overhead(size),
+            ctx,
+        );
+
+        self.step_index += 1;
+        StepStats {
+            step: self.step_index,
+            dt,
+            time: self.time,
+            budget,
+            n_local: self.parts.n_local,
+            n_halo: self.parts.len() - self.parts.n_local,
+        }
+    }
+
+    /// Interaction radius covering every particle's kernel support (with the
+    /// same 1.4 headroom the force loop uses for pair asymmetry).
+    fn halo_radius(&self, global_h_max: f64) -> f64 {
+        self.cfg.kernel.support(global_h_max) * 1.4
+    }
+
+    fn build_grid(&self) -> CellList {
+        let h_max = self.parts.h.iter().cloned().fold(1e-6, f64::max);
+        CellList::build(
+            &self.parts.x,
+            &self.parts.y,
+            &self.parts.z,
+            &self.bbox,
+            self.cfg.kernel.support(h_max) * 1.4,
+        )
+    }
+
+    /// Sort owned particles by SFC key; returns the sorted keys.
+    fn sort_owned(&mut self) -> Vec<u64> {
+        let mut keyed: Vec<(u64, usize)> = (0..self.parts.n_local)
+            .map(|i| {
+                (
+                    cornerstone::key_of(
+                        self.parts.x[i],
+                        self.parts.y[i],
+                        self.parts.z[i],
+                        &self.bbox,
+                    ),
+                    i,
+                )
+            })
+            .collect();
+        keyed.sort_unstable();
+        let perm: Vec<usize> = keyed.iter().map(|&(_, i)| i).collect();
+        self.parts.permute_owned(&perm);
+        keyed.into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// The full `DomainDecompAndSync` phase: SFC sort, global octree and
+    /// partition, particle migration, halo discovery and exchange.
+    fn domain_decomp_and_sync(&mut self, ctx: &mut RankCtx) {
+        self.parts.truncate_halos();
+        let keys = self.sort_owned();
+
+        // Global octree from everyone's keys (laptop scale: the global key
+        // set fits comfortably; production codes merge distributed trees).
+        let key_bytes: Vec<u8> = keys.iter().flat_map(|k| k.to_le_bytes()).collect();
+        let gathered = ctx.allgather_bytes(key_bytes);
+        let mut global_keys: Vec<u64> = gathered
+            .iter()
+            .flat_map(|b| {
+                b.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte keys")))
+            })
+            .collect();
+        global_keys.sort_unstable();
+        let tree = Octree::build(&global_keys, self.cfg.bucket_size);
+        let assignment = Assignment::from_octree(&tree, ctx.size());
+
+        // Migrate misplaced particles to their owners.
+        if ctx.size() > 1 {
+            let keys = self.sort_owned();
+            let me = ctx.rank();
+            let mut outgoing_idx: Vec<Vec<usize>> = vec![Vec::new(); ctx.size()];
+            for (i, &k) in keys.iter().enumerate() {
+                let owner = assignment.rank_of_key(k);
+                if owner != me {
+                    outgoing_idx[owner].push(i);
+                }
+            }
+            let mut keep = vec![true; self.parts.n_local];
+            for peer_list in &outgoing_idx {
+                for &i in peer_list {
+                    keep[i] = false;
+                }
+            }
+            let outgoing: Vec<(usize, Vec<u8>)> = (0..ctx.size())
+                .filter(|&p| p != me)
+                .map(|p| (p, f64s_to_bytes(&self.parts.pack_halo(&outgoing_idx[p]))))
+                .collect();
+            let incoming = ctx.exchange(outgoing);
+            self.parts.retain_owned(&keep);
+            // Received particles become owned: unpack as halos, then claim.
+            for (_, data) in incoming {
+                self.parts.unpack_halo(&bytes_to_f64s(&data));
+            }
+            self.parts.n_local = self.parts.len();
+            self.sort_owned();
+        }
+
+        // Halo discovery: everyone needs each peer's bounding box and the
+        // global interaction radius.
+        let h_local = self.parts.h[..self.parts.n_local]
+            .iter()
+            .cloned()
+            .fold(1e-6, f64::max);
+        let h_max = ctx.allreduce_f64(h_local, Op::Max);
+        let radius = self.halo_radius(h_max);
+        let my_box = Aabb::of_points(
+            &self.parts.x[..self.parts.n_local],
+            &self.parts.y[..self.parts.n_local],
+            &self.parts.z[..self.parts.n_local],
+        );
+        let boxes = ctx.allgather_f64s(&[
+            my_box.xmin,
+            my_box.xmax,
+            my_box.ymin,
+            my_box.ymax,
+            my_box.zmin,
+            my_box.zmax,
+        ]);
+
+        if ctx.size() > 1 {
+            let me = ctx.rank();
+            let outgoing: Vec<(usize, Vec<u8>)> = (0..ctx.size())
+                .filter(|&p| p != me)
+                .map(|p| {
+                    let b = &boxes[p];
+                    let peer_box = Aabb {
+                        xmin: b[0],
+                        xmax: b[1],
+                        ymin: b[2],
+                        ymax: b[3],
+                        zmin: b[4],
+                        zmax: b[5],
+                    };
+                    let cands = halo_candidates(
+                        &self.parts.x[..self.parts.n_local],
+                        &self.parts.y[..self.parts.n_local],
+                        &self.parts.z[..self.parts.n_local],
+                        &peer_box,
+                        radius,
+                        &self.bbox,
+                    );
+                    (p, f64s_to_bytes(&self.parts.pack_halo(&cands)))
+                })
+                .collect();
+            let incoming = ctx.exchange(outgoing);
+            for (_, data) in incoming {
+                self.parts.unpack_halo(&bytes_to_f64s(&data));
+            }
+        }
+    }
+
+    /// Global Barnes-Hut gravity: gather all point masses, add accelerations,
+    /// and record this rank's share of the potential energy.
+    fn apply_gravity(&mut self, ctx: &mut RankCtx) {
+        let n_local = self.parts.n_local;
+        let mut payload = Vec::with_capacity(n_local * 4);
+        for i in 0..n_local {
+            payload.extend_from_slice(&[
+                self.parts.x[i],
+                self.parts.y[i],
+                self.parts.z[i],
+                self.parts.m[i],
+            ]);
+        }
+        let gathered = ctx.allgather_f64s(&payload);
+        let mut gx = Vec::new();
+        let mut gy = Vec::new();
+        let mut gz = Vec::new();
+        let mut gm = Vec::new();
+        let mut my_offset = 0usize;
+        for (r, buf) in gathered.iter().enumerate() {
+            if r == ctx.rank() {
+                my_offset = gx.len();
+            }
+            for c in buf.chunks_exact(4) {
+                gx.push(c[0]);
+                gy.push(c[1]);
+                gz.push(c[2]);
+                gm.push(c[3]);
+            }
+        }
+        let h_mean = self.parts.h[..n_local].iter().sum::<f64>() / n_local.max(1) as f64;
+        let tree = BhTree::build(&gx, &gy, &gz, &gm, 0.6, 0.2 * h_mean);
+        let mut potential = 0.0;
+        for i in 0..n_local {
+            let (a, phi) = tree.accel_at(
+                self.parts.x[i],
+                self.parts.y[i],
+                self.parts.z[i],
+                Some(my_offset + i),
+            );
+            self.parts.ax[i] += a[0];
+            self.parts.ay[i] += a[1];
+            self.parts.az[i] += a[2];
+            potential += 0.5 * self.parts.m[i] * phi;
+        }
+        self.potential = potential;
+    }
+}
+
+fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|f| f.to_le_bytes()).collect()
+}
+
+fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunks")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic::{evrard, subsonic_turbulence};
+    use ranks::CommCost;
+
+    fn small_cfg(target_neighbors: usize) -> SimConfig {
+        SimConfig {
+            kernel: Kernel::CubicSpline,
+            target_particles_per_rank: 1e6,
+            target_neighbors,
+            bucket_size: 32,
+        }
+    }
+
+    #[test]
+    fn turbulence_single_rank_runs_and_conserves_momentum() {
+        let stats = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut sim = Simulation::new(ic, small_cfg(40));
+            let mut obs = NullObserver;
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                out.push(sim.step(ctx, &mut obs));
+            }
+            out
+        });
+        let steps = &stats[0];
+        assert_eq!(steps.len(), 3);
+        for s in steps {
+            assert!(s.dt > 0.0 && s.dt.is_finite());
+            assert_eq!(s.n_local, 512);
+            // Solenoidal field on a periodic box: momentum stays ~0 relative
+            // to the velocity scale (n * mach * m ~ 0.3 * 1 = 0.3 scale).
+            assert!(s.budget.px.abs() < 0.05, "px {}", s.budget.px);
+            assert!(s.budget.kinetic > 0.0);
+        }
+        // Time advances monotonically.
+        assert!(steps[2].time > steps[1].time && steps[1].time > steps[0].time);
+    }
+
+    #[test]
+    fn evrard_collapse_deepens_potential_and_conserves_energy() {
+        let stats = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = evrard(10);
+            let mut sim = Simulation::new(ic, small_cfg(40));
+            let mut obs = NullObserver;
+            let mut out = Vec::new();
+            for _ in 0..5 {
+                out.push(sim.step(ctx, &mut obs));
+            }
+            out
+        });
+        let steps = &stats[0];
+        let first = steps[0].budget;
+        let last = steps[4].budget;
+        assert!(first.potential < 0.0, "bound system");
+        assert!(
+            last.potential <= first.potential + 1e-6,
+            "collapse must deepen the well: {} -> {}",
+            first.potential,
+            last.potential
+        );
+        assert!(last.kinetic > first.kinetic, "infall gains kinetic energy");
+        // Total energy drift stays small over a few steps.
+        let drift = (last.total() - first.total()).abs() / first.total().abs();
+        assert!(drift < 0.05, "energy drift {drift}");
+    }
+
+    #[test]
+    fn turbulence_decays_under_viscosity() {
+        // Undriven subsonic turbulence decays: kinetic energy must fall over
+        // many steps (artificial viscosity + pressure work), while total
+        // momentum stays conserved and density stays near the mean.
+        let out = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.5, 21);
+            let mut sim = Simulation::new(ic, small_cfg(40));
+            let mut kinetic = Vec::new();
+            let mut last = None;
+            for _ in 0..15 {
+                let s = sim.step(ctx, &mut NullObserver);
+                kinetic.push(s.budget.kinetic);
+                last = Some(s);
+            }
+            let rho_rms = {
+                let p = &sim.parts;
+                (0..p.n_local)
+                    .map(|i| (p.rho[i] - 1.0).powi(2))
+                    .sum::<f64>()
+                    / p.n_local as f64
+            }
+            .sqrt();
+            (kinetic, last.expect("steps ran"), rho_rms)
+        })
+        .remove(0);
+        let (kinetic, last, rho_rms) = out;
+        let first = kinetic.first().expect("steps");
+        let final_ke = kinetic.last().expect("steps");
+        assert!(
+            *final_ke < first * 0.98,
+            "kinetic energy must decay: {first} -> {final_ke}"
+        );
+        assert!(
+            last.budget.px.abs() < 0.05,
+            "momentum conserved: {}",
+            last.budget.px
+        );
+        assert!(
+            rho_rms < 0.2,
+            "subsonic: density stays near the mean (rms {rho_rms})"
+        );
+    }
+
+    #[test]
+    fn pressure_jump_drives_flow_toward_low_pressure() {
+        // A 3D shock-tube analogue: hot left half, cold right half of a
+        // periodic box. The interface at x = 0.5 must push gas rightward
+        // (and the wrapped interface at x = 0/1 leftward).
+        let out = ranks::run(1, CommCost::default(), |ctx| {
+            let mut ic = crate::ic::subsonic_turbulence(10, 0.0, 1);
+            ic.eos = crate::eos::Eos::ideal_monatomic();
+            for i in 0..ic.parts.len() {
+                ic.parts.vx[i] = 0.0;
+                ic.parts.vy[i] = 0.0;
+                ic.parts.vz[i] = 0.0;
+                ic.parts.u[i] = if ic.parts.x[i] < 0.5 { 2.5 } else { 0.25 };
+            }
+            let mut sim = Simulation::new(ic, small_cfg(40));
+            for _ in 0..4 {
+                sim.step(ctx, &mut NullObserver);
+            }
+            let p = &sim.parts;
+            let band_mean_vx = |lo: f64, hi: f64| {
+                let sel: Vec<usize> = (0..p.n_local)
+                    .filter(|&i| p.x[i] >= lo && p.x[i] < hi)
+                    .collect();
+                sel.iter().map(|&i| p.vx[i]).sum::<f64>() / sel.len().max(1) as f64
+            };
+            (band_mean_vx(0.5, 0.62), band_mean_vx(0.0, 0.1))
+        })
+        .remove(0);
+        let (right_of_interface, near_wrap) = out;
+        assert!(
+            right_of_interface > 0.01,
+            "gas right of the hot/cold interface must accelerate rightward: {right_of_interface}"
+        );
+        assert!(
+            near_wrap < -0.01,
+            "gas right of the wrapped interface (x~0) must accelerate leftward: {near_wrap}"
+        );
+    }
+
+    #[test]
+    fn sedov_blast_expands_outward() {
+        let out = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = crate::ic::sedov(10, 1.0);
+            let mut sim = Simulation::new(ic, small_cfg(40));
+            let mut radii = Vec::new();
+            for _ in 0..6 {
+                sim.step(ctx, &mut NullObserver);
+                // Energy-weighted mean radius of hot material tracks the
+                // shock front.
+                let p = &sim.parts;
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for i in 0..p.n_local {
+                    let r =
+                        ((p.x[i] - 0.5).powi(2) + (p.y[i] - 0.5).powi(2) + (p.z[i] - 0.5).powi(2))
+                            .sqrt();
+                    let e = p.m[i] * p.u[i];
+                    num += e * r;
+                    den += e;
+                }
+                radii.push(num / den);
+            }
+            // Outward bulk motion: mass-weighted radial velocity positive.
+            let p = &sim.parts;
+            let vr_sum: f64 = (0..p.n_local)
+                .map(|i| {
+                    let (dx, dy, dz) = (p.x[i] - 0.5, p.y[i] - 0.5, p.z[i] - 0.5);
+                    let r = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-12);
+                    p.m[i] * (p.vx[i] * dx + p.vy[i] * dy + p.vz[i] * dz) / r
+                })
+                .sum();
+            (radii, vr_sum)
+        })
+        .remove(0);
+        let (radii, vr_sum) = out;
+        assert!(
+            radii.last().expect("steps ran") > radii.first().expect("steps ran"),
+            "hot region must expand: {radii:?}"
+        );
+        assert!(vr_sum > 0.0, "net outward motion expected, got {vr_sum}");
+    }
+
+    #[test]
+    fn multirank_turbulence_matches_particle_count_and_syncs_budget() {
+        let out = ranks::run(4, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut sim = Simulation::distribute(ic, small_cfg(40), ctx.rank(), ctx.size());
+            let mut obs = NullObserver;
+            let mut stats = None;
+            for _ in 0..2 {
+                stats = Some(sim.step(ctx, &mut obs));
+            }
+            stats.unwrap()
+        });
+        // Global particle count preserved across migration.
+        let total: usize = out.iter().map(|s| s.n_local).sum();
+        assert_eq!(total, 512);
+        // Every rank sees the same reduced budget and dt.
+        for s in &out[1..] {
+            assert_eq!(s.dt, out[0].dt);
+            assert!((s.budget.kinetic - out[0].budget.kinetic).abs() < 1e-9);
+            assert!((s.budget.internal - out[0].budget.internal).abs() < 1e-9);
+        }
+        // Ranks at the domain interior must have halos.
+        assert!(
+            out.iter().any(|s| s.n_halo > 0),
+            "halo exchange produced nothing"
+        );
+    }
+
+    #[test]
+    fn multirank_run_approximates_single_rank_physics() {
+        let single = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 5);
+            let mut sim = Simulation::new(ic, small_cfg(40));
+            let mut s = None;
+            for _ in 0..3 {
+                s = Some(sim.step(ctx, &mut NullObserver));
+            }
+            s.unwrap()
+        })[0];
+        let multi = ranks::run(4, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 5);
+            let mut sim = Simulation::distribute(ic, small_cfg(40), ctx.rank(), ctx.size());
+            let mut s = None;
+            for _ in 0..3 {
+                s = Some(sim.step(ctx, &mut NullObserver));
+            }
+            s.unwrap()
+        })[0];
+        // Same global physics within decomposition tolerance (first-step
+        // halos bootstrap their density, so small-n runs diverge slightly).
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+        assert!(
+            rel(multi.budget.kinetic, single.budget.kinetic) < 0.05,
+            "kinetic: multi {} vs single {}",
+            multi.budget.kinetic,
+            single.budget.kinetic
+        );
+        assert!(rel(multi.budget.internal, single.budget.internal) < 0.05);
+        assert!(
+            rel(multi.dt, single.dt) < 0.05,
+            "dt: {} vs {}",
+            multi.dt,
+            single.dt
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_function_in_order() {
+        struct Recorder(Vec<FuncId>, Vec<FuncId>);
+        impl StepObserver for Recorder {
+            fn before(&mut self, f: FuncId, _ctx: &mut RankCtx) {
+                self.0.push(f);
+            }
+            fn after(
+                &mut self,
+                f: FuncId,
+                w: &KernelWorkload,
+                _h: SimDuration,
+                _ctx: &mut RankCtx,
+            ) {
+                assert_eq!(w.name, f.name());
+                self.1.push(f);
+            }
+        }
+        let funcs = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(6, 0.3, 2);
+            let mut sim = Simulation::new(ic, small_cfg(30));
+            let mut rec = Recorder(Vec::new(), Vec::new());
+            sim.step(ctx, &mut rec);
+            assert_eq!(rec.0, rec.1, "before/after must pair up");
+            rec.0
+        });
+        let expected: Vec<FuncId> = FuncId::ALL
+            .into_iter()
+            .filter(|f| *f != FuncId::Gravity)
+            .collect();
+        assert_eq!(funcs[0], expected);
+
+        // Evrard includes Gravity.
+        let funcs = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = evrard(8);
+            let mut sim = Simulation::new(ic, small_cfg(30));
+            let mut rec = Recorder(Vec::new(), Vec::new());
+            sim.step(ctx, &mut rec);
+            rec.0
+        });
+        assert!(funcs[0].contains(&FuncId::Gravity));
+        assert_eq!(funcs[0].len(), 12);
+    }
+
+    #[test]
+    fn active_funcs_reflects_gravity() {
+        let turb = Simulation::new(subsonic_turbulence(4, 0.1, 0), small_cfg(30));
+        assert!(!turb.active_funcs().contains(&FuncId::Gravity));
+        let evr = Simulation::new(evrard(6), small_cfg(30));
+        assert!(evr.active_funcs().contains(&FuncId::Gravity));
+    }
+}

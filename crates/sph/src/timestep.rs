@@ -1,0 +1,90 @@
+//! `Timestep`: CFL and acceleration time-step limits. The global minimum is
+//! a collective reduction — the end-of-step communication whose GPU-idle dip
+//! Fig. 9 shows.
+
+use crate::particles::Particles;
+
+/// CFL safety factor (SPH-EXA default ballpark).
+pub const CFL: f64 = 0.3;
+/// Acceleration-limit safety factor.
+pub const ACC_SAFETY: f64 = 0.25;
+/// Maximum growth per step (avoids dt whiplash after quiet phases).
+pub const MAX_GROWTH: f64 = 1.2;
+
+/// Local (per-rank) time-step limit.
+pub fn local_timestep(parts: &Particles, prev_dt: f64) -> f64 {
+    let mut dt = f64::INFINITY;
+    for i in 0..parts.n_local {
+        let h = parts.h[i];
+        // Signal speed: sound + bulk motion.
+        let v = (parts.vx[i].powi(2) + parts.vy[i].powi(2) + parts.vz[i].powi(2)).sqrt();
+        let sig = parts.c[i] + v;
+        if sig > 0.0 {
+            dt = dt.min(CFL * h / sig);
+        }
+        let a = (parts.ax[i].powi(2) + parts.ay[i].powi(2) + parts.az[i].powi(2)).sqrt();
+        if a > 0.0 {
+            dt = dt.min(ACC_SAFETY * (h / a).sqrt());
+        }
+    }
+    if prev_dt > 0.0 {
+        dt = dt.min(prev_dt * MAX_GROWTH);
+    }
+    if dt.is_finite() {
+        dt
+    } else {
+        // Cold, static gas: fall back to a crossing-time-scale guess.
+        1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn particle(c: f64, v: f64, a: f64, h: f64) -> Particles {
+        let mut p = Particles::new();
+        p.push(0.0, 0.0, 0.0, v, 0.0, 0.0, 1.0, h, 1.0);
+        p.c[0] = c;
+        p.ax[0] = a;
+        p
+    }
+
+    #[test]
+    fn cfl_limit_dominates_for_fast_sound() {
+        let p = particle(10.0, 0.0, 0.0, 0.1);
+        let dt = local_timestep(&p, 0.0);
+        assert!((dt - CFL * 0.1 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceleration_limit_dominates_for_strong_forces() {
+        let p = particle(0.001, 0.0, 1e6, 0.1);
+        let dt = local_timestep(&p, 0.0);
+        let expect = ACC_SAFETY * (0.1f64 / 1e6).sqrt();
+        assert!((dt - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growth_is_rate_limited() {
+        let p = particle(0.01, 0.0, 0.0, 0.1);
+        let dt = local_timestep(&p, 1e-4);
+        assert!(
+            (dt - 1.2e-4).abs() < 1e-12,
+            "dt {dt} should be capped at 1.2*prev"
+        );
+    }
+
+    #[test]
+    fn static_cold_gas_gets_fallback() {
+        let p = particle(0.0, 0.0, 0.0, 0.1);
+        assert_eq!(local_timestep(&p, 0.0), 1e-3);
+    }
+
+    #[test]
+    fn bulk_velocity_tightens_cfl() {
+        let slow = local_timestep(&particle(1.0, 0.0, 0.0, 0.1), 0.0);
+        let fast = local_timestep(&particle(1.0, 5.0, 0.0, 0.1), 0.0);
+        assert!(fast < slow);
+    }
+}

@@ -1,0 +1,110 @@
+//! `UpdateQuantities`: integrate positions, velocities, internal energy and
+//! adapt smoothing lengths toward the target neighbor count.
+
+use cornerstone::Box3;
+
+use crate::particles::Particles;
+
+/// Target neighbor count (SPH-EXA uses ~100 at production scale; the scale
+/// model assumes the same).
+pub const TARGET_NEIGHBORS: usize = 100;
+/// Floor for the specific internal energy (keeps the ideal-gas EOS sane).
+pub const U_FLOOR: f64 = 1e-10;
+
+/// Semi-implicit Euler update for owned particles; positions wrap in
+/// periodic boxes.
+pub fn update_quantities(parts: &mut Particles, dt: f64, bbox: &Box3) {
+    for i in 0..parts.n_local {
+        parts.vx[i] += parts.ax[i] * dt;
+        parts.vy[i] += parts.ay[i] * dt;
+        parts.vz[i] += parts.az[i] * dt;
+        let nx = parts.x[i] + parts.vx[i] * dt;
+        let ny = parts.y[i] + parts.vy[i] * dt;
+        let nz = parts.z[i] + parts.vz[i] * dt;
+        let (wx, wy, wz) = bbox.wrap(nx, ny, nz);
+        parts.x[i] = wx;
+        parts.y[i] = wy;
+        parts.z[i] = wz;
+        parts.u[i] = (parts.u[i] + parts.du[i] * dt).max(U_FLOOR);
+    }
+}
+
+/// Adapt smoothing lengths from measured neighbor counts `nn` (excluding
+/// self), nudging toward [`TARGET_NEIGHBORS`] with the cube-root rule SPH
+/// codes use. `target` overrides the default for small test systems.
+pub fn update_smoothing_lengths(parts: &mut Particles, nn: &[usize], target: usize) {
+    assert_eq!(nn.len(), parts.n_local);
+    let t = target.max(1) as f64;
+    for (i, &count) in nn.iter().enumerate() {
+        let n = count as f64;
+        let ratio = (t / (n + 1.0)).cbrt();
+        // Half-step damping avoids oscillation of the h iteration.
+        let factor = 0.5 * (1.0 + ratio);
+        parts.h[i] *= factor.clamp(0.8, 1.25);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn particle() -> Particles {
+        let mut p = Particles::new();
+        p.push(0.9, 0.5, 0.5, 1.0, 0.0, 0.0, 1.0, 0.1, 1.0);
+        p
+    }
+
+    #[test]
+    fn euler_update_moves_and_accelerates() {
+        let mut p = particle();
+        p.ax[0] = 2.0;
+        let bbox = Box3::cube(0.0, 10.0, false);
+        update_quantities(&mut p, 0.5, &bbox);
+        assert!((p.vx[0] - 2.0).abs() < 1e-12, "v += a dt");
+        assert!((p.x[0] - 1.9).abs() < 1e-12, "x += v_new dt");
+    }
+
+    #[test]
+    fn periodic_positions_wrap() {
+        let mut p = particle();
+        let bbox = Box3::unit_periodic();
+        update_quantities(&mut p, 0.5, &bbox); // x = 0.9 + 0.5 -> 0.4
+        assert!((p.x[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_energy_floored() {
+        let mut p = particle();
+        p.du[0] = -1e9;
+        update_quantities(&mut p, 1.0, &Box3::unit_periodic());
+        assert_eq!(p.u[0], U_FLOOR);
+    }
+
+    #[test]
+    fn smoothing_length_moves_toward_target() {
+        let mut p = particle();
+        let h0 = p.h[0];
+        update_smoothing_lengths(&mut p, &[10], 100);
+        assert!(p.h[0] > h0, "too few neighbors -> h grows");
+        let mut p2 = particle();
+        update_smoothing_lengths(&mut p2, &[500], 100);
+        assert!(p2.h[0] < h0, "too many neighbors -> h shrinks");
+        let mut p3 = particle();
+        update_smoothing_lengths(&mut p3, &[100], 100);
+        assert!(
+            (p3.h[0] - h0).abs() / h0 < 0.01,
+            "at target -> nearly unchanged"
+        );
+    }
+
+    #[test]
+    fn smoothing_update_is_rate_limited() {
+        let mut p = particle();
+        let h0 = p.h[0];
+        update_smoothing_lengths(&mut p, &[0], 100);
+        assert!(p.h[0] <= h0 * 1.25 + 1e-12);
+        let mut p2 = particle();
+        update_smoothing_lengths(&mut p2, &[100_000], 100);
+        assert!(p2.h[0] >= h0 * 0.8 - 1e-12);
+    }
+}

@@ -1,0 +1,347 @@
+//! # tuner — a KernelTuner-style GPU auto-tuning harness
+//!
+//! Reproduces the slice of KernelTuner (van Werkhoven, FGCS 2019 — the
+//! paper's ref. \[27\]) that §III-C uses: run one kernel repeatedly under a
+//! dictionary of tunable parameters, measure time / energy / EDP per
+//! configuration, and report the best. The paper's single tunable is the
+//! *device-wide* GPU compute frequency, swept from 1005 to 1410 MHz.
+//!
+//! ```
+//! use archsim::{GpuSpec, MegaHertz};
+//! use tuner::{tune_kernel, Objective, TuneOptions, ParamSpace};
+//!
+//! // Sweep MomentumEnergy-like work over the paper's frequency range.
+//! let mut params = ParamSpace::new();
+//! params.add_frequency_range(MegaHertz(1005), MegaHertz(1410), 45);
+//! let result = tune_kernel(
+//!     "MomentumEnergy",
+//!     |_p, n| archsim::KernelWorkload::new("MomentumEnergy", 4800.0 * n, 810.0 * n)
+//!         .with_activity(0.95, 0.55),
+//!     91.125e6,
+//!     &params,
+//!     &GpuSpec::a100_pcie_40gb(),
+//!     TuneOptions { objective: Objective::Edp, ..Default::default() },
+//! );
+//! assert!(!result.configs.is_empty());
+//! ```
+
+pub mod measure;
+pub mod space;
+pub mod strategy;
+
+use archsim::{GpuSpec, KernelWorkload};
+
+pub use measure::{measure_config, ConfigResult};
+pub use space::{ParamSpace, ParamValues, FREQ_KEY};
+pub use strategy::Strategy;
+
+/// What to optimize for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize time-to-solution.
+    Time,
+    /// Minimize energy-to-solution.
+    Energy,
+    /// Minimize energy-delay product (the paper's Fig. 2 choice).
+    Edp,
+}
+
+impl Objective {
+    /// The scalar this objective minimizes for a given measurement.
+    pub fn score(&self, r: &ConfigResult) -> f64 {
+        match self {
+            Objective::Time => r.time_s,
+            Objective::Energy => r.energy_j,
+            Objective::Edp => r.edp,
+        }
+    }
+}
+
+/// Tuning options (`tune_kernel` keyword arguments in the Python original).
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    pub objective: Objective,
+    /// Times each configuration is executed; results are averaged
+    /// (KernelTuner's `iterations`, default 7).
+    pub iterations: u32,
+    /// Search strategy (brute force is KernelTuner's default).
+    pub strategy: Strategy,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            objective: Objective::Edp,
+            iterations: 7,
+            strategy: Strategy::BruteForce,
+        }
+    }
+}
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    pub kernel_name: String,
+    /// All evaluated configurations, in evaluation order.
+    pub configs: Vec<ConfigResult>,
+    /// Index of the best configuration under the chosen objective.
+    pub best: usize,
+}
+
+impl TuneResult {
+    pub fn best_config(&self) -> &ConfigResult {
+        &self.configs[self.best]
+    }
+
+    /// The winning frequency, if the space included one.
+    pub fn best_frequency(&self) -> Option<archsim::MegaHertz> {
+        self.best_config().params.frequency()
+    }
+}
+
+/// The `tune_kernel` entry point.
+///
+/// * `kernel_name` — reported name.
+/// * `kernel_source` — builds the workload from a parameter assignment and
+///   the problem size (the analogue of compiling the kernel with `params`
+///   macros applied).
+/// * `problem_size` — particles/elements; scales the workload (fixed at
+///   `450^3` in §III-C).
+/// * `params` — the tunable-parameter dictionary.
+pub fn tune_kernel<F>(
+    kernel_name: &str,
+    kernel_source: F,
+    problem_size: f64,
+    params: &ParamSpace,
+    gpu: &GpuSpec,
+    opts: TuneOptions,
+) -> TuneResult
+where
+    F: Fn(&ParamValues, f64) -> KernelWorkload,
+{
+    let evaluate = |assignment: &ParamValues| -> ConfigResult {
+        let workload = kernel_source(assignment, problem_size);
+        measure_config(gpu, &workload, assignment, opts.iterations)
+    };
+    let configs = opts.strategy.search(params, &opts.objective, evaluate);
+    assert!(!configs.is_empty(), "empty parameter space");
+    let best = configs
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            opts.objective
+                .score(a)
+                .partial_cmp(&opts.objective.score(b))
+                .expect("finite scores")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty configs");
+    TuneResult {
+        kernel_name: kernel_name.to_string(),
+        configs,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::MegaHertz;
+
+    fn compute_bound(_p: &ParamValues, n: f64) -> KernelWorkload {
+        KernelWorkload::new("MomentumEnergy", 4800.0 * n, 810.0 * n).with_activity(0.95, 0.55)
+    }
+
+    fn memory_bound(_p: &ParamValues, n: f64) -> KernelWorkload {
+        KernelWorkload::new("XMass", 330.0 * n, 500.0 * n).with_activity(0.30, 0.85)
+    }
+
+    fn paper_space() -> ParamSpace {
+        let mut p = ParamSpace::new();
+        p.add_frequency_range(MegaHertz(1005), MegaHertz(1410), 15);
+        p
+    }
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::a100_pcie_40gb()
+    }
+
+    #[test]
+    fn brute_force_evaluates_entire_space() {
+        let r = tune_kernel(
+            "k",
+            compute_bound,
+            1e6,
+            &paper_space(),
+            &gpu(),
+            TuneOptions::default(),
+        );
+        assert_eq!(r.configs.len(), 28, "1005..=1410 step 15");
+    }
+
+    #[test]
+    fn time_objective_picks_max_frequency() {
+        let r = tune_kernel(
+            "k",
+            compute_bound,
+            1e6,
+            &paper_space(),
+            &gpu(),
+            TuneOptions {
+                objective: Objective::Time,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.best_frequency(), Some(MegaHertz(1410)));
+    }
+
+    #[test]
+    fn memory_bound_kernel_prefers_lower_edp_frequency_than_compute_bound() {
+        // The Fig. 2 relationship: XMass-like kernels tune to lower clocks
+        // than MomentumEnergy-like kernels.
+        let opts = TuneOptions::default();
+        let rc = tune_kernel(
+            "me",
+            compute_bound,
+            1e6,
+            &paper_space(),
+            &gpu(),
+            opts.clone(),
+        );
+        let rm = tune_kernel("xm", memory_bound, 1e6, &paper_space(), &gpu(), opts);
+        let fc = rc.best_frequency().unwrap();
+        let fm = rm.best_frequency().unwrap();
+        assert!(
+            fm < fc,
+            "memory-bound best {fm} should be below compute-bound best {fc}"
+        );
+        assert_eq!(
+            fm,
+            MegaHertz(1005),
+            "bandwidth-bound kernels tune to the sweep floor"
+        );
+    }
+
+    #[test]
+    fn energy_objective_never_picks_higher_freq_than_edp() {
+        for factory in [
+            compute_bound as fn(&ParamValues, f64) -> KernelWorkload,
+            memory_bound,
+        ] {
+            let e = tune_kernel(
+                "k",
+                factory,
+                1e6,
+                &paper_space(),
+                &gpu(),
+                TuneOptions {
+                    objective: Objective::Energy,
+                    ..Default::default()
+                },
+            );
+            let d = tune_kernel(
+                "k",
+                factory,
+                1e6,
+                &paper_space(),
+                &gpu(),
+                TuneOptions {
+                    objective: Objective::Edp,
+                    ..Default::default()
+                },
+            );
+            assert!(e.best_frequency().unwrap() <= d.best_frequency().unwrap());
+        }
+    }
+
+    #[test]
+    fn random_strategy_subset_of_space_and_reproducible() {
+        let opts = TuneOptions {
+            strategy: Strategy::Random {
+                samples: 5,
+                seed: 42,
+            },
+            ..Default::default()
+        };
+        let r1 = tune_kernel(
+            "k",
+            compute_bound,
+            1e6,
+            &paper_space(),
+            &gpu(),
+            opts.clone(),
+        );
+        let r2 = tune_kernel("k", compute_bound, 1e6, &paper_space(), &gpu(), opts);
+        assert_eq!(r1.configs.len(), 5);
+        let f1: Vec<_> = r1.configs.iter().map(|c| c.params.frequency()).collect();
+        let f2: Vec<_> = r2.configs.iter().map(|c| c.params.frequency()).collect();
+        assert_eq!(f1, f2, "seeded random search must be deterministic");
+    }
+
+    #[test]
+    fn hill_climb_matches_brute_force_on_unimodal_curve() {
+        let brute = tune_kernel(
+            "k",
+            memory_bound,
+            1e6,
+            &paper_space(),
+            &gpu(),
+            TuneOptions::default(),
+        );
+        let hill = tune_kernel(
+            "k",
+            memory_bound,
+            1e6,
+            &paper_space(),
+            &gpu(),
+            TuneOptions {
+                strategy: Strategy::HillClimb {
+                    restarts: 3,
+                    seed: 7,
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(hill.best_frequency(), brute.best_frequency());
+        assert!(hill.configs.len() <= brute.configs.len());
+    }
+
+    #[test]
+    fn two_axis_tuning_finds_joint_optimum() {
+        // A second tunable besides frequency, KernelTuner-style: block size
+        // affects launch structure (larger blocks -> fewer launches but a
+        // lower activity factor for this synthetic kernel).
+        let mut params = ParamSpace::new();
+        params.add("block_size", vec![64.0, 128.0, 256.0]);
+        params.add_frequencies(&[MegaHertz(1410), MegaHertz(1200), MegaHertz(1005)]);
+        let factory = |p: &ParamValues, n: f64| {
+            let bs = p.get("block_size").expect("axis present");
+            let launches = (1024.0 * 64.0 / bs) as u32;
+            KernelWorkload::new("k", 300.0 * n, 400.0 * n)
+                .with_launches(launches)
+                .with_activity(0.5, 0.8)
+        };
+        let r = tune_kernel("k", factory, 1e6, &params, &gpu(), TuneOptions::default());
+        assert_eq!(r.configs.len(), 9, "full cartesian product");
+        let best = r.best_config();
+        // Fewer launches always win here (launch overhead is pure cost), and
+        // the bandwidth-bound kernel prefers the sweep floor.
+        assert_eq!(best.params.get("block_size"), Some(256.0));
+        assert_eq!(r.best_frequency(), Some(MegaHertz(1005)));
+    }
+
+    #[test]
+    fn edp_equals_time_times_energy() {
+        let r = tune_kernel(
+            "k",
+            compute_bound,
+            1e6,
+            &paper_space(),
+            &gpu(),
+            TuneOptions::default(),
+        );
+        for c in &r.configs {
+            assert!((c.edp - c.time_s * c.energy_j).abs() < 1e-9 * c.edp.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Benchmarking one configuration on a fresh simulated device.
+
+use archsim::{EnergyDelay, GpuDevice, GpuSpec, KernelWorkload};
+use serde::{Deserialize, Serialize};
+
+use crate::space::ParamValues;
+
+/// Measured cost of one parameter assignment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigResult {
+    #[serde(skip)]
+    pub params: ParamValues,
+    /// Average kernel time per iteration, seconds.
+    pub time_s: f64,
+    /// Average device energy per iteration, joules.
+    pub energy_j: f64,
+    /// Energy-delay product per iteration, J·s.
+    pub edp: f64,
+}
+
+/// Run `workload` `iterations` times on a fresh device pinned to the
+/// assignment's frequency (if any) and report averaged time / energy / EDP.
+/// A fresh device per configuration mirrors KernelTuner benchmarking each
+/// compiled variant in isolation.
+pub fn measure_config(
+    gpu: &GpuSpec,
+    workload: &KernelWorkload,
+    params: &ParamValues,
+    iterations: u32,
+) -> ConfigResult {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut device = GpuDevice::new(0, gpu.clone());
+    if let Some(f) = params.frequency() {
+        device
+            .set_application_clocks(f)
+            .unwrap_or_else(|e| panic!("config {params}: {e}"));
+    } else {
+        // No frequency axis: pin the device default (max clock), like a
+        // centre-configured node.
+        device
+            .set_application_clocks(gpu.clock_table.max())
+            .expect("max clock is supported");
+    }
+    let mut total_time = 0.0;
+    let mut total_energy = 0.0;
+    for _ in 0..iterations {
+        let exec = device.run_region(workload);
+        total_time += exec.duration().as_secs_f64();
+        total_energy += exec.energy.0;
+    }
+    let time_s = total_time / f64::from(iterations);
+    let energy_j = total_energy / f64::from(iterations);
+    ConfigResult {
+        params: params.clone(),
+        time_s,
+        energy_j,
+        edp: EnergyDelay(energy_j * time_s).0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamSpace;
+    use archsim::MegaHertz;
+
+    fn assignment(f: u32) -> ParamValues {
+        let mut p = ParamSpace::new();
+        p.add_frequencies(&[MegaHertz(f)]);
+        p.enumerate().remove(0)
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let w = KernelWorkload::new("k", 1e12, 1e11);
+        let a = measure_config(&gpu, &w, &assignment(1200), 3);
+        let b = measure_config(&gpu, &w, &assignment(1200), 3);
+        assert_eq!(a.time_s, b.time_s);
+        assert_eq!(a.energy_j, b.energy_j);
+    }
+
+    #[test]
+    fn lower_frequency_is_slower() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let w = KernelWorkload::new("k", 1e13, 1e11).with_activity(0.9, 0.5);
+        let hi = measure_config(&gpu, &w, &assignment(1410), 2);
+        let lo = measure_config(&gpu, &w, &assignment(1005), 2);
+        assert!(lo.time_s > hi.time_s);
+        assert!(lo.energy_j < hi.energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported clock")]
+    fn unsupported_frequency_panics_with_context() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let w = KernelWorkload::new("k", 1e9, 1e9);
+        let _ = measure_config(&gpu, &w, &assignment(1001), 1);
+    }
+
+    #[test]
+    fn no_frequency_axis_pins_max_clock() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let w = KernelWorkload::new("k", 1e12, 1e11);
+        let none = measure_config(&gpu, &w, &ParamValues::default(), 2);
+        let max = measure_config(&gpu, &w, &assignment(1410), 2);
+        assert_eq!(none.time_s, max.time_s);
+    }
+}

@@ -1,0 +1,80 @@
+//! Power caps and thermal slowdown: the *other* clock-control loops a
+//! frequency-scaling tool coexists with (§II background; extension features).
+//!
+//! Shows `nvmlDeviceSetPowerManagementLimit` pulling clocks down when a
+//! kernel would exceed the board limit, the junction heating toward its RC
+//! steady state, and the clocks-event reasons a monitoring loop would see.
+//!
+//! ```sh
+//! cargo run --release --example power_capping
+//! ```
+
+use std::sync::Arc;
+
+use gpu_freq_scaling::archsim::{GpuDevice, GpuSpec, KernelWorkload, SimDuration};
+use gpu_freq_scaling::nvml_shim::{clocks_event_reasons, Nvml, TemperatureSensor};
+use parking_lot::Mutex;
+
+fn main() {
+    let gpu = Arc::new(Mutex::new(GpuDevice::new(0, GpuSpec::a100_pcie_40gb())));
+    let nvml = Nvml::init(vec![Arc::clone(&gpu)]);
+    let dev = nvml.device_by_index(0).expect("device 0");
+    let (min_mw, max_mw) = dev
+        .power_management_limit_constraints()
+        .expect("constraints");
+    println!(
+        "device: {} — power limit range {:.0}-{:.0} W, default {:.0} W",
+        dev.name(),
+        min_mw as f64 / 1e3,
+        max_mw as f64 / 1e3,
+        dev.power_management_limit().expect("limit") as f64 / 1e3
+    );
+
+    let n = 450.0f64.powi(3);
+    let hot_kernel = KernelWorkload::new("MomentumEnergy", 4800.0 * n, 810.0 * n)
+        .with_activity(0.95, 0.75)
+        .with_parallelism(n);
+
+    dev.set_applications_clocks(1593, 1410)
+        .expect("pin max clocks");
+    println!("\n  cap [W]  avg clock  time [ms]  energy [J]   temp [C]  reasons");
+    for cap_w in [250u64, 220, 190, 160] {
+        dev.set_power_management_limit(cap_w * 1000)
+            .expect("valid cap");
+        // Run a burst of kernels under this cap.
+        let exec = {
+            let mut g = gpu.lock();
+            let mut last = None;
+            for _ in 0..20 {
+                last = Some(g.run_region(&hot_kernel));
+                g.advance_idle(SimDuration::from_millis(1));
+            }
+            last.expect("ran kernels")
+        };
+        let reasons = dev.current_clocks_event_reasons().expect("reasons");
+        let mut tags = Vec::new();
+        if reasons & clocks_event_reasons::SW_POWER_CAP != 0 {
+            tags.push("SW_POWER_CAP");
+        }
+        if reasons & clocks_event_reasons::HW_THERMAL_SLOWDOWN != 0 {
+            tags.push("HW_THERMAL_SLOWDOWN");
+        }
+        if reasons & clocks_event_reasons::APPLICATIONS_CLOCKS_SETTING != 0 {
+            tags.push("APP_CLOCKS");
+        }
+        println!(
+            "  {:>7}  {:>9}  {:>9.2}  {:>10.2}  {:>9}  {}",
+            cap_w,
+            format!("{}", exec.avg_freq),
+            exec.duration().as_millis_f64(),
+            exec.energy.0,
+            dev.temperature(TemperatureSensor::Gpu).expect("temp"),
+            tags.join("+"),
+        );
+    }
+
+    println!("\nLower caps force lower clocks (and stretch the kernel); the junction settles");
+    println!("below its slowdown threshold because the cap bounds the heat input. A ManDyn-");
+    println!("style tool must treat these loops as co-authorities over the clock: whatever");
+    println!("frequency it requests, the cap and the thermal governor may pull it lower.");
+}

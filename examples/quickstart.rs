@@ -1,0 +1,55 @@
+//! Quickstart: drive one simulated A100 through the NVML shim, measure a
+//! kernel with PMT, and see what frequency scaling does to it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use gpu_freq_scaling::archsim::{GpuDevice, GpuSpec, KernelWorkload};
+use gpu_freq_scaling::nvml_shim::{ClockType, Nvml};
+use gpu_freq_scaling::pmt::{backends::NvmlSensor, joules, seconds, Pmt};
+use parking_lot::Mutex;
+
+fn main() {
+    // One A100-PCIE, as in the paper's miniHPC node.
+    let gpu = Arc::new(Mutex::new(GpuDevice::new(0, GpuSpec::a100_pcie_40gb())));
+    let nvml = Nvml::init(vec![Arc::clone(&gpu)]);
+    let dev = nvml.device_by_index(0).expect("device 0 exists");
+    println!("device: {}", dev.name());
+    println!(
+        "supported graphics clocks: {} steps, {}..{} MHz",
+        dev.supported_graphics_clocks(1593)
+            .expect("mem clock valid")
+            .len(),
+        210,
+        1410
+    );
+
+    // A MomentumEnergy-like kernel at the paper's 450^3 problem size.
+    let n = 450.0f64.powi(3);
+    let work = KernelWorkload::new("MomentumEnergy", 4800.0 * n, 810.0 * n)
+        .with_activity(0.95, 0.55)
+        .with_parallelism(n);
+
+    let mut pmt = Pmt::new(Box::new(NvmlSensor::new(&dev)));
+    for mhz in [1410u32, 1200, 1005] {
+        // The paper's instrumentation call: memory clock first, then compute.
+        dev.set_applications_clocks(1593, mhz)
+            .expect("clock supported");
+        let start = pmt.read();
+        gpu.lock().run_region(&work);
+        let end = pmt.read();
+        println!(
+            "{:>4} MHz: time {:>7.2} ms   energy {:>6.2} J   avg power {:>6.1} W   (clock reads {} MHz)",
+            mhz,
+            seconds(&start, &end) * 1e3,
+            joules(&start, &end).0,
+            joules(&start, &end).0 / seconds(&start, &end),
+            dev.clock_info(ClockType::Graphics).expect("clock query"),
+        );
+    }
+    println!("\nCompute-bound kernels lose time roughly with 1/f but save energy through the");
+    println!("V^2 term — the trade-off the paper's ManDyn policy navigates per kernel.");
+}

@@ -1,0 +1,90 @@
+//! The paper's measurement workflow end-to-end: run an instrumented Subsonic
+//! Turbulence simulation on a simulated CSCS-A100 partition, then print what
+//! each measurement layer sees — per-device breakdown (Fig. 4), per-function
+//! breakdown (Fig. 5), PMT vs Slurm totals (Fig. 3) — and write the JSON
+//! report file the analysis scripts consume.
+//!
+//! ```sh
+//! cargo run --release --example turbulence_energy_report
+//! ```
+
+use gpu_freq_scaling::archsim;
+use gpu_freq_scaling::freqscale::{run_experiment, ExperimentSpec, FreqPolicy, WorkloadKind};
+use gpu_freq_scaling::ranks::CommCost;
+use gpu_freq_scaling::sph::Kernel;
+
+fn main() {
+    let spec = ExperimentSpec {
+        system: archsim::cscs_a100(),
+        ranks: 8,
+        workload: WorkloadKind::Turbulence {
+            n_side: 12,
+            mach: 0.3,
+            seed: 7,
+        },
+        steps: 5,
+        policy: FreqPolicy::Baseline,
+        target_particles_per_rank: 150e6,
+        setup: archsim::SimDuration::from_secs(2),
+        comm: CommCost::default(),
+        kernel: Kernel::CubicSpline,
+        target_neighbors: 40,
+        collect_trace: false,
+        slurm_gpu_freq: None,
+        slurm_cpu_freq_khz: None,
+        report_dir: None,
+    };
+    println!(
+        "running {} on {} with {} ranks ({} steps, 150 M particles/GPU at paper scale)...",
+        spec.workload.name(),
+        spec.system.name,
+        spec.ranks,
+        spec.steps
+    );
+    let result = run_experiment(&spec);
+
+    println!("\n== job summary =====================================================");
+    println!(
+        "time-to-solution (loop): {:>10.3} s",
+        result.time_to_solution_s
+    );
+    println!("job elapsed (w/ setup):  {:>10.3} s", result.job_elapsed_s);
+    println!("PMT GPU energy (loop):   {:>10.1} J", result.pmt_gpu_j);
+    println!("PMT devices (loop):      {:>10.1} J", result.pmt_total_j);
+    println!(
+        "Slurm ConsumedEnergy:    {:>10.1} J  (whole job, all node components)",
+        result.slurm_consumed_j
+    );
+    println!("loop EDP:                {:>10.1} J*s", result.edp());
+
+    println!("\n== per-device breakdown (Fig. 4 view) ==============================");
+    let totals = result.device_totals();
+    let (gpu, cpu, _mem, other) = totals.shares();
+    let (_, _, other_with_mem) = totals.shares_mem_in_other();
+    println!(
+        "GPU {:.1}%  CPU {:.1}%  Other(+mem) {:.1}%",
+        gpu * 100.0,
+        cpu * 100.0,
+        other_with_mem * 100.0
+    );
+    let _ = other;
+
+    println!("\n== per-function breakdown (Fig. 5 view) ============================");
+    let agg = result.functions_all_ranks();
+    let gpu_total: f64 = agg.values().map(|f| f.gpu_j).sum();
+    let mut rows: Vec<_> = agg.iter().collect();
+    rows.sort_by(|a, b| b.1.gpu_j.partial_cmp(&a.1.gpu_j).expect("finite energy"));
+    for (name, f) in rows {
+        println!(
+            "{name:>20}: {:>5.1}% of GPU energy  ({:>8.2} J, {:>7.3} s, {} calls)",
+            100.0 * f.gpu_j / gpu_total,
+            f.gpu_j,
+            f.time_s,
+            f.calls
+        );
+    }
+
+    let path = std::env::temp_dir().join("turbulence_energy_report.json");
+    std::fs::write(&path, result.to_json()).expect("report written");
+    println!("\nfull report written to {}", path.display());
+}

@@ -1,0 +1,161 @@
+//! Integration tests spanning every crate: the full measurement pipeline
+//! from SPH physics through the architecture simulator to the reports.
+
+use gpu_freq_scaling::archsim::{self, MegaHertz, SimDuration};
+use gpu_freq_scaling::freqscale::{
+    run_experiment, ExperimentResult, ExperimentSpec, FreqPolicy, WorkloadKind,
+};
+use gpu_freq_scaling::ranks::CommCost;
+use gpu_freq_scaling::sph::Kernel;
+
+fn small_spec(system: archsim::SystemSpec, ranks: usize, policy: FreqPolicy) -> ExperimentSpec {
+    ExperimentSpec {
+        system,
+        ranks,
+        workload: WorkloadKind::Turbulence {
+            n_side: 8,
+            mach: 0.3,
+            seed: 5,
+        },
+        steps: 3,
+        policy,
+        target_particles_per_rank: 150e6,
+        setup: SimDuration::from_secs(1),
+        comm: CommCost::default(),
+        kernel: Kernel::CubicSpline,
+        target_neighbors: 30,
+        collect_trace: false,
+        slurm_gpu_freq: None,
+        slurm_cpu_freq_khz: None,
+        report_dir: None,
+    }
+}
+
+fn check_consistency(r: &ExperimentResult) {
+    // Time views.
+    assert!(r.time_to_solution_s > 0.0);
+    assert!(r.job_elapsed_s > r.time_to_solution_s, "job includes setup");
+    // Node energy equals the sum of its breakdown parts.
+    let device_total: f64 = r.per_node.iter().map(|n| n.total_j()).sum();
+    assert!((device_total - r.node_loop_j).abs() < 1e-6);
+    // The instrumented GPUs are a subset of all node GPU energy.
+    let node_gpu: f64 = r.per_node.iter().map(|n| n.gpu_j).sum();
+    assert!(r.pmt_gpu_j <= node_gpu + 1e-6);
+    // Slurm (whole job, all components) must exceed PMT (loop, devices only).
+    assert!(r.slurm_consumed_j > r.pmt_total_j);
+    // Per-rank function accounting covers the loop.
+    for rank in &r.per_rank {
+        assert!(rank.functions_time_s() <= rank.loop_time_s + 1e-9);
+        assert!(rank.functions_time_s() > 0.9 * rank.loop_time_s);
+        assert!(rank.functions_gpu_j() <= rank.gpu_loop_j + 1e-6);
+        assert!(rank.functions_gpu_j() > 0.9 * rank.gpu_loop_j);
+    }
+}
+
+#[test]
+fn every_system_runs_the_full_pipeline() {
+    for system in archsim::all_systems() {
+        let ranks = system.node.gpu_devices as usize; // one node's worth
+        let r = run_experiment(&small_spec(system.clone(), ranks, FreqPolicy::Baseline));
+        check_consistency(&r);
+        assert_eq!(r.system, system.name);
+        assert_eq!(r.per_rank.len(), ranks);
+        assert_eq!(r.per_node.len(), 1);
+    }
+}
+
+#[test]
+fn multi_node_runs_partition_ranks_correctly() {
+    let r = run_experiment(&small_spec(archsim::cscs_a100(), 12, FreqPolicy::Baseline));
+    check_consistency(&r);
+    assert_eq!(r.per_node.len(), 3, "12 ranks over 4-GPU nodes");
+    // Every rank contributed and every node drew energy.
+    assert!(r.per_rank.iter().all(|rr| rr.gpu_loop_j > 0.0));
+    assert!(r.per_node.iter().all(|n| n.total_j() > 0.0));
+}
+
+#[test]
+fn report_json_roundtrips_through_files() {
+    let r = run_experiment(&small_spec(archsim::mini_hpc(), 1, FreqPolicy::Baseline));
+    let json = r.to_json();
+    let back = ExperimentResult::from_json(&json).expect("parse back");
+    assert_eq!(back.system, r.system);
+    assert_eq!(back.per_rank.len(), r.per_rank.len());
+    assert_eq!(
+        back.per_rank[0].functions.len(),
+        r.per_rank[0].functions.len()
+    );
+    assert!((back.pmt_gpu_j - r.pmt_gpu_j).abs() < 1e-6);
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let a = run_experiment(&small_spec(archsim::mini_hpc(), 2, FreqPolicy::Baseline));
+    let b = run_experiment(&small_spec(archsim::mini_hpc(), 2, FreqPolicy::Baseline));
+    assert_eq!(a.time_to_solution_s, b.time_to_solution_s);
+    assert_eq!(a.pmt_gpu_j, b.pmt_gpu_j);
+    assert_eq!(a.slurm_consumed_j, b.slurm_consumed_j);
+}
+
+#[test]
+fn gpu_dominates_node_energy_like_fig4() {
+    // §IV-B: the GPU consumes ~3/4 of node energy on both systems.
+    for system in [archsim::lumi_g(), archsim::cscs_a100()] {
+        let ranks = system.node.gpu_devices as usize;
+        let r = run_experiment(&small_spec(system.clone(), ranks, FreqPolicy::Baseline));
+        let (gpu, cpu, _mem, _other) = r.device_totals().shares();
+        assert!(
+            (0.60..=0.88).contains(&gpu),
+            "{}: GPU share {gpu} out of the Fig. 4 ballpark",
+            system.name
+        );
+        assert!(cpu < gpu, "CPU share must stay below GPU");
+    }
+}
+
+#[test]
+fn static_policy_only_works_where_clock_control_is_allowed() {
+    // miniHPC honours the request.
+    let mini = run_experiment(&small_spec(
+        archsim::mini_hpc(),
+        1,
+        FreqPolicy::Static(MegaHertz(1110)),
+    ));
+    assert!(!mini.per_rank[0].clock_control_denied);
+    let f = mini.per_rank[0]
+        .functions
+        .values()
+        .next()
+        .expect("functions recorded");
+    assert!((f.avg_freq_mhz - 1110.0).abs() < 1.0);
+
+    // CSCS denies it and stays at the centre default.
+    let cscs = run_experiment(&small_spec(
+        archsim::cscs_a100(),
+        4,
+        FreqPolicy::Static(MegaHertz(1110)),
+    ));
+    assert!(cscs.per_rank.iter().all(|r| r.clock_control_denied));
+    let f = cscs.per_rank[0]
+        .functions
+        .values()
+        .next()
+        .expect("functions recorded");
+    assert!(
+        (f.avg_freq_mhz - 1410.0).abs() < 1.0,
+        "pinned at centre default"
+    );
+}
+
+#[test]
+fn evrard_and_turbulence_differ_by_gravity() {
+    let turb = run_experiment(&small_spec(archsim::mini_hpc(), 1, FreqPolicy::Baseline));
+    let mut spec = small_spec(archsim::mini_hpc(), 1, FreqPolicy::Baseline);
+    spec.workload = WorkloadKind::Evrard { n_side: 8 };
+    spec.target_particles_per_rank = 80e6;
+    let evr = run_experiment(&spec);
+    assert!(!turb.per_rank[0].functions.contains_key("Gravity"));
+    assert!(evr.per_rank[0].functions.contains_key("Gravity"));
+    assert_eq!(turb.per_rank[0].functions.len(), 11);
+    assert_eq!(evr.per_rank[0].functions.len(), 12);
+}

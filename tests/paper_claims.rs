@@ -1,0 +1,208 @@
+//! The paper's quantitative claims, asserted as shape tests: who wins, by
+//! roughly what factor, where the crossovers fall (§IV).
+
+use gpu_freq_scaling::archsim::{GpuSpec, MegaHertz, SimDuration};
+use gpu_freq_scaling::freqscale::{
+    policy::tune_table, run_experiment, ExperimentResult, ExperimentSpec, FreqPolicy, WorkloadKind,
+};
+use gpu_freq_scaling::sph::FuncId;
+use gpu_freq_scaling::tuner::Objective;
+
+fn run(policy: FreqPolicy, target: f64) -> ExperimentResult {
+    let mut spec = ExperimentSpec::minihpc_turbulence(policy, 4);
+    spec.workload = WorkloadKind::Turbulence {
+        n_side: 8,
+        mach: 0.3,
+        seed: 42,
+    };
+    spec.target_particles_per_rank = target;
+    spec.target_neighbors = 30;
+    run_experiment(&spec)
+}
+
+fn n450() -> f64 {
+    450.0f64.powi(3)
+}
+
+#[test]
+fn claim_mandyn_saves_energy_with_bounded_performance_loss() {
+    // Headline: up to 7.82% energy saving per GPU, <= 2.95% time loss.
+    let base = run(FreqPolicy::Baseline, n450());
+    let table = tune_table(
+        &GpuSpec::a100_pcie_40gb(),
+        n450(),
+        MegaHertz(1005),
+        MegaHertz(1410),
+        Objective::Edp,
+        false,
+    )
+    .0;
+    let mandyn = run(FreqPolicy::ManDyn(table), n450());
+    let (t, e, edp) = mandyn.normalized_to(&base);
+    assert!(t < 1.05, "ManDyn time loss must stay small: {t}");
+    assert!(t > 1.0, "some loss is expected");
+    assert!(
+        (0.86..=0.96).contains(&e),
+        "ManDyn energy saving out of the paper's ballpark: {e}"
+    );
+    assert!(edp < 0.98, "ManDyn must improve EDP: {edp}");
+}
+
+#[test]
+fn claim_mandyn_beats_static_1005_on_both_time_and_edp() {
+    // §IV-D: "16% decrease in time-to-solution" vs static-1005 and a lower
+    // EDP than static-1005's ~2.5% improvement.
+    let base = run(FreqPolicy::Baseline, n450());
+    let table = tune_table(
+        &GpuSpec::a100_pcie_40gb(),
+        n450(),
+        MegaHertz(1005),
+        MegaHertz(1410),
+        Objective::Edp,
+        false,
+    )
+    .0;
+    let mandyn = run(FreqPolicy::ManDyn(table), n450());
+    let s1005 = run(FreqPolicy::Static(MegaHertz(1005)), n450());
+    let (t_m, _, edp_m) = mandyn.normalized_to(&base);
+    let (t_s, e_s, edp_s) = s1005.normalized_to(&base);
+    assert!(t_m < t_s - 0.03, "ManDyn clearly faster: {t_m} vs {t_s}");
+    assert!(
+        edp_m < edp_s,
+        "ManDyn EDP {edp_m} must beat static-1005 {edp_s}"
+    );
+    assert!(t_s > 1.08, "static-1005 pays a real time penalty: {t_s}");
+    assert!(e_s < 0.90, "static-1005 saves real energy: {e_s}");
+}
+
+#[test]
+fn claim_dvfs_matches_time_but_costs_energy() {
+    // §IV-D: DVFS time ~ baseline, energy above baseline.
+    let base = run(FreqPolicy::Baseline, n450());
+    let dvfs = run(FreqPolicy::Dvfs, n450());
+    let (t, e, _) = dvfs.normalized_to(&base);
+    assert!(
+        (0.98..=1.05).contains(&t),
+        "DVFS time should track baseline: {t}"
+    );
+    assert!(e > 1.0, "DVFS must cost energy vs pinned baseline: {e}");
+    assert!(e < 1.10, "but not absurdly so: {e}");
+}
+
+#[test]
+fn claim_static_downscaling_reduces_edp_despite_slowdown() {
+    // Fig. 6 at full utilization: EDP decreases as frequency drops.
+    let base = run(FreqPolicy::Baseline, n450());
+    let mut last_edp = 1.0;
+    for f in [1305u32, 1200, 1110] {
+        let r = run(FreqPolicy::Static(MegaHertz(f)), n450());
+        let (t, _, edp) = r.normalized_to(&base);
+        assert!(t > 1.0, "{f} MHz must be slower");
+        assert!(
+            edp < last_edp,
+            "EDP must keep dropping at {f} MHz: {edp} vs {last_edp}"
+        );
+        last_edp = edp;
+    }
+}
+
+#[test]
+fn claim_underutilized_gpus_gain_more_from_downscaling() {
+    // Fig. 6: the 200^3 case drops much further than 450^3.
+    let n_small = 200.0f64.powi(3);
+    let base_big = run(FreqPolicy::Baseline, n450());
+    let base_small = run(FreqPolicy::Baseline, n_small);
+    let low_big = run(FreqPolicy::Static(MegaHertz(1005)), n450());
+    let low_small = run(FreqPolicy::Static(MegaHertz(1005)), n_small);
+    let (_, _, edp_big) = low_big.normalized_to(&base_big);
+    let (t_small, _, edp_small) = low_small.normalized_to(&base_small);
+    assert!(
+        edp_small < edp_big - 0.02,
+        "under-utilized EDP gain must be larger: {edp_small} vs {edp_big}"
+    );
+    assert!(
+        t_small < 1.08,
+        "under-utilized GPU barely slows down: {t_small}"
+    );
+}
+
+#[test]
+fn claim_tuned_frequencies_split_by_compute_intensity() {
+    // Fig. 2: MomentumEnergy/IAD high, XMass/NormalizationGradh at the floor.
+    let (table, _) = tune_table(
+        &GpuSpec::a100_pcie_40gb(),
+        n450(),
+        MegaHertz(1005),
+        MegaHertz(1410),
+        Objective::Edp,
+        false,
+    );
+    assert!(table[&FuncId::MomentumEnergy] >= MegaHertz(1300));
+    assert!(table[&FuncId::IADVelocityDivCurl] >= MegaHertz(1300));
+    assert!(table[&FuncId::XMass] <= MegaHertz(1110));
+    assert!(table[&FuncId::NormalizationGradh] <= MegaHertz(1110));
+    assert!(table[&FuncId::UpdateQuantities] <= MegaHertz(1110));
+}
+
+#[test]
+fn claim_governor_trace_matches_fig9_pattern() {
+    let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Dvfs, 4);
+    spec.workload = WorkloadKind::Turbulence {
+        n_side: 8,
+        mach: 0.3,
+        seed: 42,
+    };
+    spec.target_particles_per_rank = n450();
+    spec.target_neighbors = 30;
+    spec.collect_trace = true;
+    let r = run_experiment(&spec);
+    let agg = r.functions_all_ranks();
+    // MomentumEnergy climbs to (nearly) the max clock.
+    assert!(agg["MomentumEnergy"].avg_freq_mhz > 1380.0);
+    // IAD above 1350, per §IV-E.
+    assert!(agg["IADVelocityDivCurl"].avg_freq_mhz > 1340.0);
+    // The lightweight launch stream sits well below, around 1200.
+    let dd = agg["DomainDecompAndSync"].avg_freq_mhz;
+    assert!((1100.0..1330.0).contains(&dd), "DomainDecomp at {dd}");
+    // Communication dips below 1000 MHz somewhere in the trace.
+    let trace = &r.per_rank[0].freq_trace;
+    assert!(!trace.is_empty());
+    let min = trace
+        .iter()
+        .map(|(_, f)| *f)
+        .min()
+        .expect("non-empty trace");
+    assert!(min < 1000, "end-of-step dip missing: min {min}");
+    let max = trace
+        .iter()
+        .map(|(_, f)| *f)
+        .max()
+        .expect("non-empty trace");
+    assert_eq!(max, 1410, "boost must reach the top clock");
+}
+
+#[test]
+fn claim_slurm_pmt_gap_is_setup_energy() {
+    // Fig. 3: the PMT-vs-Slurm difference comes from the setup phase (plus
+    // the auxiliary draw PMT cannot see). Doubling setup time must widen the
+    // gap by exactly the extra setup energy, not affect the loop numbers.
+    let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 3);
+    spec.workload = WorkloadKind::Turbulence {
+        n_side: 8,
+        mach: 0.3,
+        seed: 42,
+    };
+    spec.target_neighbors = 30;
+    spec.setup = SimDuration::from_secs(1);
+    let short = run_experiment(&spec);
+    spec.setup = SimDuration::from_secs(3);
+    let long = run_experiment(&spec);
+    assert!(
+        (short.pmt_total_j - long.pmt_total_j).abs() / short.pmt_total_j < 0.01,
+        "PMT (loop-scoped) must not see setup"
+    );
+    assert!(
+        long.slurm_consumed_j > short.slurm_consumed_j + 10.0,
+        "Slurm must charge the longer setup"
+    );
+}

@@ -1,0 +1,168 @@
+//! Physics validation across crates: the simulation substrate must be real
+//! physics, not a timing skeleton — these tests check it against known
+//! solutions and invariants at laptop scale.
+
+use gpu_freq_scaling::ranks::{run, CommCost};
+use gpu_freq_scaling::sph::{
+    evrard, plummer, sedov, subsonic_turbulence, Kernel, NBody, NullObserver, SimConfig, Simulation,
+};
+
+fn cfg(neighbors: usize) -> SimConfig {
+    SimConfig {
+        kernel: Kernel::CubicSpline,
+        target_particles_per_rank: 1e6,
+        target_neighbors: neighbors,
+        bucket_size: 32,
+    }
+}
+
+/// Energy-weighted radius of the hot material — tracks the Sedov front.
+fn hot_radius(parts: &gpu_freq_scaling::sph::Particles) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..parts.n_local {
+        let r =
+            ((parts.x[i] - 0.5).powi(2) + (parts.y[i] - 0.5).powi(2) + (parts.z[i] - 0.5).powi(2))
+                .sqrt();
+        let e = parts.m[i] * parts.u[i];
+        num += e * r;
+        den += e;
+    }
+    num / den
+}
+
+#[test]
+fn sedov_front_grows_sublinearly_like_the_self_similar_solution() {
+    // r_s(t) ~ t^(2/5): the growth must decelerate — each doubling of time
+    // grows the radius by clearly less than 2x. At 12^3 resolution we check
+    // the qualitative exponent band rather than the 0.4 literal.
+    let samples = run(1, CommCost::default(), |ctx| {
+        let ic = sedov(12, 1.0);
+        let mut sim = Simulation::new(ic, cfg(40));
+        let mut out = Vec::new();
+        for _ in 0..12 {
+            sim.step(ctx, &mut NullObserver);
+            out.push((sim.time(), hot_radius(&sim.parts)));
+        }
+        out
+    })
+    .remove(0);
+    let (t0, r0) = samples[2];
+    let (t1, r1) = *samples.last().expect("steps ran");
+    assert!(t1 > t0 * 1.5, "enough dynamic range: {t0} .. {t1}");
+    assert!(r1 > r0, "front must expand: {r0} -> {r1}");
+    let exponent = (r1 / r0).ln() / (t1 / t0).ln();
+    assert!(
+        (0.05..0.9).contains(&exponent),
+        "growth exponent {exponent} outside the decelerating-blast band"
+    );
+}
+
+#[test]
+fn evrard_collapse_converts_potential_to_kinetic_then_heats() {
+    let stats = run(1, CommCost::default(), |ctx| {
+        let ic = evrard(12);
+        let mut sim = Simulation::new(ic, cfg(40));
+        let mut out = Vec::new();
+        for _ in 0..12 {
+            out.push(sim.step(ctx, &mut NullObserver));
+        }
+        out
+    })
+    .remove(0);
+    let first = stats.first().expect("steps").budget;
+    let last = stats.last().expect("steps").budget;
+    // Infall: well deepens, kinetic rises, gas compresses and heats.
+    assert!(last.potential < first.potential);
+    assert!(
+        last.kinetic > first.kinetic * 2.0,
+        "{} -> {}",
+        first.kinetic,
+        last.kinetic
+    );
+    assert!(last.internal > first.internal);
+    // Total energy conserved to a few percent over the run.
+    let drift = (last.total() - first.total()).abs() / first.total().abs();
+    assert!(drift < 0.08, "energy drift {drift}");
+}
+
+#[test]
+fn turbulence_is_statistically_isotropic() {
+    // The solenoidal IC has no preferred axis: the three kinetic-energy
+    // components stay comparable while the cascade decays.
+    let (ex, ey, ez) = run(1, CommCost::default(), |ctx| {
+        let ic = subsonic_turbulence(10, 0.4, 77);
+        let mut sim = Simulation::new(ic, cfg(40));
+        for _ in 0..6 {
+            sim.step(ctx, &mut NullObserver);
+        }
+        let p = &sim.parts;
+        let mut e = [0.0f64; 3];
+        for i in 0..p.n_local {
+            e[0] += p.m[i] * p.vx[i] * p.vx[i];
+            e[1] += p.m[i] * p.vy[i] * p.vy[i];
+            e[2] += p.m[i] * p.vz[i] * p.vz[i];
+        }
+        (e[0], e[1], e[2])
+    })
+    .remove(0);
+    let total = ex + ey + ez;
+    for (axis, e) in [("x", ex), ("y", ey), ("z", ez)] {
+        let share = e / total;
+        assert!(
+            (0.1..0.65).contains(&share),
+            "axis {axis} holds {share} of kinetic energy — anisotropic"
+        );
+    }
+}
+
+#[test]
+fn plummer_sphere_stays_in_equilibrium() {
+    // A Plummer model sampled from its own distribution function is a
+    // steady state: over several dynamical steps the virial ratio stays
+    // near 1 and the core does not collapse or explode.
+    let out = run(1, CommCost::default(), |ctx| {
+        let mut nb = NBody::new(plummer(700, 1.0, 3), 1e8);
+        let mut ratios = Vec::new();
+        for _ in 0..8 {
+            let s = nb.step(ctx, &mut NullObserver);
+            ratios.push(2.0 * s.budget.kinetic / s.budget.potential.abs());
+        }
+        ratios
+    })
+    .remove(0);
+    for (i, r) in out.iter().enumerate() {
+        assert!((0.5..1.5).contains(r), "virial ratio {r} at step {i}");
+    }
+    // No secular trend over this short window.
+    let drift = (out.last().expect("steps") - out.first().expect("steps")).abs();
+    assert!(drift < 0.3, "virial drift {drift}");
+}
+
+#[test]
+fn kernel_choice_does_not_change_the_physics_class() {
+    // Cubic spline, Wendland C6 and sinc^5 must agree on bulk observables
+    // (densities within a few percent on the same configuration).
+    let densities: Vec<f64> = [Kernel::CubicSpline, Kernel::WendlandC6, Kernel::Sinc5]
+        .into_iter()
+        .map(|kernel| {
+            run(1, CommCost::default(), move |ctx| {
+                let ic = subsonic_turbulence(8, 0.3, 5);
+                let mut sim = Simulation::new(ic, SimConfig { kernel, ..cfg(40) });
+                sim.step(ctx, &mut NullObserver);
+                let p = &sim.parts;
+                p.rho[..p.n_local].iter().sum::<f64>() / p.n_local as f64
+            })
+            .remove(0)
+        })
+        .collect();
+    for (i, d) in densities.iter().enumerate() {
+        assert!(
+            (d - 1.0).abs() < 0.08,
+            "kernel {i}: mean density {d} far from the uniform value"
+        );
+    }
+    let spread = densities.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - densities.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 0.1, "kernels disagree: {densities:?}");
+}
