@@ -166,6 +166,29 @@ impl PowerTimeline {
         out
     }
 
+    /// Average power per `period`-long bucket over `[from, to)` — what a
+    /// collector that differences an energy counter (Cray pm_counters, NVML
+    /// total-energy) reports. Unlike [`PowerTimeline::sample`], microsecond
+    /// transients (clock-transition energy folded into a short segment) are
+    /// smeared over the bucket instead of aliasing into full-height spikes.
+    /// Each entry is `(bucket start, average power over the bucket)`.
+    pub fn sample_average(
+        &self,
+        from: SimInstant,
+        to: SimInstant,
+        period: SimDuration,
+    ) -> Vec<(SimInstant, Watts)> {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            let bucket_end = (t + period).min(to);
+            out.push((t, self.average_power(t, bucket_end)));
+            t = bucket_end;
+        }
+        out
+    }
+
     /// Estimate energy over `[a, b)` from discrete samples at `period`, using
     /// left-rectangle integration — the strategy real polling-based tools use.
     /// The difference to [`PowerTimeline::energy_between`] is the sampling
@@ -291,6 +314,30 @@ mod tests {
         assert_eq!(tl.energy_between(t(0), t(30)), Joules(2.0));
         // Partial windows cut segments exactly.
         assert_eq!(tl.energy_between(t(5), t(15)), Joules(0.5 + 0.25));
+    }
+
+    #[test]
+    fn averaged_sampling_smears_short_transients() {
+        let mut tl = PowerTimeline::new();
+        tl.push_until(t(5), Watts(100.0));
+        // A 0.1 ms transition spike at 2400 W carries only 0.24 J …
+        tl.push_until(SimInstant::from_nanos(5_100_000), Watts(2400.0));
+        tl.push_until(t(10), Watts(100.0));
+        // … so a point sampler that lands on it sees the full spike,
+        let spiked = tl.power_at(SimInstant::from_nanos(5_050_000));
+        assert_eq!(spiked, Watts(2400.0));
+        // while the energy-counter view smears it across the bucket.
+        let avg = tl.sample_average(t(0), t(10), SimDuration::from_millis(10));
+        assert_eq!(avg.len(), 1);
+        assert!(
+            (avg[0].1 .0 - 123.0).abs() < 1e-9,
+            "100 W base + 0.23 J extra over 10 ms: {}",
+            avg[0].1
+        );
+        // Buckets honor the window end: a 4 ms tail bucket averages alone.
+        let parts = tl.sample_average(t(0), t(10), SimDuration::from_millis(6));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[1].0, t(6));
     }
 
     #[test]

@@ -188,7 +188,14 @@ pub struct EnergyDelay(pub f64);
 impl EnergyDelay {
     /// Compute EDP from energy and elapsed time.
     pub fn new(energy: Joules, time: SimDuration) -> Self {
-        EnergyDelay(energy.0 * time.as_secs_f64())
+        EnergyDelay::of(energy.0, time.as_secs_f64())
+    }
+
+    /// Compute EDP from raw joules and seconds. The single shared EDP
+    /// formulation: every scoring path (offline tuner, online tuner, report
+    /// analytics) goes through here so the objective cannot drift.
+    pub fn of(energy_j: f64, time_s: f64) -> Self {
+        EnergyDelay(energy_j * time_s)
     }
 
     /// Ratio to a baseline EDP (normalization used in Figs. 6–8).

@@ -45,6 +45,8 @@ fn bench_experiment(c: &mut Criterion) {
                 slurm_gpu_freq: None,
                 slurm_cpu_freq_khz: None,
                 report_dir: None,
+                power_cap_w: None,
+                table_store: None,
             };
             black_box(run_experiment(&spec))
         })

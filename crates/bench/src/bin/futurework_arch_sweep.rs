@@ -99,6 +99,8 @@ fn main() {
             slurm_gpu_freq: None,
             slurm_cpu_freq_khz: None,
             report_dir: None,
+            power_cap_w: None,
+            table_store: None,
         };
         let base = run_experiment(&mk(FreqPolicy::Baseline));
         let mandyn = run_experiment(&mk(FreqPolicy::ManDyn(table)));

@@ -76,6 +76,8 @@ pub fn production_spec(
         slurm_gpu_freq: None,
         slurm_cpu_freq_khz: None,
         report_dir: None,
+        power_cap_w: None,
+        table_store: None,
     }
 }
 

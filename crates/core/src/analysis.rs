@@ -1,12 +1,18 @@
-//! Energy/performance trade-off analytics: Pareto fronts and EDP series.
+//! Energy/performance trade-off analytics: Pareto fronts, EDP series, and
+//! online-vs-offline frequency-table convergence.
 //!
 //! §IV-D frames the policy comparison as "identifying Pareto-optimal
 //! solutions that provide acceptable performance and lower energy
 //! consumption" — this module computes exactly that over measured policy
-//! points.
+//! points. The table-comparison half answers the online-extension question:
+//! did the in-run search land on the same per-kernel clocks the offline
+//! KernelTuner sweep found?
 
+use archsim::{EnergyDelay, MegaHertz};
 use serde::{Deserialize, Serialize};
+use sph::FuncId;
 
+use crate::policy::FreqTable;
 use crate::report::ExperimentResult;
 
 /// One measured (time, energy) point on the trade-off plane.
@@ -29,7 +35,7 @@ impl PolicyPoint {
 
     /// Energy-delay product of this point.
     pub fn edp(&self) -> f64 {
-        self.time_s * self.energy_j
+        EnergyDelay::of(self.energy_j, self.time_s).0
     }
 
     /// True if `other` is at least as good on both axes and strictly better
@@ -88,6 +94,70 @@ pub fn dominated_area(points: &[PolicyPoint], ref_time_s: f64, ref_energy_j: f64
         prev_energy = p.energy_j;
     }
     area
+}
+
+/// One kernel's entry in a learned-vs-reference table comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDeviation {
+    pub func: FuncId,
+    /// The clock the online run converged to (or its Baseline fallback).
+    pub learned_mhz: u32,
+    /// The offline-tuned reference clock.
+    pub reference_mhz: u32,
+}
+
+impl TableDeviation {
+    /// Absolute clock disagreement for this kernel.
+    pub fn deviation_mhz(&self) -> u32 {
+        self.learned_mhz.abs_diff(self.reference_mhz)
+    }
+}
+
+/// The learned table carried in a run's rank-0 report, as a typed
+/// [`FreqTable`] (kernels the tuner never pinned are absent).
+pub fn learned_table_of(r: &ExperimentResult) -> FreqTable {
+    r.per_rank
+        .first()
+        .map(|rank| {
+            rank.learned_table
+                .iter()
+                .filter_map(|(name, mhz)| FuncId::from_name(name).map(|f| (f, MegaHertz(*mhz))))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare `learned` against `reference` over the reference's kernels.
+/// Kernels missing from `learned` are scored at `fallback` — the clock an
+/// online policy actually runs unpinned kernels at (the ladder maximum).
+pub fn compare_tables(
+    learned: &FreqTable,
+    reference: &FreqTable,
+    fallback: MegaHertz,
+) -> Vec<TableDeviation> {
+    reference
+        .iter()
+        .map(|(func, ref_f)| TableDeviation {
+            func: *func,
+            learned_mhz: learned.get(func).copied().unwrap_or(fallback).0,
+            reference_mhz: ref_f.0,
+        })
+        .collect()
+}
+
+/// Largest per-kernel clock disagreement in a comparison.
+pub fn max_deviation_mhz(deviations: &[TableDeviation]) -> u32 {
+    deviations
+        .iter()
+        .map(TableDeviation::deviation_mhz)
+        .max()
+        .unwrap_or(0)
+}
+
+/// True when every kernel agrees within `bin_mhz` — one ladder step
+/// (15 MHz on the A100) is the paper-relevant convergence criterion.
+pub fn tables_within_bin(deviations: &[TableDeviation], bin_mhz: u32) -> bool {
+    max_deviation_mhz(deviations) <= bin_mhz
 }
 
 #[cfg(test)]
@@ -171,5 +241,28 @@ mod tests {
         assert!(pareto_front(&[]).is_empty());
         assert_eq!(best_edp(&[]), None);
         assert_eq!(dominated_area(&[], 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn table_comparison_scores_missing_kernels_at_fallback() {
+        let mut reference = FreqTable::new();
+        reference.insert(FuncId::XMass, MegaHertz(1050));
+        reference.insert(FuncId::MomentumEnergy, MegaHertz(1410));
+        reference.insert(FuncId::Gravity, MegaHertz(1320));
+        let mut learned = FreqTable::new();
+        learned.insert(FuncId::XMass, MegaHertz(1065)); // one bin off
+        learned.insert(FuncId::MomentumEnergy, MegaHertz(1410)); // exact
+                                                                 // Gravity never pinned -> runs at the 1410 fallback, 90 MHz off.
+
+        let devs = compare_tables(&learned, &reference, MegaHertz(1410));
+        assert_eq!(devs.len(), 3);
+        assert_eq!(max_deviation_mhz(&devs), 90);
+        assert!(!tables_within_bin(&devs, 15));
+
+        learned.insert(FuncId::Gravity, MegaHertz(1320));
+        let devs = compare_tables(&learned, &reference, MegaHertz(1410));
+        assert_eq!(max_deviation_mhz(&devs), 15);
+        assert!(tables_within_bin(&devs, 15));
+        assert!(!tables_within_bin(&devs, 14));
     }
 }

@@ -11,10 +11,24 @@
 //! ```
 
 use freqscale::{run_experiment, ExperimentSpec, FreqPolicy};
+use online::OnlineTunerConfig;
 
 fn template() -> ExperimentSpec {
     let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 10);
     spec.collect_trace = true;
+    spec
+}
+
+/// Online-ManDyn starter spec: the in-run tuner with default search
+/// parameters, a power trace for cap auditing, and a table store so repeat
+/// runs warm-start.
+fn online_template() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::minihpc_turbulence(
+        FreqPolicy::ManDynOnline(OnlineTunerConfig::default()),
+        40,
+    );
+    spec.collect_trace = true;
+    spec.table_store = Some(std::path::PathBuf::from("freqscale-tables"));
     spec
 }
 
@@ -25,6 +39,12 @@ fn main() {
             println!(
                 "{}",
                 serde_json::to_string_pretty(&template()).expect("template serializes")
+            );
+        }
+        Some("--print-online-template") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&online_template()).expect("template serializes")
             );
         }
         Some(spec_path) => {
@@ -54,7 +74,9 @@ fn main() {
             }
         }
         None => {
-            eprintln!("usage: freqscale-run <spec.json> [report.json] | --print-template");
+            eprintln!(
+                "usage: freqscale-run <spec.json> [report.json] | --print-template | --print-online-template"
+            );
             std::process::exit(2);
         }
     }

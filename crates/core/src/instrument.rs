@@ -19,8 +19,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use archsim::{GpuDevice, MegaHertz, SimDuration, SimInstant};
+use archsim::{ArchError, EnergyDelay, GpuDevice, MegaHertz, SimDuration, SimInstant, Watts};
 use nvml_shim::{Nvml, NvmlDevice, NvmlError};
+use online::OnlineTuner;
 use parking_lot::Mutex;
 use pmt::{backends::NvmlSensor, joules, Pmt, State};
 use ranks::RankCtx;
@@ -32,6 +33,10 @@ use crate::report::{FunctionReport, RankReport};
 /// Sampling period used when exporting the Fig. 9 clock trace.
 const TRACE_PERIOD: SimDuration = SimDuration::from_millis(10);
 
+/// Fraction of a power-cap budget held back as regulation headroom
+/// (see [`EnergyInstrument::with_power_cap`]).
+const CAP_RIPPLE_GUARD: f64 = 0.02;
+
 /// Per-rank instrumentation: one GPU, one PMT sensor, one policy.
 pub struct EnergyInstrument {
     rank: usize,
@@ -42,6 +47,8 @@ pub struct EnergyInstrument {
     pmt: Pmt,
     functions: BTreeMap<FuncId, FunctionAccum>,
     auto_tune: BTreeMap<FuncId, AutoTuneState>,
+    /// Live search state under `ManDynOnline`; `None` for other policies.
+    online: Option<OnlineTuner>,
     pending: Option<Pending>,
     loop_start: Option<SimInstant>,
     clock_control_denied: bool,
@@ -104,8 +111,8 @@ impl AutoTuneState {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    let edp_a = (a.0 / a.2 as f64) * (a.1 / a.2 as f64);
-                    let edp_b = (b.0 / b.2 as f64) * (b.1 / b.2 as f64);
+                    let edp_a = EnergyDelay::of(a.1 / a.2 as f64, a.0 / a.2 as f64).0;
+                    let edp_b = EnergyDelay::of(b.1 / b.2 as f64, b.0 / b.2 as f64).0;
                     edp_a.partial_cmp(&edp_b).expect("finite EDP")
                 })
                 .map(|(i, _)| i)
@@ -122,6 +129,9 @@ struct Pending {
     rank_clock: SimInstant,
     /// Candidate index being sampled (AutoTune warm-up only).
     tuning_candidate: Option<usize>,
+    /// True when the online tuner proposed this call's clock and wants the
+    /// region measurement fed back.
+    online_tuned: bool,
 }
 
 impl EnergyInstrument {
@@ -132,6 +142,13 @@ impl EnergyInstrument {
         let gpu = dev.raw();
         let mem_clock_mhz = dev.clock_info(nvml_shim::ClockType::Mem)?;
         let pmt = Pmt::new(Box::new(NvmlSensor::new(&dev)));
+        let online = match &policy {
+            FreqPolicy::ManDynOnline(cfg) => Some(
+                OnlineTuner::new(gpu.lock().spec(), cfg.clone())
+                    .expect("valid online tuner config"),
+            ),
+            _ => None,
+        };
         Ok(EnergyInstrument {
             rank,
             gpu,
@@ -141,6 +158,7 @@ impl EnergyInstrument {
             pmt,
             functions: BTreeMap::new(),
             auto_tune: BTreeMap::new(),
+            online,
             pending: None,
             loop_start: None,
             clock_control_denied: false,
@@ -159,13 +177,54 @@ impl EnergyInstrument {
         &self.policy
     }
 
-    /// The table AutoTune has committed so far (empty until functions finish
-    /// their warm-up; unused by other policies).
+    /// Warm-start the online tuner from a previously learned table: every
+    /// listed kernel is pinned up front and no exploration happens for it.
+    /// No-op for policies other than `ManDynOnline`.
+    pub fn with_warm_table(mut self, table: &crate::policy::FreqTable) -> Self {
+        if let Some(tuner) = &mut self.online {
+            tuner.warm_start(table);
+        }
+        self
+    }
+
+    /// Enforce a per-rank watt budget: the device power limit is set just
+    /// below `budget` (the hard guarantee — the device walks its clock down
+    /// whenever busy power would exceed it) and, under `ManDynOnline`,
+    /// the search window is capped at `ceiling` so exploration never
+    /// proposes a rung the limit would immediately throttle. A denied
+    /// `SetPowerManagementLimit` is recorded like a denied clock change.
+    ///
+    /// The setpoint sits `CAP_RIPPLE_GUARD` below the budget because the
+    /// clock-walkdown loop regulates *projected busy* power: leakage drift
+    /// as the junction heats and clock-transition energy both land on top
+    /// of the regulated level, and the guard keeps that ripple inside the
+    /// budget the caller promised to the facility.
+    pub fn with_power_cap(mut self, budget: Watts, ceiling: MegaHertz) -> Self {
+        let setpoint = Watts(budget.0 * (1.0 - CAP_RIPPLE_GUARD));
+        match self.gpu.lock().set_power_limit(setpoint) {
+            Ok(()) => {}
+            Err(ArchError::NoPermission(_)) => self.clock_control_denied = true,
+            Err(e) => panic!("rank {}: power cap rejected: {e}", self.rank),
+        }
+        if let Some(tuner) = &mut self.online {
+            tuner.set_ceiling(ceiling);
+        }
+        self
+    }
+
+    /// The per-kernel clocks the run's learning policy has committed so
+    /// far: AutoTune's post-warm-up choices or the online tuner's pinned
+    /// kernels. Empty for non-learning policies.
     pub fn learned_table(&self) -> crate::policy::FreqTable {
-        self.auto_tune
+        let mut table: crate::policy::FreqTable = self
+            .auto_tune
             .iter()
             .filter_map(|(f, st)| st.chosen.map(|mhz| (*f, mhz)))
-            .collect()
+            .collect();
+        if let Some(tuner) = &self.online {
+            table.extend(tuner.table());
+        }
+        table
     }
 
     /// Apply a clock request, tolerating `NO_PERMISSION` like the paper's
@@ -221,16 +280,37 @@ impl EnergyInstrument {
             );
         }
 
-        let freq_trace = if self.collect_trace {
+        let (freq_trace, power_trace) = if self.collect_trace {
             let gpu = self.gpu.lock();
-            gpu.freq_timeline()
+            let freq = gpu
+                .freq_timeline()
                 .sample(loop_start, end, TRACE_PERIOD)
                 .into_iter()
                 .map(|(t, f)| (t.as_secs_f64(), f.0))
-                .collect()
+                .collect();
+            // Power is reported as per-bucket averages (an energy-counter
+            // difference, like pm_counters) so sub-millisecond transition
+            // transients don't alias into full-height spikes.
+            let power = gpu
+                .power_timeline()
+                .sample_average(loop_start, end, TRACE_PERIOD)
+                .into_iter()
+                .map(|(t, w)| (t.as_secs_f64(), w.0))
+                .collect();
+            (freq, power)
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
+
+        let learned_table = self
+            .learned_table()
+            .into_iter()
+            .map(|(f, mhz)| (f.name().to_string(), mhz.0))
+            .collect();
+        let exploration_launches = self
+            .online
+            .as_ref()
+            .map_or(0, OnlineTuner::exploration_launches);
 
         let _ = final_state;
         RankReport {
@@ -240,6 +320,9 @@ impl EnergyInstrument {
             gpu_loop_j,
             clock_control_denied: self.clock_control_denied,
             freq_trace,
+            power_trace,
+            learned_table,
+            exploration_launches,
         }
     }
 }
@@ -299,6 +382,24 @@ impl StepObserver for EnergyInstrument {
                     state,
                     rank_clock: ctx.now(),
                     tuning_candidate: candidate,
+                    online_tuned: false,
+                });
+                return;
+            }
+            FreqPolicy::ManDynOnline(_) => {
+                let mhz = self
+                    .online
+                    .as_mut()
+                    .expect("online tuner built with the policy")
+                    .propose(func);
+                self.try_set_clocks(mhz.0);
+                let state = self.pmt.read();
+                self.pending = Some(Pending {
+                    func,
+                    state,
+                    rank_clock: ctx.now(),
+                    tuning_candidate: None,
+                    online_tuned: true,
                 });
                 return;
             }
@@ -309,6 +410,7 @@ impl StepObserver for EnergyInstrument {
             state,
             rank_clock: ctx.now(),
             tuning_candidate: None,
+            online_tuned: false,
         });
     }
 
@@ -351,6 +453,20 @@ impl StepObserver for EnergyInstrument {
         acc.time_s += call_time;
         acc.gpu_j += call_j;
         acc.freq_weight += f64::from(exec.avg_freq.0) * call_j;
+
+        if pending.online_tuned {
+            if let Some(tuner) = self.online.as_mut() {
+                // Region-only time/energy — the same quantity the offline
+                // KernelTuner harness scores, so learned tables are directly
+                // comparable to `tune_table`'s.
+                tuner.record(
+                    func,
+                    exec.avg_freq,
+                    exec.energy.0,
+                    exec.duration().as_secs_f64(),
+                );
+            }
+        }
 
         if let Some(idx) = pending.tuning_candidate {
             if let FreqPolicy::AutoTune { candidates, rounds } = &self.policy {

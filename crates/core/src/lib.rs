@@ -9,7 +9,9 @@
 //!   measuring per-function time and energy through PMT and applying a
 //!   [`FreqPolicy`] before each kernel via the NVML shim;
 //! * [`FreqPolicy`] — `Baseline` (pinned max), `Static(f)`, `Dvfs`
-//!   (governor), and `ManDyn` (the paper's per-function dynamic scaling);
+//!   (governor), `ManDyn` (the paper's per-function dynamic scaling), and
+//!   `ManDynOnline` (the `online` crate's in-run search: no offline pass,
+//!   learned-table persistence, power-cap composition);
 //! * [`policy::tune_table`] — the KernelTuner-based sweet-spot search that
 //!   produces the ManDyn table (Fig. 2);
 //! * [`run_experiment`] — full experiment orchestration (cluster, setup
@@ -35,7 +37,10 @@ pub mod policy;
 pub mod report;
 pub mod runner;
 
-pub use analysis::{best_edp, dominated_area, pareto_front, PolicyPoint};
+pub use analysis::{
+    best_edp, compare_tables, dominated_area, learned_table_of, max_deviation_mhz, pareto_front,
+    tables_within_bin, PolicyPoint, TableDeviation,
+};
 pub use instrument::EnergyInstrument;
 pub use policy::{paper_mandyn_table, tune_table, FreqPolicy, FreqTable};
 pub use report::{ExperimentResult, FunctionReport, NodeBreakdown, RankReport};

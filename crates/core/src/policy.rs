@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 
 use archsim::{GpuSpec, MegaHertz};
+use online::OnlineTunerConfig;
 use serde::{Deserialize, Serialize};
 use sph::FuncId;
 use tuner::{tune_kernel, Objective, ParamSpace, TuneOptions, TuneResult};
@@ -37,6 +38,12 @@ pub enum FreqPolicy {
         /// Samples per candidate before committing.
         rounds: u32,
     },
+    /// Online ManDyn (the `online` crate): per-kernel coarse-then-refine
+    /// search over the full clock ladder with windowed EDP estimates,
+    /// convergence pinning, learned-table persistence and power-cap
+    /// composition. `{"ManDynOnline": {}}` in a spec file selects the
+    /// paper-equivalent defaults.
+    ManDynOnline(OnlineTunerConfig),
 }
 
 impl FreqPolicy {
@@ -48,6 +55,7 @@ impl FreqPolicy {
             FreqPolicy::Dvfs => "dvfs".into(),
             FreqPolicy::ManDyn(_) => "mandyn".into(),
             FreqPolicy::AutoTune { .. } => "autotune".into(),
+            FreqPolicy::ManDynOnline(_) => "mandyn-online".into(),
         }
     }
 
@@ -75,9 +83,10 @@ impl FreqPolicy {
             FreqPolicy::ManDyn(table) => {
                 Some(table.get(&func).copied().unwrap_or(gpu.clock_table.max()))
             }
-            // AutoTune's clock depends on runtime state; the instrumentation
-            // layer resolves it per call.
+            // AutoTune's and ManDynOnline's clocks depend on runtime state;
+            // the instrumentation layer resolves them per call.
             FreqPolicy::AutoTune { .. } => None,
+            FreqPolicy::ManDynOnline(_) => None,
         }
     }
 }
@@ -152,6 +161,10 @@ mod tests {
         assert_eq!(FreqPolicy::Dvfs.label(), "dvfs");
         assert_eq!(FreqPolicy::ManDyn(FreqTable::new()).label(), "mandyn");
         assert_eq!(FreqPolicy::auto_tune_default(&gpu()).label(), "autotune");
+        assert_eq!(
+            FreqPolicy::ManDynOnline(OnlineTunerConfig::default()).label(),
+            "mandyn-online"
+        );
     }
 
     #[test]

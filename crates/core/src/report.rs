@@ -45,6 +45,18 @@ pub struct RankReport {
     pub clock_control_denied: bool,
     /// GPU clock trace sampled over the loop: `(seconds, MHz)` (Fig. 9).
     pub freq_trace: Vec<(f64, u32)>,
+    /// GPU power trace sampled over the loop: `(seconds, watts)`. Filled
+    /// alongside `freq_trace`; the power-cap acceptance check reads it.
+    #[serde(default)]
+    pub power_trace: Vec<(f64, f64)>,
+    /// Per-kernel clocks a learning policy (AutoTune / ManDynOnline)
+    /// committed by the end of the run. Keys are function names, values MHz.
+    #[serde(default)]
+    pub learned_table: BTreeMap<String, u32>,
+    /// Launches spent exploring (before kernels were pinned) under
+    /// ManDynOnline; `0` for other policies and for warm-started runs.
+    #[serde(default)]
+    pub exploration_launches: u64,
 }
 
 impl RankReport {

@@ -7,16 +7,19 @@
 //! accounts the whole job through pm_counters; PMT measures the loop only —
 //! the §IV-A validation gap.
 
-use archsim::{Cluster, SimDuration, SimInstant, SystemSpec};
+use archsim::{Cluster, MegaHertz, SimDuration, SimInstant, SystemSpec, Watts};
 use nvml_shim::Nvml;
+use online::{PowerCapCoordinator, TableStore};
 use pm_counters::PmCounters;
 use ranks::CommCost;
 use serde::{Deserialize, Serialize};
 use slurm_sim::{AccountingConfig, JobTimes, Slurm};
-use sph::{evrard, sedov, subsonic_turbulence, InitialConditions, Kernel, SimConfig, Simulation};
+use sph::{
+    evrard, sedov, subsonic_turbulence, FuncId, InitialConditions, Kernel, SimConfig, Simulation,
+};
 
 use crate::instrument::EnergyInstrument;
-use crate::policy::FreqPolicy;
+use crate::policy::{FreqPolicy, FreqTable};
 use crate::report::{ExperimentResult, NodeBreakdown, RankReport};
 
 /// CPU/DRAM activity during the setup phase (IC generation, H2D staging).
@@ -91,6 +94,17 @@ pub struct ExperimentSpec {
     /// as JSON — §III-B's "gathered at the end of the execution and stored
     /// into a file for post-hoc analysis".
     pub report_dir: Option<std::path::PathBuf>,
+    /// Total watt budget across all ranks' GPUs. When set, a
+    /// [`PowerCapCoordinator`] splits it per rank, the per-rank device power
+    /// limit is enforced on the hardware, and a `ManDynOnline` search is
+    /// capped so it never explores rungs the limit would throttle.
+    #[serde(default)]
+    pub power_cap_w: Option<f64>,
+    /// Directory of learned-table JSON files. `ManDynOnline` warm-starts
+    /// from the table stored for this (GPU, workload) — skipping
+    /// exploration entirely — and persists whatever it learns at the end.
+    #[serde(default)]
+    pub table_store: Option<std::path::PathBuf>,
 }
 
 impl ExperimentSpec {
@@ -116,7 +130,20 @@ impl ExperimentSpec {
             slurm_gpu_freq: None,
             slurm_cpu_freq_khz: None,
             report_dir: None,
+            power_cap_w: None,
+            table_store: None,
         }
+    }
+
+    /// The key a run's learned table is stored under: the workload plus the
+    /// paper-scale problem size (which determines every kernel's roofline
+    /// position and therefore its sweet-spot clock).
+    pub fn table_store_key(&self) -> String {
+        format!(
+            "{}-{:.0}",
+            self.workload.name(),
+            self.target_particles_per_rank
+        )
     }
 }
 
@@ -144,6 +171,37 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         node.settle_until(setup_end, SETUP_CPU_ACTIVITY, SETUP_MEM_ACTIVITY);
     }
 
+    // --- online ManDyn: warm table + power-cap allocation ----------------
+    let store = spec
+        .table_store
+        .as_ref()
+        .map(|dir| TableStore::open(dir).expect("table store directory is usable"));
+    let gpu_name = spec.system.node.gpu.name.clone();
+    let store_key = spec.table_store_key();
+    let warm_table: Option<FreqTable> = match (&store, &spec.policy) {
+        (Some(s), FreqPolicy::ManDynOnline(_)) => {
+            s.load(&gpu_name, &store_key).expect("readable table store")
+        }
+        _ => None,
+    };
+
+    // One (device budget, clock ceiling) per rank. The budget is enforced on
+    // the device; the ceiling keeps an online search out of throttled rungs.
+    let power_allocs: Option<Vec<(Watts, MegaHertz)>> = spec.power_cap_w.map(|w| {
+        let coord = PowerCapCoordinator::new(spec.system.node.gpu.clone(), Watts(w));
+        let demand: FreqTable = match &spec.policy {
+            FreqPolicy::ManDyn(table) => table.clone(),
+            _ => warm_table.clone().unwrap_or_default(),
+        };
+        let demands = vec![demand; spec.ranks];
+        coord
+            .allocate(&demands)
+            .expect("power budget feasible at the ladder floor")
+            .into_iter()
+            .map(|a| (a.budget, coord.freq_ceiling(a.budget, &a.table)))
+            .collect()
+    });
+
     // --- instrumented loop, one rank per GPU -----------------------------
     let sim_cfg = SimConfig {
         kernel: spec.kernel,
@@ -165,6 +223,13 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             .expect("rank binds to a device");
         if spec.collect_trace && ctx.rank() == 0 {
             inst = inst.with_freq_trace();
+        }
+        if let Some(warm) = &warm_table {
+            inst = inst.with_warm_table(warm);
+        }
+        if let Some(allocs) = &power_allocs {
+            let (budget, ceiling) = allocs[ctx.rank()];
+            inst = inst.with_power_cap(budget, ceiling);
         }
         for _ in 0..spec.steps {
             sim.step(ctx, &mut inst);
@@ -238,6 +303,20 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             }
         }
     }
+    // Persist what the online tuner learned, so the next run of the same
+    // (GPU, workload) warm-starts with zero exploration launches.
+    if let (Some(s), FreqPolicy::ManDynOnline(_)) = (&store, &spec.policy) {
+        let learned: FreqTable = per_rank[0]
+            .learned_table
+            .iter()
+            .filter_map(|(name, mhz)| FuncId::from_name(name).map(|f| (f, MegaHertz(*mhz))))
+            .collect();
+        if !learned.is_empty() {
+            s.save(&gpu_name, &store_key, &learned)
+                .expect("persist learned table");
+        }
+    }
+
     let pmt_gpu_j: f64 = per_rank.iter().map(|r| r.gpu_loop_j).sum();
     let pmt_total_j: f64 = pmt_gpu_j + per_node.iter().map(|n| n.cpu_j + n.mem_j).sum::<f64>();
     let node_loop_j: f64 = per_node.iter().map(NodeBreakdown::total_j).sum();
@@ -341,6 +420,8 @@ mod tests {
             slurm_gpu_freq: None,
             slurm_cpu_freq_khz: None,
             report_dir: None,
+            power_cap_w: None,
+            table_store: None,
         };
         let r = run_experiment(&spec);
         assert_eq!(r.per_rank.len(), 8);
@@ -389,6 +470,8 @@ mod tests {
             slurm_gpu_freq: Some(MegaHertz(1005)),
             slurm_cpu_freq_khz: None,
             report_dir: None,
+            power_cap_w: None,
+            table_store: None,
         };
         let low = run_experiment(&spec);
         // User-level control is still denied (Baseline tries to pin 1410 and

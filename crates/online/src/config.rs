@@ -1,0 +1,164 @@
+//! Tuner configuration.
+//!
+//! Every knob has a serde default so a spec file can simply say
+//! `"policy": {"ManDynOnline": {}}` and get the paper-equivalent setup: the
+//! 1005–1410 MHz sweep window of §III-C, explored coarsely first and then
+//! refined with a shrinking step.
+
+use archsim::MegaHertz;
+use serde::{Deserialize, Serialize};
+
+use crate::error::OnlineError;
+
+/// Knobs of the in-run per-kernel frequency search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineTunerConfig {
+    /// Search floor. Defaults to the paper's 1005 MHz sweep floor — clocks
+    /// below it trade too much time for the energy they save (§IV-C).
+    #[serde(default = "default_min_freq")]
+    pub min_freq: MegaHertz,
+    /// Search ceiling; `None` means the device's maximum supported clock.
+    #[serde(default)]
+    pub max_freq: Option<MegaHertz>,
+    /// Ladder rungs skipped between coarse-phase probes. The coarse pass
+    /// brackets the EDP minimum; refinement then halves this step until it
+    /// reaches one rung — the exploration-decay schedule.
+    #[serde(default = "default_coarse_step")]
+    pub coarse_step: u32,
+    /// Measurements required at a rung before its estimate is trusted.
+    #[serde(default = "default_min_samples")]
+    pub min_samples: u32,
+    /// Sliding-window length of the per-rung EDP estimator. Old samples age
+    /// out so the estimate tracks thermal drift instead of averaging it away.
+    #[serde(default = "default_window")]
+    pub window: usize,
+    /// Relative per-call EDP improvement a neighbouring rung must show
+    /// before the tuner moves to it. Hysteresis against measurement jitter;
+    /// kept small because the EDP curve is nearly flat within a rung or two
+    /// of its minimum and a large dead-band would freeze the search there.
+    #[serde(default = "default_min_improvement")]
+    pub min_improvement: f64,
+    /// Consecutive keep-decisions at the finest (one-rung) step before the
+    /// kernel is pinned — i.e. the estimate has stabilised within one
+    /// 15 MHz bin.
+    #[serde(default = "default_patience")]
+    pub patience: u32,
+    /// Hard per-kernel exploration budget: once a kernel has spent this
+    /// many launches unpinned it is pinned at its current best rung no
+    /// matter what. Bounds the search even if thermal drift keeps the
+    /// estimates wobbling.
+    #[serde(default = "default_max_explore_launches")]
+    pub max_explore_launches: u64,
+}
+
+fn default_min_freq() -> MegaHertz {
+    MegaHertz(1005)
+}
+
+fn default_coarse_step() -> u32 {
+    4
+}
+
+fn default_min_samples() -> u32 {
+    2
+}
+
+fn default_window() -> usize {
+    8
+}
+
+fn default_min_improvement() -> f64 {
+    1e-4
+}
+
+fn default_patience() -> u32 {
+    2
+}
+
+fn default_max_explore_launches() -> u64 {
+    64
+}
+
+impl Default for OnlineTunerConfig {
+    fn default() -> Self {
+        OnlineTunerConfig {
+            min_freq: default_min_freq(),
+            max_freq: None,
+            coarse_step: default_coarse_step(),
+            min_samples: default_min_samples(),
+            window: default_window(),
+            min_improvement: default_min_improvement(),
+            patience: default_patience(),
+            max_explore_launches: default_max_explore_launches(),
+        }
+    }
+}
+
+impl OnlineTunerConfig {
+    /// Reject configurations the controller cannot run with.
+    pub fn validate(&self) -> Result<(), OnlineError> {
+        if let Some(hi) = self.max_freq {
+            if hi < self.min_freq {
+                return Err(OnlineError::InvalidConfig(format!(
+                    "max_freq {hi} below min_freq {}",
+                    self.min_freq
+                )));
+            }
+        }
+        if self.coarse_step == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "coarse_step must be >= 1".into(),
+            ));
+        }
+        if self.min_samples == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "min_samples must be >= 1".into(),
+            ));
+        }
+        if self.window == 0 {
+            return Err(OnlineError::InvalidConfig("window must be >= 1".into()));
+        }
+        if !(0.0..1.0).contains(&self.min_improvement) {
+            return Err(OnlineError::InvalidConfig(
+                "min_improvement must be in [0, 1)".into(),
+            ));
+        }
+        if self.patience == 0 {
+            return Err(OnlineError::InvalidConfig("patience must be >= 1".into()));
+        }
+        if self.max_explore_launches == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "max_explore_launches must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sweep_floor() {
+        let cfg = OnlineTunerConfig::default();
+        assert_eq!(cfg.min_freq, MegaHertz(1005));
+        assert_eq!(cfg.max_freq, None);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let mut cfg = OnlineTunerConfig {
+            max_freq: Some(MegaHertz(900)),
+            ..OnlineTunerConfig::default()
+        };
+        assert!(cfg.validate().is_err(), "inverted range");
+        cfg.max_freq = None;
+        cfg.coarse_step = 0;
+        assert!(cfg.validate().is_err(), "zero step");
+        cfg.coarse_step = 4;
+        cfg.min_improvement = 1.0;
+        assert!(cfg.validate().is_err(), "hysteresis out of range");
+    }
+}

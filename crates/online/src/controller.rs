@@ -1,0 +1,450 @@
+//! The in-run per-kernel frequency search.
+//!
+//! `OnlineTuner` replaces the paper's offline KernelTuner pass (§III-C) with
+//! a measurement-driven search that runs *inside* the production job. Per
+//! kernel it walks the device's discrete clock ladder in two phases:
+//!
+//! 1. **Coarse** — probe every `coarse_step`-th rung between the configured
+//!    floor and ceiling, top-down. Until a kernel has enough samples its
+//!    proposals sit at the maximum clock, i.e. the safe Baseline fallback.
+//! 2. **Refine** — hill-climb around the coarse winner with a step that
+//!    halves after every keep-decision (the exploration-decay schedule)
+//!    until it reaches a single rung. Every refine round (a new candidate
+//!    set after entering the phase, moving, or halving) discards the
+//!    candidates' old estimates and re-measures them together, so the
+//!    comparison is between *contemporaneous* samples — without this, a
+//!    device that warms monotonically through the run makes early (cold)
+//!    incumbent samples look better than later (hot) candidate samples and
+//!    the search freezes below the sweet spot. Moves need a relative EDP
+//!    improvement of at least `min_improvement` (hysteresis); `patience`
+//!    consecutive keep-decisions at one-rung granularity — each backed by a
+//!    fresh measurement — pin the kernel: its estimate has stabilised within
+//!    one ladder bin and no further clock changes happen. A hard per-kernel
+//!    launch budget (`max_explore_launches`) bounds the search regardless.
+//!
+//! EDP estimates come from [`RungEstimate`] sliding windows, scored through
+//! the shared [`archsim::EnergyDelay`] formulation.
+
+use std::collections::BTreeMap;
+
+use archsim::{GpuSpec, MegaHertz};
+use sph::FuncId;
+
+use crate::config::OnlineTunerConfig;
+use crate::error::OnlineError;
+use crate::estimator::RungEstimate;
+
+/// A learned per-kernel frequency table. Structurally identical to
+/// `freqscale`'s `FreqTable`, so learned tables plug straight into the
+/// `ManDyn` policy.
+pub type LearnedTable = BTreeMap<FuncId, MegaHertz>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Coarse,
+    Refine { step: usize, stays: u32 },
+    Pinned,
+}
+
+#[derive(Debug)]
+struct KernelState {
+    phase: Phase,
+    /// Ladder index of the current operating point.
+    best: usize,
+    estimates: BTreeMap<usize, RungEstimate>,
+    /// Launches taken while not yet pinned.
+    explore_launches: u64,
+}
+
+impl KernelState {
+    fn fresh(top: usize) -> Self {
+        KernelState {
+            phase: Phase::Coarse,
+            best: top,
+            estimates: BTreeMap::new(),
+            explore_launches: 0,
+        }
+    }
+
+    fn samples_at(&self, idx: usize) -> u64 {
+        self.estimates.get(&idx).map_or(0, RungEstimate::samples)
+    }
+
+    fn mean_at(&self, idx: usize) -> Option<f64> {
+        self.estimates.get(&idx).and_then(RungEstimate::mean)
+    }
+}
+
+/// Per-kernel online frequency tuner over one GPU's clock ladder.
+pub struct OnlineTuner {
+    cfg: OnlineTunerConfig,
+    /// Supported clocks in the search window, ascending.
+    ladder: Vec<MegaHertz>,
+    /// Coarse-phase probe order: ladder indices, highest clock first.
+    coarse_probes: Vec<usize>,
+    kernels: BTreeMap<FuncId, KernelState>,
+}
+
+fn nearest_idx(ladder: &[MegaHertz], f: MegaHertz) -> usize {
+    ladder
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.0.abs_diff(f.0))
+        .map(|(i, _)| i)
+        .expect("non-empty ladder")
+}
+
+fn probe_order(len: usize, coarse_step: usize) -> Vec<usize> {
+    let mut probes = Vec::new();
+    let mut i = len as i64 - 1;
+    while i >= 0 {
+        probes.push(i as usize);
+        i -= coarse_step as i64;
+    }
+    if *probes.last().expect("at least one probe") != 0 {
+        probes.push(0);
+    }
+    probes
+}
+
+impl OnlineTuner {
+    /// Build a tuner over `spec`'s clock ladder restricted to the config's
+    /// `[min_freq, max_freq]` window.
+    pub fn new(spec: &GpuSpec, cfg: OnlineTunerConfig) -> Result<Self, OnlineError> {
+        cfg.validate()?;
+        let hi = cfg.max_freq.unwrap_or(spec.clock_table.max());
+        let mut ladder = spec.clock_table.clocks_in_range(cfg.min_freq, hi);
+        ladder.reverse(); // clocks_in_range returns descending
+        if ladder.is_empty() {
+            return Err(OnlineError::InvalidConfig(format!(
+                "no supported clocks in [{}, {hi}]",
+                cfg.min_freq
+            )));
+        }
+        let coarse_probes = probe_order(ladder.len(), cfg.coarse_step as usize);
+        Ok(OnlineTuner {
+            cfg,
+            ladder,
+            coarse_probes,
+            kernels: BTreeMap::new(),
+        })
+    }
+
+    /// The search window, ascending.
+    pub fn ladder(&self) -> &[MegaHertz] {
+        &self.ladder
+    }
+
+    /// Lower the search ceiling (power-cap composition). Must be called
+    /// before any measurements are recorded; pinned warm-start entries are
+    /// re-clamped to the shrunk ladder.
+    pub fn set_ceiling(&mut self, ceiling: MegaHertz) {
+        assert!(
+            self.kernels.values().all(|s| s.estimates.is_empty()),
+            "set_ceiling must run before tuning starts"
+        );
+        let mut keep: Vec<MegaHertz> = self
+            .ladder
+            .iter()
+            .copied()
+            .filter(|f| *f <= ceiling)
+            .collect();
+        if keep.is_empty() {
+            keep.push(self.ladder[0]); // never below the configured floor
+        }
+        let old = std::mem::replace(&mut self.ladder, keep);
+        self.coarse_probes = probe_order(self.ladder.len(), self.cfg.coarse_step as usize);
+        let top = self.ladder.len() - 1;
+        for st in self.kernels.values_mut() {
+            st.best = if st.phase == Phase::Pinned {
+                nearest_idx(&self.ladder, old[st.best])
+            } else {
+                top
+            };
+        }
+    }
+
+    /// Pin every kernel in `table` to its stored clock (clamped to the
+    /// ladder): a warm-started run explores nothing.
+    pub fn warm_start(&mut self, table: &LearnedTable) {
+        for (func, f) in table {
+            let idx = nearest_idx(&self.ladder, *f);
+            let mut st = KernelState::fresh(idx);
+            st.phase = Phase::Pinned;
+            self.kernels.insert(*func, st);
+        }
+    }
+
+    /// The clock the next launch of `func` should run at. Advances the
+    /// phase machine when the pending decision has enough samples.
+    pub fn propose(&mut self, func: FuncId) -> MegaHertz {
+        let top = self.ladder.len() - 1;
+        let min_samples = u64::from(self.cfg.min_samples);
+        let min_improvement = self.cfg.min_improvement;
+        let patience = self.cfg.patience;
+        let max_explore = self.cfg.max_explore_launches;
+        let refine_step = (self.cfg.coarse_step as usize / 2).max(1);
+        let st = self
+            .kernels
+            .entry(func)
+            .or_insert_with(|| KernelState::fresh(top));
+        if st.phase != Phase::Pinned && st.explore_launches >= max_explore {
+            // Exploration budget exhausted: pin at the incumbent rung (the
+            // safe maximum clock if the search never left the coarse phase).
+            st.phase = Phase::Pinned;
+        }
+        // Each iteration either returns a rung to measure next or advances
+        // the phase machine by one decision; the bound is defensive.
+        for _ in 0..64 {
+            match st.phase {
+                Phase::Pinned => return self.ladder[st.best],
+                Phase::Coarse => {
+                    if let Some(&i) = self
+                        .coarse_probes
+                        .iter()
+                        .find(|&&i| st.samples_at(i) < min_samples)
+                    {
+                        return self.ladder[i];
+                    }
+                    st.best = self
+                        .coarse_probes
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let ma = st.mean_at(a).expect("probe sampled");
+                            let mb = st.mean_at(b).expect("probe sampled");
+                            ma.partial_cmp(&mb).expect("finite EDP")
+                        })
+                        .expect("non-empty probe set");
+                    st.phase = Phase::Refine {
+                        step: refine_step,
+                        stays: 0,
+                    };
+                    // New candidate set: drop the coarse-phase samples so the
+                    // refine comparison is between contemporaneous windows.
+                    st.estimates.clear();
+                }
+                Phase::Refine { step, stays } => {
+                    let mut cands = vec![st.best];
+                    if st.best >= step {
+                        cands.push(st.best - step);
+                    }
+                    if st.best + step <= top {
+                        cands.push(st.best + step);
+                    }
+                    // Fill the round's windows least-sampled-first, which
+                    // interleaves the candidates and spreads any thermal
+                    // drift evenly across them.
+                    if let Some(&i) = cands
+                        .iter()
+                        .filter(|&&i| st.samples_at(i) < min_samples)
+                        .min_by_key(|&&i| st.samples_at(i))
+                    {
+                        return self.ladder[i];
+                    }
+                    let cur = st.mean_at(st.best).expect("best sampled");
+                    let (win, win_mean) = cands
+                        .iter()
+                        .map(|&i| (i, st.mean_at(i).expect("candidate sampled")))
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+                        .expect("non-empty candidates");
+                    if win != st.best && win_mean < cur * (1.0 - min_improvement) {
+                        st.best = win;
+                        st.phase = Phase::Refine { step, stays: 0 };
+                        st.estimates.clear();
+                    } else if step > 1 {
+                        st.phase = Phase::Refine {
+                            step: step / 2,
+                            stays: 0,
+                        };
+                        st.estimates.clear();
+                    } else if stays + 1 >= patience {
+                        st.phase = Phase::Pinned;
+                    } else {
+                        // Demand one more measurement at the incumbent rung
+                        // before the next keep-decision counts toward
+                        // patience — stability must be observed, not assumed.
+                        st.phase = Phase::Refine {
+                            step,
+                            stays: stays + 1,
+                        };
+                        return self.ladder[st.best];
+                    }
+                }
+            }
+        }
+        self.ladder[st.best]
+    }
+
+    /// Feed back one measured launch. `freq` is the clock the region
+    /// actually ran at (which, when clock control is denied, may not be the
+    /// proposed one — samples land where the hardware really was).
+    pub fn record(&mut self, func: FuncId, freq: MegaHertz, energy_j: f64, time_s: f64) {
+        let top = self.ladder.len() - 1;
+        let window = self.cfg.window;
+        let idx = nearest_idx(&self.ladder, freq);
+        let st = self
+            .kernels
+            .entry(func)
+            .or_insert_with(|| KernelState::fresh(top));
+        if st.phase != Phase::Pinned {
+            st.explore_launches += 1;
+        }
+        st.estimates
+            .entry(idx)
+            .or_insert_with(|| RungEstimate::new(window))
+            .record(energy_j, time_s);
+    }
+
+    /// True once `func`'s clock is pinned.
+    pub fn is_pinned(&self, func: FuncId) -> bool {
+        self.kernels
+            .get(&func)
+            .is_some_and(|s| s.phase == Phase::Pinned)
+    }
+
+    /// True when every kernel seen so far is pinned (and at least one was).
+    pub fn all_pinned(&self) -> bool {
+        !self.kernels.is_empty() && self.kernels.values().all(|s| s.phase == Phase::Pinned)
+    }
+
+    /// Learned table: pinned kernels only.
+    pub fn table(&self) -> LearnedTable {
+        self.kernels
+            .iter()
+            .filter(|(_, s)| s.phase == Phase::Pinned)
+            .map(|(f, s)| (*f, self.ladder[s.best]))
+            .collect()
+    }
+
+    /// Learned table over every kernel seen, with unpinned kernels falling
+    /// back to the maximum clock (Baseline behaviour).
+    pub fn table_with_fallback(&self) -> LearnedTable {
+        let max = *self.ladder.last().expect("non-empty ladder");
+        self.kernels
+            .iter()
+            .map(|(f, s)| {
+                let clock = if s.phase == Phase::Pinned {
+                    self.ladder[s.best]
+                } else {
+                    max
+                };
+                (*f, clock)
+            })
+            .collect()
+    }
+
+    /// Total launches spent exploring (taken while not pinned), across all
+    /// kernels.
+    pub fn exploration_launches(&self) -> u64 {
+        self.kernels.values().map(|s| s.explore_launches).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::GpuSpec;
+
+    /// Synthetic per-call measurement with an EDP minimum exactly at
+    /// `f_star`: time rises as the clock drops, energy rises away from the
+    /// sweet spot.
+    fn measure(f: MegaHertz, f_star: MegaHertz) -> (f64, f64) {
+        let t = 1.0 + (1410.0 - f64::from(f.0)) / 1410.0;
+        let d = (f64::from(f.0) - f64::from(f_star.0)) / 1410.0;
+        let e = 100.0 * (1.0 + 4.0 * d * d) / t; // EDP = e*t minimal at f_star
+        (e, t)
+    }
+
+    fn drive(tuner: &mut OnlineTuner, func: FuncId, f_star: MegaHertz, max_launches: usize) {
+        for _ in 0..max_launches {
+            if tuner.is_pinned(func) {
+                break;
+            }
+            let f = tuner.propose(func);
+            let (e, t) = measure(f, f_star);
+            tuner.record(func, f, e, t);
+        }
+    }
+
+    #[test]
+    fn converges_to_synthetic_optimum_from_any_target() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        for f_star in [1005, 1110, 1200, 1305, 1410] {
+            let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+            drive(&mut tuner, FuncId::XMass, MegaHertz(f_star), 200);
+            assert!(tuner.is_pinned(FuncId::XMass), "pinned for target {f_star}");
+            let got = tuner.table()[&FuncId::XMass];
+            assert!(
+                got.0.abs_diff(f_star) <= 15,
+                "target {f_star}: landed at {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn exploration_is_bounded_and_stops_after_pinning() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        drive(&mut tuner, FuncId::MomentumEnergy, MegaHertz(1350), 500);
+        let spent = tuner.exploration_launches();
+        assert!(spent > 0 && spent < 80, "exploration {spent} out of bounds");
+        // Further pinned launches do not count as exploration.
+        for _ in 0..10 {
+            let f = tuner.propose(FuncId::MomentumEnergy);
+            let (e, t) = measure(f, MegaHertz(1350));
+            tuner.record(FuncId::MomentumEnergy, f, e, t);
+        }
+        assert_eq!(tuner.exploration_launches(), spent);
+    }
+
+    #[test]
+    fn under_sampled_kernel_proposes_max_and_falls_back_to_baseline() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        // A single launch is far below min_samples on every probe.
+        let f = tuner.propose(FuncId::Timestep);
+        assert_eq!(f, MegaHertz(1410), "first probe is the safe max clock");
+        tuner.record(FuncId::Timestep, f, 10.0, 0.1);
+        assert!(tuner.table().is_empty(), "nothing pinned yet");
+        assert_eq!(
+            tuner.table_with_fallback()[&FuncId::Timestep],
+            MegaHertz(1410),
+            "unpinned kernels fall back to Baseline"
+        );
+    }
+
+    #[test]
+    fn warm_start_pins_immediately_without_exploration() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        let mut table = LearnedTable::new();
+        table.insert(FuncId::XMass, MegaHertz(1050));
+        table.insert(FuncId::MomentumEnergy, MegaHertz(1395));
+        tuner.warm_start(&table);
+        assert!(tuner.all_pinned());
+        assert_eq!(tuner.propose(FuncId::XMass), MegaHertz(1050));
+        assert_eq!(tuner.propose(FuncId::MomentumEnergy), MegaHertz(1395));
+        let (e, t) = (10.0, 0.1);
+        tuner.record(FuncId::XMass, MegaHertz(1050), e, t);
+        assert_eq!(tuner.exploration_launches(), 0);
+        assert_eq!(tuner.table(), table);
+    }
+
+    #[test]
+    fn ceiling_shrinks_the_search_window() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        assert_eq!(tuner.ladder().last(), Some(&MegaHertz(1410)));
+        tuner.set_ceiling(MegaHertz(1200));
+        assert_eq!(tuner.ladder().last(), Some(&MegaHertz(1200)));
+        assert_eq!(tuner.propose(FuncId::XMass), MegaHertz(1200));
+        // Warm-started entries re-clamp onto the shrunk ladder.
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        let mut table = LearnedTable::new();
+        table.insert(FuncId::XMass, MegaHertz(1410));
+        tuner.warm_start(&table);
+        tuner.set_ceiling(MegaHertz(1200));
+        assert_eq!(tuner.propose(FuncId::XMass), MegaHertz(1200));
+    }
+}

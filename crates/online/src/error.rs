@@ -1,0 +1,55 @@
+//! Error type for the online-tuning subsystem.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong while tuning online, persisting tables or
+/// allocating a power budget.
+#[derive(Debug)]
+pub enum OnlineError {
+    /// The tuner was configured with an empty or inverted frequency range.
+    InvalidConfig(String),
+    /// The watt budget cannot be met even with every rank's every kernel at
+    /// the ladder floor.
+    InfeasibleBudget {
+        /// Requested budget across all ranks.
+        budget_w: f64,
+        /// Minimum achievable draw (all ranks clamped to the floor clock).
+        floor_w: f64,
+    },
+    /// Table-store I/O failure.
+    Store(std::io::Error),
+    /// A table-store file exists but does not parse.
+    Corrupt { path: PathBuf, detail: String },
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::InvalidConfig(msg) => write!(f, "invalid online-tuner config: {msg}"),
+            OnlineError::InfeasibleBudget { budget_w, floor_w } => write!(
+                f,
+                "power budget {budget_w:.1} W infeasible: floor demand is {floor_w:.1} W"
+            ),
+            OnlineError::Store(e) => write!(f, "table store I/O: {e}"),
+            OnlineError::Corrupt { path, detail } => {
+                write!(f, "corrupt table store file {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnlineError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for OnlineError {
+    fn from(e: std::io::Error) -> Self {
+        OnlineError::Store(e)
+    }
+}

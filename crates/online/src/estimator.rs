@@ -1,0 +1,107 @@
+//! Windowed per-rung EDP estimator.
+//!
+//! One `RungEstimate` per (kernel, clock-rung) pair. Samples are per-call
+//! energy-delay products computed through the shared
+//! [`archsim::EnergyDelay`] formulation, kept in a bounded sliding window so
+//! the estimate follows thermal drift over a long run instead of averaging
+//! the cold start against the hot steady state.
+
+use std::collections::VecDeque;
+
+use archsim::EnergyDelay;
+
+/// Sliding-window mean of a kernel's per-call EDP at one clock rung.
+#[derive(Debug, Clone)]
+pub struct RungEstimate {
+    window: VecDeque<f64>,
+    cap: usize,
+    total_samples: u64,
+}
+
+impl RungEstimate {
+    /// New estimator keeping at most `cap` recent samples.
+    pub fn new(cap: usize) -> Self {
+        RungEstimate {
+            window: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            total_samples: 0,
+        }
+    }
+
+    /// Record one measured call.
+    pub fn record(&mut self, energy_j: f64, time_s: f64) {
+        if self.window.len() == self.cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(EnergyDelay::of(energy_j, time_s).0);
+        self.total_samples += 1;
+    }
+
+    /// Samples ever recorded (not just those still in the window).
+    pub fn samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Windowed mean EDP, or `None` before the first sample.
+    pub fn mean(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+        }
+    }
+
+    /// Relative spread `(max - min) / mean` of the window; `0` with fewer
+    /// than two samples. The controller's stability signal.
+    pub fn spread(&self) -> f64 {
+        if self.window.len() < 2 {
+            return 0.0;
+        }
+        let min = self.window.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self
+            .window
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mean = self.mean().expect("non-empty window");
+        if mean <= 0.0 {
+            0.0
+        } else {
+            (max - min) / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_uses_shared_edp_formulation() {
+        let mut e = RungEstimate::new(4);
+        assert_eq!(e.mean(), None);
+        e.record(100.0, 2.0); // EDP 200
+        e.record(50.0, 2.0); // EDP 100
+        assert_eq!(e.samples(), 2);
+        assert!((e.mean().unwrap() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut e = RungEstimate::new(2);
+        e.record(10.0, 1.0); // 10, evicted below
+        e.record(20.0, 1.0); // 20
+        e.record(30.0, 1.0); // 30
+        assert_eq!(e.samples(), 3);
+        assert!((e.mean().unwrap() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_reflects_window_jitter() {
+        let mut e = RungEstimate::new(8);
+        e.record(100.0, 1.0);
+        assert_eq!(e.spread(), 0.0, "one sample has no spread");
+        e.record(110.0, 1.0);
+        assert!((e.spread() - 10.0 / 105.0).abs() < 1e-12);
+    }
+}

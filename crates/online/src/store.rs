@@ -1,0 +1,178 @@
+//! Learned-table persistence.
+//!
+//! A `TableStore` is a directory of JSON files, one per `(GPU, workload)`
+//! pair, each holding the per-kernel frequency table a previous run learned.
+//! A later run on the same hardware and workload loads the table and
+//! warm-starts: the tuner pins every kernel up front and spends zero
+//! launches exploring.
+//!
+//! File layout: `<root>/<gpu>__<workload>.json` (names sanitised to
+//! filesystem-safe characters), containing a [`StoredTable`] with the
+//! identity key repeated inside the file so a store survives renames and
+//! can be audited with a pager.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::LearnedTable;
+use crate::error::OnlineError;
+
+/// One persisted table, self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredTable {
+    /// GPU spec name the table was learned on (e.g. `A100-PCIE-40GB`).
+    pub gpu: String,
+    /// Workload name (e.g. `turbulence-8`).
+    pub workload: String,
+    /// Learned per-kernel clocks.
+    pub table: LearnedTable,
+}
+
+/// Directory-backed store of learned frequency tables.
+#[derive(Debug, Clone)]
+pub struct TableStore {
+    root: PathBuf,
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl TableStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, OnlineError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(TableStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_for(&self, gpu: &str, workload: &str) -> PathBuf {
+        self.root
+            .join(format!("{}__{}.json", sanitize(gpu), sanitize(workload)))
+    }
+
+    /// Load the table learned for `(gpu, workload)`, if one is stored.
+    pub fn load(&self, gpu: &str, workload: &str) -> Result<Option<LearnedTable>, OnlineError> {
+        let path = self.file_for(gpu, workload);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let stored: StoredTable =
+            serde_json::from_str(&text).map_err(|e| OnlineError::Corrupt {
+                path: path.clone(),
+                detail: e.to_string(),
+            })?;
+        Ok(Some(stored.table))
+    }
+
+    /// Persist `table` for `(gpu, workload)`, replacing any previous entry.
+    pub fn save(&self, gpu: &str, workload: &str, table: &LearnedTable) -> Result<(), OnlineError> {
+        let stored = StoredTable {
+            gpu: gpu.to_string(),
+            workload: workload.to_string(),
+            table: table.clone(),
+        };
+        let text = serde_json::to_string_pretty(&stored)
+            .map_err(|e| OnlineError::InvalidConfig(e.to_string()))?;
+        fs::write(self.file_for(gpu, workload), text)?;
+        Ok(())
+    }
+
+    /// Every table in the store, in directory order.
+    pub fn list(&self) -> Result<Vec<StoredTable>, OnlineError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path.extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let text = fs::read_to_string(&path)?;
+            let stored: StoredTable =
+                serde_json::from_str(&text).map_err(|e| OnlineError::Corrupt {
+                    path: path.clone(),
+                    detail: e.to_string(),
+                })?;
+            out.push(stored);
+        }
+        out.sort_by(|a, b| (&a.gpu, &a.workload).cmp(&(&b.gpu, &b.workload)));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::MegaHertz;
+    use sph::FuncId;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("online-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_table() -> LearnedTable {
+        let mut t = LearnedTable::new();
+        t.insert(FuncId::XMass, MegaHertz(1050));
+        t.insert(FuncId::MomentumEnergy, MegaHertz(1410));
+        t
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let store = TableStore::open(&dir).unwrap();
+        assert_eq!(store.load("A100", "turbulence-8").unwrap(), None);
+        let table = sample_table();
+        store.save("A100", "turbulence-8", &table).unwrap();
+        assert_eq!(store.load("A100", "turbulence-8").unwrap(), Some(table));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_are_isolated_and_sanitized() {
+        let dir = tmpdir("keys");
+        let store = TableStore::open(&dir).unwrap();
+        let table = sample_table();
+        store.save("A100/SXM4 80GB", "sedov n=50", &table).unwrap();
+        assert_eq!(store.load("A100", "sedov n=50").unwrap(), None);
+        assert_eq!(
+            store.load("A100/SXM4 80GB", "sedov n=50").unwrap(),
+            Some(table.clone())
+        );
+        let all = store.list().unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].gpu, "A100/SXM4 80GB", "identity survives sanitising");
+        assert_eq!(all[0].table, table);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_reported_not_swallowed() {
+        let dir = tmpdir("corrupt");
+        let store = TableStore::open(&dir).unwrap();
+        fs::write(dir.join("A100__turb.json"), "{not json").unwrap();
+        match store.load("A100", "turb") {
+            Err(OnlineError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

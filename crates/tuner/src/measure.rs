@@ -54,7 +54,7 @@ pub fn measure_config(
         params: params.clone(),
         time_s,
         energy_j,
-        edp: EnergyDelay(energy_j * time_s).0,
+        edp: EnergyDelay::of(energy_j, time_s).0,
     }
 }
 

@@ -33,6 +33,8 @@ fn main() {
         slurm_gpu_freq: None,
         slurm_cpu_freq_khz: None,
         report_dir: None,
+        power_cap_w: None,
+        table_store: None,
     };
     println!(
         "running {} on {} with {} ranks ({} steps, 150 M particles/GPU at paper scale)...",

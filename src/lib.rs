@@ -19,8 +19,10 @@
 //! * [`sph`] — SPH-EXA-like hydrodynamics framework with profiling hooks;
 //! * [`tuner`] — KernelTuner-style frequency sweep harness;
 //! * [`slurm_sim`] — job energy accounting (`sacct` / `ConsumedEnergy`);
+//! * [`online`] — in-run autotuning: online per-kernel frequency search,
+//!   learned-table persistence, and power-cap coordination;
 //! * [`freqscale`] — the paper's contribution: instrumentation + the
-//!   Baseline / Static / DVFS / ManDyn frequency policies.
+//!   Baseline / Static / DVFS / ManDyn / ManDynOnline frequency policies.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use archsim;
 pub use cornerstone;
 pub use freqscale;
 pub use nvml_shim;
+pub use online;
 pub use pm_counters;
 pub use pmt;
 pub use ranks;

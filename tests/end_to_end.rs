@@ -28,6 +28,8 @@ fn small_spec(system: archsim::SystemSpec, ranks: usize, policy: FreqPolicy) -> 
         slurm_gpu_freq: None,
         slurm_cpu_freq_khz: None,
         report_dir: None,
+        power_cap_w: None,
+        table_store: None,
     }
 }
 
