@@ -1,0 +1,91 @@
+//! Thread-scaling microbenchmarks for the `parallel` feature.
+//!
+//! Runs the three SPH hot loops and the brute-force tuner sweep at 1, 2, 4
+//! and 8 workers via `par::set_max_threads`, so criterion's per-group output
+//! directly reads as a scaling curve. The workload is big enough
+//! (24³ = 13 824 particles) that the per-chunk scheduling overhead is
+//! amortized; at laptop scale the SPH kernels should show ≥2× at 4 threads.
+//!
+//! `cargo bench -p bench --bench parallel_scaling`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cornerstone::CellList;
+use sph::{
+    density::density_gradh, iad::iad_divv_curlv, momentum::momentum_energy, subsonic_turbulence,
+    Eos, Kernel,
+};
+use tuner::Objective;
+
+/// Worker counts with fixed labels (`&'static str` keeps the benchmark IDs
+/// allocation-free).
+const THREADS: &[(usize, &str)] = &[(1, "t1"), (2, "t2"), (4, "t4"), (8, "t8")];
+
+fn prepared() -> (sph::Particles, cornerstone::Box3, CellList) {
+    let ic = subsonic_turbulence(24, 0.3, 9);
+    let mut parts = ic.parts;
+    let bbox = ic.bbox;
+    let kernel = Kernel::CubicSpline;
+    let h = parts.h[0];
+    let grid = CellList::build(&parts.x, &parts.y, &parts.z, &bbox, kernel.support(h) * 1.4);
+    density_gradh(&mut parts, &grid, &bbox, kernel);
+    Eos::ideal_monatomic().apply(&mut parts);
+    (parts, bbox, grid)
+}
+
+fn bench_sph_scaling(c: &mut Criterion) {
+    let kernel = Kernel::CubicSpline;
+    let (parts, bbox, grid) = prepared();
+    type KernelFn = fn(&mut sph::Particles, &CellList, &cornerstone::Box3, Kernel);
+    let kernels: [(&str, KernelFn); 3] = [
+        ("density_gradh", density_gradh),
+        ("iad_divv_curlv", iad_divv_curlv),
+        ("momentum_energy", momentum_energy),
+    ];
+    for (name, func) in kernels {
+        let mut g = c.benchmark_group(format!("parallel_scaling/{name}").as_str());
+        g.sample_size(15);
+        for &(t, label) in THREADS {
+            g.bench_function(label, |b| {
+                par::set_max_threads(t);
+                b.iter_batched(
+                    || parts.clone(),
+                    |mut p| {
+                        func(&mut p, &grid, &bbox, kernel);
+                        black_box(p.rho[0])
+                    },
+                    BatchSize::SmallInput,
+                );
+                par::set_max_threads(0);
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_tuner_scaling(c: &mut Criterion) {
+    let gpu = archsim::GpuSpec::a100_pcie_40gb();
+    let mut g = c.benchmark_group("parallel_scaling/tune_table");
+    g.sample_size(10);
+    for &(t, label) in THREADS {
+        g.bench_function(label, |b| {
+            par::set_max_threads(t);
+            b.iter(|| {
+                black_box(freqscale::tune_table(
+                    &gpu,
+                    1e6,
+                    archsim::MegaHertz(1005),
+                    archsim::MegaHertz(1410),
+                    Objective::Edp,
+                    true,
+                ))
+            });
+            par::set_max_threads(0);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sph_scaling, bench_tuner_scaling);
+criterion_main!(benches);

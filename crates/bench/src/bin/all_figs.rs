@@ -1,9 +1,13 @@
 //! Regenerate every exhibit in one go, writing each binary's JSON data into
 //! `results/`. Convenience wrapper: runs the sibling binaries as child
 //! processes so each keeps its own output and CLI.
+//!
+//! With `--jobs N` up to N exhibits run concurrently; each child's output is
+//! captured and replayed in exhibit order, so the log reads the same as a
+//! serial run.
 
-use std::path::PathBuf;
-use std::process::Command;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
 
 const BINARIES: &[&str] = &[
     "table1",
@@ -27,32 +31,60 @@ const BINARIES: &[&str] = &[
     "projection_scale",
 ];
 
+fn run_child(bin_dir: &Path, bin: &str, extra: &[String], json: &Path) -> std::io::Result<Output> {
+    Command::new(bin_dir.join(bin))
+        .args(extra)
+        .arg("--json")
+        .arg(json)
+        .output()
+}
+
 fn main() {
-    // Pass through --steps to every child.
-    let extra: Vec<String> = std::env::args().skip(1).collect();
+    // Pass every unrecognized flag (e.g. --steps) through to the children.
+    let mut jobs = 1usize;
+    let mut extra: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--jobs needs a value");
+                    std::process::exit(2);
+                });
+                jobs = v.parse().unwrap_or_else(|e| panic!("--jobs {v}: {e}"));
+            }
+            _ => extra.push(arg),
+        }
+    }
     let out_dir = PathBuf::from("results");
     std::fs::create_dir_all(&out_dir).expect("create results/");
     let self_exe = std::env::current_exe().expect("own path");
     let bin_dir = self_exe.parent().expect("bin directory").to_path_buf();
 
+    // Each child writes its own results/<bin>.json, so the only shared
+    // resource is the terminal — captured output keeps the log ordered.
+    let outputs: Vec<(&str, std::io::Result<Output>)> =
+        par::par_map_threads(jobs.max(1), BINARIES.len(), |i| {
+            let bin = BINARIES[i];
+            let json = out_dir.join(format!("{bin}.json"));
+            (bin, run_child(&bin_dir, bin, &extra, &json))
+        });
+
     let mut failures = Vec::new();
-    for bin in BINARIES {
-        let json = out_dir.join(format!("{bin}.json"));
+    for (bin, result) in outputs {
         println!("\n================= {bin} =================");
-        let status = Command::new(bin_dir.join(bin))
-            .args(&extra)
-            .arg("--json")
-            .arg(&json)
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{bin} exited with {s}");
-                failures.push(*bin);
+        match result {
+            Ok(out) => {
+                print!("{}", String::from_utf8_lossy(&out.stdout));
+                eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                if !out.status.success() {
+                    eprintln!("{bin} exited with {}", out.status);
+                    failures.push(bin);
+                }
             }
             Err(e) => {
                 eprintln!("{bin} failed to start: {e} (build with `cargo build --release -p bench` first)");
-                failures.push(*bin);
+                failures.push(bin);
             }
         }
     }

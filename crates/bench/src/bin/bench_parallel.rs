@@ -1,0 +1,159 @@
+//! Thread-scaling measurement for the `parallel` feature, written as the
+//! `BENCH_parallel.json` artifact checked into the repo root.
+//!
+//! Times the three SPH hot loops, the Barnes-Hut gravity step, and the
+//! brute-force tuner sweep at 1/2/4/8 workers (median of several reps each)
+//! and reports per-workload speedup over the 1-thread run. Regenerate with:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_parallel
+//! # or to another path:
+//! cargo run --release -p bench --bin bench_parallel -- --json BENCH_parallel.json
+//! ```
+
+use std::time::Instant;
+
+use bench::{banner, print_table, Cli};
+use cornerstone::CellList;
+use serde::Serialize;
+use sph::{
+    density::density_gradh, iad::iad_divv_curlv, momentum::momentum_energy, subsonic_turbulence,
+    Eos, Kernel, NullObserver, SimConfig, Simulation,
+};
+use tuner::Objective;
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+const REPS: usize = 7;
+
+#[derive(Serialize)]
+struct Scaling {
+    workload: String,
+    /// Median wall-clock seconds per thread count, keyed "1", "2", "4", "8".
+    seconds: Vec<(String, f64)>,
+    /// Speedup over the 1-thread median at the same workload.
+    speedup: Vec<(String, f64)>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_threads: usize,
+    reps: usize,
+    particles: usize,
+    results: Vec<Scaling>,
+}
+
+/// Median-of-reps wall time of `work` at `threads` workers.
+fn time_at(threads: usize, mut work: impl FnMut()) -> f64 {
+    par::set_max_threads(threads);
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            work();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    par::set_max_threads(0);
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn scaling(workload: &str, mut work: impl FnMut()) -> Scaling {
+    let times: Vec<(String, f64)> = THREADS
+        .iter()
+        .map(|&t| (t.to_string(), time_at(t, &mut work)))
+        .collect();
+    let serial = times[0].1;
+    let speedup = times.iter().map(|(k, s)| (k.clone(), serial / s)).collect();
+    Scaling {
+        workload: workload.to_string(),
+        seconds: times,
+        speedup,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    banner(
+        "PARALLEL SCALING (BENCH_parallel.json)",
+        "SPH hot loops, gravity step and tuner sweep at 1/2/4/8 workers; speedup over 1 thread.",
+    );
+
+    let kernel = Kernel::CubicSpline;
+    let ic = subsonic_turbulence(24, 0.3, 9);
+    let mut parts = ic.parts;
+    let bbox = ic.bbox;
+    let n = parts.x.len();
+    let h = parts.h[0];
+    let grid = CellList::build(&parts.x, &parts.y, &parts.z, &bbox, kernel.support(h) * 1.4);
+    density_gradh(&mut parts, &grid, &bbox, kernel);
+    Eos::ideal_monatomic().apply(&mut parts);
+
+    let mut results = Vec::new();
+    {
+        let mut p = parts.clone();
+        results.push(scaling("density_gradh", || {
+            density_gradh(&mut p, &grid, &bbox, kernel)
+        }));
+    }
+    {
+        let mut p = parts.clone();
+        results.push(scaling("iad_divv_curlv", || {
+            iad_divv_curlv(&mut p, &grid, &bbox, kernel)
+        }));
+    }
+    {
+        let mut p = parts.clone();
+        results.push(scaling("momentum_energy", || {
+            momentum_energy(&mut p, &grid, &bbox, kernel)
+        }));
+    }
+    results.push(scaling("evrard_gravity_step", || {
+        ranks::run(1, ranks::CommCost::default(), |ctx| {
+            let mut sim = Simulation::new(
+                sph::evrard(12),
+                SimConfig {
+                    target_neighbors: 40,
+                    ..Default::default()
+                },
+            );
+            sim.step(ctx, &mut NullObserver);
+        });
+    }));
+    results.push(scaling("tune_table_sweep", || {
+        let gpu = archsim::GpuSpec::a100_pcie_40gb();
+        freqscale::tune_table(
+            &gpu,
+            1e6,
+            archsim::MegaHertz(1005),
+            archsim::MegaHertz(1410),
+            Objective::Edp,
+            true,
+        );
+    }));
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.workload.clone()];
+            row.extend(s.speedup.iter().map(|(_, v)| format!("{v:.2}x")));
+            row
+        })
+        .collect();
+    print_table(&["workload", "1t", "2t", "4t", "8t"], &rows);
+
+    let report = Report {
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        reps: REPS,
+        particles: n,
+        results,
+    };
+    match &cli.json {
+        Some(_) => cli.maybe_write_json(&report),
+        None => {
+            let body = serde_json::to_string_pretty(&report).expect("serializable");
+            std::fs::write("BENCH_parallel.json", body)
+                .unwrap_or_else(|e| panic!("writing BENCH_parallel.json: {e}"));
+            eprintln!("wrote BENCH_parallel.json");
+        }
+    }
+}

@@ -1,16 +1,19 @@
-//! `freqscale-run` — run an experiment described by a JSON spec file.
+//! `freqscale-run` — run experiments described by JSON spec files.
 //!
 //! Makes the whole pipeline config-driven: describe the system, workload,
 //! policy and scale in a spec file, get the full measurement report back.
+//! Several spec files run concurrently (`--jobs N` bounds how many at a
+//! time); the merged report is a JSON array in spec order.
 //!
 //! ```sh
 //! cargo run --release -p freqscale --bin freqscale-run -- --print-template > spec.json
 //! # edit spec.json ...
 //! cargo run --release -p freqscale --bin freqscale-run -- spec.json report.json
+//! cargo run --release -p freqscale --bin freqscale-run -- --jobs 4 a.json b.json c.json --out all.json
 //! cargo run --release -p freqscale --bin freqscale-report -- report.json
 //! ```
 
-use freqscale::{run_experiment, ExperimentSpec, FreqPolicy};
+use freqscale::{run_experiments, ExperimentSpec, FreqPolicy};
 use online::OnlineTunerConfig;
 
 fn template() -> ExperimentSpec {
@@ -32,52 +35,108 @@ fn online_template() -> ExperimentSpec {
     spec
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: freqscale-run [--jobs N] [--out merged.json] <spec.json>... \n\
+         \x20      freqscale-run <spec.json> [report.json]\n\
+         \x20      freqscale-run --print-template | --print-online-template"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--print-template") => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&template()).expect("template serializes")
-            );
-        }
-        Some("--print-online-template") => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&online_template()).expect("template serializes")
-            );
-        }
-        Some(spec_path) => {
-            let body = std::fs::read_to_string(spec_path)
-                .unwrap_or_else(|e| panic!("reading {spec_path}: {e}"));
-            let spec: ExperimentSpec =
-                serde_json::from_str(&body).unwrap_or_else(|e| panic!("parsing {spec_path}: {e}"));
-            eprintln!(
-                "running {} / {} / {} on {} ranks, {} steps...",
-                spec.system.name,
-                spec.workload.name(),
-                spec.policy.label(),
-                spec.ranks,
-                spec.steps
-            );
-            let result = run_experiment(&spec);
-            let json = result.to_json();
-            match args.get(1) {
-                Some(out) => {
-                    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-                    eprintln!(
-                        "t = {:.3}s, GPU = {:.1} J, Slurm = {:.1} J -> {out}",
-                        result.time_to_solution_s, result.pmt_gpu_j, result.slurm_consumed_j
-                    );
-                }
-                None => println!("{json}"),
+    let mut jobs = 0usize; // 0 -> the par layer's default worker count
+    let mut out: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--print-template" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&template()).expect("template serializes")
+                );
+                return;
             }
+            "--print-online-template" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&online_template()).expect("template serializes")
+                );
+                return;
+            }
+            "--jobs" | "-j" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|e| panic!("--jobs {v}: {e}"));
+            }
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => positional.push(arg),
         }
-        None => {
-            eprintln!(
-                "usage: freqscale-run <spec.json> [report.json] | --print-template | --print-online-template"
-            );
-            std::process::exit(2);
+    }
+
+    // Legacy form: exactly two positionals with no --out means
+    // `<spec.json> <report.json>`.
+    if out.is_none() && positional.len() == 2 {
+        out = positional.pop();
+    }
+    if positional.is_empty() {
+        usage();
+    }
+
+    let specs: Vec<ExperimentSpec> = positional
+        .iter()
+        .map(|path| {
+            let body =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            serde_json::from_str(&body).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+        })
+        .collect();
+    for spec in &specs {
+        eprintln!(
+            "running {} / {} / {} on {} ranks, {} steps...",
+            spec.system.name,
+            spec.workload.name(),
+            spec.policy.label(),
+            spec.ranks,
+            spec.steps
+        );
+    }
+
+    let results = run_experiments(&specs, jobs);
+
+    // One spec keeps the original single-object report shape; several
+    // merge into a JSON array in spec order. `to_json` emits complete
+    // objects, so the merge is textual — no round-trip needed.
+    let json = if results.len() == 1 {
+        results[0].to_json()
+    } else {
+        let mut merged = String::from("[\n");
+        for (k, result) in results.iter().enumerate() {
+            if k > 0 {
+                merged.push_str(",\n");
+            }
+            merged.push_str(&result.to_json());
         }
+        merged.push_str("\n]");
+        merged
+    };
+    for result in &results {
+        eprintln!(
+            "{} / {}: t = {:.3}s, GPU = {:.1} J, Slurm = {:.1} J",
+            result.workload,
+            result.policy,
+            result.time_to_solution_s,
+            result.pmt_gpu_j,
+            result.slurm_consumed_j
+        );
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
     }
 }

@@ -15,7 +15,8 @@
 //! * [`policy::tune_table`] — the KernelTuner-based sweet-spot search that
 //!   produces the ManDyn table (Fig. 2);
 //! * [`run_experiment`] — full experiment orchestration (cluster, setup
-//!   phase, instrumented ranks, pm_counters, Slurm accounting);
+//!   phase, instrumented ranks, pm_counters, Slurm accounting), with
+//!   [`run_experiments`] running independent scenarios concurrently;
 //! * [`ExperimentResult`] — every measurement view the paper reports,
 //!   JSON-serializable.
 //!
@@ -44,4 +45,4 @@ pub use analysis::{
 pub use instrument::EnergyInstrument;
 pub use policy::{paper_mandyn_table, tune_table, FreqPolicy, FreqTable};
 pub use report::{ExperimentResult, FunctionReport, NodeBreakdown, RankReport};
-pub use runner::{run_experiment, ExperimentSpec, WorkloadKind};
+pub use runner::{run_experiment, run_experiments, ExperimentSpec, WorkloadKind};

@@ -104,12 +104,16 @@ pub fn tune_table(
 ) -> (FreqTable, Vec<(FuncId, TuneResult)>) {
     let mut space = ParamSpace::new();
     space.add_frequency_range(lo, hi, gpu.clock_table.step());
-    let mut table = FreqTable::new();
-    let mut detail = Vec::new();
-    for func in FuncId::ALL {
-        if func == FuncId::Gravity && !include_gravity {
-            continue;
-        }
+    // Functions tune independently (each sweep benchmarks fresh simulated
+    // devices), so the per-function sweeps run concurrently. Results are
+    // collected in `FuncId::ALL` order, so `detail` and the table are
+    // identical to the serial sweep's.
+    let funcs: Vec<FuncId> = FuncId::ALL
+        .into_iter()
+        .filter(|&f| f != FuncId::Gravity || include_gravity)
+        .collect();
+    let detail: Vec<(FuncId, TuneResult)> = par::par_map(funcs.len(), |k| {
+        let func = funcs[k];
         let result = tune_kernel(
             func.name(),
             |_params, n| func.workload(n),
@@ -122,12 +126,17 @@ pub fn tune_table(
                 ..Default::default()
             },
         );
-        table.insert(
-            func,
-            result.best_frequency().expect("frequency axis present"),
-        );
-        detail.push((func, result));
-    }
+        (func, result)
+    });
+    let table: FreqTable = detail
+        .iter()
+        .map(|(func, result)| {
+            (
+                *func,
+                result.best_frequency().expect("frequency axis present"),
+            )
+        })
+        .collect();
     (table, detail)
 }
 

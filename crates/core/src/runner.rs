@@ -353,6 +353,20 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     result
 }
 
+/// Run several experiments concurrently, at most `jobs` at a time (`0`
+/// means the `par` layer's default worker count), and return the results
+/// in spec order.
+///
+/// Each experiment builds its own simulated cluster, spawns its own rank
+/// threads and (optionally) writes its own `report_dir`, so scenarios are
+/// fully independent; every result is identical to what [`run_experiment`]
+/// returns for that spec alone. Specs sharing a `report_dir` or
+/// `table_store` path should be run with `jobs = 1`.
+pub fn run_experiments(specs: &[ExperimentSpec], jobs: usize) -> Vec<ExperimentResult> {
+    let threads = if jobs == 0 { par::max_threads() } else { jobs };
+    par::par_map_threads(threads, specs.len(), |i| run_experiment(&specs[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

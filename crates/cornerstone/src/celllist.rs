@@ -34,16 +34,20 @@ impl CellList {
         let nz = ((bbox.lz() / cell_size).floor() as usize).max(1);
         let ncells = nx * ny * nz;
 
-        let mut counts = vec![0u32; ncells + 1];
-        let cell_of = |i: usize| -> usize {
+        // Cell assignment is the expensive per-particle part (normalize +
+        // float-to-index); compute it in parallel once, then run the
+        // histogram / prefix-sum / fill passes serially so `order` keeps the
+        // exact serial-insertion layout.
+        let cells: Vec<usize> = par::par_map(x.len(), |i| {
             let (ux, uy, uz) = bbox.normalize(x[i], y[i], z[i]);
             let cx = ((ux * nx as f64) as usize).min(nx - 1);
             let cy = ((uy * ny as f64) as usize).min(ny - 1);
             let cz = ((uz * nz as f64) as usize).min(nz - 1);
             (cx * ny + cy) * nz + cz
-        };
-        for i in 0..x.len() {
-            counts[cell_of(i) + 1] += 1;
+        });
+        let mut counts = vec![0u32; ncells + 1];
+        for &c in &cells {
+            counts[c + 1] += 1;
         }
         for c in 1..=ncells {
             counts[c] += counts[c - 1];
@@ -51,8 +55,7 @@ impl CellList {
         let cell_start = counts.clone();
         let mut cursor = counts;
         let mut order = vec![0u32; x.len()];
-        for i in 0..x.len() {
-            let c = cell_of(i);
+        for (i, &c) in cells.iter().enumerate() {
             order[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }

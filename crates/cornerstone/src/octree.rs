@@ -9,6 +9,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::key::{KEY_END, MAX_LEVEL};
 
+/// Below this key count a parallel top-level build costs more in thread
+/// spawns than the subdivision saves.
+const PAR_BUILD_THRESHOLD: usize = 4096;
+
 /// Balanced octree over sorted particle keys.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Octree {
@@ -31,15 +35,42 @@ impl Octree {
         let mut leaves = Vec::new();
         let mut counts = Vec::new();
         leaves.push(0);
-        subdivide(
-            sorted_keys,
-            0,
-            KEY_END,
-            0,
-            bucket_size,
-            &mut leaves,
-            &mut counts,
-        );
+        // `sorted_keys.len() > bucket_size` is exactly the condition under
+        // which the serial recursion would subdivide the root; the eight
+        // top-level octants are then independent subtrees whose leaf runs
+        // concatenate in octant order, identical to the serial output.
+        if sorted_keys.len() > bucket_size && sorted_keys.len() >= PAR_BUILD_THRESHOLD {
+            let child_span = KEY_END / 8;
+            let octants: Vec<(Vec<u64>, Vec<usize>)> = par::par_map(8, |c| {
+                let cs = c as u64 * child_span;
+                let mut l = Vec::new();
+                let mut n = Vec::new();
+                subdivide(
+                    sorted_keys,
+                    cs,
+                    cs + child_span,
+                    1,
+                    bucket_size,
+                    &mut l,
+                    &mut n,
+                );
+                (l, n)
+            });
+            for (l, n) in octants {
+                leaves.extend(l);
+                counts.extend(n);
+            }
+        } else {
+            subdivide(
+                sorted_keys,
+                0,
+                KEY_END,
+                0,
+                bucket_size,
+                &mut leaves,
+                &mut counts,
+            );
+        }
         Octree {
             leaves,
             counts,

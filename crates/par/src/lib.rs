@@ -1,0 +1,255 @@
+//! # par — a dependency-free data-parallel execution layer
+//!
+//! The paper's offline sweet-spot search multiplies kernels × clocks ×
+//! workloads, and the SPH per-particle loops dominate every step; both are
+//! embarrassingly parallel. This crate provides the rayon-style primitives
+//! the rest of the workspace builds on — [`par_map`] (an order-preserving
+//! indexed map) and [`par_chunks_mut`] (disjoint in-place chunks) — on plain
+//! `std::thread::scope`, so the workspace needs no external runtime.
+//!
+//! ## Determinism contract
+//!
+//! Every primitive is *bit-identical to its serial equivalent* regardless of
+//! thread count:
+//!
+//! * [`par_map`] computes `f(i)` independently per index and writes each
+//!   result into slot `i`. The accumulation order *within* one index is
+//!   whatever `f` does — identical to the serial loop — and no cross-index
+//!   reduction exists, so chunk boundaries cannot affect results.
+//! * [`par_chunks_mut`] hands each worker a disjoint sub-slice; element `i`
+//!   is only ever touched by the worker owning its chunk.
+//!
+//! Callers that need a parallel *reduction* must instead map into per-index
+//! slots and fold serially (gather, not scatter) — that is the pattern the
+//! SPH kernels use, and it is what keeps 1-thread and N-thread runs equal
+//! to the last bit.
+//!
+//! ## Thread-count control
+//!
+//! Priority order: [`set_max_threads`] override (used by the determinism
+//! tests and `--jobs` CLI flags) → the `RAYON_NUM_THREADS` environment
+//! variable → `std::thread::available_parallelism()`. With the `parallel`
+//! feature disabled everything runs inline on the calling thread.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// How many chunks each worker should expect to claim. More chunks per
+/// thread smooths load imbalance (neighbor counts vary across particles) at
+/// the cost of a little counter traffic.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Override the worker count for every subsequent parallel call in this
+/// process. `0` clears the override. Safe to call from any thread; the
+/// results of parallel calls do not depend on the value (see the
+/// determinism contract), only their speed does.
+pub fn set_max_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count parallel calls will use: the [`set_max_threads`]
+/// override, else `RAYON_NUM_THREADS`, else the machine's available
+/// parallelism. Always 1 with the `parallel` feature disabled.
+pub fn max_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Raw output cursor shared by the workers of one `par_map` call. Workers
+/// write disjoint index sets, so sharing the base pointer is sound.
+struct OutPtr<T>(*mut MaybeUninit<T>);
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+/// Order-preserving parallel indexed map: returns `vec![f(0), .., f(n-1)]`.
+///
+/// Work is distributed in fixed-size chunks claimed from an atomic cursor,
+/// so threads stay busy even when per-index cost varies. Falls back to a
+/// plain serial loop for tiny inputs, one worker, or a serial build.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_threads(max_threads(), n, f)
+}
+
+/// [`par_map`] with an explicit worker count (e.g. a `--jobs N` flag).
+pub fn par_map_threads<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if !cfg!(feature = "parallel") || threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = (n / (threads * CHUNKS_PER_THREAD)).max(1);
+    let mut out: Vec<MaybeUninit<T>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+    let next = AtomicUsize::new(0);
+    let base = OutPtr(out.as_mut_ptr());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (next, f, base) = (&next, &f, &base);
+            s.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    // SAFETY: the cursor hands each index range to exactly
+                    // one worker, and `out` outlives the scope, so slot `i`
+                    // is written once with no aliasing.
+                    unsafe { base.0.add(i).write(MaybeUninit::new(f(i))) };
+                }
+            });
+        }
+    });
+    // SAFETY: the cursor covered 0..n and the scope joined every worker, so
+    // all n slots are initialized; re-owning the buffer as Vec<T> is the
+    // standard MaybeUninit -> init conversion.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<T>(), n, out.capacity()) }
+}
+
+/// Run `f(offset, chunk)` over disjoint contiguous chunks of `data`, one
+/// chunk per worker. `offset` is the chunk's start index in `data`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let threads = max_threads().min(n.max(1));
+    if !cfg!(feature = "parallel") || threads <= 1 || n <= 1 {
+        if n > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (k, c) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(k * chunk, c));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let serial: Vec<u64> = (0..10_000)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        let parallel = par_map(10_000, |i| (i as u64).wrapping_mul(2654435761));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_nontrivial_types() {
+        let out = par_map(513, |i| format!("item-{i}"));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("item-{i}"));
+        }
+    }
+
+    #[test]
+    fn par_map_edge_sizes() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 7), vec![7]);
+        assert_eq!(par_map(2, |i| i * 3), vec![0, 3]);
+    }
+
+    #[test]
+    fn par_map_threads_explicit_counts_agree() {
+        let reference = par_map_threads(1, 4096, |i| (i * i) % 97);
+        for t in [2, 3, 4, 8, 64] {
+            assert_eq!(par_map_threads(t, 4096, |i| (i * i) % 97), reference);
+        }
+    }
+
+    #[test]
+    fn par_map_uses_at_most_the_requested_workers() {
+        let seen = Mutex::new(HashSet::new());
+        let _ = par_map_threads(3, 20_000, |i| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            i
+        });
+        // 3 workers requested; the calling thread never computes items on
+        // the parallel path, so at most 3 distinct ids appear.
+        let distinct = seen.lock().unwrap().len();
+        let cap = if cfg!(feature = "parallel") { 3 } else { 1 };
+        assert!(distinct <= cap, "saw {distinct} worker threads");
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u32; 8191];
+        par_chunks_mut(&mut data, |offset, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v += (offset + k) as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1, "element {i} touched {v} times/wrong");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_and_single() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut empty, |_, _| panic!("no chunks expected"));
+        let mut one = vec![5u8];
+        par_chunks_mut(&mut one, |offset, chunk| {
+            assert_eq!(offset, 0);
+            chunk[0] = 9;
+        });
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn override_round_trips() {
+        set_max_threads(2);
+        assert_eq!(
+            max_threads(),
+            if cfg!(feature = "parallel") { 2 } else { 1 }
+        );
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn gather_then_fold_is_thread_count_invariant() {
+        // The reduction pattern the SPH kernels rely on: map into slots,
+        // fold serially. Sums of f64 are order-sensitive, so this only holds
+        // because the fold order is fixed by the output Vec.
+        let terms = |i: usize| 1.0f64 / (i as f64 + 1.0);
+        let a: f64 = par_map_threads(1, 5000, terms).iter().sum();
+        let b: f64 = par_map_threads(7, 5000, terms).iter().sum();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -26,28 +26,29 @@ pub fn xmass(parts: &mut Particles) {
 ///
 /// Densities are computed for owned particles only; halos carry the values
 /// their owner computed (exchanged by `DomainDecompAndSync`).
+///
+/// Parallelized by gather: each index reads any neighbor but accumulates
+/// only its own sums, in cell-list order — so results are bit-identical at
+/// any thread count.
 pub fn density_gradh(parts: &mut Particles, grid: &CellList, _bbox: &Box3, kernel: Kernel) {
-    let (x, y, z) = (&parts.x, &parts.y, &parts.z);
-    let mut rho = vec![0.0f64; parts.n_local];
-    let mut dhsum = vec![0.0f64; parts.n_local];
-    for i in 0..parts.n_local {
-        let hi = parts.h[i];
+    let p = &*parts;
+    let sums: Vec<(f64, f64)> = par::par_map(p.n_local, |i| {
+        let hi = p.h[i];
         let radius = kernel.support(hi);
         let mut rho_i = 0.0;
         let mut dh_i = 0.0;
-        grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
+        grid.for_neighbors(p.x[i], p.y[i], p.z[i], radius, &p.x, &p.y, &p.z, |j, d2| {
             let r = d2.sqrt();
-            rho_i += parts.m[j] * kernel.w(r, hi);
-            dh_i += parts.m[j] * kernel.dw_dh(r, hi);
+            rho_i += p.m[j] * kernel.w(r, hi);
+            dh_i += p.m[j] * kernel.dw_dh(r, hi);
         });
-        rho[i] = rho_i;
-        dhsum[i] = dh_i;
-    }
-    for i in 0..parts.n_local {
-        parts.rho[i] = rho[i];
+        (rho_i, dh_i)
+    });
+    for (i, (rho_i, dh_i)) in sums.into_iter().enumerate() {
+        parts.rho[i] = rho_i;
         // Omega = 1 + h/(3 rho) * sum m dW/dh; guard against degenerate rho.
-        parts.gradh[i] = if rho[i] > 0.0 {
-            (1.0 + parts.h[i] / (3.0 * rho[i]) * dhsum[i]).max(0.1)
+        parts.gradh[i] = if rho_i > 0.0 {
+            (1.0 + parts.h[i] / (3.0 * rho_i) * dh_i).max(0.1)
         } else {
             1.0
         };
@@ -63,26 +64,24 @@ pub fn neighbor_counts(
     kernel: Kernel,
 ) -> Vec<usize> {
     let (x, y, z) = (&parts.x, &parts.y, &parts.z);
-    (0..parts.n_local)
-        .map(|i| {
-            let mut n = 0usize;
-            grid.for_neighbors(
-                x[i],
-                y[i],
-                z[i],
-                kernel.support(parts.h[i]),
-                x,
-                y,
-                z,
-                |j, _| {
-                    if j != i {
-                        n += 1;
-                    }
-                },
-            );
-            n
-        })
-        .collect()
+    par::par_map(parts.n_local, |i| {
+        let mut n = 0usize;
+        grid.for_neighbors(
+            x[i],
+            y[i],
+            z[i],
+            kernel.support(parts.h[i]),
+            x,
+            y,
+            z,
+            |j, _| {
+                if j != i {
+                    n += 1;
+                }
+            },
+        );
+        n
+    })
 }
 
 #[cfg(test)]

@@ -36,6 +36,10 @@ pub struct BhTree {
 /// Gravitational constant in simulation units (Evrard uses G = 1).
 pub const G: f64 = 1.0;
 
+/// Below this particle count a parallel top-level build costs more in
+/// thread spawns than the subdivision saves.
+const PAR_BUILD_THRESHOLD: usize = 4096;
+
 impl BhTree {
     /// Build over a global particle set. `theta` is the opening angle
     /// (0 = exact Newton sum), `eps` the Plummer softening length.
@@ -200,16 +204,25 @@ fn build_node(
                 buckets[oct].push(i);
             }
             let quarter = half / 2.0;
-            let children: Vec<BhNode> = buckets
-                .into_iter()
-                .enumerate()
-                .map(|(oct, bucket)| {
-                    let cx = center[0] + if oct & 1 != 0 { quarter } else { -quarter };
-                    let cy = center[1] + if oct & 2 != 0 { quarter } else { -quarter };
-                    let cz = center[2] + if oct & 4 != 0 { quarter } else { -quarter };
-                    build_node(x, y, z, m, bucket, [cx, cy, cz], quarter, depth + 1)
-                })
-                .collect();
+            let child = |oct: usize, bucket: Vec<usize>| {
+                let cx = center[0] + if oct & 1 != 0 { quarter } else { -quarter };
+                let cy = center[1] + if oct & 2 != 0 { quarter } else { -quarter };
+                let cz = center[2] + if oct & 4 != 0 { quarter } else { -quarter };
+                build_node(x, y, z, m, bucket, [cx, cy, cz], quarter, depth + 1)
+            };
+            // The eight top-level octants are independent subtrees; building
+            // them concurrently yields the same tree as the serial recursion
+            // because each subtree depends only on its own bucket.
+            let children: Vec<BhNode> = if depth == 0 && indices.len() >= PAR_BUILD_THRESHOLD {
+                let buckets: Vec<Vec<usize>> = buckets.into_iter().collect();
+                par::par_map(8, |oct| child(oct, buckets[oct].clone()))
+            } else {
+                buckets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(oct, bucket)| child(oct, bucket))
+                    .collect()
+            };
             let mass: f64 = indices.iter().map(|&i| m[i]).sum();
             let com = com_of(x, y, z, m, &indices, mass);
             BhNode::Internal {

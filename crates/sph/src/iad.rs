@@ -42,15 +42,16 @@ pub fn invert_sym3(t: [f64; 6]) -> [f64; 6] {
 
 /// Compute IAD tensors, velocity divergence and curl magnitude for owned
 /// particles.
+///
+/// Parallelized by gather: each index reads neighbor state but writes only
+/// its own tensor/divergence/curl slot, with the two neighbor sweeps kept
+/// in cell-list order — bit-identical to the serial loop.
 pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kernel: Kernel) {
-    let (x, y, z) = (&parts.x, &parts.y, &parts.z);
-    let n = parts.n_local;
-    let mut tensors = vec![[0.0f64; 6]; n];
-    let mut divv = vec![0.0f64; n];
-    let mut curl = vec![[0.0f64; 3]; n];
-
-    for i in 0..n {
-        let hi = parts.h[i];
+    let p = &*parts;
+    let n = p.n_local;
+    let per_particle: Vec<([f64; 6], f64, [f64; 3])> = par::par_map(n, |i| {
+        let (x, y, z) = (&p.x, &p.y, &p.z);
+        let hi = p.h[i];
         let radius = kernel.support(hi);
         let mut tau = [0.0f64; 6];
         grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
@@ -60,10 +61,10 @@ pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kerne
             // Bootstrap volume for particles whose density is not yet
             // known (first-step halos): fall back to the mass itself, the
             // same rule XMass uses.
-            let vj = if parts.rho[j] > 0.0 {
-                parts.m[j] / parts.rho[j]
+            let vj = if p.rho[j] > 0.0 {
+                p.m[j] / p.rho[j]
             } else {
-                parts.m[j]
+                p.m[j]
             };
             let (dx, dy, dz) = bbox.delta(x[j], y[j], z[j], x[i], y[i], z[i]);
             let w = kernel.w(d2.sqrt(), hi);
@@ -74,23 +75,20 @@ pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kerne
             tau[4] += vj * dy * dz * w;
             tau[5] += vj * dz * dz * w;
         });
-        tensors[i] = invert_sym3(tau);
+        let c = invert_sym3(tau);
 
         // Divergence and curl via the IAD linear operator:
         // dv_a/dx_b ~= sum_j V_j (v_j - v_i)_a (C (r_j - r_i))_b W_ij
-        let c = tensors[i];
         let mut grad = [[0.0f64; 3]; 3]; // grad[a][b] = dv_a/dx_b
         grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
             if j == i || d2 == 0.0 {
                 return;
             }
-            // Bootstrap volume for particles whose density is not yet
-            // known (first-step halos): fall back to the mass itself, the
-            // same rule XMass uses.
-            let vj = if parts.rho[j] > 0.0 {
-                parts.m[j] / parts.rho[j]
+            // Same bootstrap-volume rule as the tensor sweep above.
+            let vj = if p.rho[j] > 0.0 {
+                p.m[j] / p.rho[j]
             } else {
-                parts.m[j]
+                p.m[j]
             };
             let (dx, dy, dz) = bbox.delta(x[j], y[j], z[j], x[i], y[i], z[i]);
             let w = kernel.w(d2.sqrt(), hi);
@@ -98,33 +96,32 @@ pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kerne
             let cdx = c[0] * dx + c[1] * dy + c[2] * dz;
             let cdy = c[1] * dx + c[3] * dy + c[4] * dz;
             let cdz = c[2] * dx + c[4] * dy + c[5] * dz;
-            let dvx = parts.vx[j] - parts.vx[i];
-            let dvy = parts.vy[j] - parts.vy[i];
-            let dvz = parts.vz[j] - parts.vz[i];
+            let dvx = p.vx[j] - p.vx[i];
+            let dvy = p.vy[j] - p.vy[i];
+            let dvz = p.vz[j] - p.vz[i];
             for (a, dva) in [dvx, dvy, dvz].into_iter().enumerate() {
                 grad[a][0] += vj * dva * cdx * w;
                 grad[a][1] += vj * dva * cdy * w;
                 grad[a][2] += vj * dva * cdz * w;
             }
         });
-        divv[i] = grad[0][0] + grad[1][1] + grad[2][2];
-        curl[i] = [
+        let divv = grad[0][0] + grad[1][1] + grad[2][2];
+        let curl = [
             grad[2][1] - grad[1][2],
             grad[0][2] - grad[2][0],
             grad[1][0] - grad[0][1],
         ];
-    }
+        (c, divv, curl)
+    });
 
-    for i in 0..n {
-        let t = tensors[i];
+    for (i, (t, divv, [cx, cy, cz])) in per_particle.into_iter().enumerate() {
         parts.c11[i] = t[0];
         parts.c12[i] = t[1];
         parts.c13[i] = t[2];
         parts.c22[i] = t[3];
         parts.c23[i] = t[4];
         parts.c33[i] = t[5];
-        parts.divv[i] = divv[i];
-        let [cx, cy, cz] = curl[i];
+        parts.divv[i] = divv;
         parts.curlv[i] = (cx * cx + cy * cy + cz * cz).sqrt();
     }
 }

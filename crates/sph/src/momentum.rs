@@ -18,18 +18,17 @@ use crate::particles::Particles;
 /// du_i =  P_i/(Om_i rho_i^2) sum_j m_j v_ij . gradW(h_i)
 ///       + 1/2 sum_j m_j Pi_ij v_ij . gradW_avg
 /// ```
+///
+/// Parallelized by gather: each index accumulates only its own force and
+/// energy rate, in cell-list order — bit-identical to the serial loop.
 pub fn momentum_energy(parts: &mut Particles, grid: &CellList, bbox: &Box3, kernel: Kernel) {
-    let (x, y, z) = (&parts.x, &parts.y, &parts.z);
-    let n = parts.n_local;
-    let mut ax = vec![0.0f64; n];
-    let mut ay = vec![0.0f64; n];
-    let mut az = vec![0.0f64; n];
-    let mut du = vec![0.0f64; n];
-
-    for i in 0..n {
-        let hi = parts.h[i];
-        let rho_i = parts.rho[i].max(1e-300);
-        let pi_term = parts.p[i] / (parts.gradh[i] * rho_i * rho_i);
+    let p = &*parts;
+    let n = p.n_local;
+    let rates: Vec<(f64, f64, f64, f64)> = par::par_map(n, |i| {
+        let (x, y, z) = (&p.x, &p.y, &p.z);
+        let hi = p.h[i];
+        let rho_i = p.rho[i].max(1e-300);
+        let pi_term = p.p[i] / (p.gradh[i] * rho_i * rho_i);
         // Search must cover the larger support of interacting pairs; h is
         // smooth so 1.4x covers neighbor h differences.
         let radius = kernel.support(hi) * 1.4;
@@ -40,7 +39,7 @@ pub fn momentum_energy(parts: &mut Particles, grid: &CellList, bbox: &Box3, kern
                 return;
             }
             let r = d2.sqrt();
-            let hj = parts.h[j];
+            let hj = p.h[j];
             // Pair interacts if within either particle's support.
             if r >= kernel.support(hi) && r >= kernel.support(hj) {
                 return;
@@ -53,26 +52,26 @@ pub fn momentum_energy(parts: &mut Particles, grid: &CellList, bbox: &Box3, kern
             // First-step halos arrive before their owner computed a density;
             // they carry no pressure yet and must not divide by rho^2 = 0
             // (which underflows to 0/0 = NaN).
-            let rho_j = parts.rho[j];
+            let rho_j = p.rho[j];
             let pj_term = if rho_j > 0.0 {
-                parts.p[j] / (parts.gradh[j] * rho_j * rho_j)
+                p.p[j] / (p.gradh[j] * rho_j * rho_j)
             } else {
                 0.0
             };
             let rho_j = rho_j.max(1e-300);
 
-            let dvx = parts.vx[i] - parts.vx[j];
-            let dvy = parts.vy[i] - parts.vy[j];
-            let dvz = parts.vz[i] - parts.vz[j];
+            let dvx = p.vx[i] - p.vx[j];
+            let dvy = p.vy[i] - p.vy[j];
+            let dvz = p.vz[i] - p.vz[j];
             let vdotr = dvx * dx + dvy * dy + dvz * dz;
 
-            let alpha_ij = 0.5 * (parts.alpha[i] + parts.alpha[j]);
+            let alpha_ij = 0.5 * (p.alpha[i] + p.alpha[j]);
             let h_ij = 0.5 * (hi + hj);
-            let c_ij = 0.5 * (parts.c[i] + parts.c[j]);
+            let c_ij = 0.5 * (p.c[i] + p.c[j]);
             let rho_ij = 0.5 * (rho_i + rho_j);
             let visc = viscosity_pi(alpha_ij, h_ij, c_ij, rho_ij, vdotr, d2);
 
-            let mj = parts.m[j];
+            let mj = p.m[j];
             let grad_scale = pi_term * dwi + pj_term * dwj + visc * dw_avg;
             axi -= mj * grad_scale * dx;
             ayi -= mj * grad_scale * dy;
@@ -80,16 +79,15 @@ pub fn momentum_energy(parts: &mut Particles, grid: &CellList, bbox: &Box3, kern
             dui += mj * (pi_term * dwi + 0.5 * visc * dw_avg) * vdotr;
         });
 
-        ax[i] = axi;
-        ay[i] = ayi;
-        az[i] = azi;
-        du[i] = dui;
-    }
+        (axi, ayi, azi, dui)
+    });
 
-    parts.ax[..n].copy_from_slice(&ax);
-    parts.ay[..n].copy_from_slice(&ay);
-    parts.az[..n].copy_from_slice(&az);
-    parts.du[..n].copy_from_slice(&du);
+    for (i, (axi, ayi, azi, dui)) in rates.into_iter().enumerate() {
+        parts.ax[i] = axi;
+        parts.ay[i] = ayi;
+        parts.az[i] = azi;
+        parts.du[i] = dui;
+    }
 }
 
 #[cfg(test)]

@@ -335,14 +335,14 @@ impl NBody {
             }
         }
         let tree = BhTree::build(&gx, &gy, &gz, &gm, self.theta, self.eps);
+        // Gather-parallel tree walks; the potential fold stays serial in
+        // index order so the sum is thread-count invariant.
+        let p = &self.parts;
+        let walks: Vec<([f64; 3], f64)> = par::par_map(n, |i| {
+            tree.accel_at(p.x[i], p.y[i], p.z[i], Some(my_offset + i))
+        });
         let mut potential = 0.0;
-        for i in 0..n {
-            let (a, phi) = tree.accel_at(
-                self.parts.x[i],
-                self.parts.y[i],
-                self.parts.z[i],
-                Some(my_offset + i),
-            );
+        for (i, (a, phi)) in walks.into_iter().enumerate() {
             self.parts.ax[i] = a[0];
             self.parts.ay[i] = a[1];
             self.parts.az[i] = a[2];

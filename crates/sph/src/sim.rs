@@ -103,6 +103,10 @@ pub struct Simulation {
     time: f64,
     step_index: u64,
     potential: f64,
+    /// Largest smoothing length over owned + halo particles, computed once
+    /// per step by `DomainDecompAndSync` and reused by `build_grid` (the
+    /// full-array fold used to be repeated every grid build).
+    h_max_all: f64,
 }
 
 impl Simulation {
@@ -120,6 +124,7 @@ impl Simulation {
             time: 0.0,
             step_index: 0,
             potential: 0.0,
+            h_max_all: 1e-6,
         }
     }
 
@@ -152,6 +157,7 @@ impl Simulation {
             time: 0.0,
             step_index: 0,
             potential: 0.0,
+            h_max_all: 1e-6,
         }
     }
 
@@ -358,13 +364,14 @@ impl Simulation {
     }
 
     fn build_grid(&self) -> CellList {
-        let h_max = self.parts.h.iter().cloned().fold(1e-6, f64::max);
+        // `h_max_all` is maintained by `domain_decomp_and_sync`, which runs
+        // at the start of every step before the grid is (re)built.
         CellList::build(
             &self.parts.x,
             &self.parts.y,
             &self.parts.z,
             &self.bbox,
-            self.cfg.kernel.support(h_max) * 1.4,
+            self.cfg.kernel.support(self.h_max_all) * 1.4,
         )
     }
 
@@ -493,6 +500,14 @@ impl Simulation {
                 self.parts.unpack_halo(&bytes_to_f64s(&data));
             }
         }
+
+        // Cache the owned+halo h maximum for this step's grid builds:
+        // extending the owned fold over the freshly-unpacked halo tail gives
+        // exactly the value the old per-build full-array fold produced.
+        self.h_max_all = self.parts.h[self.parts.n_local..]
+            .iter()
+            .cloned()
+            .fold(h_local, f64::max);
     }
 
     /// Global Barnes-Hut gravity: gather all point masses, add accelerations,
@@ -527,14 +542,14 @@ impl Simulation {
         }
         let h_mean = self.parts.h[..n_local].iter().sum::<f64>() / n_local.max(1) as f64;
         let tree = BhTree::build(&gx, &gy, &gz, &gm, 0.6, 0.2 * h_mean);
+        // Gather-parallel tree walks; the potential fold stays serial in
+        // index order so the sum is thread-count invariant.
+        let p = &self.parts;
+        let walks: Vec<([f64; 3], f64)> = par::par_map(n_local, |i| {
+            tree.accel_at(p.x[i], p.y[i], p.z[i], Some(my_offset + i))
+        });
         let mut potential = 0.0;
-        for i in 0..n_local {
-            let (a, phi) = tree.accel_at(
-                self.parts.x[i],
-                self.parts.y[i],
-                self.parts.z[i],
-                Some(my_offset + i),
-            );
+        for (i, (a, phi)) in walks.into_iter().enumerate() {
             self.parts.ax[i] += a[0];
             self.parts.ay[i] += a[1];
             self.parts.az[i] += a[2];

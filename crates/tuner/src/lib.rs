@@ -117,13 +117,18 @@ pub fn tune_kernel<F>(
     opts: TuneOptions,
 ) -> TuneResult
 where
-    F: Fn(&ParamValues, f64) -> KernelWorkload,
+    F: Fn(&ParamValues, f64) -> KernelWorkload + Sync,
 {
+    // Each evaluation benchmarks a fresh simulated device, so configurations
+    // are independent and the brute-force sweep runs configurations
+    // concurrently (collected in enumeration order — identical output).
     let evaluate = |assignment: &ParamValues| -> ConfigResult {
         let workload = kernel_source(assignment, problem_size);
         measure_config(gpu, &workload, assignment, opts.iterations)
     };
-    let configs = opts.strategy.search(params, &opts.objective, evaluate);
+    let configs = opts
+        .strategy
+        .search_parallel(params, &opts.objective, evaluate);
     assert!(!configs.is_empty(), "empty parameter space");
     let best = configs
         .iter()

@@ -137,6 +137,30 @@ impl Strategy {
             }
         }
     }
+
+    /// Like [`Strategy::search`] for evaluators that are safe to call
+    /// concurrently. Brute force fans the sweep out across worker threads —
+    /// results come back in enumeration order, so the output is identical
+    /// to the serial sweep. The sampling and climbing strategies are
+    /// inherently sequential (each step depends on earlier scores) and
+    /// delegate to the serial path.
+    pub fn search_parallel<F>(
+        &self,
+        space: &ParamSpace,
+        objective: &Objective,
+        evaluate: F,
+    ) -> Vec<ConfigResult>
+    where
+        F: Fn(&ParamValues) -> ConfigResult + Sync,
+    {
+        match self {
+            Strategy::BruteForce => {
+                let all = space.enumerate();
+                par::par_map(all.len(), |i| evaluate(&all[i]))
+            }
+            _ => self.search(space, objective, evaluate),
+        }
+    }
 }
 
 #[cfg(test)]
