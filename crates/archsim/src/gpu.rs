@@ -293,6 +293,12 @@ impl GpuDevice {
         self.policy = ClockPolicy::ApplicationClocks(f);
         self.analog_freq = f.0 as f64;
         self.change_freq(f);
+        telemetry::instant(
+            "gpu",
+            "set_application_clocks",
+            Some(self.now.as_nanos()),
+            vec![("mhz", f.0.into())],
+        );
         Ok(())
     }
 
@@ -303,6 +309,12 @@ impl GpuDevice {
             return Err(ArchError::NoPermission("ResetApplicationsClocks"));
         }
         self.policy = ClockPolicy::default_dvfs();
+        telemetry::instant(
+            "gpu",
+            "reset_application_clocks",
+            Some(self.now.as_nanos()),
+            Vec::new(),
+        );
         Ok(())
     }
 
@@ -316,6 +328,7 @@ impl GpuDevice {
             self.transitions += 1;
             self.pending_transition_j += self.spec.transition_cost.0;
             self.cur_freq = f;
+            telemetry::counter_add("gpu.freq_transitions", 1);
         }
         self.freq_tl.record(self.now, f);
     }
@@ -350,7 +363,7 @@ impl GpuDevice {
         let end = self.now;
         self.busy.push((start, end));
         self.total_launches += u64::from(w.launches);
-        RegionExec {
+        let exec = RegionExec {
             name: w.name.clone(),
             start,
             end,
@@ -360,7 +373,22 @@ impl GpuDevice {
                 .average_freq(start, end)
                 .unwrap_or(self.cur_freq),
             launches: w.launches,
+        };
+        if telemetry::active() {
+            telemetry::span_complete(
+                "gpu",
+                "kernel",
+                start.as_nanos(),
+                end.as_nanos(),
+                vec![
+                    ("func", exec.name.clone().into()),
+                    ("freq_mhz", exec.avg_freq.0.into()),
+                    ("energy_j", exec.energy.0.into()),
+                    ("launches", exec.launches.into()),
+                ],
+            );
         }
+        exec
     }
 
     /// Compute-activity factor scaled by occupancy: an under-filled device

@@ -341,6 +341,41 @@ mod tests {
     }
 
     #[test]
+    fn sample_average_of_empty_timeline_is_zero_power() {
+        let tl = PowerTimeline::new();
+        let avg = tl.sample_average(t(0), t(20), SimDuration::from_millis(10));
+        assert_eq!(avg.len(), 2, "buckets still cover the window");
+        assert!(avg.iter().all(|&(_, w)| w == Watts(0.0)));
+        // An empty window produces no buckets at all.
+        assert!(tl
+            .sample_average(t(5), t(5), SimDuration::from_millis(10))
+            .is_empty());
+    }
+
+    #[test]
+    fn sample_average_single_sample_covers_whole_window() {
+        let mut tl = PowerTimeline::new();
+        tl.push_until(t(10), Watts(100.0));
+        let avg = tl.sample_average(t(0), t(10), SimDuration::from_millis(10));
+        assert_eq!(avg, vec![(t(0), Watts(100.0))]);
+        // A period longer than the window clamps to the window end rather
+        // than averaging past it.
+        let avg = tl.sample_average(t(0), t(10), SimDuration::from_millis(25));
+        assert_eq!(avg, vec![(t(0), Watts(100.0))]);
+    }
+
+    #[test]
+    fn sample_average_bucket_boundary_exactly_on_a_sample() {
+        let mut tl = PowerTimeline::new();
+        tl.push_until(t(10), Watts(100.0));
+        tl.push_until(t(20), Watts(50.0));
+        // Bucket edges land exactly on the segment boundary: each bucket
+        // must see only its own segment, with no bleed either way.
+        let avg = tl.sample_average(t(0), t(20), SimDuration::from_millis(10));
+        assert_eq!(avg, vec![(t(0), Watts(100.0)), (t(10), Watts(50.0))]);
+    }
+
+    #[test]
     fn equal_power_segments_merge() {
         let mut tl = PowerTimeline::new();
         tl.push_until(t(10), Watts(100.0));

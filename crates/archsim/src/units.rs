@@ -244,6 +244,18 @@ mod tests {
     }
 
     #[test]
+    fn edp_zero_duration_is_zero_not_nan() {
+        // A zero-duration measurement must compare as "best possible", not
+        // poison downstream min-comparisons with NaN.
+        let edp = EnergyDelay::of(123.0, 0.0);
+        assert_eq!(edp.0, 0.0);
+        assert!(edp.0.is_finite());
+        assert_eq!(EnergyDelay::new(Joules(123.0), SimDuration::ZERO).0, 0.0);
+        // And zero energy behaves the same way.
+        assert_eq!(EnergyDelay::of(0.0, 5.0).0, 0.0);
+    }
+
+    #[test]
     fn volts_squared_ratio() {
         let r = Volts(0.9).squared_ratio(Volts(1.0));
         assert!((r - 0.81).abs() < 1e-12);

@@ -37,6 +37,8 @@ struct Scaling {
 #[derive(Serialize)]
 struct Report {
     host_threads: usize,
+    /// Worker counts each workload was timed at (the `seconds` keys).
+    worker_counts: Vec<usize>,
     reps: usize,
     particles: usize,
     results: Vec<Scaling>,
@@ -73,6 +75,19 @@ fn scaling(workload: &str, mut work: impl FnMut()) -> Scaling {
 
 fn main() {
     let cli = Cli::parse();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out_path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    if let Err(msg) = bench::refuse_single_core_overwrite(
+        host_threads,
+        std::path::Path::new(&out_path).exists(),
+        cli.force,
+    ) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
     banner(
         "PARALLEL SCALING (BENCH_parallel.json)",
         "SPH hot loops, gravity step and tuner sweep at 1/2/4/8 workers; speedup over 1 thread.",
@@ -142,18 +157,13 @@ fn main() {
     print_table(&["workload", "1t", "2t", "4t", "8t"], &rows);
 
     let report = Report {
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_threads,
+        worker_counts: THREADS.to_vec(),
         reps: REPS,
         particles: n,
         results,
     };
-    match &cli.json {
-        Some(_) => cli.maybe_write_json(&report),
-        None => {
-            let body = serde_json::to_string_pretty(&report).expect("serializable");
-            std::fs::write("BENCH_parallel.json", body)
-                .unwrap_or_else(|e| panic!("writing BENCH_parallel.json: {e}"));
-            eprintln!("wrote BENCH_parallel.json");
-        }
-    }
+    let body = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, body).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
 }

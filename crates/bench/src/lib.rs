@@ -88,10 +88,12 @@ pub fn n_side_for_ranks(ranks: usize) -> usize {
     (total_needed.cbrt().ceil() as usize).max(PHYSICS_N_SIDE)
 }
 
-/// Tiny CLI: `--steps N` and `--json PATH` are understood by every binary.
+/// Tiny CLI: `--steps N`, `--json PATH` and `--force` are understood by
+/// every binary.
 pub struct Cli {
     pub steps: usize,
     pub json: Option<String>,
+    pub force: bool,
 }
 
 impl Cli {
@@ -99,6 +101,7 @@ impl Cli {
         let args: Vec<String> = std::env::args().collect();
         let mut steps = DEFAULT_STEPS;
         let mut json = None;
+        let mut force = false;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -117,10 +120,16 @@ impl Cli {
                     );
                     i += 2;
                 }
-                other => panic!("unknown argument {other:?} (expected --steps N / --json PATH)"),
+                "--force" => {
+                    force = true;
+                    i += 1;
+                }
+                other => panic!(
+                    "unknown argument {other:?} (expected --steps N / --json PATH / --force)"
+                ),
             }
         }
-        Cli { steps, json }
+        Cli { steps, json, force }
     }
 
     /// Write `data` as pretty JSON when `--json` was given.
@@ -130,6 +139,26 @@ impl Cli {
             std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             eprintln!("wrote {path}");
         }
+    }
+}
+
+/// Guard for checked-in scaling artifacts: multi-worker timings measured on
+/// a single-core host are oversubscription noise, so an existing report is
+/// only replaced when the caller insists with `--force`. Returns the refusal
+/// message to print.
+pub fn refuse_single_core_overwrite(
+    host_threads: usize,
+    report_exists: bool,
+    force: bool,
+) -> Result<(), String> {
+    if host_threads <= 1 && report_exists && !force {
+        Err(format!(
+            "refusing to overwrite an existing scaling report from a \
+             {host_threads}-core host (multi-worker timings would be \
+             oversubscription noise); pass --force to override"
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -189,6 +218,19 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn single_core_guard_blocks_only_unforced_overwrites() {
+        // Single core + existing report + no --force: refuse.
+        assert!(refuse_single_core_overwrite(1, true, false).is_err());
+        // --force overrides.
+        assert!(refuse_single_core_overwrite(1, true, true).is_ok());
+        // Fresh report or a real multi-core host: always fine.
+        assert!(refuse_single_core_overwrite(1, false, false).is_ok());
+        assert!(refuse_single_core_overwrite(8, true, false).is_ok());
+        let msg = refuse_single_core_overwrite(1, true, false).unwrap_err();
+        assert!(msg.contains("--force"), "message must name the override");
+    }
 
     #[test]
     fn n_side_scales_with_ranks() {

@@ -37,17 +37,32 @@ fn online_template() -> ExperimentSpec {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: freqscale-run [--jobs N] [--out merged.json] <spec.json>... \n\
+        "usage: freqscale-run [--jobs N] [--out merged.json] [--trace-out trace.json]\n\
+         \x20                 [--metrics-out metrics.txt] [--timeline-csv timeline.csv]\n\
+         \x20                 <spec.json>...\n\
          \x20      freqscale-run <spec.json> [report.json]\n\
-         \x20      freqscale-run --print-template | --print-online-template"
+         \x20      freqscale-run --print-template | --print-online-template\n\
+         \n\
+         \x20 --trace-out     Chrome-trace/Perfetto JSON of the run (open at\n\
+         \x20                 https://ui.perfetto.dev)\n\
+         \x20 --metrics-out   Prometheus-style text dump of counters/histograms\n\
+         \x20 --timeline-csv  CSV merging span boundaries with GPU power samples"
     );
     std::process::exit(2);
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs = 0usize; // 0 -> the par layer's default worker count
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut timeline_csv: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -71,6 +86,9 @@ fn main() {
                 jobs = v.parse().unwrap_or_else(|e| panic!("--jobs {v}: {e}"));
             }
             "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--timeline-csv" => timeline_csv = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => positional.push(arg),
         }
@@ -88,9 +106,10 @@ fn main() {
     let specs: Vec<ExperimentSpec> = positional
         .iter()
         .map(|path| {
-            let body =
-                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-            serde_json::from_str(&body).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+            let body = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("reading spec {path}: {e}")));
+            serde_json::from_str(&body)
+                .unwrap_or_else(|e| fail(format!("parsing spec {path}: {e}")))
         })
         .collect();
     for spec in &specs {
@@ -104,7 +123,46 @@ fn main() {
         );
     }
 
+    let tracing = trace_out.is_some() || metrics_out.is_some() || timeline_csv.is_some();
+    if tracing {
+        if !telemetry::ENABLED {
+            eprintln!(
+                "warning: built without the `telemetry` feature; trace outputs will be empty"
+            );
+        }
+        telemetry::start();
+        telemetry::set_track("driver");
+    }
+
     let results = run_experiments(&specs, jobs);
+
+    if tracing {
+        let data = telemetry::stop();
+        eprintln!("{}", data.overhead_summary());
+        if let Some(path) = &trace_out {
+            std::fs::write(path, telemetry::chrome_trace(&data))
+                .unwrap_or_else(|e| fail(format!("writing trace {path}: {e}")));
+            eprintln!("wrote {path} (open at https://ui.perfetto.dev)");
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, telemetry::metrics_text(&data))
+                .unwrap_or_else(|e| fail(format!("writing metrics {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &timeline_csv {
+            // Merge with the first traced rank's power samples (specs with
+            // collect_trace populate them); spans still export without power.
+            let power: Vec<(f64, f64)> = results
+                .iter()
+                .flat_map(|r| r.per_rank.iter())
+                .find(|r| !r.power_trace.is_empty())
+                .map(|r| r.power_trace.clone())
+                .unwrap_or_default();
+            std::fs::write(path, telemetry::csv_timeline(&data, &power))
+                .unwrap_or_else(|e| fail(format!("writing timeline {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+    }
 
     // One spec keeps the original single-object report shape; several
     // merge into a JSON array in spec order. `to_json` emits complete

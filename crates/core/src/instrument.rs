@@ -454,17 +454,39 @@ impl StepObserver for EnergyInstrument {
         acc.gpu_j += call_j;
         acc.freq_weight += f64::from(exec.avg_freq.0) * call_j;
 
+        if telemetry::active() {
+            telemetry::counter_add("instrument.calls", 1);
+            telemetry::histogram_record("call_energy_j", call_j);
+            telemetry::histogram_record("call_time_s", call_time);
+        }
+
         if pending.online_tuned {
             if let Some(tuner) = self.online.as_mut() {
                 // Region-only time/energy — the same quantity the offline
                 // KernelTuner harness scores, so learned tables are directly
                 // comparable to `tune_table`'s.
-                tuner.record(
-                    func,
-                    exec.avg_freq,
-                    exec.energy.0,
-                    exec.duration().as_secs_f64(),
-                );
+                let region_t = exec.duration().as_secs_f64();
+                tuner.record(func, exec.avg_freq, exec.energy.0, region_t);
+                if telemetry::active() {
+                    // Each online rung measurement *is* a tuner evaluation —
+                    // the in-run counterpart of an offline sweep point.
+                    telemetry::span_complete(
+                        "tuner",
+                        "eval",
+                        exec.start.as_nanos(),
+                        exec.end.as_nanos(),
+                        vec![
+                            ("func", func.name().into()),
+                            ("freq_mhz", exec.avg_freq.0.into()),
+                            ("energy_j", exec.energy.0.into()),
+                            ("edp", EnergyDelay::of(exec.energy.0, region_t).0.into()),
+                            ("pinned", tuner.is_pinned(func).into()),
+                        ],
+                    );
+                    if let Some(edp) = tuner.windowed_edp(func) {
+                        telemetry::gauge_set(&format!("online.windowed_edp.{}", func.name()), edp);
+                    }
+                }
             }
         }
 

@@ -85,6 +85,23 @@ pub struct OnlineTuner {
     kernels: BTreeMap<FuncId, KernelState>,
 }
 
+/// Emit one controller decision as an `online/decide` event: which kernel,
+/// what happened, the chosen clock, and the windowed EDP backing the choice.
+fn decide_event(func: FuncId, action: &'static str, mhz: MegaHertz, windowed_edp: Option<f64>) {
+    if !telemetry::active() {
+        return;
+    }
+    let mut fields: telemetry::Fields = vec![
+        ("func", func.name().into()),
+        ("action", action.into()),
+        ("mhz", mhz.0.into()),
+    ];
+    if let Some(e) = windowed_edp {
+        fields.push(("windowed_edp", e.into()));
+    }
+    telemetry::instant("online", "decide", None, fields);
+}
+
 fn nearest_idx(ladder: &[MegaHertz], f: MegaHertz) -> usize {
     ladder
         .iter()
@@ -192,6 +209,12 @@ impl OnlineTuner {
             // Exploration budget exhausted: pin at the incumbent rung (the
             // safe maximum clock if the search never left the coarse phase).
             st.phase = Phase::Pinned;
+            decide_event(
+                func,
+                "pin_budget",
+                self.ladder[st.best],
+                st.mean_at(st.best),
+            );
         }
         // Each iteration either returns a rung to measure next or advances
         // the phase machine by one decision; the bound is defensive.
@@ -220,6 +243,12 @@ impl OnlineTuner {
                         step: refine_step,
                         stays: 0,
                     };
+                    decide_event(
+                        func,
+                        "coarse_winner",
+                        self.ladder[st.best],
+                        st.mean_at(st.best),
+                    );
                     // New candidate set: drop the coarse-phase samples so the
                     // refine comparison is between contemporaneous windows.
                     st.estimates.clear();
@@ -251,6 +280,7 @@ impl OnlineTuner {
                     if win != st.best && win_mean < cur * (1.0 - min_improvement) {
                         st.best = win;
                         st.phase = Phase::Refine { step, stays: 0 };
+                        decide_event(func, "refine_move", self.ladder[win], Some(win_mean));
                         st.estimates.clear();
                     } else if step > 1 {
                         st.phase = Phase::Refine {
@@ -260,6 +290,7 @@ impl OnlineTuner {
                         st.estimates.clear();
                     } else if stays + 1 >= patience {
                         st.phase = Phase::Pinned;
+                        decide_event(func, "pin", self.ladder[st.best], st.mean_at(st.best));
                     } else {
                         // Demand one more measurement at the incumbent rung
                         // before the next keep-decision counts toward
@@ -294,6 +325,12 @@ impl OnlineTuner {
             .entry(idx)
             .or_insert_with(|| RungEstimate::new(window))
             .record(energy_j, time_s);
+    }
+
+    /// The contemporaneous windowed-EDP estimate at `func`'s current best
+    /// rung, if it has samples.
+    pub fn windowed_edp(&self, func: FuncId) -> Option<f64> {
+        self.kernels.get(&func).and_then(|s| s.mean_at(s.best))
     }
 
     /// True once `func`'s clock is pinned.

@@ -112,7 +112,9 @@ impl RankCtx {
     pub fn allgather_bytes(&mut self, data: Vec<u8>) -> Vec<Vec<u8>> {
         self.stats.collectives += 1;
         self.stats.collective_bytes += data.len() as u64;
+        let entry = self.clock;
         let max_bytes = data.len();
+        let bytes_in = data.len();
         let gathered = self
             .slot
             .allgather(self.rank, (self.clock.as_nanos(), data));
@@ -123,6 +125,15 @@ impl RankCtx {
             max_len = max_len.max(payload.len());
         }
         self.clock = max_clock + self.cost.collective(self.size, max_len);
+        if telemetry::active() {
+            telemetry::span_complete(
+                "comm",
+                "allgather",
+                entry.as_nanos(),
+                self.clock.as_nanos(),
+                vec![("bytes", bytes_in.into()), ("world", self.size.into())],
+            );
+        }
         gathered.into_iter().map(|(_, payload)| payload).collect()
     }
 
@@ -183,6 +194,14 @@ impl RankCtx {
         assert_ne!(dst, self.rank, "self-sends are not modeled");
         self.stats.sends += 1;
         self.stats.send_bytes += data.len() as u64;
+        if telemetry::active() {
+            telemetry::instant(
+                "comm",
+                "send",
+                Some(self.clock.as_nanos()),
+                vec![("dst", dst.into()), ("bytes", data.len().into())],
+            );
+        }
         self.senders[dst]
             .send((self.clock.as_nanos(), data))
             .expect("receiver thread alive for the world's lifetime");
@@ -192,6 +211,7 @@ impl RankCtx {
     /// the message's arrival time under the cost model.
     pub fn recv(&mut self, src: usize) -> Vec<u8> {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let entry = self.clock;
         let (sent_ns, data) = self.receivers[src]
             .recv()
             .expect("sender thread alive for the world's lifetime");
@@ -199,6 +219,15 @@ impl RankCtx {
         self.clock = self.clock.max(arrival);
         self.stats.recvs += 1;
         self.stats.recv_bytes += data.len() as u64;
+        if telemetry::active() {
+            telemetry::span_complete(
+                "comm",
+                "recv",
+                entry.as_nanos(),
+                self.clock.as_nanos(),
+                vec![("src", src.into()), ("bytes", data.len().into())],
+            );
+        }
         data
     }
 

@@ -80,7 +80,12 @@ where
             .into_iter()
             .map(|mut ctx| {
                 let f = &f;
-                scope.spawn(move || f(&mut ctx))
+                scope.spawn(move || {
+                    if telemetry::active() {
+                        telemetry::set_track(format!("rank-{}", ctx.rank()));
+                    }
+                    f(&mut ctx)
+                })
             })
             .collect();
         handles

@@ -44,6 +44,24 @@ pub trait StepObserver {
     );
 }
 
+/// Open a telemetry span for one instrumented function, stamped with the
+/// rank's virtual clock at entry. Inert (and allocation-free) outside a
+/// recording session.
+fn func_span(func: FuncId, step: u64, ctx: &RankCtx) -> telemetry::SpanGuard {
+    let mut sp = telemetry::span_start("sph", func.name());
+    if sp.is_active() {
+        sp.field("step", step);
+        sp.sim_start(ctx.now().as_nanos());
+    }
+    sp
+}
+
+/// Stamp the exit clock (after the observer advanced virtual time) and
+/// record the span.
+fn close_span(mut sp: telemetry::SpanGuard, ctx: &RankCtx) {
+    sp.sim_end(ctx.now().as_nanos());
+}
+
 /// Observer that does nothing (pure-physics runs and tests).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
@@ -187,7 +205,15 @@ impl Simulation {
         let size = ctx.size();
         let kernel = self.cfg.kernel;
 
+        let mut step_sp = telemetry::span_start("sph", "step");
+        if step_sp.is_active() {
+            step_sp.field("step", self.step_index);
+            step_sp.field("n_local", self.parts.n_local);
+            step_sp.sim_start(ctx.now().as_nanos());
+        }
+
         // ---- DomainDecompAndSync -------------------------------------
+        let sp = func_span(FuncId::DomainDecompAndSync, self.step_index, ctx);
         obs.before(FuncId::DomainDecompAndSync, ctx);
         self.domain_decomp_and_sync(ctx);
         obs.after(
@@ -196,8 +222,10 @@ impl Simulation {
             FuncId::DomainDecompAndSync.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- FindNeighbors -------------------------------------------
+        let sp = func_span(FuncId::FindNeighbors, self.step_index, ctx);
         obs.before(FuncId::FindNeighbors, ctx);
         let grid = self.build_grid();
         self.nn = neighbor_counts(&self.parts, &grid, &self.bbox, kernel);
@@ -207,8 +235,10 @@ impl Simulation {
             FuncId::FindNeighbors.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- XMass ----------------------------------------------------
+        let sp = func_span(FuncId::XMass, self.step_index, ctx);
         obs.before(FuncId::XMass, ctx);
         xmass(&mut self.parts);
         obs.after(
@@ -217,8 +247,10 @@ impl Simulation {
             FuncId::XMass.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- NormalizationGradh (density + grad-h) ---------------------
+        let sp = func_span(FuncId::NormalizationGradh, self.step_index, ctx);
         obs.before(FuncId::NormalizationGradh, ctx);
         density_gradh(&mut self.parts, &grid, &self.bbox, kernel);
         obs.after(
@@ -227,8 +259,10 @@ impl Simulation {
             FuncId::NormalizationGradh.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- EquationOfState -------------------------------------------
+        let sp = func_span(FuncId::EquationOfState, self.step_index, ctx);
         obs.before(FuncId::EquationOfState, ctx);
         self.eos.apply(&mut self.parts);
         obs.after(
@@ -237,8 +271,10 @@ impl Simulation {
             FuncId::EquationOfState.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- IADVelocityDivCurl ----------------------------------------
+        let sp = func_span(FuncId::IADVelocityDivCurl, self.step_index, ctx);
         obs.before(FuncId::IADVelocityDivCurl, ctx);
         iad_divv_curlv(&mut self.parts, &grid, &self.bbox, kernel);
         obs.after(
@@ -247,8 +283,10 @@ impl Simulation {
             FuncId::IADVelocityDivCurl.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- AVSwitches -------------------------------------------------
+        let sp = func_span(FuncId::AVSwitches, self.step_index, ctx);
         obs.before(FuncId::AVSwitches, ctx);
         av_switches(&mut self.parts, self.dt);
         obs.after(
@@ -257,8 +295,10 @@ impl Simulation {
             FuncId::AVSwitches.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- MomentumEnergy ----------------------------------------------
+        let sp = func_span(FuncId::MomentumEnergy, self.step_index, ctx);
         obs.before(FuncId::MomentumEnergy, ctx);
         momentum_energy(&mut self.parts, &grid, &self.bbox, kernel);
         obs.after(
@@ -267,6 +307,7 @@ impl Simulation {
             FuncId::MomentumEnergy.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // Numerical-health check (debug builds): no instrumented function may
         // leave non-finite state behind.
@@ -295,6 +336,7 @@ impl Simulation {
 
         // ---- Gravity (Evrard only) ----------------------------------------
         if self.gravity {
+            let sp = func_span(FuncId::Gravity, self.step_index, ctx);
             obs.before(FuncId::Gravity, ctx);
             self.apply_gravity(ctx);
             obs.after(
@@ -303,11 +345,13 @@ impl Simulation {
                 FuncId::Gravity.host_overhead(size),
                 ctx,
             );
+            close_span(sp, ctx);
         } else {
             self.potential = 0.0;
         }
 
         // ---- Timestep (global min reduction) -------------------------------
+        let sp = func_span(FuncId::Timestep, self.step_index, ctx);
         obs.before(FuncId::Timestep, ctx);
         let dt_local = local_timestep(&self.parts, self.dt);
         let dt = ctx.allreduce_f64(dt_local, Op::Min);
@@ -319,8 +363,10 @@ impl Simulation {
             FuncId::Timestep.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- UpdateQuantities ----------------------------------------------
+        let sp = func_span(FuncId::UpdateQuantities, self.step_index, ctx);
         obs.before(FuncId::UpdateQuantities, ctx);
         update_quantities(&mut self.parts, dt, &self.bbox);
         update_smoothing_lengths(&mut self.parts, &self.nn, self.cfg.target_neighbors);
@@ -330,8 +376,10 @@ impl Simulation {
             FuncId::UpdateQuantities.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
 
         // ---- EnergyConservation ----------------------------------------------
+        let sp = func_span(FuncId::EnergyConservation, self.step_index, ctx);
         obs.before(FuncId::EnergyConservation, ctx);
         let local = local_budget(&self.parts, self.potential);
         let gathered = ctx.allgather_f64s(&local.to_slice());
@@ -345,6 +393,10 @@ impl Simulation {
             FuncId::EnergyConservation.host_overhead(size),
             ctx,
         );
+        close_span(sp, ctx);
+
+        step_sp.sim_end(ctx.now().as_nanos());
+        drop(step_sp);
 
         self.step_index += 1;
         StepStats {

@@ -1,0 +1,219 @@
+//! Data model shared by the live recorder and the exporters.
+//!
+//! Everything here is compiled in both modes: with the `enabled` feature off
+//! the recorder never produces any of it, but the exporters still accept a
+//! (then always-empty) [`TraceData`], so downstream code needs no `cfg`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A typed span/event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    /// Static label (the common case — no allocation).
+    Str(&'static str),
+    /// Owned label; call sites should gate construction on
+    /// [`crate::active`] so the allocation only happens while recording.
+    String(String),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::String(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Key/value field list attached to spans and instants.
+pub type Fields = Vec<(&'static str, Value)>;
+
+/// One closed span: `[wall_start, wall_end)` nanoseconds since the session
+/// anchor, plus an optional virtual-time range for events that live on the
+/// simulation clock (SPH functions, kernel regions, comm ops).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub cat: &'static str,
+    pub name: &'static str,
+    pub wall_start_ns: u64,
+    pub wall_end_ns: u64,
+    pub sim_start_ns: Option<u64>,
+    pub sim_end_ns: Option<u64>,
+    pub fields: Fields,
+}
+
+impl SpanRecord {
+    /// True when the span carries a virtual-time range (both endpoints).
+    pub fn has_sim_range(&self) -> bool {
+        self.sim_start_ns.is_some() && self.sim_end_ns.is_some()
+    }
+}
+
+/// One point event (a decision, a clock pin, ...).
+#[derive(Debug, Clone)]
+pub struct InstantRecord {
+    pub cat: &'static str,
+    pub name: &'static str,
+    pub wall_ns: u64,
+    pub sim_ns: Option<u64>,
+    pub fields: Fields,
+}
+
+/// Everything one recording thread produced, in record order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    Span(SpanRecord),
+    Instant(InstantRecord),
+}
+
+/// One thread's track: its label plus its events.
+#[derive(Debug, Clone, Default)]
+pub struct TrackData {
+    pub name: String,
+    pub events: Vec<Event>,
+}
+
+/// Log-bucketed (base-2) histogram snapshot. Bucket `i` counts samples in
+/// `(2^i, 2^(i+1)]`; exponents are clamped to `±HISTO_EXP_CLAMP`.
+#[derive(Debug, Clone, Default)]
+pub struct HistoSnapshot {
+    pub name: String,
+    pub buckets: BTreeMap<i32, u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+/// Exponent clamp for histogram buckets (2^±64 covers ns..hours and nJ..GJ).
+pub const HISTO_EXP_CLAMP: i32 = 64;
+
+/// Bucket exponent for a sample: smallest `i` with `v <= 2^i`.
+pub fn histo_bucket(v: f64) -> i32 {
+    if !v.is_finite() || v <= 0.0 {
+        return -HISTO_EXP_CLAMP;
+    }
+    (v.log2().ceil() as i32).clamp(-HISTO_EXP_CLAMP, HISTO_EXP_CLAMP)
+}
+
+/// The full payload of one recording session, as returned by
+/// [`crate::stop`]. With the `enabled` feature off this is always
+/// [`TraceData::default`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    pub tracks: Vec<TrackData>,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistoSnapshot>,
+    /// Wall-clock length of the session, nanoseconds.
+    pub session_ns: u64,
+    /// Wall time the recorder itself spent appending records — the
+    /// measurement-overhead figure the paper's §III-B discussion asks every
+    /// in-app instrumentation layer to report.
+    pub overhead_ns: u64,
+    /// Events discarded because a per-thread buffer hit its cap.
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// Total recorded spans across all tracks.
+    pub fn span_count(&self) -> usize {
+        self.tracks
+            .iter()
+            .map(|t| {
+                t.events
+                    .iter()
+                    .filter(|e| matches!(e, Event::Span(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Total recorded instants across all tracks.
+    pub fn instant_count(&self) -> usize {
+        self.tracks
+            .iter()
+            .map(|t| {
+                t.events
+                    .iter()
+                    .filter(|e| matches!(e, Event::Instant(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Recorder self-cost as a fraction of the session wall time (0 when
+    /// nothing was recorded or the session had zero length).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.session_ns == 0 {
+            0.0
+        } else {
+            self.overhead_ns as f64 / self.session_ns as f64
+        }
+    }
+
+    /// One-line human summary of the recorder's own cost.
+    pub fn overhead_summary(&self) -> String {
+        format!(
+            "telemetry: {} spans + {} instants in {:.3} s; recorder self-cost {:.3} ms ({:.4}% of wall){}",
+            self.span_count(),
+            self.instant_count(),
+            self.session_ns as f64 / 1e9,
+            self.overhead_ns as f64 / 1e6,
+            self.overhead_fraction() * 100.0,
+            if self.dropped > 0 {
+                format!("; {} events dropped at buffer cap", self.dropped)
+            } else {
+                String::new()
+            }
+        )
+    }
+}

@@ -1,0 +1,364 @@
+//! Exporters over [`TraceData`]: Chrome-trace/Perfetto JSON, CSV timelines
+//! merged with power samples, and Prometheus-style text metrics.
+//!
+//! All three are pure functions of a [`TraceData`] snapshot, so they compile
+//! (and produce valid, empty output) even when the recorder itself is
+//! compiled out.
+
+use std::fmt::Write as _;
+
+use crate::data::{Event, HistoSnapshot, TraceData, Value, HISTO_EXP_CLAMP};
+
+/// Chrome-trace process id used for events on the *simulation* clock.
+pub const PID_SIM: u32 = 1;
+/// Chrome-trace process id used for events on the *wall* clock.
+pub const PID_WALL: u32 = 2;
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(n) => {
+            if n.is_finite() {
+                let _ = write!(out, "{n}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            esc(out, s);
+            out.push('"');
+        }
+        Value::String(s) => {
+            out.push('"');
+            esc(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn json_args(out: &mut String, fields: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        esc(out, k);
+        out.push_str("\":");
+        json_value(out, v);
+    }
+    out.push('}');
+}
+
+#[allow(clippy::too_many_arguments)]
+fn event_line(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    cat: &str,
+    ph: &str,
+    pid: u32,
+    tid: usize,
+    ts_us: f64,
+    fields: Option<&[(&'static str, Value)]>,
+    instant_scope: bool,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  {\"name\":\"");
+    esc(out, name);
+    out.push_str("\",\"cat\":\"");
+    esc(out, cat);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us:.3}"
+    );
+    if instant_scope {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if let Some(f) = fields {
+        out.push_str(",\"args\":");
+        json_args(out, f);
+    }
+    out.push('}');
+}
+
+fn meta_line(
+    out: &mut String,
+    first: &mut bool,
+    kind: &str,
+    pid: u32,
+    tid: Option<usize>,
+    name: &str,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  {\"name\":\"");
+    out.push_str(kind);
+    let _ = write!(out, "\",\"ph\":\"M\",\"pid\":{pid}");
+    if let Some(t) = tid {
+        let _ = write!(out, ",\"tid\":{t}");
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    esc(out, name);
+    out.push_str("\"}}");
+}
+
+/// Render the session as Chrome-trace JSON (load in `chrome://tracing` or
+/// <https://ui.perfetto.dev>). Two "processes" separate the clock domains:
+/// pid 1 carries events with a virtual-time range (`ts` = sim microseconds),
+/// pid 2 carries wall-clock events (`ts` = microseconds since session
+/// start). Within each, one thread track per recording thread. Spans emit
+/// matched `B`/`E` pairs; point events emit `i`.
+pub fn chrome_trace(data: &TraceData) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    meta_line(
+        &mut out,
+        &mut first,
+        "process_name",
+        PID_SIM,
+        None,
+        "sim-time",
+    );
+    meta_line(
+        &mut out,
+        &mut first,
+        "process_name",
+        PID_WALL,
+        None,
+        "wall-clock",
+    );
+    for (tid, track) in data.tracks.iter().enumerate() {
+        meta_line(
+            &mut out,
+            &mut first,
+            "thread_name",
+            PID_SIM,
+            Some(tid),
+            &track.name,
+        );
+        meta_line(
+            &mut out,
+            &mut first,
+            "thread_name",
+            PID_WALL,
+            Some(tid),
+            &track.name,
+        );
+    }
+    for (tid, track) in data.tracks.iter().enumerate() {
+        for ev in &track.events {
+            match ev {
+                Event::Span(s) => {
+                    let (pid, t0, t1) = if s.has_sim_range() {
+                        (
+                            PID_SIM,
+                            s.sim_start_ns.unwrap_or(0) as f64 / 1e3,
+                            s.sim_end_ns.unwrap_or(0) as f64 / 1e3,
+                        )
+                    } else {
+                        (
+                            PID_WALL,
+                            s.wall_start_ns as f64 / 1e3,
+                            s.wall_end_ns as f64 / 1e3,
+                        )
+                    };
+                    event_line(
+                        &mut out,
+                        &mut first,
+                        s.name,
+                        s.cat,
+                        "B",
+                        pid,
+                        tid,
+                        t0,
+                        Some(&s.fields),
+                        false,
+                    );
+                    event_line(
+                        &mut out, &mut first, s.name, s.cat, "E", pid, tid, t1, None, false,
+                    );
+                }
+                Event::Instant(i) => {
+                    let (pid, ts) = match i.sim_ns {
+                        Some(ns) => (PID_SIM, ns as f64 / 1e3),
+                        None => (PID_WALL, i.wall_ns as f64 / 1e3),
+                    };
+                    event_line(
+                        &mut out,
+                        &mut first,
+                        i.name,
+                        i.cat,
+                        "i",
+                        pid,
+                        tid,
+                        ts,
+                        Some(&i.fields),
+                        true,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Render a flat CSV timeline merging span boundaries (and instants) with
+/// externally supplied power samples — `power` entries are
+/// `(seconds, watts)` pairs on the same simulation clock the spans use
+/// (e.g. a `PowerTimeline::sample_average` trace). Rows are sorted by time,
+/// so the file lines up kernel activity against the power draw it caused —
+/// the per-function energy-attribution view of the paper's §III-B.
+pub fn csv_timeline(data: &TraceData, power: &[(f64, f64)]) -> String {
+    // (t_s, kind, track, cat, name, value)
+    let mut rows: Vec<(f64, &str, &str, &str, String, String)> = Vec::new();
+    for track in &data.tracks {
+        for ev in &track.events {
+            match ev {
+                Event::Span(s) => {
+                    let (t0, t1) = if s.has_sim_range() {
+                        (
+                            s.sim_start_ns.unwrap_or(0) as f64 / 1e9,
+                            s.sim_end_ns.unwrap_or(0) as f64 / 1e9,
+                        )
+                    } else {
+                        (s.wall_start_ns as f64 / 1e9, s.wall_end_ns as f64 / 1e9)
+                    };
+                    rows.push((
+                        t0,
+                        "span_begin",
+                        &track.name,
+                        s.cat,
+                        s.name.to_string(),
+                        String::new(),
+                    ));
+                    rows.push((
+                        t1,
+                        "span_end",
+                        &track.name,
+                        s.cat,
+                        s.name.to_string(),
+                        String::new(),
+                    ));
+                }
+                Event::Instant(i) => {
+                    let t = i
+                        .sim_ns
+                        .map_or(i.wall_ns as f64 / 1e9, |ns| ns as f64 / 1e9);
+                    let detail = i
+                        .fields
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(";");
+                    rows.push((t, "instant", &track.name, i.cat, i.name.to_string(), detail));
+                }
+            }
+        }
+    }
+    for &(t, w) in power {
+        rows.push((
+            t,
+            "power",
+            "device",
+            "power",
+            "gpu_w".to_string(),
+            format!("{w:.3}"),
+        ));
+    }
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = String::from("t_s,kind,track,cat,name,value\n");
+    for (t, kind, track, cat, name, value) in rows {
+        let _ = writeln!(out, "{t:.9},{kind},{track},{cat},{name},{value}");
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    format!("freqscale_{s}")
+}
+
+fn histo_text(out: &mut String, h: &HistoSnapshot) {
+    let name = sanitize(&h.name);
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (&exp, &n) in &h.buckets {
+        cum += n;
+        let le = if exp >= HISTO_EXP_CLAMP {
+            "+Inf".to_string()
+        } else {
+            format!("{}", 2f64.powi(exp))
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    if !h.buckets.contains_key(&HISTO_EXP_CLAMP) {
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render counters, gauges and histograms as Prometheus exposition text,
+/// plus the recorder's own self-cost gauges.
+pub fn metrics_text(data: &TraceData) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, v) in &data.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &data.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for h in &data.histograms {
+        histo_text(&mut out, h);
+    }
+    let _ = writeln!(out, "# TYPE freqscale_telemetry_overhead_ns gauge");
+    let _ = writeln!(out, "freqscale_telemetry_overhead_ns {}", data.overhead_ns);
+    let _ = writeln!(out, "# TYPE freqscale_telemetry_session_ns gauge");
+    let _ = writeln!(out, "freqscale_telemetry_session_ns {}", data.session_ns);
+    let _ = writeln!(out, "# TYPE freqscale_telemetry_dropped_events gauge");
+    let _ = writeln!(out, "freqscale_telemetry_dropped_events {}", data.dropped);
+    out
+}

@@ -1,0 +1,301 @@
+//! Dependency-free structured tracing + metrics for the freq-scaling
+//! workspace — the in-application observability layer the source paper's
+//! measurement methodology calls for (per-function energy attribution needs
+//! per-function *events* first).
+//!
+//! # Model
+//!
+//! - A process-global recorder with **per-thread span buffers**. Threads
+//!   register lazily on first record; [`set_track`] labels a thread's track
+//!   (ranks call it `rank-N`).
+//! - **Spans** are RAII guards from [`span_start`] (category + name +
+//!   key/value [`Value`] fields), recorded on drop. Each span carries wall
+//!   time (nanoseconds since [`start`]) and, optionally, a **simulation
+//!   clock** range ([`SpanGuard::sim_start`]/[`SpanGuard::sim_end`]) —
+//!   archsim's virtual nanoseconds. [`span_complete`] records a sim-stamped
+//!   span in one call; [`instant`] records point events (e.g. an online
+//!   controller pinning a frequency).
+//! - **Metrics**: monotonic [`counter_add`], last-value [`gauge_set`],
+//!   log-2-bucketed [`histogram_record`].
+//! - [`stop`] drains everything into a [`TraceData`], which the exporters in
+//!   [`export`] render as Chrome-trace/Perfetto JSON ([`chrome_trace`]),
+//!   a CSV timeline merged with power samples ([`csv_timeline`]), or
+//!   Prometheus text ([`metrics_text`]). `TraceData` also reports the
+//!   recorder's own cost ([`TraceData::overhead_summary`]).
+//!
+//! # Feature gate
+//!
+//! With the default `enabled` feature off, the whole recorder is replaced by
+//! the no-op mirror in `noop.rs`: [`ENABLED`] is `false`, [`SpanGuard`] is
+//! zero-sized, and every entry point is an empty `#[inline]` function, so
+//! instrumented code costs nothing. Workspace crates re-export this gate as
+//! their own default-on `telemetry` feature.
+//!
+//! # Example
+//!
+//! ```
+//! telemetry::start();
+//! telemetry::set_track("rank-0");
+//! {
+//!     let mut sp = telemetry::span_start("sph", "density");
+//!     sp.field("particles", 1000u64);
+//!     sp.sim_start(0);
+//!     sp.sim_end(1_000_000);
+//! }
+//! telemetry::counter_add("steps", 1);
+//! let data = telemetry::stop();
+//! let json = telemetry::export::chrome_trace(&data);
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+pub mod data;
+pub mod export;
+
+#[cfg(feature = "enabled")]
+mod recorder;
+#[cfg(feature = "enabled")]
+pub use recorder::{
+    active, counter_add, gauge_set, histogram_record, instant, set_track, span_complete,
+    span_start, start, stop, SpanGuard, ENABLED,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    active, counter_add, gauge_set, histogram_record, instant, set_track, span_complete,
+    span_start, start, stop, SpanGuard, ENABLED,
+};
+
+pub use data::{Event, Fields, HistoSnapshot, InstantRecord, SpanRecord, TraceData, Value};
+pub use export::{chrome_trace, csv_timeline, metrics_text};
+
+#[cfg(all(test, feature = "enabled"))]
+mod enabled_tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Sessions are process-global; serialize the tests that open one.
+    fn session_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_and_metrics_round_trip() {
+        let _g = session_lock();
+        start();
+        assert!(active());
+        set_track("main-track");
+        {
+            let mut sp = span_start("sph", "density");
+            assert!(sp.is_active());
+            sp.field("particles", 4096u64);
+            sp.sim_start(10);
+            sp.sim_end(20);
+        }
+        span_complete("comm", "allgather", 5, 9, vec![("bytes", 128u64.into())]);
+        instant("online", "decide", Some(42), vec![("mhz", 1410u32.into())]);
+        counter_add("gpu.freq_transitions", 3);
+        counter_add("gpu.freq_transitions", 2);
+        gauge_set("power_w", 250.5);
+        histogram_record("step_energy_j", 3.0);
+        histogram_record("step_energy_j", 5.0);
+        let data = stop();
+        assert!(!active());
+        assert_eq!(data.span_count(), 2);
+        assert_eq!(data.instant_count(), 1);
+        assert_eq!(data.tracks.len(), 1);
+        assert_eq!(data.tracks[0].name, "main-track");
+        assert_eq!(data.counters, vec![("gpu.freq_transitions".to_string(), 5)]);
+        assert_eq!(data.gauges, vec![("power_w".to_string(), 250.5)]);
+        assert_eq!(data.histograms.len(), 1);
+        assert_eq!(data.histograms[0].count, 2);
+        assert!((data.histograms[0].sum - 8.0).abs() < 1e-12);
+        let sp = data.tracks[0]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Span(s) if s.name == "density" => Some(s),
+                _ => None,
+            })
+            .expect("density span recorded");
+        assert_eq!(sp.cat, "sph");
+        assert_eq!(sp.sim_start_ns, Some(10));
+        assert_eq!(sp.sim_end_ns, Some(20));
+        assert_eq!(sp.fields, vec![("particles", Value::U64(4096))]);
+        assert!(sp.wall_end_ns >= sp.wall_start_ns);
+    }
+
+    #[test]
+    fn inactive_outside_session_records_nothing() {
+        let _g = session_lock();
+        assert!(!active());
+        {
+            let mut sp = span_start("sph", "ignored");
+            assert!(!sp.is_active());
+            sp.field("k", 1u64);
+        }
+        instant("x", "y", None, Vec::new());
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        histogram_record("h", 1.0);
+        start();
+        let data = stop();
+        assert_eq!(data.span_count(), 0);
+        assert_eq!(data.instant_count(), 0);
+        assert!(data.counters.is_empty());
+        assert!(data.gauges.is_empty());
+        assert!(data.histograms.is_empty());
+    }
+
+    #[test]
+    fn sessions_are_independent_and_threads_get_tracks() {
+        let _g = session_lock();
+        start();
+        counter_add("first_only", 1);
+        {
+            let _sp = span_start("a", "b");
+        }
+        let first = stop();
+        assert_eq!(first.span_count(), 1);
+
+        start();
+        let handle = std::thread::spawn(|| {
+            set_track("worker-1");
+            let _sp = span_start("par", "task");
+        });
+        handle.join().unwrap();
+        {
+            let _sp = span_start("par", "root");
+        }
+        let second = stop();
+        assert_eq!(second.span_count(), 2);
+        assert!(
+            second.counters.is_empty(),
+            "first session's counters leaked"
+        );
+        assert!(second.tracks.iter().any(|t| t.name == "worker-1"));
+        assert!(second.session_ns > 0);
+        // Recording took *some* time, and far less than the session.
+        assert!(second.overhead_ns <= second.session_ns);
+        assert!(second.overhead_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn chrome_trace_has_matched_pairs_and_metadata() {
+        let _g = session_lock();
+        start();
+        set_track("rank-0");
+        span_complete("gpu", "kernel", 0, 1_000, vec![("freq", 1410u32.into())]);
+        {
+            let mut sp = span_start("tuner", "sweep");
+            sp.field("evals", 7usize);
+        }
+        instant("online", "decide", None, vec![("mhz", 990u32.into())]);
+        let data = stop();
+        let json = chrome_trace(&data);
+        assert!(json.contains("\"traceEvents\""));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(json.contains("\"name\":\"sim-time\""));
+        assert!(json.contains("\"name\":\"wall-clock\""));
+        assert!(json.contains("\"name\":\"rank-0\""));
+        // Sim-stamped span lands on the sim pid, wall-only span on the wall pid.
+        assert!(json.contains("\"name\":\"kernel\",\"cat\":\"gpu\",\"ph\":\"B\",\"pid\":1"));
+        assert!(json.contains("\"name\":\"sweep\",\"cat\":\"tuner\",\"ph\":\"B\",\"pid\":2"));
+    }
+
+    #[test]
+    fn csv_timeline_merges_power_rows_in_time_order() {
+        let _g = session_lock();
+        start();
+        span_complete("sph", "density", 1_000_000_000, 3_000_000_000, Vec::new());
+        let data = stop();
+        let csv = csv_timeline(&data, &[(0.5, 100.0), (2.0, 180.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,kind,track,cat,name,value");
+        let kinds: Vec<&str> = lines[1..]
+            .iter()
+            .map(|l| l.split(',').nth(1).unwrap())
+            .collect();
+        assert_eq!(kinds, vec!["power", "span_begin", "power", "span_end"]);
+    }
+
+    #[test]
+    fn metrics_text_is_prometheus_shaped() {
+        let _g = session_lock();
+        start();
+        counter_add("comm.bytes", 640);
+        gauge_set("edp.best", 12.5);
+        histogram_record("func energy", 3.5); // space must be sanitized
+        histogram_record("func energy", 0.0); // underflow bucket
+        let data = stop();
+        let text = metrics_text(&data);
+        assert!(text.contains("# TYPE freqscale_comm_bytes counter"));
+        assert!(text.contains("freqscale_comm_bytes 640"));
+        assert!(text.contains("freqscale_edp_best 12.5"));
+        assert!(text.contains("freqscale_func_energy_count 2"));
+        assert!(text.contains("freqscale_func_energy_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("freqscale_telemetry_overhead_ns"));
+    }
+
+    #[test]
+    fn histo_bucket_edges() {
+        use data::{histo_bucket, HISTO_EXP_CLAMP};
+        assert_eq!(histo_bucket(0.0), -HISTO_EXP_CLAMP);
+        assert_eq!(histo_bucket(-5.0), -HISTO_EXP_CLAMP);
+        assert_eq!(histo_bucket(f64::NAN), -HISTO_EXP_CLAMP);
+        assert_eq!(histo_bucket(1.0), 0);
+        assert_eq!(histo_bucket(1.5), 1);
+        assert_eq!(histo_bucket(2.0), 1);
+        assert_eq!(histo_bucket(2.1), 2);
+        assert_eq!(histo_bucket(f64::INFINITY), -HISTO_EXP_CLAMP);
+        assert_eq!(histo_bucket(1e300), HISTO_EXP_CLAMP);
+    }
+}
+
+#[cfg(all(test, not(feature = "enabled")))]
+mod disabled_tests {
+    use super::*;
+
+    /// The zero-cost pin the tentpole asks for: with `enabled` off the guard
+    /// is a ZST and the API reports itself compiled out.
+    #[test]
+    fn disabled_build_is_zero_cost() {
+        assert!(!ENABLED);
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        assert!(!active());
+        start();
+        assert!(!active(), "start() must not flip anything when disabled");
+        {
+            let mut sp = span_start("sph", "density");
+            assert!(!sp.is_active());
+            sp.field("particles", 4096u64);
+            sp.sim_start(0);
+            sp.sim_end(1);
+        }
+        span_complete("comm", "allgather", 0, 1, Vec::new());
+        instant("online", "decide", None, Vec::new());
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        histogram_record("h", 1.0);
+        let data = stop();
+        assert_eq!(data.span_count(), 0);
+        assert!(data.tracks.is_empty());
+        assert!(data.counters.is_empty());
+        assert_eq!(data.session_ns, 0);
+    }
+
+    #[test]
+    fn exporters_accept_empty_data_when_disabled() {
+        let data = stop();
+        let json = chrome_trace(&data);
+        assert!(json.contains("\"traceEvents\""));
+        let csv = csv_timeline(&data, &[]);
+        assert!(csv.starts_with("t_s,kind,track,cat,name,value"));
+        let text = metrics_text(&data);
+        assert!(text.contains("freqscale_telemetry_overhead_ns 0"));
+    }
+}

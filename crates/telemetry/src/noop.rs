@@ -1,0 +1,85 @@
+//! No-op mirror of the recorder API, compiled when the `enabled` feature is
+//! off. Every function is an empty `#[inline]` body and [`SpanGuard`] is a
+//! zero-sized type, so fully-instrumented callers compile to nothing — the
+//! zero-cost claim pinned by the disabled-build tests in `lib.rs`.
+
+use crate::data::{Fields, TraceData, Value};
+
+/// `false` — the recorder is compiled out.
+pub const ENABLED: bool = false;
+
+/// Always `false`: no session can ever be open.
+#[inline]
+pub fn active() -> bool {
+    false
+}
+
+/// Does nothing.
+#[inline]
+pub fn start() {}
+
+/// Always returns an empty [`TraceData`].
+#[inline]
+pub fn stop() -> TraceData {
+    TraceData::default()
+}
+
+/// Does nothing.
+#[inline]
+pub fn set_track(_name: impl Into<String>) {}
+
+/// Zero-sized stand-in for the live RAII span guard.
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// Always `false`.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        false
+    }
+
+    /// Does nothing.
+    #[inline]
+    pub fn field(&mut self, _key: &'static str, _value: impl Into<Value>) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn sim_start(&mut self, _ns: u64) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn sim_end(&mut self, _ns: u64) {}
+}
+
+/// Returns the zero-sized inert guard.
+#[inline]
+pub fn span_start(_cat: &'static str, _name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Does nothing.
+#[inline]
+pub fn span_complete(
+    _cat: &'static str,
+    _name: &'static str,
+    _sim_start_ns: u64,
+    _sim_end_ns: u64,
+    _fields: Fields,
+) {
+}
+
+/// Does nothing.
+#[inline]
+pub fn instant(_cat: &'static str, _name: &'static str, _sim_ns: Option<u64>, _fields: Fields) {}
+
+/// Does nothing.
+#[inline]
+pub fn counter_add(_name: &str, _delta: u64) {}
+
+/// Does nothing.
+#[inline]
+pub fn gauge_set(_name: &str, _value: f64) {}
+
+/// Does nothing.
+#[inline]
+pub fn histogram_record(_name: &str, _value: f64) {}

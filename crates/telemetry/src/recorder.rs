@@ -1,0 +1,366 @@
+//! Live recorder, compiled only with the `enabled` feature.
+//!
+//! One global registry holds per-thread event buffers (registered lazily via
+//! a thread-local on first record), counters/gauges/histograms, and a wall
+//! anchor. Recording only happens between [`start`] and [`stop`]; outside a
+//! session every entry point is a single relaxed atomic load, so leaving the
+//! instrumentation in library code does not grow memory across e.g. a test
+//! suite that never starts a session.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::data::{
+    histo_bucket, Event, Fields, HistoSnapshot, InstantRecord, SpanRecord, TraceData, TrackData,
+    Value,
+};
+
+/// Per-thread cap on buffered events; further records increment `dropped`.
+const EVENT_CAP: usize = 1 << 20;
+
+struct ThreadBuf {
+    track: Mutex<String>,
+    events: Mutex<Vec<Event>>,
+    /// Session epoch this buffer is registered under.
+    epoch: AtomicU64,
+    dropped: AtomicU64,
+}
+
+struct Global {
+    active: AtomicBool,
+    epoch: AtomicU64,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histos: Mutex<BTreeMap<String, HistoSnapshot>>,
+    /// Nanoseconds the recorder itself spent inside record paths.
+    overhead_ns: AtomicU64,
+    session_start_ns: AtomicU64,
+}
+
+static GLOBAL: Global = Global {
+    active: AtomicBool::new(false),
+    epoch: AtomicU64::new(0),
+    threads: Mutex::new(Vec::new()),
+    counters: Mutex::new(BTreeMap::new()),
+    gauges: Mutex::new(BTreeMap::new()),
+    histos: Mutex::new(BTreeMap::new()),
+    overhead_ns: AtomicU64::new(0),
+    session_start_ns: AtomicU64::new(0),
+};
+
+fn anchor() -> &'static Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide wall anchor, minus the session start.
+fn wall_now_ns() -> u64 {
+    let abs = anchor().elapsed().as_nanos() as u64;
+    abs.saturating_sub(GLOBAL.session_start_ns.load(Ordering::Relaxed))
+}
+
+thread_local! {
+    static LOCAL: std::cell::RefCell<Option<Arc<ThreadBuf>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn with_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let epoch = GLOBAL.epoch.load(Ordering::Acquire);
+        let stale = match slot.as_ref() {
+            Some(buf) => buf.epoch.load(Ordering::Relaxed) != epoch,
+            None => true,
+        };
+        if stale {
+            let buf = Arc::new(ThreadBuf {
+                track: Mutex::new(default_track_name()),
+                events: Mutex::new(Vec::new()),
+                epoch: AtomicU64::new(epoch),
+                dropped: AtomicU64::new(0),
+            });
+            GLOBAL.threads.lock().unwrap().push(Arc::clone(&buf));
+            *slot = Some(buf);
+        }
+        f(slot.as_ref().unwrap())
+    })
+}
+
+fn default_track_name() -> String {
+    std::thread::current().name().map_or_else(
+        || format!("{:?}", std::thread::current().id()),
+        String::from,
+    )
+}
+
+fn push_event(ev: Event) {
+    with_buf(|buf| {
+        let mut events = buf.events.lock().unwrap();
+        if events.len() >= EVENT_CAP {
+            buf.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(ev);
+        }
+    });
+}
+
+/// `true` — the recorder is compiled in (the `enabled` feature is on).
+pub const ENABLED: bool = true;
+
+/// True while a recording session is open (between [`start`] and [`stop`]).
+#[inline]
+pub fn active() -> bool {
+    GLOBAL.active.load(Ordering::Relaxed)
+}
+
+/// Open a recording session, discarding anything a previous session left
+/// behind. Event timestamps are relative to this call.
+pub fn start() {
+    let mut threads = GLOBAL.threads.lock().unwrap();
+    threads.clear();
+    GLOBAL.epoch.fetch_add(1, Ordering::AcqRel);
+    GLOBAL.counters.lock().unwrap().clear();
+    GLOBAL.gauges.lock().unwrap().clear();
+    GLOBAL.histos.lock().unwrap().clear();
+    GLOBAL.overhead_ns.store(0, Ordering::Relaxed);
+    GLOBAL
+        .session_start_ns
+        .store(anchor().elapsed().as_nanos() as u64, Ordering::Relaxed);
+    drop(threads);
+    GLOBAL.active.store(true, Ordering::Release);
+}
+
+/// Close the session and drain everything recorded since [`start`] into a
+/// [`TraceData`]. Calling without an open session returns an empty snapshot.
+pub fn stop() -> TraceData {
+    let was_active = GLOBAL.active.swap(false, Ordering::AcqRel);
+    let session_ns = if was_active { wall_now_ns() } else { 0 };
+    let mut data = TraceData {
+        session_ns,
+        overhead_ns: GLOBAL.overhead_ns.swap(0, Ordering::Relaxed),
+        ..TraceData::default()
+    };
+    // Bump the epoch so thread-local buffers re-register next session and
+    // stop writing into the drained vectors.
+    GLOBAL.epoch.fetch_add(1, Ordering::AcqRel);
+    let threads = std::mem::take(&mut *GLOBAL.threads.lock().unwrap());
+    for buf in threads {
+        let name = buf.track.lock().unwrap().clone();
+        let events = std::mem::take(&mut *buf.events.lock().unwrap());
+        data.dropped += buf.dropped.load(Ordering::Relaxed);
+        if !events.is_empty() {
+            data.tracks.push(TrackData { name, events });
+        }
+    }
+    data.counters = GLOBAL
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    data.gauges = GLOBAL
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    data.histograms = GLOBAL.histos.lock().unwrap().values().cloned().collect();
+    data
+}
+
+/// Label the current thread's track (e.g. `rank-3`). No-op outside a session.
+pub fn set_track(name: impl Into<String>) {
+    if !active() {
+        return;
+    }
+    let name = name.into();
+    with_buf(|buf| *buf.track.lock().unwrap() = name);
+}
+
+/// RAII span: records a [`SpanRecord`] on drop. Obtained from [`span_start`].
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    cat: &'static str,
+    name: &'static str,
+    wall_start_ns: u64,
+    sim_start_ns: Option<u64>,
+    sim_end_ns: Option<u64>,
+    fields: Fields,
+}
+
+impl SpanGuard {
+    /// True when this guard will actually record (session open at creation).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a key/value field.
+    #[inline]
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// Stamp the virtual-time start of the span (simulation nanoseconds).
+    #[inline]
+    pub fn sim_start(&mut self, ns: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.sim_start_ns = Some(ns);
+        }
+    }
+
+    /// Stamp the virtual-time end of the span (simulation nanoseconds).
+    #[inline]
+    pub fn sim_end(&mut self, ns: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.sim_end_ns = Some(ns);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let t0 = anchor().elapsed();
+        let wall_end_ns = wall_now_ns();
+        push_event(Event::Span(SpanRecord {
+            cat: inner.cat,
+            name: inner.name,
+            wall_start_ns: inner.wall_start_ns,
+            wall_end_ns,
+            sim_start_ns: inner.sim_start_ns,
+            sim_end_ns: inner.sim_end_ns,
+            fields: inner.fields,
+        }));
+        GLOBAL.overhead_ns.fetch_add(
+            (anchor().elapsed() - t0).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Open a span on the current thread's track. Returns an inert guard when no
+/// session is open.
+#[inline]
+pub fn span_start(cat: &'static str, name: &'static str) -> SpanGuard {
+    if !active() {
+        return SpanGuard { inner: None };
+    }
+    SpanGuard {
+        inner: Some(SpanInner {
+            cat,
+            name,
+            wall_start_ns: wall_now_ns(),
+            sim_start_ns: None,
+            sim_end_ns: None,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+/// Record a complete span in one call (sim-time endpoints known up front).
+pub fn span_complete(
+    cat: &'static str,
+    name: &'static str,
+    sim_start_ns: u64,
+    sim_end_ns: u64,
+    fields: Fields,
+) {
+    if !active() {
+        return;
+    }
+    let t0 = anchor().elapsed();
+    let wall = wall_now_ns();
+    push_event(Event::Span(SpanRecord {
+        cat,
+        name,
+        wall_start_ns: wall,
+        wall_end_ns: wall,
+        sim_start_ns: Some(sim_start_ns),
+        sim_end_ns: Some(sim_end_ns),
+        fields,
+    }));
+    GLOBAL.overhead_ns.fetch_add(
+        (anchor().elapsed() - t0).as_nanos() as u64,
+        Ordering::Relaxed,
+    );
+}
+
+/// Record a point event, optionally on the simulation clock.
+pub fn instant(cat: &'static str, name: &'static str, sim_ns: Option<u64>, fields: Fields) {
+    if !active() {
+        return;
+    }
+    let t0 = anchor().elapsed();
+    let wall_ns = wall_now_ns();
+    push_event(Event::Instant(InstantRecord {
+        cat,
+        name,
+        wall_ns,
+        sim_ns,
+        fields,
+    }));
+    GLOBAL.overhead_ns.fetch_add(
+        (anchor().elapsed() - t0).as_nanos() as u64,
+        Ordering::Relaxed,
+    );
+}
+
+/// Add `delta` to the named monotonic counter.
+pub fn counter_add(name: &str, delta: u64) {
+    if !active() {
+        return;
+    }
+    let mut counters = GLOBAL.counters.lock().unwrap();
+    match counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Set the named gauge to its latest value.
+pub fn gauge_set(name: &str, value: f64) {
+    if !active() {
+        return;
+    }
+    let mut gauges = GLOBAL.gauges.lock().unwrap();
+    match gauges.get_mut(name) {
+        Some(v) => *v = value,
+        None => {
+            gauges.insert(name.to_string(), value);
+        }
+    }
+}
+
+/// Record a sample into the named log-2-bucketed histogram.
+pub fn histogram_record(name: &str, value: f64) {
+    if !active() {
+        return;
+    }
+    let mut histos = GLOBAL.histos.lock().unwrap();
+    let h = histos
+        .entry(name.to_string())
+        .or_insert_with(|| HistoSnapshot {
+            name: name.to_string(),
+            ..HistoSnapshot::default()
+        });
+    *h.buckets.entry(histo_bucket(value)).or_insert(0) += 1;
+    h.count += 1;
+    if value.is_finite() {
+        h.sum += value;
+    }
+}

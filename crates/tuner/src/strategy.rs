@@ -31,19 +31,53 @@ pub enum Strategy {
     },
 }
 
+/// Record one configuration evaluation as a `tuner/eval` span.
+fn traced_eval(
+    evaluate: &mut dyn FnMut(&ParamValues) -> ConfigResult,
+    p: &ParamValues,
+) -> ConfigResult {
+    let mut sp = telemetry::span_start("tuner", "eval");
+    let r = evaluate(p);
+    if sp.is_active() {
+        if let Some(f) = r.params.frequency() {
+            sp.field("freq_mhz", f.0);
+        }
+        sp.field("time_s", r.time_s);
+        sp.field("energy_j", r.energy_j);
+        sp.field("edp", r.edp);
+    }
+    r
+}
+
 impl Strategy {
+    /// Short label for traces.
+    fn label(&self) -> &'static str {
+        match self {
+            Strategy::BruteForce => "brute_force",
+            Strategy::Random { .. } => "random",
+            Strategy::HillClimb { .. } => "hill_climb",
+            Strategy::Annealing { .. } => "annealing",
+        }
+    }
+
     /// Produce the list of evaluated configurations.
     pub fn search<F>(
         &self,
         space: &ParamSpace,
         objective: &Objective,
-        mut evaluate: F,
+        mut inner: F,
     ) -> Vec<ConfigResult>
     where
         F: FnMut(&ParamValues) -> ConfigResult,
     {
         let all = space.enumerate();
-        match *self {
+        let mut sweep = telemetry::span_start("tuner", "sweep");
+        if sweep.is_active() {
+            sweep.field("strategy", self.label());
+            sweep.field("space", all.len());
+        }
+        let mut evaluate = |p: &ParamValues| traced_eval(&mut inner, p);
+        let results: Vec<ConfigResult> = match *self {
             Strategy::BruteForce => all.iter().map(&mut evaluate).collect(),
             Strategy::Random { samples, seed } => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -57,7 +91,7 @@ impl Strategy {
                 let mut evaluated: Vec<(usize, ConfigResult)> = Vec::new();
                 let eval_at = |i: usize,
                                evaluated: &mut Vec<(usize, ConfigResult)>,
-                               evaluate: &mut F|
+                               evaluate: &mut dyn FnMut(&ParamValues) -> ConfigResult|
                  -> f64 {
                     if let Some((_, r)) = evaluated.iter().find(|(j, _)| *j == i) {
                         return objective.score(r);
@@ -102,7 +136,7 @@ impl Strategy {
                 let mut evaluated: Vec<(usize, ConfigResult)> = Vec::new();
                 let eval_at = |i: usize,
                                evaluated: &mut Vec<(usize, ConfigResult)>,
-                               evaluate: &mut F|
+                               evaluate: &mut dyn FnMut(&ParamValues) -> ConfigResult|
                  -> f64 {
                     if let Some((_, r)) = evaluated.iter().find(|(j, _)| *j == i) {
                         return objective.score(r);
@@ -135,7 +169,9 @@ impl Strategy {
                 }
                 evaluated.into_iter().map(|(_, r)| r).collect()
             }
-        }
+        };
+        sweep.field("evals", results.len());
+        results
     }
 
     /// Like [`Strategy::search`] for evaluators that are safe to call
@@ -156,7 +192,15 @@ impl Strategy {
         match self {
             Strategy::BruteForce => {
                 let all = space.enumerate();
-                par::par_map(all.len(), |i| evaluate(&all[i]))
+                let mut sweep = telemetry::span_start("tuner", "sweep");
+                if sweep.is_active() {
+                    sweep.field("strategy", "brute_force_parallel");
+                    sweep.field("space", all.len());
+                }
+                par::par_map(all.len(), |i| {
+                    let mut one = |p: &ParamValues| evaluate(p);
+                    traced_eval(&mut one, &all[i])
+                })
             }
             _ => self.search(space, objective, evaluate),
         }
