@@ -22,6 +22,10 @@ pub enum ArchError {
     NoPermission(&'static str),
     /// A device index was out of range.
     NoSuchDevice { index: usize, count: usize },
+    /// The (simulated) driver failed transiently; mirrors
+    /// `NVML_ERROR_UNKNOWN`, the catch-all real NVML returns for exactly the
+    /// intermittent clock-set failures the fault injector models. Retryable.
+    Transient(&'static str),
 }
 
 impl fmt::Display for ArchError {
@@ -39,6 +43,9 @@ impl fmt::Display for ArchError {
             ArchError::NoPermission(op) => write!(f, "no permission for {op}"),
             ArchError::NoSuchDevice { index, count } => {
                 write!(f, "no device at index {index} ({count} present)")
+            }
+            ArchError::Transient(op) => {
+                write!(f, "transient driver error in {op} (retryable)")
             }
         }
     }

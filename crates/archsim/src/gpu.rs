@@ -107,6 +107,17 @@ pub struct GpuDevice {
     hw_thermal_slowdown: bool,
     /// Count of segments that ran clock-capped.
     throttled_segments: u64,
+    /// Fault handle for this device (inert unless an injector is installed;
+    /// not part of the device's persistent state).
+    #[serde(skip, default)]
+    faults: faults::DeviceFaults,
+    /// An injected transient thermal throttle is active for the current
+    /// region.
+    #[serde(skip, default)]
+    forced_throttle: bool,
+    /// The injected throttle actually capped the clock at least once.
+    #[serde(skip, default)]
+    forced_throttle_hit: bool,
 }
 
 impl GpuDevice {
@@ -140,7 +151,22 @@ impl GpuDevice {
             sw_power_capped: false,
             hw_thermal_slowdown: false,
             throttled_segments: 0,
+            faults: faults::DeviceFaults::default(),
+            forced_throttle: false,
+            forced_throttle_hit: false,
         }
+    }
+
+    /// Install this device's fault handle (from
+    /// `faults::FaultInjector::device`). The default handle is inert, so
+    /// devices without one behave exactly as before.
+    pub fn set_fault_handle(&mut self, handle: faults::DeviceFaults) {
+        self.faults = handle;
+    }
+
+    /// This device's fault handle (inert unless one was installed).
+    pub fn fault_handle(&self) -> &faults::DeviceFaults {
+        &self.faults
     }
 
     pub fn id(&self) -> usize {
@@ -290,6 +316,26 @@ impl GpuDevice {
                 max: self.spec.clock_table.max(),
             });
         }
+        if self.faults.clock_set_rejects() {
+            self.faults.note_injected(faults::Channel::ClockSet);
+            return Err(ArchError::Transient("SetApplicationsClocks"));
+        }
+        // Silent clamping: the call "succeeds" but the device pins a few
+        // ladder rungs lower (power/thermal-limit behaviour documented by
+        // Calore et al.). Detectable only by reading the clock back.
+        let mut f = f;
+        let clamp_rungs = self.faults.clock_clamp_rungs();
+        if clamp_rungs > 0 {
+            let floor = self.spec.clock_table.min();
+            let step = self.spec.clock_table.step();
+            let clamped = self.spec.clock_table.nearest(MegaHertz(
+                f.0.saturating_sub(clamp_rungs * step).max(floor.0),
+            ));
+            if clamped < f {
+                self.faults.note_injected(faults::Channel::ClockClamp);
+                f = clamped;
+            }
+        }
         self.policy = ClockPolicy::ApplicationClocks(f);
         self.analog_freq = f.0 as f64;
         self.change_freq(f);
@@ -355,10 +401,24 @@ impl GpuDevice {
 
     /// Execute one instrumented kernel region, advancing the device clock.
     pub fn run_region(&mut self, w: &KernelWorkload) -> RegionExec {
+        // An injected transient thermal throttle caps this one region; it
+        // lifts at region end (the device restores the requested clock), so
+        // injection and recovery are both accounted here.
+        if self.faults.thermal_throttle() {
+            self.forced_throttle = true;
+        }
         let start = self.now;
         match self.policy {
             ClockPolicy::ApplicationClocks(f) => self.run_pinned(w, f),
             ClockPolicy::Dvfs(p) => self.run_dvfs(w, p),
+        }
+        if self.forced_throttle {
+            if self.forced_throttle_hit {
+                self.faults.note_injected(faults::Channel::Thermal);
+                self.faults.note_recovered(faults::Channel::Thermal);
+            }
+            self.forced_throttle = false;
+            self.forced_throttle_hit = false;
         }
         let end = self.now;
         self.busy.push((start, end));
@@ -407,13 +467,16 @@ impl GpuDevice {
         let mut f = desired;
         self.sw_power_capped = false;
         self.hw_thermal_slowdown = false;
-        if self.spec.thermal.throttling(self.temp_c) {
+        if self.forced_throttle || self.spec.thermal.throttling(self.temp_c) {
             let cap = self.spec.clock_table.nearest(MegaHertz(
                 (self.spec.clock_table.max().0 as f64 * 0.8) as u32,
             ));
             if cap < f {
                 f = cap;
                 self.hw_thermal_slowdown = true;
+                if self.forced_throttle {
+                    self.forced_throttle_hit = true;
+                }
             }
         }
         let leak =

@@ -101,6 +101,7 @@ fn main() {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            faults: None,
         };
         let base = run_experiment(&mk(FreqPolicy::Baseline));
         let mandyn = run_experiment(&mk(FreqPolicy::ManDyn(table)));

@@ -39,14 +39,17 @@ fn usage() -> ! {
     eprintln!(
         "usage: freqscale-run [--jobs N] [--out merged.json] [--trace-out trace.json]\n\
          \x20                 [--metrics-out metrics.txt] [--timeline-csv timeline.csv]\n\
-         \x20                 <spec.json>...\n\
+         \x20                 [--fault-profile default|profile.json] <spec.json>...\n\
          \x20      freqscale-run <spec.json> [report.json]\n\
          \x20      freqscale-run --print-template | --print-online-template\n\
+         \x20                    | --print-fault-template\n\
          \n\
-         \x20 --trace-out     Chrome-trace/Perfetto JSON of the run (open at\n\
-         \x20                 https://ui.perfetto.dev)\n\
-         \x20 --metrics-out   Prometheus-style text dump of counters/histograms\n\
-         \x20 --timeline-csv  CSV merging span boundaries with GPU power samples"
+         \x20 --trace-out      Chrome-trace/Perfetto JSON of the run (open at\n\
+         \x20                  https://ui.perfetto.dev)\n\
+         \x20 --metrics-out    Prometheus-style text dump of counters/histograms\n\
+         \x20 --timeline-csv   CSV merging span boundaries with GPU power samples\n\
+         \x20 --fault-profile  chaos run: inject the given fault profile into\n\
+         \x20                  every spec (`default` = the standard chaos mix)"
     );
     std::process::exit(2);
 }
@@ -63,10 +66,34 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut timeline_csv: Option<String> = None;
+    let mut fault_profile: Option<faults::FaultProfile> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--print-fault-template" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&faults::FaultProfile::chaos())
+                        .expect("profile serializes")
+                );
+                return;
+            }
+            "--fault-profile" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let profile = if v == "default" {
+                    faults::FaultProfile::chaos()
+                } else {
+                    let body = std::fs::read_to_string(&v)
+                        .unwrap_or_else(|e| fail(format!("reading fault profile {v}: {e}")));
+                    serde_json::from_str(&body)
+                        .unwrap_or_else(|e| fail(format!("parsing fault profile {v}: {e}")))
+                };
+                if let Err(e) = profile.validate() {
+                    fail(format!("invalid fault profile {v}: {e}"));
+                }
+                fault_profile = Some(profile);
+            }
             "--print-template" => {
                 println!(
                     "{}",
@@ -108,10 +135,17 @@ fn main() {
         .map(|path| {
             let body = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail(format!("reading spec {path}: {e}")));
-            serde_json::from_str(&body)
-                .unwrap_or_else(|e| fail(format!("parsing spec {path}: {e}")))
+            let mut spec: ExperimentSpec = serde_json::from_str(&body)
+                .unwrap_or_else(|e| fail(format!("parsing spec {path}: {e}")));
+            if let Some(profile) = &fault_profile {
+                spec.faults = Some(profile.clone());
+            }
+            spec
         })
         .collect();
+    if fault_profile.is_some() && !faults::ENABLED {
+        eprintln!("warning: built without the `faults` feature; the fault profile is a no-op");
+    }
     for spec in &specs {
         eprintln!(
             "running {} / {} / {} on {} ranks, {} steps...",
@@ -189,6 +223,17 @@ fn main() {
             result.pmt_gpu_j,
             result.slurm_consumed_j
         );
+        if result.fault_stats.injected() > 0 {
+            eprintln!("  faults: {}", result.fault_stats.summary());
+            if result.fault_stats.all_recovered() {
+                eprintln!("  faults: every injected fault was recovered");
+            } else {
+                eprintln!(
+                    "  faults: {} injected fault(s) NOT recovered",
+                    result.fault_stats.injected() - result.fault_stats.recovered()
+                );
+            }
+        }
     }
     match out {
         Some(path) => {

@@ -33,6 +33,17 @@ use crate::report::{FunctionReport, RankReport};
 /// Sampling period used when exporting the Fig. 9 clock trace.
 const TRACE_PERIOD: SimDuration = SimDuration::from_millis(10);
 
+/// Retries of a transiently failed `SetApplicationsClocks` before giving up
+/// on the request (each retry backs the rank clock off exponentially).
+const MAX_CLOCK_SET_RETRIES: u32 = 4;
+/// Base backoff before the first clock-set retry; doubles per attempt. Real
+/// NVML round-trips are tens of microseconds, so even the full ladder
+/// (~50·(2⁵−1) µs) is invisible next to a millisecond-scale kernel.
+const CLOCK_RETRY_BACKOFF: SimDuration = SimDuration::from_micros(50);
+/// Consecutive clock requests that exhausted their retries before the
+/// instrument stops pinning and falls back to default application clocks.
+const CLOCK_FALLBACK_AFTER: u32 = 3;
+
 /// Fraction of a power-cap budget held back as regulation headroom
 /// (see [`EnergyInstrument::with_power_cap`]).
 const CAP_RIPPLE_GUARD: f64 = 0.02;
@@ -54,6 +65,15 @@ pub struct EnergyInstrument {
     clock_control_denied: bool,
     policy_applied_once: bool,
     collect_trace: bool,
+    /// Fault handle of the rank's device (inert when no profile is active);
+    /// the resilience paths below report their recoveries through it.
+    faults: faults::DeviceFaults,
+    /// Clock requests that exhausted their retries back-to-back; reaching
+    /// [`CLOCK_FALLBACK_AFTER`] trips the default-clocks fallback.
+    clock_failures: u32,
+    /// True once the fallback tripped: the instrument stops pinning clocks
+    /// for the rest of the run and lets the device govern itself.
+    clock_fallback: bool,
 }
 
 #[derive(Default)]
@@ -141,7 +161,11 @@ impl EnergyInstrument {
         let dev = nvml_shim::get_nvml_device(nvml, rank)?;
         let gpu = dev.raw();
         let mem_clock_mhz = dev.clock_info(nvml_shim::ClockType::Mem)?;
-        let pmt = Pmt::new(Box::new(NvmlSensor::new(&dev)));
+        // Inherit the device's fault handle (installed by the runner when the
+        // spec carries a profile; inert otherwise) and give the PMT sensor
+        // the same handle so its sample stream is perturbed consistently.
+        let fault_handle = gpu.lock().fault_handle().clone();
+        let pmt = Pmt::new(Box::new(NvmlSensor::new(&dev))).with_faults(fault_handle.clone());
         let online = match &policy {
             FreqPolicy::ManDynOnline(cfg) => Some(
                 OnlineTuner::new(gpu.lock().spec(), cfg.clone())
@@ -164,6 +188,9 @@ impl EnergyInstrument {
             clock_control_denied: false,
             policy_applied_once: false,
             collect_trace: false,
+            faults: fault_handle,
+            clock_failures: 0,
+            clock_fallback: false,
         })
     }
 
@@ -228,15 +255,74 @@ impl EnergyInstrument {
     }
 
     /// Apply a clock request, tolerating `NO_PERMISSION` like the paper's
-    /// production systems require.
-    fn try_set_clocks(&mut self, mhz: u32) {
-        match self
-            .nvml_dev
-            .set_applications_clocks(self.mem_clock_mhz, mhz)
-        {
-            Ok(()) => {}
-            Err(NvmlError::NoPermission(_)) => self.clock_control_denied = true,
-            Err(e) => panic!("rank {}: unexpected NVML failure: {e}", self.rank),
+    /// production systems require and riding out transient driver errors.
+    ///
+    /// Resilience ladder:
+    /// 1. `NVML_ERROR_UNKNOWN` → retry with exponential backoff (the backoff
+    ///    advances the rank's simulated clock, so retries cost time like the
+    ///    real call would). A success after `n` failures recovers all `n`.
+    /// 2. Retries exhausted [`CLOCK_FALLBACK_AFTER`] requests in a row →
+    ///    reset to default application clocks and stop pinning: a run with a
+    ///    wedged clock API keeps measuring at the device's own governor.
+    /// 3. On success, read the applications clock back: a mismatch means the
+    ///    driver clamped the request silently; the clamp is recorded as
+    ///    recovered because measurements attribute to the *actual* clock
+    ///    (the GPU timeline, not the request, feeds every energy integral).
+    fn try_set_clocks(&mut self, ctx: &mut RankCtx, mhz: u32) {
+        if self.clock_fallback {
+            return;
+        }
+        let mut failed = 0u32;
+        loop {
+            match self
+                .nvml_dev
+                .set_applications_clocks(self.mem_clock_mhz, mhz)
+            {
+                Ok(()) => {
+                    if failed > 0 {
+                        self.faults
+                            .note_recovered_n(faults::Channel::ClockSet, u64::from(failed));
+                    }
+                    self.clock_failures = 0;
+                    if let Ok(actual) = self.nvml_dev.applications_clock(nvml_shim::ClockType::Sm) {
+                        if actual != mhz {
+                            self.faults.note_recovered(faults::Channel::ClockClamp);
+                        }
+                    }
+                    return;
+                }
+                Err(NvmlError::NoPermission(_)) => {
+                    self.clock_control_denied = true;
+                    return;
+                }
+                Err(NvmlError::Unknown(_)) if failed < MAX_CLOCK_SET_RETRIES => {
+                    failed += 1;
+                    ctx.advance(CLOCK_RETRY_BACKOFF * (1u64 << failed));
+                }
+                Err(NvmlError::Unknown(_)) => {
+                    failed += 1;
+                    self.clock_failures += 1;
+                    // Abandoning the request is itself the recovery: the run
+                    // keeps measuring at the previous clock and the next
+                    // region re-pins (or the fallback below takes over).
+                    self.faults
+                        .note_recovered_n(faults::Channel::ClockSet, u64::from(failed));
+                    if self.clock_failures >= CLOCK_FALLBACK_AFTER {
+                        self.clock_fallback = true;
+                        // The reset path carries no injection, so the run
+                        // reliably lands on default application clocks.
+                        match self.nvml_dev.reset_applications_clocks() {
+                            Ok(()) => {}
+                            Err(NvmlError::NoPermission(_)) => self.clock_control_denied = true,
+                            Err(e) => {
+                                panic!("rank {}: clock fallback failed: {e}", self.rank)
+                            }
+                        }
+                    }
+                    return;
+                }
+                Err(e) => panic!("rank {}: unexpected NVML failure: {e}", self.rank),
+            }
         }
     }
 
@@ -255,7 +341,9 @@ impl EnergyInstrument {
         // totals cover the whole window.
         let end = ctx.now();
         self.gpu.lock().idle_until(end);
-        let final_state = self.pmt.read();
+        // The closing read bypasses sample-fault injection: it settles any
+        // stale reads still pending so the loop totals are exact.
+        let final_state = self.pmt.read_exact();
         let loop_start = self.loop_start.unwrap_or(end);
         let loop_time_s = (end - loop_start).as_secs_f64();
         let gpu_loop_j = self.pmt.joules_between(loop_start, end).0;
@@ -343,7 +431,7 @@ impl StepObserver for EnergyInstrument {
                     .frequency_for(func, self.gpu.lock().spec())
                     .expect("mandyn always pins")
                     .0;
-                self.try_set_clocks(mhz);
+                self.try_set_clocks(ctx, mhz);
             }
             FreqPolicy::Baseline | FreqPolicy::Static(_) => {
                 if !self.policy_applied_once {
@@ -352,7 +440,7 @@ impl StepObserver for EnergyInstrument {
                         .frequency_for(func, self.gpu.lock().spec())
                         .expect("pinning policy")
                         .0;
-                    self.try_set_clocks(mhz);
+                    self.try_set_clocks(ctx, mhz);
                     self.policy_applied_once = true;
                 }
             }
@@ -375,7 +463,7 @@ impl StepObserver for EnergyInstrument {
                         (candidates[idx], Some(idx))
                     }
                 };
-                self.try_set_clocks(mhz.0);
+                self.try_set_clocks(ctx, mhz.0);
                 let state = self.pmt.read();
                 self.pending = Some(Pending {
                     func,
@@ -392,7 +480,7 @@ impl StepObserver for EnergyInstrument {
                     .as_mut()
                     .expect("online tuner built with the policy")
                     .propose(func);
-                self.try_set_clocks(mhz.0);
+                self.try_set_clocks(ctx, mhz.0);
                 let state = self.pmt.read();
                 self.pending = Some(Pending {
                     func,
@@ -447,7 +535,13 @@ impl StepObserver for EnergyInstrument {
 
         let state = self.pmt.read();
         let call_time = (ctx.now() - pending.rank_clock).as_secs_f64();
-        let call_j = joules(&pending.state, &state).0;
+        let mut call_j = joules(&pending.state, &state).0;
+        if call_j <= 0.0 && exec.energy.0 > 0.0 {
+            // Both PMT reads of this call came back stale (dropped samples):
+            // fall back to the region's exact timeline integral rather than
+            // booking zero energy for work that demonstrably ran.
+            call_j = exec.energy.0;
+        }
         let acc = self.functions.entry(func).or_default();
         acc.calls += 1;
         acc.time_s += call_time;

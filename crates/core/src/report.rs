@@ -148,6 +148,10 @@ pub struct ExperimentResult {
     pub slurm_consumed_j: f64,
     /// Node energy over the loop window (devices + aux).
     pub node_loop_j: f64,
+    /// Injected/recovered fault counts when the run carried a fault profile
+    /// (all zero otherwise, and in builds without the `faults` feature).
+    #[serde(default)]
+    pub fault_stats: faults::FaultStats,
 }
 
 impl ExperimentResult {

@@ -105,6 +105,13 @@ pub struct ExperimentSpec {
     /// exploration entirely — and persists whatever it learns at the end.
     #[serde(default)]
     pub table_store: Option<std::path::PathBuf>,
+    /// Deterministic fault-injection profile for chaos runs (see DESIGN.md
+    /// "Fault model & resilience"). `None` or an all-zero profile runs
+    /// fault-free; [`faults::FaultProfile::chaos`] is the standard mix. The
+    /// schedule depends only on `(seed, channel, device)`, so a profile
+    /// reproduces exactly across runs and worker counts.
+    #[serde(default)]
+    pub faults: Option<faults::FaultProfile>,
 }
 
 impl ExperimentSpec {
@@ -132,6 +139,7 @@ impl ExperimentSpec {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            faults: None,
         }
     }
 
@@ -166,6 +174,26 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         }
     }
 
+    // Chaos harness: one injector for the whole run, installed after the
+    // privileged --gpu-freq so scheduler-side setup is never perturbed.
+    // Device ids are global GPU indices; rank-side channels use rank ids.
+    let injector = {
+        let profile = spec.faults.clone().unwrap_or_default();
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid fault profile: {e}"));
+        faults::FaultInjector::new(profile)
+    };
+    if injector.is_active() {
+        let mut global_dev = 0u64;
+        for node in cluster.nodes() {
+            for gpu in node.gpus() {
+                gpu.lock().set_fault_handle(injector.device(global_dev));
+                global_dev += 1;
+            }
+        }
+    }
+
     // --- setup phase: GPUs idle, host busy staging -----------------------
     for node in cluster.nodes() {
         node.settle_until(setup_end, SETUP_CPU_ACTIVITY, SETUP_MEM_ACTIVITY);
@@ -179,9 +207,10 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let gpu_name = spec.system.node.gpu.name.clone();
     let store_key = spec.table_store_key();
     let warm_table: Option<FreqTable> = match (&store, &spec.policy) {
-        (Some(s), FreqPolicy::ManDynOnline(_)) => {
-            s.load(&gpu_name, &store_key).expect("readable table store")
-        }
+        // A corrupt or truncated store entry must cost one cold-start
+        // exploration, never a crash: `load_or_rebuild` warns, moves the bad
+        // file aside and returns `None`.
+        (Some(s), FreqPolicy::ManDynOnline(_)) => s.load_or_rebuild(&gpu_name, &store_key),
         _ => None,
     };
 
@@ -210,6 +239,11 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         bucket_size: 32,
     };
     let outputs: Vec<(RankReport, u64)> = ranks::run(spec.ranks, spec.comm, |ctx| {
+        if injector.is_active() {
+            // Straggler stalls key on the rank id, not the GPU id, so the
+            // schedule survives re-binding ranks to different devices.
+            ctx.install_faults(injector.device(ctx.rank() as u64));
+        }
         ctx.advance_to(setup_end);
         let ic = spec.workload.build();
         let mut sim = if ctx.size() == 1 {
@@ -335,6 +369,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         pmt_total_j,
         slurm_consumed_j,
         node_loop_j,
+        fault_stats: injector.stats(),
     };
 
     if let Some(dir) = &spec.report_dir {
@@ -436,6 +471,7 @@ mod tests {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            faults: None,
         };
         let r = run_experiment(&spec);
         assert_eq!(r.per_rank.len(), 8);
@@ -486,6 +522,7 @@ mod tests {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            faults: None,
         };
         let low = run_experiment(&spec);
         // User-level control is still denied (Baseline tries to pin 1410 and

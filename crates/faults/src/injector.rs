@@ -1,0 +1,283 @@
+//! The live injector, compiled with the `enabled` feature.
+//!
+//! Decisions are **stateless hashes**, not a shared RNG stream: each draw on
+//! a channel hashes `(seed, channel, device, n)` where `n` is that
+//! `(channel, device)` pair's own draw counter. Every device handle is owned
+//! by exactly one rank, so its counters advance in program order no matter
+//! how worker threads interleave — the schedule is byte-identical across 1
+//! and N workers (pinned by `tests/fault_determinism.rs`), and enabling one
+//! channel never shifts another's draws.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::profile::{Channel, FaultProfile, FaultStats, SampleFault};
+
+/// `true`: this build carries the live injector.
+pub const ENABLED: bool = true;
+
+struct Inner {
+    profile: FaultProfile,
+    /// Per-(channel, device) draw counters.
+    draws: Mutex<HashMap<(u8, u64), u64>>,
+    /// Injected/recovered counters, `[inj, rec]` per channel in
+    /// `FaultStats::CHANNELS` order.
+    stats: [[AtomicU64; 2]; 6],
+}
+
+fn channel_index(ch: Channel) -> usize {
+    FaultStats::CHANNELS
+        .iter()
+        .position(|&c| c == ch)
+        .expect("channel listed in FaultStats::CHANNELS")
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Inner {
+    /// Uniform draw in `[0, 1)` for this `(channel, device)` pair's next
+    /// sequence number.
+    fn unit_draw(&self, ch: Channel, device: u64) -> f64 {
+        let n = {
+            let mut draws = self.draws.lock().unwrap_or_else(|e| e.into_inner());
+            let n = draws.entry((channel_index(ch) as u8, device)).or_insert(0);
+            let cur = *n;
+            *n += 1;
+            cur
+        };
+        let mut h = splitmix64(self.profile.seed ^ ch.salt());
+        h = splitmix64(h ^ device.wrapping_mul(0xA076_1D64_78BD_642F));
+        h = splitmix64(h ^ n);
+        // 53 high bits → the unit interval, the standard f64 construction.
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn bump(&self, ch: Channel, slot: usize, n: u64) {
+        self.stats[channel_index(ch)][slot].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide injector: builds per-device handles and aggregates
+/// injected/recovered accounting across them.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Build an injector for `profile`. An inert profile yields an injector
+    /// that never fires (same as `FaultInjector::default()`).
+    pub fn new(profile: FaultProfile) -> Self {
+        if profile.is_inert() {
+            return FaultInjector { inner: None };
+        }
+        FaultInjector {
+            inner: Some(Arc::new(Inner {
+                profile,
+                draws: Mutex::new(HashMap::new()),
+                stats: Default::default(),
+            })),
+        }
+    }
+
+    /// True when at least one channel can fire.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The fault handle for one device/rank. Handles share the injector's
+    /// schedule and accounting but draw from their own per-device sequence.
+    pub fn device(&self, id: u64) -> DeviceFaults {
+        DeviceFaults {
+            inner: self.inner.clone(),
+            device: id,
+        }
+    }
+
+    /// Snapshot of the injected/recovered accounting across all devices.
+    pub fn stats(&self) -> FaultStats {
+        let Some(inner) = &self.inner else {
+            return FaultStats::default();
+        };
+        let mut s = FaultStats::default();
+        let read = |i: usize, j: usize| inner.stats[i][j].load(Ordering::Relaxed);
+        s.clock_set_injected = read(0, 0);
+        s.clock_set_recovered = read(0, 1);
+        s.clock_clamp_injected = read(1, 0);
+        s.clock_clamp_recovered = read(1, 1);
+        s.power_sample_injected = read(2, 0);
+        s.power_sample_recovered = read(2, 1);
+        s.energy_counter_injected = read(3, 0);
+        s.energy_counter_recovered = read(3, 1);
+        s.thermal_injected = read(4, 0);
+        s.thermal_recovered = read(4, 1);
+        s.straggler_injected = read(5, 0);
+        s.straggler_recovered = read(5, 1);
+        s
+    }
+}
+
+/// One device's (or rank's) fault handle: pure decision draws plus the
+/// injected/recovered accounting the injection and resilience sites call.
+///
+/// Draw methods decide only — a site that acts on a positive draw must call
+/// [`DeviceFaults::note_injected`], and the layer that absorbs the fault
+/// calls [`DeviceFaults::note_recovered`], so `FaultStats` counts faults
+/// that actually landed.
+#[derive(Clone, Default)]
+pub struct DeviceFaults {
+    inner: Option<Arc<Inner>>,
+    device: u64,
+}
+
+impl std::fmt::Debug for DeviceFaults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceFaults")
+            .field("active", &self.is_active())
+            .field("device", &self.device)
+            .finish()
+    }
+}
+
+impl DeviceFaults {
+    /// True when this handle can fire at all — sites may use it to skip
+    /// fault bookkeeping wholesale.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Should the next `SetApplicationsClocks` call fail transiently?
+    pub fn clock_set_rejects(&self) -> bool {
+        match &self.inner {
+            Some(i) if i.profile.clock_set_reject > 0.0 => {
+                self.unit(i, Channel::ClockSet) < i.profile.clock_set_reject
+            }
+            _ => false,
+        }
+    }
+
+    /// How many ladder rungs the next accepted clock-set silently loses
+    /// (0 = no clamp).
+    pub fn clock_clamp_rungs(&self) -> u32 {
+        match &self.inner {
+            Some(i)
+                if i.profile.clock_clamp > 0.0
+                    && self.unit(i, Channel::ClockClamp) < i.profile.clock_clamp =>
+            {
+                i.profile.clock_clamp_rungs
+            }
+            _ => 0,
+        }
+    }
+
+    /// Fate of the next power/energy sample read.
+    pub fn sample_fault(&self) -> SampleFault {
+        match &self.inner {
+            Some(i) if i.profile.sample_drop > 0.0 || i.profile.sample_duplicate > 0.0 => {
+                let u = self.unit(i, Channel::PowerSample);
+                if u < i.profile.sample_drop {
+                    SampleFault::Dropped
+                } else if u < i.profile.sample_drop + i.profile.sample_duplicate {
+                    SampleFault::Duplicated
+                } else {
+                    SampleFault::None
+                }
+            }
+            _ => SampleFault::None,
+        }
+    }
+
+    /// Wrap modulus of the cumulative energy counter, if the rollover
+    /// channel is enabled. Not a draw — the register wraps deterministically.
+    pub fn energy_rollover_j(&self) -> Option<f64> {
+        self.inner.as_ref()?.profile.energy_rollover_j
+    }
+
+    /// Should the next kernel region run under a transient thermal cap?
+    pub fn thermal_throttle(&self) -> bool {
+        match &self.inner {
+            Some(i) if i.profile.thermal_throttle > 0.0 => {
+                self.unit(i, Channel::Thermal) < i.profile.thermal_throttle
+            }
+            _ => false,
+        }
+    }
+
+    /// Should the next local `advance` stall (straggler behaviour)?
+    pub fn straggler_stall(&self) -> bool {
+        match &self.inner {
+            Some(i) if i.profile.straggler_stall > 0.0 => {
+                self.unit(i, Channel::Straggler) < i.profile.straggler_stall
+            }
+            _ => false,
+        }
+    }
+
+    /// Time-inflation factor for a stalled `advance` (1.0 when inactive).
+    pub fn straggler_factor(&self) -> f64 {
+        match &self.inner {
+            Some(i) => i.profile.straggler_factor.max(1.0),
+            None => 1.0,
+        }
+    }
+
+    fn unit(&self, inner: &Inner, ch: Channel) -> f64 {
+        inner.unit_draw(ch, self.device)
+    }
+
+    /// Record that a fault on `ch` actually landed, and emit a telemetry
+    /// instant (`cat = "faults"`, `name = "injected"`) so traces show it.
+    pub fn note_injected(&self, ch: Channel) {
+        let Some(inner) = &self.inner else { return };
+        inner.bump(ch, 0, 1);
+        telemetry::instant(
+            "faults",
+            "injected",
+            None,
+            vec![
+                ("channel", ch.name().into()),
+                ("device", self.device.into()),
+            ],
+        );
+    }
+
+    /// Record that one fault on `ch` was detected and absorbed by a
+    /// resilience layer (telemetry instant `name = "recovered"`).
+    pub fn note_recovered(&self, ch: Channel) {
+        self.note_recovered_n(ch, 1);
+    }
+
+    /// Record `n` recoveries on `ch` at once (e.g. a run of dropped samples
+    /// re-anchored by the next good read).
+    pub fn note_recovered_n(&self, ch: Channel, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let Some(inner) = &self.inner else { return };
+        inner.bump(ch, 1, n);
+        telemetry::instant(
+            "faults",
+            "recovered",
+            None,
+            vec![
+                ("channel", ch.name().into()),
+                ("device", self.device.into()),
+                ("count", n.into()),
+            ],
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! No-op mirror of `injector.rs`, compiled when the `enabled` feature is
+//! off. Every type is zero-sized and every entry point is an empty inline
+//! function returning "no fault", so instrumented call sites cost nothing
+//! and need no `cfg` (pinned by `disabled_tests` in `lib.rs`).
+
+use crate::profile::{Channel, FaultProfile, FaultStats, SampleFault};
+
+/// `false`: the injector is compiled out of this build.
+pub const ENABLED: bool = false;
+
+/// Zero-sized stand-in for the live injector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultInjector;
+
+impl FaultInjector {
+    #[inline]
+    pub fn new(_profile: FaultProfile) -> Self {
+        FaultInjector
+    }
+
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn device(&self, _id: u64) -> DeviceFaults {
+        DeviceFaults
+    }
+
+    #[inline]
+    pub fn stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// Zero-sized stand-in for a device's fault handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceFaults;
+
+impl DeviceFaults {
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn clock_set_rejects(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn clock_clamp_rungs(&self) -> u32 {
+        0
+    }
+
+    #[inline]
+    pub fn sample_fault(&self) -> SampleFault {
+        SampleFault::None
+    }
+
+    #[inline]
+    pub fn energy_rollover_j(&self) -> Option<f64> {
+        None
+    }
+
+    #[inline]
+    pub fn thermal_throttle(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn straggler_stall(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn straggler_factor(&self) -> f64 {
+        1.0
+    }
+
+    #[inline]
+    pub fn note_injected(&self, _ch: Channel) {}
+
+    #[inline]
+    pub fn note_recovered(&self, _ch: Channel) {}
+
+    #[inline]
+    pub fn note_recovered_n(&self, _ch: Channel, _n: u64) {}
+}

@@ -1,0 +1,376 @@
+//! Fault profiles and injection/recovery accounting.
+//!
+//! These types are compiled unconditionally (even when the `enabled` feature
+//! is off) so run specs carrying a `faults` section always parse and reports
+//! always carry a (possibly all-zero) [`FaultStats`].
+
+use serde::{Deserialize, Serialize};
+
+/// The injection channels, one per fragile real-world interface the stack
+/// talks to. Decisions on different channels are hashed independently, so
+/// enabling one channel never shifts another's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Channel {
+    /// `SetApplicationsClocks` fails transiently (`NVML_ERROR_UNKNOWN`).
+    ClockSet,
+    /// `SetApplicationsClocks` succeeds but silently clamps the requested
+    /// graphics clock a few rungs down (power/thermal limit behaviour).
+    ClockClamp,
+    /// A power/energy sample read returns stale data (dropped) or the
+    /// previous sample again (duplicated).
+    PowerSample,
+    /// The cumulative energy counter wraps at a fixed modulus.
+    EnergyCounter,
+    /// A kernel region runs under a transient thermal-throttle clock cap.
+    Thermal,
+    /// A rank's local compute stalls (straggler), inflating one `advance`.
+    Straggler,
+}
+
+impl Channel {
+    /// Stable per-channel salt for the decision hash.
+    pub(crate) fn salt(self) -> u64 {
+        match self {
+            Channel::ClockSet => 0x636c_6f63_6b73_6574,
+            Channel::ClockClamp => 0x636c_616d_7000_0000,
+            Channel::PowerSample => 0x7361_6d70_6c65_0000,
+            Channel::EnergyCounter => 0x726f_6c6c_6f76_6572,
+            Channel::Thermal => 0x7468_6572_6d61_6c00,
+            Channel::Straggler => 0x7374_7261_6767_6c65,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::ClockSet => "clock_set",
+            Channel::ClockClamp => "clock_clamp",
+            Channel::PowerSample => "power_sample",
+            Channel::EnergyCounter => "energy_counter",
+            Channel::Thermal => "thermal",
+            Channel::Straggler => "straggler",
+        }
+    }
+}
+
+/// Outcome of a power-sample fault draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleFault {
+    /// The sample is delivered normally.
+    #[default]
+    None,
+    /// The sample is lost; the reader sees the previous state.
+    Dropped,
+    /// The previous sample is delivered again.
+    Duplicated,
+}
+
+/// A per-channel fault profile. All rates are per-decision probabilities in
+/// `[0, 1]`; the default profile injects nothing, so installing an injector
+/// built from `FaultProfile::default()` changes no behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Seed of the deterministic schedule. Same seed + same profile gives a
+    /// byte-identical fault schedule regardless of worker count.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability one `SetApplicationsClocks` call fails transiently.
+    #[serde(default)]
+    pub clock_set_reject: f64,
+    /// Probability a successful clock-set is silently clamped down.
+    #[serde(default)]
+    pub clock_clamp: f64,
+    /// How many ladder rungs a clamped request loses.
+    #[serde(default = "default_clamp_rungs")]
+    pub clock_clamp_rungs: u32,
+    /// Probability one power/energy sample read is dropped.
+    #[serde(default)]
+    pub sample_drop: f64,
+    /// Probability one power/energy sample read is duplicated.
+    #[serde(default)]
+    pub sample_duplicate: f64,
+    /// Cumulative-energy counter wrap modulus in joules; `None` disables the
+    /// rollover channel. The raw register shows `true_joules % modulus`.
+    #[serde(default)]
+    pub energy_rollover_j: Option<f64>,
+    /// Probability one kernel region runs under a transient thermal cap.
+    #[serde(default)]
+    pub thermal_throttle: f64,
+    /// Probability one local `advance` stalls (straggler rank behaviour).
+    #[serde(default)]
+    pub straggler_stall: f64,
+    /// Time-inflation factor applied to a stalled `advance` (> 1).
+    #[serde(default = "default_straggler_factor")]
+    pub straggler_factor: f64,
+}
+
+fn default_clamp_rungs() -> u32 {
+    2
+}
+
+fn default_straggler_factor() -> f64 {
+    3.0
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            seed: 0,
+            clock_set_reject: 0.0,
+            clock_clamp: 0.0,
+            clock_clamp_rungs: default_clamp_rungs(),
+            sample_drop: 0.0,
+            sample_duplicate: 0.0,
+            energy_rollover_j: None,
+            thermal_throttle: 0.0,
+            straggler_stall: 0.0,
+            straggler_factor: default_straggler_factor(),
+        }
+    }
+}
+
+impl FaultProfile {
+    /// The default chaos profile: 5% clock-set rejection, 1% sample drop and
+    /// a counter rollover every 500 J — the acceptance profile of the chaos
+    /// end-to-end test and of `freqscale-run --fault-profile default`.
+    pub fn chaos() -> Self {
+        FaultProfile {
+            seed: 0xC4A05,
+            clock_set_reject: 0.05,
+            clock_clamp: 0.02,
+            sample_drop: 0.01,
+            sample_duplicate: 0.005,
+            energy_rollover_j: Some(500.0),
+            thermal_throttle: 0.01,
+            ..FaultProfile::default()
+        }
+    }
+
+    /// True if every channel is disabled — an injector built from such a
+    /// profile never fires.
+    pub fn is_inert(&self) -> bool {
+        self.clock_set_reject <= 0.0
+            && self.clock_clamp <= 0.0
+            && self.sample_drop <= 0.0
+            && self.sample_duplicate <= 0.0
+            && self.energy_rollover_j.is_none()
+            && self.thermal_throttle <= 0.0
+            && self.straggler_stall <= 0.0
+    }
+
+    /// Reject profiles the injector cannot run with.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("clock_set_reject", self.clock_set_reject),
+            ("clock_clamp", self.clock_clamp),
+            ("sample_drop", self.sample_drop),
+            ("sample_duplicate", self.sample_duplicate),
+            ("thermal_throttle", self.thermal_throttle),
+            ("straggler_stall", self.straggler_stall),
+        ];
+        for (name, p) in rates {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+        }
+        if self.sample_drop + self.sample_duplicate > 1.0 {
+            return Err("sample_drop + sample_duplicate exceeds 1".into());
+        }
+        if let Some(m) = self.energy_rollover_j {
+            if !m.is_finite() || m <= 0.0 {
+                return Err(format!("energy_rollover_j = {m} must be positive"));
+            }
+        }
+        if self.clock_clamp > 0.0 && self.clock_clamp_rungs == 0 {
+            return Err("clock_clamp enabled with clock_clamp_rungs = 0".into());
+        }
+        if self.straggler_stall > 0.0 && self.straggler_factor <= 1.0 {
+            return Err(format!(
+                "straggler_factor = {} must exceed 1",
+                self.straggler_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Injected/recovered counters per channel. `injected` counts faults that
+/// actually landed (not mere decision draws); each resilience layer calls
+/// `note_recovered` when it detects and absorbs one, so a clean run ends
+/// with `all_recovered()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    #[serde(default)]
+    pub clock_set_injected: u64,
+    #[serde(default)]
+    pub clock_set_recovered: u64,
+    #[serde(default)]
+    pub clock_clamp_injected: u64,
+    #[serde(default)]
+    pub clock_clamp_recovered: u64,
+    #[serde(default)]
+    pub power_sample_injected: u64,
+    #[serde(default)]
+    pub power_sample_recovered: u64,
+    #[serde(default)]
+    pub energy_counter_injected: u64,
+    #[serde(default)]
+    pub energy_counter_recovered: u64,
+    #[serde(default)]
+    pub thermal_injected: u64,
+    #[serde(default)]
+    pub thermal_recovered: u64,
+    #[serde(default)]
+    pub straggler_injected: u64,
+    #[serde(default)]
+    pub straggler_recovered: u64,
+}
+
+impl FaultStats {
+    /// `(injected, recovered)` for one channel.
+    pub fn channel(&self, ch: Channel) -> (u64, u64) {
+        match ch {
+            Channel::ClockSet => (self.clock_set_injected, self.clock_set_recovered),
+            Channel::ClockClamp => (self.clock_clamp_injected, self.clock_clamp_recovered),
+            Channel::PowerSample => (self.power_sample_injected, self.power_sample_recovered),
+            Channel::EnergyCounter => (self.energy_counter_injected, self.energy_counter_recovered),
+            Channel::Thermal => (self.thermal_injected, self.thermal_recovered),
+            Channel::Straggler => (self.straggler_injected, self.straggler_recovered),
+        }
+    }
+
+    pub const CHANNELS: [Channel; 6] = [
+        Channel::ClockSet,
+        Channel::ClockClamp,
+        Channel::PowerSample,
+        Channel::EnergyCounter,
+        Channel::Thermal,
+        Channel::Straggler,
+    ];
+
+    /// Total faults injected across channels.
+    pub fn injected(&self) -> u64 {
+        Self::CHANNELS.iter().map(|&c| self.channel(c).0).sum()
+    }
+
+    /// Total faults recovered across channels.
+    pub fn recovered(&self) -> u64 {
+        Self::CHANNELS.iter().map(|&c| self.channel(c).1).sum()
+    }
+
+    /// True when every injected fault was recovered (vacuously true for a
+    /// fault-free run).
+    pub fn all_recovered(&self) -> bool {
+        Self::CHANNELS
+            .iter()
+            .all(|&c| self.channel(c).0 == self.channel(c).1)
+    }
+
+    /// Merge another stats snapshot into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.clock_set_injected += other.clock_set_injected;
+        self.clock_set_recovered += other.clock_set_recovered;
+        self.clock_clamp_injected += other.clock_clamp_injected;
+        self.clock_clamp_recovered += other.clock_clamp_recovered;
+        self.power_sample_injected += other.power_sample_injected;
+        self.power_sample_recovered += other.power_sample_recovered;
+        self.energy_counter_injected += other.energy_counter_injected;
+        self.energy_counter_recovered += other.energy_counter_recovered;
+        self.thermal_injected += other.thermal_injected;
+        self.thermal_recovered += other.thermal_recovered;
+        self.straggler_injected += other.straggler_injected;
+        self.straggler_recovered += other.straggler_recovered;
+    }
+
+    /// Human-readable per-channel summary, one `name: N injected, M
+    /// recovered` clause per active channel — the recovery log line a chaos
+    /// run prints.
+    pub fn summary(&self) -> String {
+        let clauses: Vec<String> = Self::CHANNELS
+            .iter()
+            .filter_map(|&c| {
+                let (inj, rec) = self.channel(c);
+                (inj + rec > 0).then(|| format!("{}: {inj} injected, {rec} recovered", c.name()))
+            })
+            .collect();
+        if clauses.is_empty() {
+            "no faults injected".to_string()
+        } else {
+            clauses.join("; ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_inert_and_valid() {
+        let p = FaultProfile::default();
+        assert!(p.is_inert());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn chaos_profile_matches_acceptance_rates() {
+        let p = FaultProfile::chaos();
+        assert!(!p.is_inert());
+        assert!(p.validate().is_ok());
+        assert!((p.clock_set_reject - 0.05).abs() < 1e-12);
+        assert!((p.sample_drop - 0.01).abs() < 1e-12);
+        assert!(p.energy_rollover_j.is_some());
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let mut p = FaultProfile {
+            clock_set_reject: 1.5,
+            ..FaultProfile::default()
+        };
+        assert!(p.validate().is_err(), "rate above 1");
+        p.clock_set_reject = 0.1;
+        p.energy_rollover_j = Some(0.0);
+        assert!(p.validate().is_err(), "zero modulus");
+        p.energy_rollover_j = None;
+        p.straggler_stall = 0.1;
+        p.straggler_factor = 1.0;
+        assert!(p.validate().is_err(), "non-inflating straggler");
+    }
+
+    #[test]
+    fn profile_serde_round_trips_and_tolerates_missing_fields() {
+        let p = FaultProfile::chaos();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        // A sparse spec section parses with defaults for everything else.
+        let sparse: FaultProfile =
+            serde_json::from_str(r#"{"seed": 7, "sample_drop": 0.25}"#).unwrap();
+        assert_eq!(sparse.seed, 7);
+        assert!((sparse.sample_drop - 0.25).abs() < 1e-12);
+        assert_eq!(sparse.clock_set_reject, 0.0);
+    }
+
+    #[test]
+    fn stats_accounting_and_summary() {
+        let mut s = FaultStats::default();
+        assert!(s.all_recovered(), "vacuously true");
+        assert_eq!(s.summary(), "no faults injected");
+        s.clock_set_injected = 3;
+        s.clock_set_recovered = 2;
+        s.energy_counter_injected = 1;
+        s.energy_counter_recovered = 1;
+        assert_eq!(s.injected(), 4);
+        assert_eq!(s.recovered(), 3);
+        assert!(!s.all_recovered());
+        let text = s.summary();
+        assert!(text.contains("clock_set: 3 injected, 2 recovered"));
+        assert!(text.contains("energy_counter: 1 injected, 1 recovered"));
+        let t = FaultStats {
+            clock_set_recovered: 1,
+            ..FaultStats::default()
+        };
+        s.merge(&t);
+        assert!(s.all_recovered());
+    }
+}

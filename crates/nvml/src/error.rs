@@ -19,6 +19,10 @@ pub enum NvmlError {
     NoPermission(&'static str),
     /// `NVML_ERROR_NOT_FOUND` — bad device index.
     NotFound { index: usize, count: usize },
+    /// `NVML_ERROR_UNKNOWN` — the driver failed transiently. Real NVML
+    /// returns this for intermittent clock-set failures; callers should
+    /// retry with backoff (see `EnergyInstrument::try_set_clocks`).
+    Unknown(&'static str),
 }
 
 impl fmt::Display for NvmlError {
@@ -31,6 +35,7 @@ impl fmt::Display for NvmlError {
             NvmlError::NotFound { index, count } => {
                 write!(f, "NVML_ERROR_NOT_FOUND: device {index} of {count}")
             }
+            NvmlError::Unknown(m) => write!(f, "NVML_ERROR_UNKNOWN: {m}"),
         }
     }
 }
@@ -50,6 +55,7 @@ impl From<ArchError> for NvmlError {
             ArchError::NoPermission(op) => NvmlError::NoPermission(op),
             ArchError::NoSuchDevice { index, count } => NvmlError::NotFound { index, count },
             ArchError::InvalidSpec(m) => NvmlError::InvalidArgument(m),
+            ArchError::Transient(op) => NvmlError::Unknown(op),
         }
     }
 }

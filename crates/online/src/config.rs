@@ -49,6 +49,21 @@ pub struct OnlineTunerConfig {
     /// estimates wobbling.
     #[serde(default = "default_max_explore_launches")]
     pub max_explore_launches: u64,
+    /// Measurement-validity guard: a sample whose per-call EDP exceeds this
+    /// multiple of the rung's current windowed mean is rejected as an
+    /// outlier instead of poisoning the estimate (throttled regions,
+    /// glitched counters).
+    #[serde(default = "default_outlier_factor")]
+    pub outlier_factor: f64,
+    /// Consecutive rejected samples after which the offending rung's
+    /// estimate is quarantined (dropped and re-measured from scratch).
+    #[serde(default = "default_quarantine_after")]
+    pub quarantine_after: u32,
+    /// Consecutive rejected samples after which the kernel gives up on
+    /// measurement-driven tuning entirely and pins at the maximum clock —
+    /// the "fall back to default application clocks" safety valve.
+    #[serde(default = "default_fallback_after")]
+    pub fallback_after: u32,
 }
 
 fn default_min_freq() -> MegaHertz {
@@ -79,6 +94,18 @@ fn default_max_explore_launches() -> u64 {
     64
 }
 
+fn default_outlier_factor() -> f64 {
+    8.0
+}
+
+fn default_quarantine_after() -> u32 {
+    3
+}
+
+fn default_fallback_after() -> u32 {
+    6
+}
+
 impl Default for OnlineTunerConfig {
     fn default() -> Self {
         OnlineTunerConfig {
@@ -90,6 +117,9 @@ impl Default for OnlineTunerConfig {
             min_improvement: default_min_improvement(),
             patience: default_patience(),
             max_explore_launches: default_max_explore_launches(),
+            outlier_factor: default_outlier_factor(),
+            quarantine_after: default_quarantine_after(),
+            fallback_after: default_fallback_after(),
         }
     }
 }
@@ -129,6 +159,21 @@ impl OnlineTunerConfig {
         if self.max_explore_launches == 0 {
             return Err(OnlineError::InvalidConfig(
                 "max_explore_launches must be >= 1".into(),
+            ));
+        }
+        if !self.outlier_factor.is_finite() || self.outlier_factor <= 1.0 {
+            return Err(OnlineError::InvalidConfig(
+                "outlier_factor must exceed 1".into(),
+            ));
+        }
+        if self.quarantine_after == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "quarantine_after must be >= 1".into(),
+            ));
+        }
+        if self.fallback_after < self.quarantine_after {
+            return Err(OnlineError::InvalidConfig(
+                "fallback_after must be >= quarantine_after".into(),
             ));
         }
         Ok(())

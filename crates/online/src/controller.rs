@@ -46,6 +46,24 @@ enum Phase {
     Pinned,
 }
 
+/// What [`OnlineTuner::record`] did with one measured sample — the
+/// measurement-validity guard's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// The sample entered the rung's sliding window.
+    Accepted,
+    /// Non-finite or non-positive energy/time — a glitched measurement.
+    RejectedInvalid,
+    /// Per-call EDP beyond `outlier_factor` times the rung's windowed mean.
+    RejectedOutlier,
+    /// `quarantine_after` consecutive rejects: the rung's estimate was
+    /// dropped for re-measurement.
+    Quarantined,
+    /// `fallback_after` consecutive rejects: the kernel pinned at the
+    /// maximum clock (default application clocks).
+    FellBack,
+}
+
 #[derive(Debug)]
 struct KernelState {
     phase: Phase,
@@ -54,6 +72,8 @@ struct KernelState {
     estimates: BTreeMap<usize, RungEstimate>,
     /// Launches taken while not yet pinned.
     explore_launches: u64,
+    /// Consecutive samples the validity guard rejected.
+    consecutive_invalid: u32,
 }
 
 impl KernelState {
@@ -63,6 +83,7 @@ impl KernelState {
             best: top,
             estimates: BTreeMap::new(),
             explore_launches: 0,
+            consecutive_invalid: 0,
         }
     }
 
@@ -310,9 +331,26 @@ impl OnlineTuner {
     /// Feed back one measured launch. `freq` is the clock the region
     /// actually ran at (which, when clock control is denied, may not be the
     /// proposed one — samples land where the hardware really was).
-    pub fn record(&mut self, func: FuncId, freq: MegaHertz, energy_j: f64, time_s: f64) {
+    ///
+    /// Every sample passes the measurement-validity guard first: glitched
+    /// (non-finite/non-positive) measurements and EDP outliers beyond
+    /// `outlier_factor`× the rung's windowed mean are rejected rather than
+    /// poisoning the estimate. `quarantine_after` consecutive rejects drop
+    /// the rung's estimate for re-measurement; `fallback_after` consecutive
+    /// rejects pin the kernel at the maximum clock (default application
+    /// clocks) — measurements that broken cannot steer a search.
+    pub fn record(
+        &mut self,
+        func: FuncId,
+        freq: MegaHertz,
+        energy_j: f64,
+        time_s: f64,
+    ) -> RecordOutcome {
         let top = self.ladder.len() - 1;
         let window = self.cfg.window;
+        let outlier_factor = self.cfg.outlier_factor;
+        let quarantine_after = self.cfg.quarantine_after;
+        let fallback_after = self.cfg.fallback_after;
         let idx = nearest_idx(&self.ladder, freq);
         let st = self
             .kernels
@@ -321,10 +359,39 @@ impl OnlineTuner {
         if st.phase != Phase::Pinned {
             st.explore_launches += 1;
         }
+        let invalid =
+            !energy_j.is_finite() || !time_s.is_finite() || energy_j <= 0.0 || time_s <= 0.0;
+        let outlier = !invalid
+            && st.mean_at(idx).is_some_and(|mean| {
+                mean > 0.0 && archsim::EnergyDelay::of(energy_j, time_s).0 > outlier_factor * mean
+            });
+        if invalid || outlier {
+            st.consecutive_invalid += 1;
+            if st.consecutive_invalid >= fallback_after {
+                st.consecutive_invalid = 0;
+                st.best = top;
+                st.phase = Phase::Pinned;
+                decide_event(func, "fallback_default", self.ladder[top], None);
+                return RecordOutcome::FellBack;
+            }
+            if st.consecutive_invalid >= quarantine_after {
+                st.estimates.remove(&idx);
+                decide_event(func, "quarantine", self.ladder[idx], None);
+                return RecordOutcome::Quarantined;
+            }
+            decide_event(func, "reject_sample", self.ladder[idx], st.mean_at(idx));
+            return if invalid {
+                RecordOutcome::RejectedInvalid
+            } else {
+                RecordOutcome::RejectedOutlier
+            };
+        }
+        st.consecutive_invalid = 0;
         st.estimates
             .entry(idx)
             .or_insert_with(|| RungEstimate::new(window))
             .record(energy_j, time_s);
+        RecordOutcome::Accepted
     }
 
     /// The contemporaneous windowed-EDP estimate at `func`'s current best
@@ -466,6 +533,89 @@ mod tests {
         tuner.record(FuncId::XMass, MegaHertz(1050), e, t);
         assert_eq!(tuner.exploration_launches(), 0);
         assert_eq!(tuner.table(), table);
+    }
+
+    #[test]
+    fn invalid_samples_are_rejected_not_recorded() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        let f = tuner.propose(FuncId::XMass);
+        assert_eq!(
+            tuner.record(FuncId::XMass, f, f64::NAN, 0.1),
+            RecordOutcome::RejectedInvalid
+        );
+        assert_eq!(
+            tuner.record(FuncId::XMass, f, -5.0, 0.1),
+            RecordOutcome::RejectedInvalid
+        );
+        assert_eq!(
+            tuner.record(FuncId::XMass, f, 10.0, 0.0),
+            RecordOutcome::Quarantined,
+            "third consecutive reject quarantines the rung"
+        );
+        // A good sample resets the consecutive counter and is accepted.
+        assert_eq!(
+            tuner.record(FuncId::XMass, f, 10.0, 0.1),
+            RecordOutcome::Accepted
+        );
+        assert_eq!(
+            tuner.record(FuncId::XMass, f, f64::INFINITY, 0.1),
+            RecordOutcome::RejectedInvalid,
+            "counter restarted after the accept"
+        );
+    }
+
+    #[test]
+    fn edp_outliers_are_rejected_and_quarantine_clears_the_rung() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        let f = tuner.propose(FuncId::FindNeighbors);
+        tuner.record(FuncId::FindNeighbors, f, 100.0, 1.0); // EDP 100 baseline
+        assert_eq!(
+            tuner.record(FuncId::FindNeighbors, f, 100.0 * 20.0, 1.0), // EDP 2000 > 8x mean
+            RecordOutcome::RejectedOutlier
+        );
+        assert!(
+            (tuner.windowed_edp(FuncId::FindNeighbors).unwrap() - 100.0).abs() < 1e-9,
+            "outlier must not move the estimate"
+        );
+        // Two more rejects hit quarantine_after = 3: the rung is dropped.
+        assert_eq!(
+            tuner.record(FuncId::FindNeighbors, f, 2000.0, 1.0),
+            RecordOutcome::RejectedOutlier,
+            "second reject (mean still 100)"
+        );
+        assert_eq!(
+            tuner.record(FuncId::FindNeighbors, f, 2000.0, 1.0),
+            RecordOutcome::Quarantined
+        );
+        assert_eq!(
+            tuner.windowed_edp(FuncId::FindNeighbors),
+            None,
+            "quarantined rung re-measures from scratch"
+        );
+    }
+
+    #[test]
+    fn persistent_bad_measurements_fall_back_to_max_clock() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let mut tuner = OnlineTuner::new(&gpu, OnlineTunerConfig::default()).unwrap();
+        let f = tuner.propose(FuncId::IADVelocityDivCurl);
+        let mut fell_back = false;
+        for _ in 0..OnlineTunerConfig::default().fallback_after {
+            if tuner.record(FuncId::IADVelocityDivCurl, f, f64::NAN, 0.1) == RecordOutcome::FellBack
+            {
+                fell_back = true;
+                break;
+            }
+        }
+        assert!(fell_back, "six consecutive invalid samples must fall back");
+        assert!(tuner.is_pinned(FuncId::IADVelocityDivCurl));
+        assert_eq!(
+            tuner.table()[&FuncId::IADVelocityDivCurl],
+            MegaHertz(1410),
+            "fallback pins at the safe maximum clock"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod estimator;
 pub mod store;
 
 pub use config::OnlineTunerConfig;
-pub use controller::{LearnedTable, OnlineTuner};
+pub use controller::{LearnedTable, OnlineTuner, RecordOutcome};
 pub use coordinator::{PowerCapCoordinator, RankAllocation, DEFAULT_MARGIN};
 pub use error::OnlineError;
 pub use estimator::RungEstimate;

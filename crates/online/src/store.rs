@@ -82,6 +82,44 @@ impl TableStore {
         Ok(Some(stored.table))
     }
 
+    /// Load the table for `(gpu, workload)`, degrading gracefully.
+    ///
+    /// Unlike [`TableStore::load`] — which reports a corrupt file as a hard
+    /// [`OnlineError::Corrupt`] so audits can catch it — this variant treats
+    /// any unreadable entry as "no warm start available": it logs a warning,
+    /// moves the offending file aside to `<name>.json.corrupt` so the bad
+    /// bytes survive for inspection (and so the next `save` rebuilds a clean
+    /// entry), and returns `None`. Production runs use this path: a truncated
+    /// or hand-mangled store must cost one cold-start exploration, never a
+    /// crash.
+    pub fn load_or_rebuild(&self, gpu: &str, workload: &str) -> Option<LearnedTable> {
+        match self.load(gpu, workload) {
+            Ok(found) => found,
+            Err(OnlineError::Corrupt { path, detail }) => {
+                let aside = path.with_extension("json.corrupt");
+                let moved = fs::rename(&path, &aside).is_ok();
+                eprintln!(
+                    "warning: learned-table store entry {} is corrupt ({detail}); \
+                     {} and rebuilding from a cold start",
+                    path.display(),
+                    if moved {
+                        format!("moved aside to {}", aside.display())
+                    } else {
+                        "leaving it in place".to_string()
+                    }
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: learned-table store unreadable for ({gpu}, {workload}): {e}; \
+                     rebuilding from a cold start"
+                );
+                None
+            }
+        }
+    }
+
     /// Persist `table` for `(gpu, workload)`, replacing any previous entry.
     pub fn save(&self, gpu: &str, workload: &str, table: &LearnedTable) -> Result<(), OnlineError> {
         let stored = StoredTable {
@@ -173,6 +211,53 @@ mod tests {
             Err(OnlineError::Corrupt { .. }) => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_or_rebuild_recovers_from_corruption() {
+        let dir = tmpdir("rebuild");
+        let store = TableStore::open(&dir).unwrap();
+        fs::write(dir.join("A100__turb.json"), "{not json").unwrap();
+        assert_eq!(
+            store.load_or_rebuild("A100", "turb"),
+            None,
+            "corrupt entry degrades to a cold start"
+        );
+        assert!(
+            !dir.join("A100__turb.json").exists(),
+            "corrupt file is moved aside"
+        );
+        assert!(
+            dir.join("A100__turb.json.corrupt").exists(),
+            "bad bytes are preserved for inspection"
+        );
+        // The slot now rebuilds cleanly.
+        let table = sample_table();
+        store.save("A100", "turb", &table).unwrap();
+        assert_eq!(store.load_or_rebuild("A100", "turb"), Some(table));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_or_rebuild_handles_truncated_and_missing_files() {
+        let dir = tmpdir("truncated");
+        let store = TableStore::open(&dir).unwrap();
+        assert_eq!(store.load_or_rebuild("A100", "evrard"), None, "missing");
+        // Simulate a write cut short mid-file (e.g. node OOM during save).
+        let full = serde_json::to_string(&StoredTable {
+            gpu: "A100".into(),
+            workload: "evrard".into(),
+            table: sample_table(),
+        })
+        .unwrap();
+        fs::write(dir.join("A100__evrard.json"), &full[..full.len() / 2]).unwrap();
+        assert_eq!(
+            store.load_or_rebuild("A100", "evrard"),
+            None,
+            "truncated entry degrades to a cold start"
+        );
+        assert!(dir.join("A100__evrard.json.corrupt").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

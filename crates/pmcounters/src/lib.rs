@@ -15,6 +15,7 @@
 //! * node energy includes the auxiliary draw no per-device counter covers,
 //!   which is why "Other" in the paper is a *calculated* value.
 
+pub mod rollover;
 pub mod snapshot;
 
 use std::sync::Arc;
@@ -25,6 +26,7 @@ use archsim::{
     CpuDevice, GpuDevice, Joules, MemoryDevice, Node, NodeSpec, SimDuration, SimInstant, Watts,
 };
 
+pub use rollover::RolloverCorrector;
 pub use snapshot::{capture_series, series_to_csv, PmSnapshot};
 
 /// Default out-of-band collection rate (10 Hz).

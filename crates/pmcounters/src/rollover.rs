@@ -1,0 +1,100 @@
+//! Counter-rollover correction for cumulative energy registers.
+//!
+//! Real acquisition counters (`pm_counters` energy files, NVML's
+//! `totalEnergyConsumption`) are fixed-width registers that wrap; the
+//! companion measurement paper (arXiv:2312.05102) validates raw counters
+//! against Slurm accounting precisely because of drops and rollovers. This
+//! corrector reconstructs the monotone cumulative value from raw readings
+//! under the standard assumption of at most one wrap per read interval.
+
+/// Reconstructs a monotone cumulative counter from raw modulo-`modulus`
+/// register readings.
+#[derive(Debug, Clone)]
+pub struct RolloverCorrector {
+    modulus: f64,
+    last_raw: f64,
+    wraps: u64,
+}
+
+impl RolloverCorrector {
+    /// A corrector for a register that wraps at `modulus` (must be
+    /// positive).
+    pub fn new(modulus: f64) -> Self {
+        assert!(modulus > 0.0, "rollover modulus must be positive");
+        RolloverCorrector {
+            modulus,
+            last_raw: 0.0,
+            wraps: 0,
+        }
+    }
+
+    /// Feed the next raw register reading; returns the corrected cumulative
+    /// value and whether a wrap was detected at this reading. Correct as
+    /// long as the counter wraps at most once between consecutive reads.
+    pub fn correct(&mut self, raw: f64) -> (f64, bool) {
+        let wrapped = raw < self.last_raw;
+        if wrapped {
+            self.wraps += 1;
+        }
+        self.last_raw = raw;
+        (raw + self.wraps as f64 * self.modulus, wrapped)
+    }
+
+    /// Wraps detected so far.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+
+    /// The register's wrap modulus.
+    pub fn modulus(&self) -> f64 {
+        self.modulus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_input_passes_through() {
+        let mut c = RolloverCorrector::new(100.0);
+        for raw in [0.0, 10.0, 55.0, 99.9] {
+            let (v, wrapped) = c.correct(raw);
+            assert_eq!(v, raw);
+            assert!(!wrapped);
+        }
+        assert_eq!(c.wraps(), 0);
+    }
+
+    #[test]
+    fn wrap_is_detected_and_corrected_exactly() {
+        let mut c = RolloverCorrector::new(100.0);
+        c.correct(80.0);
+        let (v, wrapped) = c.correct(5.0); // true cumulative 105
+        assert!(wrapped);
+        assert_eq!(v, 105.0);
+        let (v, wrapped) = c.correct(60.0); // true cumulative 160
+        assert!(!wrapped);
+        assert_eq!(v, 160.0);
+        assert_eq!(c.wraps(), 1);
+    }
+
+    #[test]
+    fn multiple_wraps_accumulate() {
+        let mut c = RolloverCorrector::new(50.0);
+        // True cumulative climbs 0..=170 in steps small enough for ≤ 1 wrap
+        // per read.
+        for true_val in (0..=170).step_by(20) {
+            let raw = f64::from(true_val) % 50.0;
+            let (v, _) = c.correct(raw);
+            assert!((v - f64::from(true_val)).abs() < 1e-9, "at {true_val}");
+        }
+        assert_eq!(c.wraps(), 3); // 170 / 50
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_modulus_rejected() {
+        let _ = RolloverCorrector::new(0.0);
+    }
+}

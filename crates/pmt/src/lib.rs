@@ -30,6 +30,7 @@ pub mod backends;
 pub mod sensor;
 
 use archsim::{Joules, SimDuration, SimInstant, Watts};
+use pm_counters::RolloverCorrector;
 
 pub use sensor::{joules, seconds, watts, PowerSensor, SensorKind, State};
 
@@ -38,10 +39,22 @@ pub use sensor::{joules, seconds, watts, PowerSensor, SensorKind, State};
 /// Reads are expected to be (weakly) monotonic in device time; the cumulative
 /// counter advances incrementally so a long run costs O(total segments), not
 /// O(reads × segments).
+///
+/// With a fault handle installed ([`Pmt::with_faults`]) the sampling path
+/// models the real acquisition layer's failure modes: individual reads can be
+/// dropped or duplicated (the caller sees the previous [`State`] again) and
+/// the cumulative energy register can wrap, which is detected and corrected
+/// by a [`RolloverCorrector`] so reported joules stay monotone.
 pub struct Pmt {
     sensor: Box<dyn PowerSensor>,
     last_read: SimInstant,
     cumulative: Joules,
+    faults: faults::DeviceFaults,
+    rollover: Option<RolloverCorrector>,
+    last_state: Option<State>,
+    /// Stale (dropped/duplicated) reads since the last good one; recovered
+    /// in bulk when the next good read re-anchors the measurement.
+    stale_pending: u64,
 }
 
 impl Pmt {
@@ -51,7 +64,17 @@ impl Pmt {
             sensor,
             last_read: SimInstant::ZERO,
             cumulative: Joules::ZERO,
+            faults: faults::DeviceFaults::default(),
+            rollover: None,
+            last_state: None,
+            stale_pending: 0,
         }
+    }
+
+    /// Install a fault handle on the sampling path (inert by default).
+    pub fn with_faults(mut self, handle: faults::DeviceFaults) -> Self {
+        self.faults = handle;
+        self
     }
 
     /// Backend kind.
@@ -64,18 +87,66 @@ impl Pmt {
         self.sensor.label()
     }
 
-    /// Take a measurement at the device's current instant.
+    /// Take a measurement at the device's current instant. Subject to
+    /// injected sample faults: a dropped or duplicated sample returns the
+    /// previous state again (both are observationally stale data to a
+    /// cumulative-counter reader).
     pub fn read(&mut self) -> State {
+        if let Some(prev) = self.last_state {
+            if self.faults.sample_fault() != faults::SampleFault::None {
+                self.faults.note_injected(faults::Channel::PowerSample);
+                self.stale_pending += 1;
+                return prev;
+            }
+        }
+        self.read_exact()
+    }
+
+    /// Take a measurement bypassing sample-fault injection (the end-of-run
+    /// read, which must re-anchor any outstanding stale samples).
+    pub fn read_exact(&mut self) -> State {
         let t = self.sensor.now();
         if t > self.last_read {
             self.cumulative += self.sensor.energy_between(self.last_read, t);
             self.last_read = t;
         }
-        State {
+        // What the raw register shows is `cumulative % modulus` when the
+        // rollover channel is active; reconstruct the monotone value.
+        let reported = match self.faults.energy_rollover_j() {
+            Some(modulus) => {
+                let corr = self
+                    .rollover
+                    .get_or_insert_with(|| RolloverCorrector::new(modulus));
+                let (fixed, wrapped) = corr.correct(self.cumulative.0 % modulus);
+                if wrapped {
+                    // Detection *is* the recovery: the corrected value is
+                    // exact, so the wrap is absorbed at the read that saw it.
+                    self.faults.note_injected(faults::Channel::EnergyCounter);
+                    self.faults.note_recovered(faults::Channel::EnergyCounter);
+                }
+                Joules(fixed)
+            }
+            None => self.cumulative,
+        };
+        // A good read re-anchors the (before, after) measurement pair, so
+        // any run of stale samples ends here.
+        if self.stale_pending > 0 {
+            self.faults
+                .note_recovered_n(faults::Channel::PowerSample, self.stale_pending);
+            self.stale_pending = 0;
+        }
+        let state = State {
             timestamp: t,
             watts: self.sensor.power_now(),
-            joules: self.cumulative,
-        }
+            joules: reported,
+        };
+        self.last_state = Some(state);
+        state
+    }
+
+    /// Energy-counter wraps detected (and corrected) so far.
+    pub fn rollovers_corrected(&self) -> u64 {
+        self.rollover.as_ref().map_or(0, RolloverCorrector::wraps)
     }
 
     /// Exact energy over an explicit window (post-hoc analysis).
@@ -277,6 +348,86 @@ mod tests {
         assert!(contents.starts_with("# pmt dump sensor=nvml:0"));
         assert!(contents.lines().count() > 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dropped_samples_return_stale_state_and_recover() {
+        if !faults::ENABLED {
+            return;
+        }
+        let inj = faults::FaultInjector::new(faults::FaultProfile {
+            seed: 3,
+            sample_drop: 0.5,
+            ..faults::FaultProfile::default()
+        });
+        let g = gpu();
+        let mut pmt =
+            Pmt::new(Box::new(NvmlSensor::from_raw(0, Arc::clone(&g)))).with_faults(inj.device(0));
+        let mut prev = pmt.read(); // first read is always good
+        let mut stale_seen = 0;
+        for _ in 0..64 {
+            g.lock().run_region(&work());
+            let s = pmt.read();
+            if s == prev {
+                stale_seen += 1;
+            }
+            assert!(s.joules >= prev.joules, "reads must stay monotone");
+            prev = s;
+        }
+        assert!(stale_seen > 0, "a 50% drop rate must produce stale reads");
+        // The exact end-of-run read re-anchors everything outstanding.
+        let fin = pmt.read_exact();
+        assert!(fin.joules >= prev.joules);
+        let stats = inj.stats();
+        assert_eq!(
+            stats.power_sample_injected, stats.power_sample_recovered,
+            "all stale samples recovered at the next good read"
+        );
+        assert_eq!(stats.power_sample_injected, stale_seen);
+    }
+
+    #[test]
+    fn energy_rollover_is_detected_and_corrected() {
+        if !faults::ENABLED {
+            return;
+        }
+        // Correction reconstructs the counter exactly while at most one wrap
+        // happens per read (the same sampling-rate contract a real wrapping
+        // register imposes), so size the register from one region's energy.
+        let region_j = {
+            let probe = gpu();
+            let mut pmt = Pmt::new(Box::new(NvmlSensor::from_raw(0, Arc::clone(&probe))));
+            let start = pmt.read();
+            probe.lock().run_region(&work());
+            pmt.read().joules.0 - start.joules.0
+        };
+        let inj = faults::FaultInjector::new(faults::FaultProfile {
+            energy_rollover_j: Some(region_j * 1.6), // wraps every other region
+            ..faults::FaultProfile::default()
+        });
+        let g = gpu();
+        let mut faulty =
+            Pmt::new(Box::new(NvmlSensor::from_raw(0, Arc::clone(&g)))).with_faults(inj.device(0));
+        let mut clean = Pmt::new(Box::new(NvmlSensor::from_raw(0, Arc::clone(&g))));
+        faulty.read();
+        clean.read();
+        let mut last = Joules::ZERO;
+        for _ in 0..8 {
+            g.lock().run_region(&work());
+            let f = faulty.read();
+            let c = clean.read();
+            assert!(f.joules >= last, "corrected counter must stay monotone");
+            let rel = (f.joules.0 - c.joules.0).abs() / c.joules.0.max(1e-9);
+            assert!(rel < 1e-9, "correction must be exact, off by {rel}");
+            last = f.joules;
+        }
+        assert!(
+            faulty.rollovers_corrected() >= 1,
+            "register must have wrapped"
+        );
+        let stats = inj.stats();
+        assert!(stats.energy_counter_injected >= 1);
+        assert!(stats.all_recovered());
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct RankCtx {
     receivers: Vec<Receiver<Envelope>>,
     cost: CommCost,
     stats: CommStats,
+    faults: faults::DeviceFaults,
+    /// Straggler stalls injected since the last collective; a collective's
+    /// clock synchronization absorbs them.
+    stalls_pending: u64,
 }
 
 impl RankCtx {
@@ -69,7 +73,15 @@ impl RankCtx {
             receivers,
             cost,
             stats: CommStats::default(),
+            faults: faults::DeviceFaults::default(),
+            stalls_pending: 0,
         }
+    }
+
+    /// Install this rank's fault handle (inert by default). Local compute
+    /// (`advance`) then becomes subject to injected straggler stalls.
+    pub fn install_faults(&mut self, handle: faults::DeviceFaults) {
+        self.faults = handle;
     }
 
     /// This rank's id in `0..size`.
@@ -92,8 +104,17 @@ impl RankCtx {
         self.clock
     }
 
-    /// Advance the local clock by `d` (local computation).
+    /// Advance the local clock by `d` (local computation). An injected
+    /// straggler stall inflates this one advance; the lost time is absorbed
+    /// by the clock synchronization of the next collective.
     pub fn advance(&mut self, d: SimDuration) {
+        let mut d = d;
+        if !d.is_zero() && self.faults.straggler_stall() {
+            self.faults.note_injected(faults::Channel::Straggler);
+            self.stalls_pending += 1;
+            let extra_ns = (d.as_nanos() as f64 * (self.faults.straggler_factor() - 1.0)) as u64;
+            d += SimDuration::from_nanos(extra_ns);
+        }
         self.clock += d;
     }
 
@@ -125,6 +146,14 @@ impl RankCtx {
             max_len = max_len.max(payload.len());
         }
         self.clock = max_clock + self.cost.collective(self.size, max_len);
+        // The bulk-synchronous sync point is the straggler recovery: every
+        // rank leaves at max(entry clocks), so a stalled rank's lost time is
+        // bounded by one collective interval.
+        if self.stalls_pending > 0 {
+            self.faults
+                .note_recovered_n(faults::Channel::Straggler, self.stalls_pending);
+            self.stalls_pending = 0;
+        }
         if telemetry::active() {
             telemetry::span_complete(
                 "comm",
@@ -240,5 +269,17 @@ impl RankCtx {
             self.send(dst, data);
         }
         peers.into_iter().map(|src| (src, self.recv(src))).collect()
+    }
+}
+
+impl Drop for RankCtx {
+    fn drop(&mut self) {
+        // A stall after the last collective is absorbed by the end of the
+        // rank's run itself; close the accounting so `all_recovered` holds.
+        if self.stalls_pending > 0 {
+            self.faults
+                .note_recovered_n(faults::Channel::Straggler, self.stalls_pending);
+            self.stalls_pending = 0;
+        }
     }
 }

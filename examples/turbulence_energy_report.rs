@@ -35,6 +35,7 @@ fn main() {
         report_dir: None,
         power_cap_w: None,
         table_store: None,
+        faults: None,
     };
     println!(
         "running {} on {} with {} ranks ({} steps, 150 M particles/GPU at paper scale)...",

@@ -1,0 +1,121 @@
+//! Chaos end-to-end: the online tuner must ride out the standard fault mix.
+//!
+//! The acceptance run injects transient clock-set rejections, silent clamps,
+//! dropped power samples and an energy-counter rollover into a ManDynOnline
+//! Evrard experiment. The run must complete, every injected fault must be
+//! recovered by the resilience layer that owns its channel, the recoveries
+//! must be visible in the telemetry trace, and the resulting GPU EDP must
+//! stay within 10% of the fault-free run — faults cost noise, not the
+//! energy-efficiency result.
+
+use freqscale::{run_experiment, ExperimentSpec, FreqPolicy, WorkloadKind};
+use online::OnlineTunerConfig;
+
+fn evrard_online_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::minihpc_turbulence(
+        FreqPolicy::ManDynOnline(OnlineTunerConfig::default()),
+        30,
+    );
+    spec.workload = WorkloadKind::Evrard { n_side: 8 };
+    spec.target_particles_per_rank = 80e6;
+    spec.target_neighbors = 30;
+    spec
+}
+
+#[test]
+fn online_tuner_rides_out_the_standard_chaos_mix() {
+    if !faults::ENABLED {
+        return;
+    }
+    let clean = run_experiment(&evrard_online_spec());
+    assert_eq!(clean.fault_stats.injected(), 0, "no profile, no faults");
+
+    // The acceptance profile: 5% clock-set rejection, 2% silent clamping,
+    // 1% dropped + 0.5% duplicated samples, and an energy register sized so
+    // the cumulative counter wraps mid-run (0.6x the clean loop energy).
+    let mut profile = faults::FaultProfile::chaos();
+    profile.energy_rollover_j = Some(clean.per_rank[0].gpu_loop_j * 0.6);
+    let mut spec = evrard_online_spec();
+    spec.faults = Some(profile);
+
+    if telemetry::ENABLED {
+        telemetry::start();
+    }
+    let chaos = run_experiment(&spec);
+    let stats = chaos.fault_stats;
+
+    // Faults actually landed on every exercised channel...
+    assert!(
+        stats.clock_set_injected > 0,
+        "rejections must fire: {stats:?}"
+    );
+    assert!(
+        stats.clock_clamp_injected > 0,
+        "clamps must fire: {stats:?}"
+    );
+    assert!(
+        stats.power_sample_injected > 0,
+        "drops must fire: {stats:?}"
+    );
+    assert!(
+        stats.energy_counter_injected >= 1,
+        "the energy register must wrap at least once: {stats:?}"
+    );
+    // ...and every one of them was absorbed by its resilience layer.
+    assert!(
+        stats.all_recovered(),
+        "unrecovered faults remain: {}",
+        stats.summary()
+    );
+
+    // Recoveries are observable in the trace, not just in the counters.
+    if telemetry::ENABLED {
+        let data = telemetry::stop();
+        let mut injected = 0usize;
+        let mut recovered = 0usize;
+        for track in &data.tracks {
+            for event in &track.events {
+                if let telemetry::Event::Instant(i) = event {
+                    if i.cat == "faults" {
+                        match i.name {
+                            "injected" => injected += 1,
+                            "recovered" => recovered += 1,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        assert!(injected > 0, "injection instants must be traced");
+        assert!(recovered > 0, "recovery instants must be traced");
+    }
+
+    // The run completed with a sane report and a bounded EDP penalty.
+    assert_eq!(chaos.per_rank.len(), 1);
+    assert!(chaos.pmt_gpu_j > 0.0);
+    let rel = (chaos.gpu_edp() - clean.gpu_edp()).abs() / clean.gpu_edp();
+    assert!(
+        rel < 0.10,
+        "chaos EDP must stay within 10% of fault-free: {:.2}% off ({} vs {})",
+        rel * 100.0,
+        chaos.gpu_edp(),
+        clean.gpu_edp()
+    );
+}
+
+#[test]
+fn inert_profile_changes_nothing() {
+    // A spec carrying an all-zero profile must be byte-equivalent to no
+    // profile at all — the injector contract that makes `faults` safe to
+    // leave in default features.
+    let base = run_experiment(&evrard_online_spec());
+    let mut spec = evrard_online_spec();
+    spec.faults = Some(faults::FaultProfile::default());
+    let inert = run_experiment(&spec);
+    assert_eq!(base.fault_stats, inert.fault_stats);
+    assert_eq!(base.pmt_gpu_j.to_bits(), inert.pmt_gpu_j.to_bits());
+    assert_eq!(
+        base.time_to_solution_s.to_bits(),
+        inert.time_to_solution_s.to_bits()
+    );
+}
