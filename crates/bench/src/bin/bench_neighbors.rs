@@ -1,0 +1,235 @@
+//! Neighbor-search measurement: the per-sweep grid re-walk (the pre-list
+//! baseline, `NeighborPath::CellGrid`) against the shared per-step CSR
+//! `NeighborList`, written as the `BENCH_neighbors.json` artifact checked
+//! into the repo root.
+//!
+//! Times each of the step's neighbor-bound sweeps (`neighbor_counts`,
+//! `density_gradh`, `iad_divv_curlv`, `momentum_energy`) on both paths, plus
+//! the composite five-traversal step with the list build amortized in,
+//! median of 7 reps, on Evrard and subsonic-turbulence particle clouds.
+//! Regenerate with:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_neighbors
+//! # CI smoke (build + one rep, no file rewrite):
+//! cargo run --release -p bench --bin bench_neighbors -- --check
+//! ```
+
+use std::time::Instant;
+
+use bench::{banner, print_table, Cli};
+use cornerstone::{Box3, CellList, NeighborList, NeighborSearch};
+use serde::Serialize;
+use sph::{
+    density::{density_gradh, neighbor_counts},
+    evrard,
+    iad::iad_divv_curlv,
+    momentum::momentum_energy,
+    subsonic_turbulence, Eos, Kernel, Particles,
+};
+
+const REPS: usize = 7;
+
+#[derive(Serialize)]
+struct SweepTiming {
+    sweep: String,
+    grid_seconds: f64,
+    list_seconds: f64,
+    /// Grid-path median over list-path median (> 1 means the list wins).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct WorkloadReport {
+    workload: String,
+    particles: usize,
+    avg_neighbors: f64,
+    max_neighbors: usize,
+    csr_bytes: usize,
+    /// Median seconds to rebuild the shared list in place.
+    build_seconds: f64,
+    sweeps: Vec<SweepTiming>,
+    /// All five traversals back to back; the list column includes the
+    /// per-step build, so this is the honest end-to-end comparison.
+    full_step: SweepTiming,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_threads: usize,
+    reps: usize,
+    results: Vec<WorkloadReport>,
+}
+
+/// Median wall time of `work` over `reps` samples.
+fn median_secs(reps: usize, mut work: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            work();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The four sweep functions run back to back against one neighbor source —
+/// the step's five grid traversals (IAD walks its source twice).
+fn five_sweeps<N: NeighborSearch + Sync>(
+    parts: &mut Particles,
+    nb: &N,
+    bbox: &Box3,
+    kernel: Kernel,
+) {
+    let _ = neighbor_counts(parts, nb, bbox, kernel);
+    density_gradh(parts, nb, bbox, kernel);
+    iad_divv_curlv(parts, nb, bbox, kernel);
+    momentum_energy(parts, nb, bbox, kernel);
+}
+
+fn measure(workload: &str, mut parts: Particles, bbox: Box3, reps: usize) -> WorkloadReport {
+    let kernel = Kernel::CubicSpline;
+    let n = parts.x.len();
+    let h_max = parts.h.iter().cloned().fold(1e-6, f64::max);
+    // The step's maximum interaction radius — the grid cell size and the
+    // list's superset radius, exactly as `Simulation::step` builds them.
+    let radius = kernel.support(h_max) * 1.4;
+    let grid = CellList::build(&parts.x, &parts.y, &parts.z, &bbox, radius);
+    density_gradh(&mut parts, &grid, &bbox, kernel);
+    Eos::ideal_monatomic().apply(&mut parts);
+
+    let mut nlist = NeighborList::new();
+    nlist.build_into(&grid, &parts.x, &parts.y, &parts.z, n, radius);
+    let build_seconds = median_secs(reps, || {
+        nlist.build_into(&grid, &parts.x, &parts.y, &parts.z, n, radius);
+    });
+
+    let mut sweeps = Vec::new();
+    let mut timed = |sweep: &str, grid_s: f64, list_s: f64| {
+        let t = SweepTiming {
+            sweep: sweep.to_string(),
+            grid_seconds: grid_s,
+            list_seconds: list_s,
+            speedup: grid_s / list_s,
+        };
+        sweeps.push(t);
+    };
+    {
+        let p = &mut parts;
+        let g = median_secs(reps, || {
+            let _ = neighbor_counts(p, &grid, &bbox, kernel);
+        });
+        let l = median_secs(reps, || {
+            let _ = neighbor_counts(p, &nlist, &bbox, kernel);
+        });
+        timed("neighbor_counts", g, l);
+    }
+    {
+        let g = median_secs(reps, || density_gradh(&mut parts, &grid, &bbox, kernel));
+        let l = median_secs(reps, || density_gradh(&mut parts, &nlist, &bbox, kernel));
+        timed("density_gradh", g, l);
+    }
+    {
+        let g = median_secs(reps, || iad_divv_curlv(&mut parts, &grid, &bbox, kernel));
+        let l = median_secs(reps, || iad_divv_curlv(&mut parts, &nlist, &bbox, kernel));
+        timed("iad_divv_curlv", g, l);
+    }
+    {
+        let g = median_secs(reps, || momentum_energy(&mut parts, &grid, &bbox, kernel));
+        let l = median_secs(reps, || momentum_energy(&mut parts, &nlist, &bbox, kernel));
+        timed("momentum_energy", g, l);
+    }
+
+    let full_grid = median_secs(reps, || five_sweeps(&mut parts, &grid, &bbox, kernel));
+    let full_list = median_secs(reps, || {
+        nlist.build_into(&grid, &parts.x, &parts.y, &parts.z, n, radius);
+        five_sweeps(&mut parts, &nlist, &bbox, kernel);
+    });
+
+    WorkloadReport {
+        workload: workload.to_string(),
+        particles: n,
+        avg_neighbors: nlist.avg_neighbors(),
+        max_neighbors: nlist.max_neighbors(),
+        csr_bytes: nlist.csr_bytes(),
+        build_seconds,
+        sweeps,
+        full_step: SweepTiming {
+            sweep: "five_sweep_step".to_string(),
+            grid_seconds: full_grid,
+            list_seconds: full_list,
+            speedup: full_grid / full_list,
+        },
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out_path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_neighbors.json".to_string());
+    if !cli.check {
+        if let Err(msg) = bench::refuse_single_core_overwrite(
+            host_threads,
+            std::path::Path::new(&out_path).exists(),
+            cli.force,
+        ) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+    let reps = if cli.check { 1 } else { REPS };
+    banner(
+        "NEIGHBOR SEARCH (BENCH_neighbors.json)",
+        "Per-sweep grid re-walk vs shared per-step CSR NeighborList; median-of-reps speedups.",
+    );
+
+    let ev = evrard(18);
+    let tb = subsonic_turbulence(20, 0.3, 9);
+    let results = vec![
+        measure("evrard_cloud", ev.parts, ev.bbox, reps),
+        measure("turbulence_cloud", tb.parts, tb.bbox, reps),
+    ];
+
+    for r in &results {
+        println!(
+            "\n{} — {} particles, avg {:.1} / max {} candidates per row, CSR {:.1} KiB, build {:.2} ms",
+            r.workload,
+            r.particles,
+            r.avg_neighbors,
+            r.max_neighbors,
+            r.csr_bytes as f64 / 1024.0,
+            r.build_seconds * 1e3,
+        );
+        let rows: Vec<Vec<String>> = r
+            .sweeps
+            .iter()
+            .chain(std::iter::once(&r.full_step))
+            .map(|s| {
+                vec![
+                    s.sweep.clone(),
+                    format!("{:.3}", s.grid_seconds * 1e3),
+                    format!("{:.3}", s.list_seconds * 1e3),
+                    format!("{:.2}x", s.speedup),
+                ]
+            })
+            .collect();
+        print_table(&["sweep", "grid ms", "list ms", "speedup"], &rows);
+    }
+
+    if cli.check {
+        eprintln!("--check: smoke rep complete, not rewriting {out_path}");
+        return;
+    }
+    let report = Report {
+        host_threads,
+        reps,
+        results,
+    };
+    let body = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, body).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

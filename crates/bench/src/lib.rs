@@ -89,12 +89,14 @@ pub fn n_side_for_ranks(ranks: usize) -> usize {
     (total_needed.cbrt().ceil() as usize).max(PHYSICS_N_SIDE)
 }
 
-/// Tiny CLI: `--steps N`, `--json PATH` and `--force` are understood by
-/// every binary.
+/// Tiny CLI: `--steps N`, `--json PATH`, `--force` and `--check` are
+/// understood by every binary. `--check` is the CI smoke mode: run a single
+/// rep and never (re)write a checked-in artifact.
 pub struct Cli {
     pub steps: usize,
     pub json: Option<String>,
     pub force: bool,
+    pub check: bool,
 }
 
 impl Cli {
@@ -103,6 +105,7 @@ impl Cli {
         let mut steps = DEFAULT_STEPS;
         let mut json = None;
         let mut force = false;
+        let mut check = false;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -125,12 +128,21 @@ impl Cli {
                     force = true;
                     i += 1;
                 }
+                "--check" => {
+                    check = true;
+                    i += 1;
+                }
                 other => panic!(
-                    "unknown argument {other:?} (expected --steps N / --json PATH / --force)"
+                    "unknown argument {other:?} (expected --steps N / --json PATH / --force / --check)"
                 ),
             }
         }
-        Cli { steps, json, force }
+        Cli {
+            steps,
+            json,
+            force,
+            check,
+        }
     }
 
     /// Write `data` as pretty JSON when `--json` was given.

@@ -244,6 +244,18 @@ fn evrard_online_run_emits_valid_chrome_trace() {
         assert!(metrics.contains("# TYPE freqscale_instrument_calls counter"));
         assert!(metrics.contains("freqscale_call_energy_j_count"));
         assert!(metrics.contains("freqscale_telemetry_overhead_ns"));
+        // The shared CSR neighbor-list build publishes its shape each step.
+        for g in [
+            "freqscale_neighbors_avg",
+            "freqscale_neighbors_max",
+            "freqscale_neighbors_csr_bytes",
+            "freqscale_neighbors_build_ms",
+        ] {
+            assert!(
+                metrics.contains(&format!("# TYPE {g} gauge")),
+                "missing neighbor gauge {g} in metrics:\n{metrics}"
+            );
+        }
 
         let csv = std::fs::read_to_string(&csv_path).expect("csv written");
         let mut lines = csv.lines();

@@ -33,32 +33,42 @@ impl CellList {
         let ny = ((bbox.ly() / cell_size).floor() as usize).max(1);
         let nz = ((bbox.lz() / cell_size).floor() as usize).max(1);
         let ncells = nx * ny * nz;
+        assert!(
+            ncells <= u32::MAX as usize && x.len() <= u32::MAX as usize,
+            "cell/particle indices must fit u32"
+        );
 
         // Cell assignment is the expensive per-particle part (normalize +
-        // float-to-index); compute it in parallel once, then run the
-        // histogram / prefix-sum / fill passes serially so `order` keeps the
-        // exact serial-insertion layout.
-        let cells: Vec<usize> = par::par_map(x.len(), |i| {
+        // float-to-index); compute it in parallel once (as u32 to halve the
+        // scratch footprint), then run the histogram / prefix-sum / fill
+        // passes serially so `order` keeps the exact serial-insertion layout.
+        let cells: Vec<u32> = par::par_map(x.len(), |i| {
             let (ux, uy, uz) = bbox.normalize(x[i], y[i], z[i]);
             let cx = ((ux * nx as f64) as usize).min(nx - 1);
             let cy = ((uy * ny as f64) as usize).min(ny - 1);
             let cz = ((uz * nz as f64) as usize).min(nz - 1);
-            (cx * ny + cy) * nz + cz
+            ((cx * ny + cy) * nz + cz) as u32
         });
-        let mut counts = vec![0u32; ncells + 1];
+        // Single prefix-sum pass, no scratch clone: histogram shifted by one
+        // slot, prefix-sum in place (cell_start[c] = first slot of cell c),
+        // then fill using cell_start[c] itself as the insertion cursor. The
+        // fill leaves each entry holding the *end* of its cell — one
+        // right-shift restores the CSR start offsets.
+        let mut cell_start = vec![0u32; ncells + 1];
         for &c in &cells {
-            counts[c + 1] += 1;
+            cell_start[c as usize + 1] += 1;
         }
         for c in 1..=ncells {
-            counts[c] += counts[c - 1];
+            cell_start[c] += cell_start[c - 1];
         }
-        let cell_start = counts.clone();
-        let mut cursor = counts;
         let mut order = vec![0u32; x.len()];
         for (i, &c) in cells.iter().enumerate() {
-            order[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
+            let cursor = &mut cell_start[c as usize];
+            order[*cursor as usize] = i as u32;
+            *cursor += 1;
         }
+        cell_start.copy_within(0..ncells, 1);
+        cell_start[0] = 0;
         CellList {
             bbox: *bbox,
             nx,
@@ -83,9 +93,12 @@ impl CellList {
         self.order.is_empty()
     }
 
-    /// Distinct wrapped indices of `{c-1, c, c+1}` along an axis of `n` cells.
-    fn axis_candidates(&self, c: isize, n: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(3);
+    /// Distinct wrapped indices of `{c-1, c, c+1}` along an axis of `n`
+    /// cells, as a fixed stencil (`array, count`) — neighbor queries run per
+    /// particle per sweep, so this must not heap-allocate.
+    fn axis_candidates(&self, c: isize, n: usize) -> ([usize; 3], usize) {
+        let mut out = [0usize; 3];
+        let mut len = 0;
         for d in -1isize..=1 {
             let raw = c + d;
             let idx = if self.bbox.periodic {
@@ -95,11 +108,13 @@ impl CellList {
             } else {
                 raw as usize
             };
-            if !out.contains(&idx) {
-                out.push(idx);
+            // O(3) dedup: tiny periodic grids (n <= 2) alias wrapped offsets.
+            if !out[..len].contains(&idx) {
+                out[len] = idx;
+                len += 1;
             }
         }
-        out
+        (out, len)
     }
 
     /// Visit every particle within distance `r` of `(px, py, pz)` (inclusive),
@@ -122,9 +137,12 @@ impl CellList {
         let cy = ((uy * self.ny as f64) as isize).min(self.ny as isize - 1);
         let cz = ((uz * self.nz as f64) as isize).min(self.nz as isize - 1);
         let r2 = r * r;
-        for &ix in &self.axis_candidates(cx, self.nx) {
-            for &iy in &self.axis_candidates(cy, self.ny) {
-                for &iz in &self.axis_candidates(cz, self.nz) {
+        let (xs, xn) = self.axis_candidates(cx, self.nx);
+        let (ys, yn) = self.axis_candidates(cy, self.ny);
+        let (zs, zn) = self.axis_candidates(cz, self.nz);
+        for &ix in &xs[..xn] {
+            for &iy in &ys[..yn] {
+                for &iz in &zs[..zn] {
                     let c = (ix * self.ny + iy) * self.nz + iz;
                     let (s, e) = (self.cell_start[c] as usize, self.cell_start[c + 1] as usize);
                     for &j in &self.order[s..e] {

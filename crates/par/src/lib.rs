@@ -130,6 +130,74 @@ where
     unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<T>(), n, out.capacity()) }
 }
 
+/// Fill the rows of a CSR buffer in parallel: `f(r, row)` receives row `r`'s
+/// slice `out[offsets[r]..offsets[r + 1]]`, each row visited exactly once.
+///
+/// This is the write half of a two-pass CSR build (count rows, prefix-sum,
+/// fill): rows are disjoint sub-slices of one allocation, so they can be
+/// filled concurrently without chunk boundaries ever splitting a row. Like
+/// [`par_map`], results are position-addressed and therefore bit-identical
+/// at any thread count. Rows are claimed in fixed-size chunks from an atomic
+/// cursor so uneven row lengths (neighbor counts vary) stay load-balanced.
+///
+/// Panics if `offsets` is not monotonically non-decreasing starting at 0, or
+/// if `out` is shorter than the last offset.
+pub fn par_fill_rows<T, F>(offsets: &[usize], out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let nrows = offsets.len().saturating_sub(1);
+    assert_eq!(
+        offsets.first().copied().unwrap_or(0),
+        0,
+        "offsets must start at 0"
+    );
+    for w in offsets.windows(2) {
+        assert!(w[0] <= w[1], "offsets must be non-decreasing");
+    }
+    assert!(
+        offsets.last().copied().unwrap_or(0) <= out.len(),
+        "out buffer shorter than the CSR extent"
+    );
+    let threads = max_threads().min(nrows.max(1));
+    if !cfg!(feature = "parallel") || threads <= 1 || nrows <= 1 {
+        for r in 0..nrows {
+            f(r, &mut out[offsets[r]..offsets[r + 1]]);
+        }
+        return;
+    }
+    let chunk = (nrows / (threads * CHUNKS_PER_THREAD)).max(1);
+    let next = AtomicUsize::new(0);
+    let base = OutPtr(out.as_mut_ptr().cast::<MaybeUninit<T>>());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (next, f, base, offsets) = (&next, &f, &base, offsets);
+            s.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= nrows {
+                    break;
+                }
+                let end = (start + chunk).min(nrows);
+                for r in start..end {
+                    // SAFETY: the cursor hands each row index to exactly one
+                    // worker, offsets are monotone so rows are disjoint
+                    // sub-slices of `out`, and `out` outlives the scope. The
+                    // elements are already initialized `T`s (we only lend
+                    // them out as `&mut [T]`).
+                    let row = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            base.0.add(offsets[r]).cast::<T>(),
+                            offsets[r + 1] - offsets[r],
+                        )
+                    };
+                    f(r, row);
+                }
+            });
+        }
+    });
+}
+
 /// Run `f(offset, chunk)` over disjoint contiguous chunks of `data`, one
 /// chunk per worker. `offset` is the chunk's start index in `data`.
 pub fn par_chunks_mut<T, F>(data: &mut [T], f: F)
@@ -204,6 +272,72 @@ mod tests {
         let distinct = seen.lock().unwrap().len();
         let cap = if cfg!(feature = "parallel") { 3 } else { 1 };
         assert!(distinct <= cap, "saw {distinct} worker threads");
+    }
+
+    #[test]
+    fn par_fill_rows_matches_serial_fill() {
+        // Ragged rows: row r has (r * 7) % 13 elements.
+        let lens: Vec<usize> = (0..500).map(|r| (r * 7) % 13).collect();
+        let mut offsets = vec![0usize];
+        for l in &lens {
+            offsets.push(offsets.last().unwrap() + l);
+        }
+        let total = *offsets.last().unwrap();
+        let fill = |r: usize, row: &mut [u64]| {
+            for (k, v) in row.iter_mut().enumerate() {
+                *v = (r as u64) << 32 | k as u64;
+            }
+        };
+        let mut serial = vec![0u64; total];
+        for r in 0..lens.len() {
+            fill(r, &mut serial[offsets[r]..offsets[r + 1]]);
+        }
+        let mut parallel = vec![0u64; total];
+        par_fill_rows(&offsets, &mut parallel, fill);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_fill_rows_thread_counts_agree() {
+        let offsets: Vec<usize> = (0..=300).map(|r| r * 3).collect();
+        let fill = |r: usize, row: &mut [usize]| {
+            for (k, v) in row.iter_mut().enumerate() {
+                *v = r * 1000 + k;
+            }
+        };
+        let mut reference = vec![0usize; 900];
+        set_max_threads(1);
+        par_fill_rows(&offsets, &mut reference, fill);
+        for t in [2, 3, 8] {
+            set_max_threads(t);
+            let mut out = vec![0usize; 900];
+            par_fill_rows(&offsets, &mut out, fill);
+            assert_eq!(out, reference, "at {t} threads");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn par_fill_rows_empty_rows_and_edges() {
+        // No rows at all.
+        par_fill_rows::<u8, _>(&[], &mut [], |_, _| panic!("no rows"));
+        par_fill_rows::<u8, _>(&[0], &mut [], |_, _| panic!("no rows"));
+        // All rows empty.
+        let mut out: Vec<u8> = Vec::new();
+        par_fill_rows(&[0, 0, 0, 0], &mut out, |_, row| assert!(row.is_empty()));
+        // Mix of empty and non-empty rows.
+        let mut out = vec![0u8; 4];
+        par_fill_rows(&[0, 0, 3, 3, 4], &mut out, |r, row| {
+            row.iter_mut().for_each(|v| *v = r as u8);
+        });
+        assert_eq!(out, vec![1, 1, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn par_fill_rows_rejects_descending_offsets() {
+        let mut out = vec![0u8; 4];
+        par_fill_rows(&[0, 3, 1], &mut out, |_, _| {});
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! `NormalizationGradh` in the SPH-EXA function set), plus the `XMass`
 //! generalized volume elements.
 
-use cornerstone::{Box3, CellList};
+use cornerstone::{Box3, NeighborSearch};
 
 use crate::kernels::Kernel;
 use crate::particles::Particles;
@@ -29,15 +29,22 @@ pub fn xmass(parts: &mut Particles) {
 ///
 /// Parallelized by gather: each index reads any neighbor but accumulates
 /// only its own sums, in cell-list order — so results are bit-identical at
-/// any thread count.
-pub fn density_gradh(parts: &mut Particles, grid: &CellList, _bbox: &Box3, kernel: Kernel) {
+/// any thread count. Generic over the neighbor source: the direct grid walk
+/// and the shared per-step [`cornerstone::NeighborList`] visit candidates in
+/// the same order, so both paths produce the same bits.
+pub fn density_gradh<N: NeighborSearch + Sync>(
+    parts: &mut Particles,
+    nb: &N,
+    bbox: &Box3,
+    kernel: Kernel,
+) {
     let p = &*parts;
     let sums: Vec<(f64, f64)> = par::par_map(p.n_local, |i| {
         let hi = p.h[i];
         let radius = kernel.support(hi);
         let mut rho_i = 0.0;
         let mut dh_i = 0.0;
-        grid.for_neighbors(p.x[i], p.y[i], p.z[i], radius, &p.x, &p.y, &p.z, |j, d2| {
+        nb.for_neighbors_of(i, radius, &p.x, &p.y, &p.z, bbox, |j, d2| {
             let r = d2.sqrt();
             rho_i += p.m[j] * kernel.w(r, hi);
             dh_i += p.m[j] * kernel.dw_dh(r, hi);
@@ -57,29 +64,20 @@ pub fn density_gradh(parts: &mut Particles, grid: &CellList, _bbox: &Box3, kerne
 
 /// Count neighbors within the kernel support of each owned particle
 /// (`FindNeighbors`). Returned counts exclude the particle itself.
-pub fn neighbor_counts(
+pub fn neighbor_counts<N: NeighborSearch + Sync>(
     parts: &Particles,
-    grid: &CellList,
-    _bbox: &Box3,
+    nb: &N,
+    bbox: &Box3,
     kernel: Kernel,
 ) -> Vec<usize> {
     let (x, y, z) = (&parts.x, &parts.y, &parts.z);
     par::par_map(parts.n_local, |i| {
         let mut n = 0usize;
-        grid.for_neighbors(
-            x[i],
-            y[i],
-            z[i],
-            kernel.support(parts.h[i]),
-            x,
-            y,
-            z,
-            |j, _| {
-                if j != i {
-                    n += 1;
-                }
-            },
-        );
+        nb.for_neighbors_of(i, kernel.support(parts.h[i]), x, y, z, bbox, |j, _| {
+            if j != i {
+                n += 1;
+            }
+        });
         n
     })
 }
@@ -87,6 +85,7 @@ pub fn neighbor_counts(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cornerstone::CellList;
 
     /// A uniform lattice of particles in a periodic unit box.
     fn lattice(n_side: usize) -> (Particles, Box3) {

@@ -6,7 +6,7 @@
 //! inverse `C = tau^{-1}` of the local moment matrix
 //! `tau_ab = sum_j V_j (r_j - r_i)_a (r_j - r_i)_b W_ij`.
 
-use cornerstone::{Box3, CellList};
+use cornerstone::{Box3, NeighborSearch};
 
 use crate::kernels::Kernel;
 use crate::particles::Particles;
@@ -45,8 +45,14 @@ pub fn invert_sym3(t: [f64; 6]) -> [f64; 6] {
 ///
 /// Parallelized by gather: each index reads neighbor state but writes only
 /// its own tensor/divergence/curl slot, with the two neighbor sweeps kept
-/// in cell-list order — bit-identical to the serial loop.
-pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kernel: Kernel) {
+/// in cell-list order — bit-identical to the serial loop, and identical
+/// between the direct-grid and precomputed-list neighbor sources.
+pub fn iad_divv_curlv<N: NeighborSearch + Sync>(
+    parts: &mut Particles,
+    nb: &N,
+    bbox: &Box3,
+    kernel: Kernel,
+) {
     let p = &*parts;
     let n = p.n_local;
     let per_particle: Vec<([f64; 6], f64, [f64; 3])> = par::par_map(n, |i| {
@@ -54,7 +60,7 @@ pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kerne
         let hi = p.h[i];
         let radius = kernel.support(hi);
         let mut tau = [0.0f64; 6];
-        grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
+        nb.for_neighbors_of(i, radius, x, y, z, bbox, |j, d2| {
             if j == i || d2 == 0.0 {
                 return;
             }
@@ -80,7 +86,7 @@ pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kerne
         // Divergence and curl via the IAD linear operator:
         // dv_a/dx_b ~= sum_j V_j (v_j - v_i)_a (C (r_j - r_i))_b W_ij
         let mut grad = [[0.0f64; 3]; 3]; // grad[a][b] = dv_a/dx_b
-        grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
+        nb.for_neighbors_of(i, radius, x, y, z, bbox, |j, d2| {
             if j == i || d2 == 0.0 {
                 return;
             }
@@ -129,6 +135,7 @@ pub fn iad_divv_curlv(parts: &mut Particles, grid: &CellList, bbox: &Box3, kerne
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cornerstone::CellList;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn glass(n_side: usize, seed: u64) -> (Particles, Box3) {

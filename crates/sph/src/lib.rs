@@ -37,4 +37,4 @@ pub use ic::{evrard, sedov, subsonic_turbulence, InitialConditions};
 pub use kernels::Kernel;
 pub use nbody::{plummer, NBody, NBODY_FUNCS};
 pub use particles::Particles;
-pub use sim::{NullObserver, SimConfig, Simulation, StepObserver, StepStats};
+pub use sim::{NeighborPath, NullObserver, SimConfig, Simulation, StepObserver, StepStats};

@@ -2,7 +2,7 @@
 //! artificial viscosity — the most compute-intensive kernel in the paper's
 //! per-function breakdown (Figs. 5 and 8).
 
-use cornerstone::{Box3, CellList};
+use cornerstone::{Box3, NeighborSearch};
 
 use crate::av::viscosity_pi;
 use crate::kernels::Kernel;
@@ -20,8 +20,14 @@ use crate::particles::Particles;
 /// ```
 ///
 /// Parallelized by gather: each index accumulates only its own force and
-/// energy rate, in cell-list order — bit-identical to the serial loop.
-pub fn momentum_energy(parts: &mut Particles, grid: &CellList, bbox: &Box3, kernel: Kernel) {
+/// energy rate, in cell-list order — bit-identical to the serial loop and
+/// across neighbor sources (direct grid walk or precomputed list).
+pub fn momentum_energy<N: NeighborSearch + Sync>(
+    parts: &mut Particles,
+    nb: &N,
+    bbox: &Box3,
+    kernel: Kernel,
+) {
     let p = &*parts;
     let n = p.n_local;
     let rates: Vec<(f64, f64, f64, f64)> = par::par_map(n, |i| {
@@ -34,7 +40,7 @@ pub fn momentum_energy(parts: &mut Particles, grid: &CellList, bbox: &Box3, kern
         let radius = kernel.support(hi) * 1.4;
         let (mut axi, mut ayi, mut azi, mut dui) = (0.0, 0.0, 0.0, 0.0);
 
-        grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, d2| {
+        nb.for_neighbors_of(i, radius, x, y, z, bbox, |j, d2| {
             if j == i || d2 == 0.0 {
                 return;
             }
@@ -95,6 +101,7 @@ mod tests {
     use super::*;
     use crate::density::density_gradh;
     use crate::eos::Eos;
+    use cornerstone::CellList;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn uniform_gas(n_side: usize, jitter: f64, seed: u64) -> (Particles, Box3) {

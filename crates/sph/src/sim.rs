@@ -8,7 +8,7 @@
 //! low-overhead profiling hooks (§III-B).
 
 use archsim::{KernelWorkload, SimDuration};
-use cornerstone::{halo_candidates, Aabb, Assignment, Box3, CellList, Octree};
+use cornerstone::{halo_candidates, Aabb, Assignment, Box3, CellList, NeighborList, Octree};
 use ranks::{Op, RankCtx};
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +96,23 @@ impl Default for SimConfig {
     }
 }
 
+/// How the step's five neighbor sweeps enumerate candidates.
+///
+/// Both paths are bit-identical (pinned by `tests/parallel_determinism.rs`):
+/// the shared list replays the grid's visit sequence through a radius
+/// filter. [`NeighborPath::SharedList`] is the default — one traversal per
+/// step instead of five; [`NeighborPath::CellGrid`] re-walks the grid per
+/// sweep and is kept as the measurable baseline for `bench_neighbors` and
+/// the equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NeighborPath {
+    /// Build one CSR [`NeighborList`] per step; sweeps replay it.
+    #[default]
+    SharedList,
+    /// Pre-list behavior: every sweep re-walks the 27-cell stencil.
+    CellGrid,
+}
+
 /// Result of one time-step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StepStats {
@@ -116,6 +133,12 @@ pub struct Simulation {
     pub eos: Eos,
     pub gravity: bool,
     pub name: &'static str,
+    /// Neighbor-sweep strategy; flip to [`NeighborPath::CellGrid`] to time
+    /// or pin the pre-list baseline.
+    pub neighbor_path: NeighborPath,
+    /// Step-shared CSR neighbor candidates, rebuilt in place every step
+    /// (`build_into` keeps the allocations across steps).
+    nlist: NeighborList,
     nn: Vec<usize>,
     dt: f64,
     time: f64,
@@ -137,6 +160,8 @@ impl Simulation {
             eos: ic.eos,
             gravity: ic.gravity,
             name: ic.name,
+            neighbor_path: NeighborPath::default(),
+            nlist: NeighborList::new(),
             nn: Vec::new(),
             dt: 0.0,
             time: 0.0,
@@ -170,6 +195,8 @@ impl Simulation {
             eos: ic.eos,
             gravity: ic.gravity,
             name: ic.name,
+            neighbor_path: NeighborPath::default(),
+            nlist: NeighborList::new(),
             nn: Vec::new(),
             dt: 0.0,
             time: 0.0,
@@ -228,7 +255,32 @@ impl Simulation {
         let sp = func_span(FuncId::FindNeighbors, self.step_index, ctx);
         obs.before(FuncId::FindNeighbors, ctx);
         let grid = self.build_grid();
-        self.nn = neighbor_counts(&self.parts, &grid, &self.bbox, kernel);
+        match self.neighbor_path {
+            NeighborPath::SharedList => {
+                // One traversal at the step's maximum interaction radius
+                // (the grid's own cell size); every sweep below replays the
+                // list through its own radius filter.
+                let t0 = telemetry::active().then(std::time::Instant::now);
+                self.nlist.build_into(
+                    &grid,
+                    &self.parts.x,
+                    &self.parts.y,
+                    &self.parts.z,
+                    self.parts.n_local,
+                    self.cfg.kernel.support(self.h_max_all) * 1.4,
+                );
+                if let Some(t0) = t0 {
+                    telemetry::gauge_set("neighbors/avg", self.nlist.avg_neighbors());
+                    telemetry::gauge_set("neighbors/max", self.nlist.max_neighbors() as f64);
+                    telemetry::gauge_set("neighbors/csr_bytes", self.nlist.csr_bytes() as f64);
+                    telemetry::gauge_set("neighbors/build_ms", t0.elapsed().as_secs_f64() * 1e3);
+                }
+                self.nn = neighbor_counts(&self.parts, &self.nlist, &self.bbox, kernel);
+            }
+            NeighborPath::CellGrid => {
+                self.nn = neighbor_counts(&self.parts, &grid, &self.bbox, kernel);
+            }
+        }
         obs.after(
             FuncId::FindNeighbors,
             &FuncId::FindNeighbors.workload(target),
@@ -252,7 +304,12 @@ impl Simulation {
         // ---- NormalizationGradh (density + grad-h) ---------------------
         let sp = func_span(FuncId::NormalizationGradh, self.step_index, ctx);
         obs.before(FuncId::NormalizationGradh, ctx);
-        density_gradh(&mut self.parts, &grid, &self.bbox, kernel);
+        match self.neighbor_path {
+            NeighborPath::SharedList => {
+                density_gradh(&mut self.parts, &self.nlist, &self.bbox, kernel)
+            }
+            NeighborPath::CellGrid => density_gradh(&mut self.parts, &grid, &self.bbox, kernel),
+        }
         obs.after(
             FuncId::NormalizationGradh,
             &FuncId::NormalizationGradh.workload(target),
@@ -276,7 +333,12 @@ impl Simulation {
         // ---- IADVelocityDivCurl ----------------------------------------
         let sp = func_span(FuncId::IADVelocityDivCurl, self.step_index, ctx);
         obs.before(FuncId::IADVelocityDivCurl, ctx);
-        iad_divv_curlv(&mut self.parts, &grid, &self.bbox, kernel);
+        match self.neighbor_path {
+            NeighborPath::SharedList => {
+                iad_divv_curlv(&mut self.parts, &self.nlist, &self.bbox, kernel)
+            }
+            NeighborPath::CellGrid => iad_divv_curlv(&mut self.parts, &grid, &self.bbox, kernel),
+        }
         obs.after(
             FuncId::IADVelocityDivCurl,
             &FuncId::IADVelocityDivCurl.workload(target),
@@ -300,7 +362,12 @@ impl Simulation {
         // ---- MomentumEnergy ----------------------------------------------
         let sp = func_span(FuncId::MomentumEnergy, self.step_index, ctx);
         obs.before(FuncId::MomentumEnergy, ctx);
-        momentum_energy(&mut self.parts, &grid, &self.bbox, kernel);
+        match self.neighbor_path {
+            NeighborPath::SharedList => {
+                momentum_energy(&mut self.parts, &self.nlist, &self.bbox, kernel)
+            }
+            NeighborPath::CellGrid => momentum_energy(&mut self.parts, &grid, &self.bbox, kernel),
+        }
         obs.after(
             FuncId::MomentumEnergy,
             &FuncId::MomentumEnergy.workload(target),

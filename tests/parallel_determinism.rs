@@ -10,7 +10,9 @@ use std::sync::Mutex;
 
 use freqscale::tune_table;
 use ranks::CommCost;
-use sph::{evrard, Kernel, NullObserver, Particles, SimConfig, Simulation, StepStats};
+use sph::{
+    evrard, Kernel, NeighborPath, NullObserver, Particles, SimConfig, Simulation, StepStats,
+};
 use tuner::Objective;
 
 /// Serializes tests that toggle the process-wide thread-count override.
@@ -56,8 +58,8 @@ fn snapshot(parts: &Particles) -> Vec<u64> {
 }
 
 /// One Evrard step (gravity exercises the Barnes-Hut build + walk on top of
-/// the SPH loops) at the given worker count.
-fn evrard_step_at(threads: usize) -> (Vec<u64>, StepStats) {
+/// the SPH loops) at the given worker count, through the given neighbor path.
+fn evrard_step_at(threads: usize, path: NeighborPath) -> (Vec<u64>, StepStats) {
     par::set_max_threads(threads);
     let out = ranks::run(1, CommCost::default(), |ctx| {
         let cfg = SimConfig {
@@ -67,12 +69,31 @@ fn evrard_step_at(threads: usize) -> (Vec<u64>, StepStats) {
             bucket_size: 32,
         };
         let mut sim = Simulation::new(evrard(8), cfg);
+        sim.neighbor_path = path;
         let stats = sim.step(ctx, &mut NullObserver);
         (snapshot(&sim.parts), stats)
     })
     .remove(0);
     par::set_max_threads(0);
     out
+}
+
+/// A multi-step Evrard run (5 steps: h adapts, halos refresh, the neighbor
+/// list is rebuilt in place each step) through the given neighbor path.
+fn evrard_run_via(path: NeighborPath) -> (Vec<u64>, Vec<StepStats>) {
+    ranks::run(1, CommCost::default(), |ctx| {
+        let cfg = SimConfig {
+            kernel: Kernel::CubicSpline,
+            target_particles_per_rank: 1e6,
+            target_neighbors: 40,
+            bucket_size: 32,
+        };
+        let mut sim = Simulation::new(evrard(8), cfg);
+        sim.neighbor_path = path;
+        let stats: Vec<StepStats> = (0..5).map(|_| sim.step(ctx, &mut NullObserver)).collect();
+        (snapshot(&sim.parts), stats)
+    })
+    .remove(0)
 }
 
 /// A full per-function frequency sweep at the given worker count. Frequencies
@@ -103,8 +124,8 @@ fn sweep_at(threads: usize) -> Vec<(String, u32, Vec<u64>)> {
 #[test]
 fn evrard_step_is_bit_identical_across_thread_counts() {
     let _guard = THREAD_OVERRIDE.lock().unwrap();
-    let (state_1t, stats_1t) = evrard_step_at(1);
-    let (state_4t, stats_4t) = evrard_step_at(4);
+    let (state_1t, stats_1t) = evrard_step_at(1, NeighborPath::SharedList);
+    let (state_4t, stats_4t) = evrard_step_at(4, NeighborPath::SharedList);
     assert!(!state_1t.is_empty());
     assert_eq!(
         state_1t, state_4t,
@@ -120,6 +141,47 @@ fn evrard_step_is_bit_identical_across_thread_counts() {
         stats_1t.budget.kinetic.to_bits(),
         stats_4t.budget.kinetic.to_bits()
     );
+}
+
+#[test]
+fn cell_grid_path_is_bit_identical_across_thread_counts() {
+    // The baseline path must stay as deterministic as the shared-list one —
+    // bench_neighbors relies on it being the pre-change code, unchanged.
+    let _guard = THREAD_OVERRIDE.lock().unwrap();
+    let (state_1t, stats_1t) = evrard_step_at(1, NeighborPath::CellGrid);
+    let (state_4t, stats_4t) = evrard_step_at(4, NeighborPath::CellGrid);
+    assert_eq!(state_1t, state_4t);
+    assert_eq!(stats_1t.dt.to_bits(), stats_4t.dt.to_bits());
+}
+
+#[test]
+fn shared_list_path_is_bit_identical_to_cell_grid_path() {
+    // The tentpole guarantee: a full Evrard run (gravity, adaptive h, halo
+    // refresh, per-step in-place list rebuild) through the shared CSR
+    // NeighborList produces the same bits — particle state and every
+    // reported stat — as the pre-change per-sweep grid walk. Everything an
+    // experiment report derives from the physics (ManDyn rung measurements,
+    // EDP scores, energy budgets) is a function of this state plus
+    // path-independent workload descriptors, so report equality follows.
+    let _guard = THREAD_OVERRIDE.lock().unwrap();
+    let (state_grid, stats_grid) = evrard_run_via(NeighborPath::CellGrid);
+    let (state_list, stats_list) = evrard_run_via(NeighborPath::SharedList);
+    assert!(!state_grid.is_empty());
+    assert_eq!(
+        state_grid, state_list,
+        "five-sweep step must not change a single bit when sweeps replay the shared list"
+    );
+    assert_eq!(stats_grid.len(), stats_list.len());
+    for (g, l) in stats_grid.iter().zip(&stats_list) {
+        assert_eq!(g.step, l.step);
+        assert_eq!(g.dt.to_bits(), l.dt.to_bits());
+        assert_eq!(g.time.to_bits(), l.time.to_bits());
+        assert_eq!(g.n_local, l.n_local);
+        assert_eq!(g.n_halo, l.n_halo);
+        for (a, b) in g.budget.to_slice().iter().zip(l.budget.to_slice().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "budget fields must match bitwise");
+        }
+    }
 }
 
 #[test]
