@@ -110,7 +110,9 @@ fn main() {
             }
             "--jobs" | "-j" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                jobs = v.parse().unwrap_or_else(|e| panic!("--jobs {v}: {e}"));
+                jobs = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--jobs {v}: {e}")));
             }
             "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
@@ -237,7 +239,7 @@ fn main() {
     }
     match out {
         Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            std::fs::write(&path, &json).unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),

@@ -1,0 +1,137 @@
+//! `freqscale-serve` — the long-running experiment daemon.
+//!
+//! Listens on a Unix-domain socket for line-JSON experiment submissions
+//! (see `freqscale-submit`), runs them on a bounded queue + worker pool,
+//! and shares one in-process table server across all jobs, so repeat
+//! submissions of a (GPU, workload) pair warm-start from what earlier jobs
+//! learned — including K concurrent submissions, of which exactly one
+//! explores.
+//!
+//! ```sh
+//! freqscale-serve --socket /tmp/freqscale.sock --table-store tables/ &
+//! freqscale-submit --socket /tmp/freqscale.sock spec.json
+//! freqscale-submit --socket /tmp/freqscale.sock --shutdown
+//! ```
+
+use freqscale::ExperimentExecutor;
+use serve::daemon::{Daemon, ServeConfig};
+use serve::tables::TableServerConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: freqscale-serve --socket PATH [--queue N] [--workers N]\n\
+         \x20                   [--table-store DIR] [--table-capacity N]\n\
+         \x20                   [--trace-out trace.json] [--metrics-out metrics.txt]\n\
+         \n\
+         \x20 --socket          Unix-domain socket to listen on (required)\n\
+         \x20 --queue           job queue capacity; overflow is rejected\n\
+         \x20                   `queue_full` (default 16)\n\
+         \x20 --workers         concurrent jobs; 0 = machine default (default 0)\n\
+         \x20 --table-store     directory for learned-table persistence; shared\n\
+         \x20                   with batch freqscale-run table stores\n\
+         \x20 --table-capacity  resident table entries before LRU eviction;\n\
+         \x20                   0 = unbounded (default 64)\n\
+         \x20 --trace-out       write a Chrome-trace/Perfetto JSON of the whole\n\
+         \x20                   serving session at shutdown\n\
+         \x20 --metrics-out     write Prometheus-style counters at shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut queue = 16usize;
+    let mut workers = 0usize;
+    let mut table_store: Option<String> = None;
+    let mut table_capacity = 64usize;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(it.next().unwrap_or_else(|| usage())),
+            "--queue" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                queue = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--queue {v}: {e}")));
+                if queue == 0 {
+                    fail("--queue must be at least 1".to_string());
+                }
+            }
+            "--workers" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                workers = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--workers {v}: {e}")));
+            }
+            "--table-store" => table_store = Some(it.next().unwrap_or_else(|| usage())),
+            "--table-capacity" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                table_capacity = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--table-capacity {v}: {e}")));
+            }
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => fail(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| usage());
+
+    let tracing = trace_out.is_some() || metrics_out.is_some();
+    if tracing {
+        if !telemetry::ENABLED {
+            eprintln!(
+                "warning: built without the `telemetry` feature; trace outputs will be empty"
+            );
+        }
+        telemetry::start();
+        telemetry::set_track("serve-daemon");
+    }
+
+    let cfg = ServeConfig {
+        socket: socket.clone().into(),
+        queue_capacity: queue,
+        workers,
+        tables: TableServerConfig {
+            dir: table_store.map(Into::into),
+            capacity: table_capacity,
+        },
+    };
+    let handle = Daemon::start(cfg, ExperimentExecutor)
+        .unwrap_or_else(|e| fail(format!("starting daemon on {socket}: {e}")));
+    eprintln!(
+        "freqscale-serve: listening on {socket} (queue {queue}, workers {})",
+        if workers == 0 {
+            "auto".to_string()
+        } else {
+            workers.to_string()
+        }
+    );
+
+    // Serve until a client sends Shutdown; queued jobs drain first.
+    handle.join();
+    eprintln!("freqscale-serve: drained and stopped");
+
+    if tracing {
+        let data = telemetry::stop();
+        if let Some(path) = &trace_out {
+            std::fs::write(path, telemetry::chrome_trace(&data))
+                .unwrap_or_else(|e| fail(format!("writing trace {path}: {e}")));
+            eprintln!("wrote {path} (open at https://ui.perfetto.dev)");
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, telemetry::metrics_text(&data))
+                .unwrap_or_else(|e| fail(format!("writing metrics {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+    }
+}

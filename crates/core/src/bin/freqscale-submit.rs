@@ -1,0 +1,170 @@
+//! `freqscale-submit` — submit experiment specs to a running
+//! `freqscale-serve` daemon and await the streamed results.
+//!
+//! Exits 0 only when every submitted job queued, ran and finished ok;
+//! any rejection (`queue_full`, invalid spec) or failed/killed job makes
+//! the exit code 1 — which is what lets CI gate on a served batch.
+//!
+//! ```sh
+//! freqscale-submit --socket /tmp/freqscale.sock a.json b.json
+//! freqscale-submit --socket /tmp/freqscale.sock --report-dir reports/ spec.json
+//! freqscale-submit --socket /tmp/freqscale.sock --stats
+//! freqscale-submit --socket /tmp/freqscale.sock --shutdown
+//! ```
+
+use serve::client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: freqscale-submit --socket PATH [--report-dir DIR] <spec.json>...\n\
+         \x20      freqscale-submit --socket PATH --ping | --stats | --shutdown\n\
+         \n\
+         \x20 --report-dir  write each finished job's full experiment report to\n\
+         \x20               DIR/job-<id>.json\n\
+         \x20 --ping        liveness probe (exit 0 iff the daemon answers)\n\
+         \x20 --stats       print the daemon's queue/table-server/sacct snapshot\n\
+         \x20 --shutdown    ask the daemon to drain queued jobs and exit"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut report_dir: Option<String> = None;
+    let mut mode_ping = false;
+    let mut mode_stats = false;
+    let mut mode_shutdown = false;
+    let mut specs: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(it.next().unwrap_or_else(|| usage())),
+            "--report-dir" => report_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--ping" => mode_ping = true,
+            "--stats" => mode_stats = true,
+            "--shutdown" => mode_shutdown = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                fail(format!("unknown argument {other:?} (see --help)"))
+            }
+            _ => specs.push(arg),
+        }
+    }
+    let socket = std::path::PathBuf::from(socket.unwrap_or_else(|| usage()));
+
+    if mode_ping {
+        match client::ping(&socket) {
+            Ok(true) => return,
+            Ok(false) => fail("daemon answered, but not with Pong".to_string()),
+            Err(e) => fail(format!("pinging {}: {e}", socket.display())),
+        }
+    }
+    if mode_stats {
+        let stats = client::stats(&socket)
+            .unwrap_or_else(|e| fail(format!("fetching stats from {}: {e}", socket.display())));
+        println!(
+            "jobs: {} submitted, {} rejected, {} completed, {} failed, {} queued",
+            stats.jobs_submitted,
+            stats.jobs_rejected,
+            stats.jobs_completed,
+            stats.jobs_failed,
+            stats.queue_depth
+        );
+        let t = &stats.tables;
+        println!(
+            "tables: {} entries, {} hits, {} misses, {} disk loads, {} evictions, \
+             {} warm starts, {} explorations, {} publishes, {} aborts, {} waits",
+            t.entries,
+            t.hits,
+            t.misses,
+            t.disk_loads,
+            t.evictions,
+            t.warm_starts,
+            t.explorations,
+            t.publishes,
+            t.aborts,
+            t.waits
+        );
+        print!("{}", stats.sacct);
+        return;
+    }
+    if mode_shutdown {
+        client::shutdown(&socket)
+            .unwrap_or_else(|e| fail(format!("shutting down {}: {e}", socket.display())));
+        eprintln!("daemon acknowledged shutdown");
+        return;
+    }
+
+    if specs.is_empty() {
+        usage();
+    }
+    let submissions: Vec<(String, String)> = specs
+        .iter()
+        .map(|path| {
+            let body = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("reading spec {path}: {e}")));
+            (path.clone(), body)
+        })
+        .collect();
+
+    let results = client::submit_all(&socket, &submissions)
+        .unwrap_or_else(|e| fail(format!("submitting to {}: {e}", socket.display())));
+
+    if let Some(dir) = &report_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(format!("creating report dir {dir}: {e}")));
+    }
+    let mut failures = 0usize;
+    for r in &results {
+        if let Some(reason) = &r.rejected {
+            println!("{}: rejected: {reason}", r.name);
+            failures += 1;
+            continue;
+        }
+        let id = r.job.unwrap_or(0);
+        if r.ok {
+            println!(
+                "{} (job {id}): ok, warm_start={} table_version={} exploration_launches={} \
+                 queue_wait={:.3}s elapsed={:.2}s energy={:.1}J setup_energy={:.1}J edp={:.1}",
+                r.name,
+                r.warm_start,
+                r.table_version.map_or("-".into(), |v| v.to_string()),
+                r.exploration_launches,
+                r.queue_wait_s,
+                r.elapsed_s,
+                r.energy_j,
+                r.setup_energy_j,
+                r.edp
+            );
+            if let Some(recovery) = &r.recovery {
+                println!("{} (job {id}): recovery: {recovery}", r.name);
+            }
+            if !r.sacct.is_empty() {
+                print!("{} (job {id}): sacct: {}", r.name, r.sacct);
+            }
+            if let (Some(dir), Some(report)) = (&report_dir, &r.report) {
+                let path = format!("{dir}/job-{id}.json");
+                std::fs::write(&path, report)
+                    .unwrap_or_else(|e| fail(format!("writing report {path}: {e}")));
+                eprintln!("wrote {path}");
+            }
+        } else {
+            println!(
+                "{} (job {id}): FAILED: {}",
+                r.name,
+                r.error.as_deref().unwrap_or("unknown error")
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} job(s) did not finish ok", results.len());
+        std::process::exit(1);
+    }
+}

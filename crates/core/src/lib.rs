@@ -18,7 +18,11 @@
 //!   phase, instrumented ranks, pm_counters, Slurm accounting), with
 //!   [`run_experiments`] running independent scenarios concurrently;
 //! * [`ExperimentResult`] — every measurement view the paper reports,
-//!   JSON-serializable.
+//!   JSON-serializable;
+//! * [`ExperimentExecutor`] — the bridge into the `serve` crate's
+//!   long-running daemon: spec submissions over a Unix socket, a shared
+//!   in-process table server for single-flight warm starts (see the
+//!   `freqscale-serve` / `freqscale-submit` binaries).
 //!
 //! ```no_run
 //! use freqscale::{run_experiment, ExperimentSpec, FreqPolicy};
@@ -37,6 +41,7 @@ pub mod instrument;
 pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod serving;
 
 pub use analysis::{
     best_edp, compare_tables, dominated_area, learned_table_of, max_deviation_mhz, pareto_front,
@@ -45,4 +50,8 @@ pub use analysis::{
 pub use instrument::EnergyInstrument;
 pub use policy::{paper_mandyn_table, tune_table, FreqPolicy, FreqTable};
 pub use report::{ExperimentResult, FunctionReport, NodeBreakdown, RankReport};
-pub use runner::{run_experiment, run_experiments, ExperimentSpec, WorkloadKind};
+pub use runner::{
+    learned_freq_table, run_experiment, run_experiment_with_table, run_experiments, ExperimentSpec,
+    WorkloadKind,
+};
+pub use serving::ExperimentExecutor;

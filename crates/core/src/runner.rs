@@ -155,8 +155,34 @@ impl ExperimentSpec {
     }
 }
 
+/// The per-kernel table rank 0's online tuner converged on, as a
+/// [`FreqTable`]. Empty when the run was not an online policy (or pinned
+/// nothing). This is the payload a table store or in-process table server
+/// persists for later warm-starts.
+pub fn learned_freq_table(report: &RankReport) -> FreqTable {
+    report
+        .learned_table
+        .iter()
+        .filter_map(|(name, mhz)| FuncId::from_name(name).map(|f| (f, MegaHertz(*mhz))))
+        .collect()
+}
+
 /// Run the experiment and gather every measurement view.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    run_experiment_with_table(spec, None)
+}
+
+/// Like [`run_experiment`], but with an externally supplied warm-start table
+/// taking precedence over the spec's own `table_store` directory.
+///
+/// This is the entry point the experiment service uses: its in-process table
+/// server owns warm-start state (versioned, LRU-cached, single-flight), so a
+/// served job receives the table directly instead of re-reading JSON from
+/// disk. With `external == None` this is exactly `run_experiment`.
+pub fn run_experiment_with_table(
+    spec: &ExperimentSpec,
+    external_warm: Option<&FreqTable>,
+) -> ExperimentResult {
     let cluster = Cluster::for_ranks(spec.system.clone(), spec.ranks);
     let setup_end = SimInstant::ZERO + spec.setup;
 
@@ -206,11 +232,12 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         .map(|dir| TableStore::open(dir).expect("table store directory is usable"));
     let gpu_name = spec.system.node.gpu.name.clone();
     let store_key = spec.table_store_key();
-    let warm_table: Option<FreqTable> = match (&store, &spec.policy) {
+    let warm_table: Option<FreqTable> = match (external_warm, &store, &spec.policy) {
+        (Some(t), _, FreqPolicy::ManDynOnline(_)) => Some(t.clone()),
         // A corrupt or truncated store entry must cost one cold-start
         // exploration, never a crash: `load_or_rebuild` warns, moves the bad
         // file aside and returns `None`.
-        (Some(s), FreqPolicy::ManDynOnline(_)) => s.load_or_rebuild(&gpu_name, &store_key),
+        (None, Some(s), FreqPolicy::ManDynOnline(_)) => s.load_or_rebuild(&gpu_name, &store_key),
         _ => None,
     };
 
@@ -340,11 +367,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     // Persist what the online tuner learned, so the next run of the same
     // (GPU, workload) warm-starts with zero exploration launches.
     if let (Some(s), FreqPolicy::ManDynOnline(_)) = (&store, &spec.policy) {
-        let learned: FreqTable = per_rank[0]
-            .learned_table
-            .iter()
-            .filter_map(|(name, mhz)| FuncId::from_name(name).map(|f| (f, MegaHertz(*mhz))))
-            .collect();
+        let learned: FreqTable = learned_freq_table(&per_rank[0]);
         if !learned.is_empty() {
             s.save(&gpu_name, &store_key, &learned)
                 .expect("persist learned table");

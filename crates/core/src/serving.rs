@@ -1,0 +1,151 @@
+//! Glue between the generic `serve` daemon and the experiment runner.
+//!
+//! [`ExperimentExecutor`] is the production [`serve::Executor`]: it parses
+//! submitted spec files into [`ExperimentSpec`]s, derives the table-server
+//! key (the same `(GPU name, table_store_key)` pair the on-disk
+//! `TableStore` uses, so served and batch runs share warm-start state), and
+//! routes execution through [`run_experiment_with_table`] so a served warm
+//! table takes precedence over any spec-level store directory.
+//!
+//! The `freqscale-serve` and `freqscale-submit` binaries are thin wrappers
+//! around this module plus `serve::daemon`/`serve::client`.
+
+use online::LearnedTable;
+use serve::daemon::{Executor, JobMeta, JobOutcome};
+
+use crate::policy::FreqPolicy;
+use crate::runner::{learned_freq_table, run_experiment_with_table, ExperimentSpec};
+
+/// The daemon's executor for real experiment specs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExperimentExecutor;
+
+impl ExperimentExecutor {
+    fn parse(spec_json: &str) -> Result<ExperimentSpec, String> {
+        serde_json::from_str(spec_json).map_err(|e| e.to_string())
+    }
+}
+
+impl Executor for ExperimentExecutor {
+    fn validate(&self, spec_json: &str) -> Result<JobMeta, String> {
+        let spec = Self::parse(spec_json)?;
+        // Refuse obviously broken submissions before they occupy a queue
+        // slot. Runtime chaos (off-ladder privileged clocks, faults firing
+        // mid-run) is the worker's problem and is contained there.
+        if spec.ranks == 0 {
+            return Err("spec.ranks must be at least 1".to_string());
+        }
+        if spec.steps == 0 {
+            return Err("spec.steps must be at least 1".to_string());
+        }
+        if let Some(profile) = &spec.faults {
+            profile
+                .validate()
+                .map_err(|e| format!("fault profile: {e}"))?;
+        }
+        let devices = spec.system.node.gpu_devices as usize;
+        Ok(JobMeta {
+            name: format!("{}-{}", spec.workload.name(), spec.policy.label()),
+            gpu: spec.system.node.gpu.name.clone(),
+            workload: spec.table_store_key(),
+            uses_tables: matches!(spec.policy, FreqPolicy::ManDynOnline(_)),
+            nodes: spec.ranks.div_ceil(devices.max(1)),
+        })
+    }
+
+    fn execute(&self, spec_json: &str, warm: Option<&LearnedTable>) -> Result<JobOutcome, String> {
+        let spec = Self::parse(spec_json)?;
+        // The served warm table is keyed by FuncId already; the instrument
+        // side wants the same shape (LearnedTable == FreqTable).
+        let result = run_experiment_with_table(&spec, warm);
+        let learned = match spec.policy {
+            FreqPolicy::ManDynOnline(_) => {
+                let t = learned_freq_table(&result.per_rank[0]);
+                (!t.is_empty()).then_some(t)
+            }
+            _ => None,
+        };
+        let recovery = (result.fault_stats.injected() > 0).then(|| {
+            format!(
+                "{} faults injected, {} recovered",
+                result.fault_stats.injected(),
+                result.fault_stats.recovered()
+            )
+        });
+        Ok(JobOutcome {
+            learned,
+            exploration_launches: result.per_rank[0].exploration_launches,
+            elapsed_s: result.job_elapsed_s,
+            energy_j: result.slurm_consumed_j,
+            // Whole-job accounting minus the loop window: the setup-phase
+            // share (allocation, IC construction, H2D staging).
+            setup_energy_j: (result.slurm_consumed_j - result.node_loop_j).max(0.0),
+            edp: result.edp(),
+            recovery,
+            report: Some(result.to_json()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FreqPolicy;
+
+    fn online_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::minihpc_turbulence(
+            FreqPolicy::ManDynOnline(online::OnlineTunerConfig::default()),
+            3,
+        );
+        spec.workload = crate::runner::WorkloadKind::Turbulence {
+            n_side: 4,
+            mach: 0.3,
+            seed: 7,
+        };
+        spec
+    }
+
+    #[test]
+    fn validate_derives_table_identity() {
+        let spec = online_spec();
+        let meta = ExperimentExecutor
+            .validate(&serde_json::to_string(&spec).unwrap())
+            .unwrap();
+        assert_eq!(meta.gpu, spec.system.node.gpu.name);
+        assert_eq!(meta.workload, spec.table_store_key());
+        assert!(meta.uses_tables, "online policy participates in serving");
+        assert_eq!(meta.nodes, 1);
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_bad_profiles() {
+        assert!(ExperimentExecutor.validate("{oops").is_err());
+        let mut spec = online_spec();
+        spec.ranks = 0;
+        let err = ExperimentExecutor
+            .validate(&serde_json::to_string(&spec).unwrap())
+            .unwrap_err();
+        assert!(err.contains("ranks"), "{err}");
+        // A profile that parses but fails semantic validation is refused at
+        // submission, before it can occupy a queue slot.
+        let mut spec = online_spec();
+        spec.faults = Some(faults::FaultProfile {
+            straggler_stall: 0.5,
+            straggler_factor: 0.5,
+            ..Default::default()
+        });
+        let err = ExperimentExecutor
+            .validate(&serde_json::to_string(&spec).unwrap())
+            .unwrap_err();
+        assert!(err.starts_with("fault profile:"), "{err}");
+    }
+
+    #[test]
+    fn baseline_policy_does_not_use_tables() {
+        let spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 2);
+        let meta = ExperimentExecutor
+            .validate(&serde_json::to_string(&spec).unwrap())
+            .unwrap();
+        assert!(!meta.uses_tables);
+    }
+}

@@ -1,0 +1,110 @@
+//! `freqscale-run` must fail *cleanly* on malformed input: exit code 1 and
+//! a one-line `error: …` diagnostic, never a panic backtrace. One test per
+//! bad-flag/bad-input case.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_freqscale-run"))
+        .args(args)
+        .output()
+        .expect("spawn freqscale-run")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Every clean failure: exit 1, an `error:` line, and no panic noise.
+fn assert_clean_failure(out: &Output, needle: &str) {
+    let err = stderr(out);
+    assert_eq!(out.status.code(), Some(1), "exit code; stderr:\n{err}");
+    assert!(err.contains("error:"), "diagnostic line missing:\n{err}");
+    assert!(err.contains(needle), "expected {needle:?} in:\n{err}");
+    assert!(
+        !err.contains("panicked"),
+        "must not panic on bad input:\n{err}"
+    );
+    assert!(!err.contains("RUST_BACKTRACE"), "no backtrace hint:\n{err}");
+}
+
+#[test]
+fn non_numeric_jobs_value_fails_cleanly() {
+    let out = run(&["--jobs", "abc", "spec.json"]);
+    assert_clean_failure(&out, "--jobs abc");
+}
+
+#[test]
+fn negative_jobs_value_fails_cleanly() {
+    let out = run(&["--jobs", "-3", "spec.json"]);
+    assert_clean_failure(&out, "--jobs -3");
+}
+
+#[test]
+fn missing_spec_file_fails_cleanly() {
+    let out = run(&["/nonexistent/freqscale-spec.json"]);
+    assert_clean_failure(&out, "reading spec");
+}
+
+#[test]
+fn malformed_spec_json_fails_cleanly() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("freqscale-bad-spec-{}.json", std::process::id()));
+    std::fs::write(&path, "{this is not a spec").unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    assert_clean_failure(&out, "parsing spec");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_fault_profile_file_fails_cleanly() {
+    let out = run(&["--fault-profile", "/nonexistent/profile.json", "spec.json"]);
+    assert_clean_failure(&out, "reading fault profile");
+}
+
+#[test]
+fn invalid_fault_profile_fails_cleanly() {
+    // Parses, but fails semantic validation (straggler stall with a
+    // non-inflating factor).
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("freqscale-bad-profile-{}.json", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"{"seed": 1, "straggler_stall": 0.5, "straggler_factor": 0.5}"#,
+    )
+    .unwrap();
+    let out = run(&["--fault-profile", path.to_str().unwrap(), "spec.json"]);
+    assert_clean_failure(&out, "invalid fault profile");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unwritable_out_path_fails_cleanly() {
+    // A valid run whose --out points into a nonexistent directory must
+    // still exit 1 with a diagnostic, not panic after doing the work.
+    let spec = freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("freqscale-out-spec-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let out = run(&[
+        path.to_str().unwrap(),
+        "--out",
+        "/nonexistent/dir/report.json",
+    ]);
+    assert_clean_failure(&out, "writing /nonexistent/dir/report.json");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn no_arguments_prints_usage_exit_2() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn jobs_flag_without_value_prints_usage_exit_2() {
+    let out = run(&["--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}

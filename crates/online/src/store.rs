@@ -13,6 +13,7 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -28,12 +29,26 @@ pub struct StoredTable {
     pub workload: String,
     /// Learned per-kernel clocks.
     pub table: LearnedTable,
+    /// Monotonic publish version for this `(gpu, workload)` slot. Each save
+    /// through [`TableStore::save`] (or an explicit
+    /// [`TableStore::save_versioned`]) moves it forward, so an in-process
+    /// table server can evict an entry and later reload it from disk without
+    /// ever handing out a version that goes backwards. Absent in pre-version
+    /// files, which read back as version 0.
+    #[serde(default)]
+    pub version: u64,
 }
 
 /// Directory-backed store of learned frequency tables.
+///
+/// Clones share a save lock, so concurrent [`TableStore::save`] calls from
+/// one process serialize their read-bump-write and the persisted version
+/// stays monotone per slot. Writers in *other* processes are only protected
+/// by the atomic rename (no torn entries), not by the version bump.
 #[derive(Debug, Clone)]
 pub struct TableStore {
     root: PathBuf,
+    save_lock: Arc<Mutex<()>>,
 }
 
 fn sanitize(s: &str) -> String {
@@ -53,7 +68,10 @@ impl TableStore {
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, OnlineError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(TableStore { root })
+        Ok(TableStore {
+            root,
+            save_lock: Arc::new(Mutex::new(())),
+        })
     }
 
     /// The store's root directory.
@@ -68,6 +86,16 @@ impl TableStore {
 
     /// Load the table learned for `(gpu, workload)`, if one is stored.
     pub fn load(&self, gpu: &str, workload: &str) -> Result<Option<LearnedTable>, OnlineError> {
+        Ok(self.load_stored(gpu, workload)?.map(|s| s.table))
+    }
+
+    /// Load the full self-describing entry for `(gpu, workload)`, including
+    /// its persisted version.
+    pub fn load_stored(
+        &self,
+        gpu: &str,
+        workload: &str,
+    ) -> Result<Option<StoredTable>, OnlineError> {
         let path = self.file_for(gpu, workload);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
@@ -79,7 +107,7 @@ impl TableStore {
                 path: path.clone(),
                 detail: e.to_string(),
             })?;
-        Ok(Some(stored.table))
+        Ok(Some(stored))
     }
 
     /// Load the table for `(gpu, workload)`, degrading gracefully.
@@ -93,7 +121,13 @@ impl TableStore {
     /// or hand-mangled store must cost one cold-start exploration, never a
     /// crash.
     pub fn load_or_rebuild(&self, gpu: &str, workload: &str) -> Option<LearnedTable> {
-        match self.load(gpu, workload) {
+        self.load_or_rebuild_stored(gpu, workload).map(|s| s.table)
+    }
+
+    /// [`TableStore::load_or_rebuild`], but returning the full entry with
+    /// its persisted version — what an in-process table server caches.
+    pub fn load_or_rebuild_stored(&self, gpu: &str, workload: &str) -> Option<StoredTable> {
+        match self.load_stored(gpu, workload) {
             Ok(found) => found,
             Err(OnlineError::Corrupt { path, detail }) => {
                 let aside = path.with_extension("json.corrupt");
@@ -121,15 +155,61 @@ impl TableStore {
     }
 
     /// Persist `table` for `(gpu, workload)`, replacing any previous entry.
-    pub fn save(&self, gpu: &str, workload: &str, table: &LearnedTable) -> Result<(), OnlineError> {
+    ///
+    /// The entry's version advances past whatever is currently on disk
+    /// (corrupt or missing entries restart from version 1). Returns the
+    /// version that was written.
+    pub fn save(
+        &self,
+        gpu: &str,
+        workload: &str,
+        table: &LearnedTable,
+    ) -> Result<u64, OnlineError> {
+        let _bump = self.save_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = match self.load_stored(gpu, workload) {
+            Ok(Some(stored)) => stored.version,
+            Ok(None) | Err(OnlineError::Corrupt { .. }) => 0,
+            Err(e) => return Err(e),
+        };
+        let version = prior + 1;
+        self.save_versioned(gpu, workload, table, version)?;
+        Ok(version)
+    }
+
+    /// Persist `table` for `(gpu, workload)` at an explicit `version`.
+    ///
+    /// The write is atomic: the entry is staged to a uniquely named
+    /// `*.json.tmp.<pid>.<seq>` file in the same directory and renamed over
+    /// the destination, so a concurrent reader sees either the old complete
+    /// entry or the new complete entry — never a torn half-write — and a
+    /// crash mid-save leaves the previous entry intact.
+    pub fn save_versioned(
+        &self,
+        gpu: &str,
+        workload: &str,
+        table: &LearnedTable,
+        version: u64,
+    ) -> Result<(), OnlineError> {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let stored = StoredTable {
             gpu: gpu.to_string(),
             workload: workload.to_string(),
             table: table.clone(),
+            version,
         };
         let text = serde_json::to_string_pretty(&stored)
             .map_err(|e| OnlineError::InvalidConfig(e.to_string()))?;
-        fs::write(self.file_for(gpu, workload), text)?;
+        let dest = self.file_for(gpu, workload);
+        let tmp = dest.with_extension(format!(
+            "json.tmp.{}.{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        fs::write(&tmp, text)?;
+        if let Err(e) = fs::rename(&tmp, &dest) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -249,6 +329,7 @@ mod tests {
             gpu: "A100".into(),
             workload: "evrard".into(),
             table: sample_table(),
+            version: 1,
         })
         .unwrap();
         fs::write(dir.join("A100__evrard.json"), &full[..full.len() / 2]).unwrap();

@@ -1,0 +1,173 @@
+//! Submission client: connect, submit specs, await streamed results.
+//!
+//! Used by `freqscale-submit` and the integration tests. Relies on the
+//! protocol's ordering contract: submit acknowledgements (`Queued` /
+//! `Rejected`) arrive in submission order on the connection, and
+//! `Running`/`Finished` events are demultiplexed by job id.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{read_frame, write_frame, Event, Request, ServerStats};
+
+/// The collected outcome of one submitted spec.
+#[derive(Debug, Clone, Default)]
+pub struct JobResult {
+    /// Display name the submission used.
+    pub name: String,
+    /// Daemon job id; `None` when the submission was rejected.
+    pub job: Option<u64>,
+    /// True only for a job that queued, ran and finished ok.
+    pub ok: bool,
+    /// Rejection reason (`queue_full`, `invalid_spec: …`), when rejected.
+    pub rejected: Option<String>,
+    /// Failure detail, when the job ran and failed (panics included).
+    pub error: Option<String>,
+    pub warm_start: bool,
+    pub table_version: Option<u64>,
+    pub exploration_launches: u64,
+    pub elapsed_s: f64,
+    pub energy_j: f64,
+    pub setup_energy_j: f64,
+    pub edp: f64,
+    pub queue_wait_s: f64,
+    pub recovery: Option<String>,
+    /// The job's accounting row in `sacct` pipe-text layout.
+    pub sacct: String,
+    /// Full experiment report JSON, when the daemon attached one.
+    pub report: Option<String>,
+}
+
+/// Submit `(name, spec_json)` pairs over one connection and block until
+/// every one is rejected or finished. Results come back in spec order.
+///
+/// Errors only on transport problems (daemon unreachable, stream closed
+/// with submissions outstanding); per-job failures and rejections are
+/// reported inside the corresponding [`JobResult`].
+pub fn submit_all(socket: &Path, specs: &[(String, String)]) -> io::Result<Vec<JobResult>> {
+    let mut writer = UnixStream::connect(socket)?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    for (name, spec) in specs {
+        write_frame(
+            &mut writer,
+            &Request::Submit {
+                spec: spec.clone(),
+                name: Some(name.clone()),
+            },
+        )?;
+    }
+    let mut results: Vec<JobResult> = specs
+        .iter()
+        .map(|(name, _)| JobResult {
+            name: name.clone(),
+            ..JobResult::default()
+        })
+        .collect();
+    // Submit acks arrive in submission order; running jobs key by id.
+    let mut next_ack = 0usize;
+    let mut by_job: HashMap<u64, usize> = HashMap::new();
+    let mut outstanding = specs.len();
+    while outstanding > 0 {
+        let ev: Event = match read_frame(&mut reader)? {
+            Some(e) => e,
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("daemon closed the stream with {outstanding} job(s) outstanding"),
+                ));
+            }
+        };
+        match ev {
+            Event::Queued { job, .. } => {
+                if next_ack < results.len() {
+                    results[next_ack].job = Some(job);
+                    by_job.insert(job, next_ack);
+                    next_ack += 1;
+                }
+            }
+            Event::Rejected { reason, .. } => {
+                if next_ack < results.len() {
+                    results[next_ack].rejected = Some(reason);
+                    next_ack += 1;
+                    outstanding -= 1;
+                }
+            }
+            Event::Running { .. } => {}
+            Event::Finished {
+                job,
+                ok,
+                error,
+                warm_start,
+                table_version,
+                exploration_launches,
+                elapsed_s,
+                energy_j,
+                setup_energy_j,
+                edp,
+                queue_wait_s,
+                recovery,
+                sacct,
+                report,
+            } => {
+                if let Some(&idx) = by_job.get(&job) {
+                    let r = &mut results[idx];
+                    r.ok = ok;
+                    r.error = error;
+                    r.warm_start = warm_start;
+                    r.table_version = table_version;
+                    r.exploration_launches = exploration_launches;
+                    r.elapsed_s = elapsed_s;
+                    r.energy_j = energy_j;
+                    r.setup_energy_j = setup_energy_j;
+                    r.edp = edp;
+                    r.queue_wait_s = queue_wait_s;
+                    r.recovery = recovery;
+                    r.sacct = sacct;
+                    r.report = report;
+                    outstanding -= 1;
+                }
+            }
+            Event::Pong { .. } | Event::Stats { .. } | Event::ShuttingDown => {}
+        }
+    }
+    Ok(results)
+}
+
+/// Liveness probe. `Ok(true)` when the daemon answers `Pong`.
+pub fn ping(socket: &Path) -> io::Result<bool> {
+    let mut writer = UnixStream::connect(socket)?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    write_frame(&mut writer, &Request::Ping)?;
+    Ok(matches!(
+        read_frame::<Event, _>(&mut reader)?,
+        Some(Event::Pong { .. })
+    ))
+}
+
+/// Fetch the daemon's stats snapshot.
+pub fn stats(socket: &Path) -> io::Result<ServerStats> {
+    let mut writer = UnixStream::connect(socket)?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    write_frame(&mut writer, &Request::Stats)?;
+    match read_frame::<Event, _>(&mut reader)? {
+        Some(Event::Stats { stats }) => Ok(stats),
+        other => Err(io::Error::other(format!(
+            "expected Stats event, got {other:?}"
+        ))),
+    }
+}
+
+/// Ask the daemon to drain and exit. Returns once it acknowledges.
+pub fn shutdown(socket: &Path) -> io::Result<()> {
+    let mut writer = UnixStream::connect(socket)?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    write_frame(&mut writer, &Request::Shutdown)?;
+    match read_frame::<Event, _>(&mut reader)? {
+        Some(Event::ShuttingDown) | None => Ok(()),
+        other => Err(io::Error::other(format!(
+            "expected ShuttingDown event, got {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,50 @@
+//! # serve — a long-running experiment service
+//!
+//! The rest of the workspace runs experiments batch-style: `freqscale-run`
+//! loads spec files, executes them, writes reports and exits. That model
+//! breaks down exactly where the paper's methodology pays off most — a
+//! shared cluster where many users submit jobs over time and the learned
+//! per-kernel frequency tables should be *shared*, so the second submission
+//! of a (GPU, workload) pair warm-starts from what the first one learned
+//! instead of repeating the exploration.
+//!
+//! This crate is the serving layer:
+//!
+//! * [`protocol`] — a line-delimited JSON protocol over a Unix-domain
+//!   socket. One request or event per line; specs travel as embedded JSON
+//!   strings so a frame is always exactly one line. Std-only, like the
+//!   `par`/`telemetry`/`faults` layers: no HTTP stack, no async runtime.
+//! * [`queue`] — a bounded FIFO job queue with explicit backpressure: when
+//!   it is full the daemon answers `rejected: queue_full` instead of
+//!   buffering unboundedly or wedging the socket.
+//! * [`tables`] — [`tables::TableServer`], the promotion of the on-disk
+//!   `online::TableStore` into a shared in-process table server: an
+//!   `RwLock`-guarded map keyed by (GPU, workload) with versioned entries,
+//!   LRU eviction, write-behind persistence to the same JSON directory
+//!   layout, and single-flight semantics — of K concurrent jobs with the
+//!   same key, exactly one explores and the rest warm-start from its
+//!   published table.
+//! * [`daemon`] — the accept loop, worker pool and per-job lifecycle
+//!   (`queued → running → finished`), generic over an [`daemon::Executor`]
+//!   so the serving machinery carries no dependency on the experiment
+//!   runner itself. Worker panics are contained per job: a killed job
+//!   reports `ok: false` and the daemon keeps serving.
+//! * [`client`] — the submission client used by `freqscale-submit` and the
+//!   integration tests: submit specs, stream lifecycle events, collect one
+//!   [`client::JobResult`] per spec.
+//!
+//! See DESIGN.md §"Experiment service" for the protocol grammar, the
+//! queue/backpressure semantics, the table-server versioning argument and
+//! the chaos model.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod queue;
+pub mod tables;
+
+pub use client::{submit_all, JobResult};
+pub use daemon::{Daemon, DaemonHandle, Executor, JobMeta, JobOutcome, ServeConfig};
+pub use protocol::{Event, Request, ServerStats, PROTOCOL_VERSION};
+pub use queue::{BoundedQueue, PushError};
+pub use tables::{Lease, TableServer, TableServerConfig, TableServerStats};

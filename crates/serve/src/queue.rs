@@ -1,0 +1,166 @@
+//! Bounded FIFO job queue with explicit backpressure.
+//!
+//! Submission never blocks: [`BoundedQueue::try_push`] fails fast with
+//! [`PushError::Full`] when the queue is at capacity, which the daemon
+//! turns into a `rejected: queue_full` response. Workers block in
+//! [`BoundedQueue::pop`]; [`BoundedQueue::close`] wakes them all and lets
+//! them drain whatever is still queued before they see `None` — a graceful
+//! shutdown finishes accepted work but accepts no more.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. The rejected item is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// At capacity — the caller should report backpressure, not retry-spin.
+    Full(T),
+    /// The queue was closed; no further work is accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Condvar-backed MPMC FIFO with a hard capacity.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// `capacity` must be at least 1.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue without blocking. On success returns the queue depth right
+    /// after the push (1 = `item` runs next).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.nonempty.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue, blocking while the queue is empty and open. Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.nonempty.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stop accepting pushes and wake every blocked `pop`.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.closed = true;
+        drop(s);
+        self.nonempty.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_positions() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.try_push(3).unwrap(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        match q.try_push(12) {
+            Err(PushError::Closed(12)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the workers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub use online;
 pub use pm_counters;
 pub use pmt;
 pub use ranks;
+pub use serve;
 pub use slurm_sim;
 pub use sph;
 pub use tuner;
