@@ -1,11 +1,13 @@
 //! Neighbor-search measurement: the per-sweep grid re-walk (the pre-list
 //! baseline, `NeighborPath::CellGrid`) against the shared per-step CSR
-//! `NeighborList`, written as the `BENCH_neighbors.json` artifact checked
-//! into the repo root.
+//! `NeighborList` — both its scalar per-pair replay (`ScalarReplay`) and
+//! the cache-blocked 4-lane sweep engine the list dispatches to by default —
+//! written as the `BENCH_neighbors.json` artifact checked into the repo
+//! root.
 //!
 //! Times each of the step's neighbor-bound sweeps (`neighbor_counts`,
-//! `density_gradh`, `iad_divv_curlv`, `momentum_energy`) on both paths, plus
-//! the composite five-traversal step with the list build amortized in,
+//! `density_gradh`, `iad_divv_curlv`, `momentum_energy`) on all three paths,
+//! plus the composite five-traversal step with the list build amortized in,
 //! median of 7 reps, on Evrard and subsonic-turbulence particle clouds.
 //! Regenerate with:
 //!
@@ -18,7 +20,7 @@
 use std::time::Instant;
 
 use bench::{banner, print_table, Cli};
-use cornerstone::{Box3, CellList, NeighborList, NeighborSearch};
+use cornerstone::{Box3, CellList, NeighborList, NeighborSearch, ScalarReplay};
 use serde::Serialize;
 use sph::{
     density::{density_gradh, neighbor_counts},
@@ -34,9 +36,16 @@ const REPS: usize = 7;
 struct SweepTiming {
     sweep: String,
     grid_seconds: f64,
+    /// The list's default path: the cache-blocked 4-lane row engine.
     list_seconds: f64,
-    /// Grid-path median over list-path median (> 1 means the list wins).
+    /// The same list forced through the scalar per-pair callback replay
+    /// (`ScalarReplay`) — the pre-blocking list path, for attribution.
+    scalar_list_seconds: f64,
+    /// Grid-path median over (blocked) list-path median (> 1 = list wins).
     speedup: f64,
+    /// Scalar-replay median over blocked median — the blocking win alone,
+    /// traversal held fixed.
+    blocked_vs_scalar: f64,
 }
 
 #[derive(Serialize)]
@@ -92,26 +101,30 @@ fn measure(workload: &str, mut parts: Particles, bbox: Box3, reps: usize) -> Wor
     let kernel = Kernel::CubicSpline;
     let n = parts.x.len();
     let h_max = parts.h.iter().cloned().fold(1e-6, f64::max);
-    // The step's maximum interaction radius — the grid cell size and the
-    // list's superset radius, exactly as `Simulation::step` builds them.
+    // The step's maximum interaction radius — the grid cell size — and the
+    // per-particle h-aware list radii, exactly as `Simulation::step` builds
+    // them.
     let radius = kernel.support(h_max) * 1.4;
     let grid = CellList::build(&parts.x, &parts.y, &parts.z, &bbox, radius);
     density_gradh(&mut parts, &grid, &bbox, kernel);
     Eos::ideal_monatomic().apply(&mut parts);
 
+    let radii: Vec<f64> = parts.h.iter().map(|&h| kernel.support(h) * 1.4).collect();
     let mut nlist = NeighborList::new();
-    nlist.build_into(&grid, &parts.x, &parts.y, &parts.z, n, radius);
+    nlist.build_adaptive_into(&grid, &parts.x, &parts.y, &parts.z, n, &radii);
     let build_seconds = median_secs(reps, || {
-        nlist.build_into(&grid, &parts.x, &parts.y, &parts.z, n, radius);
+        nlist.build_adaptive_into(&grid, &parts.x, &parts.y, &parts.z, n, &radii);
     });
 
     let mut sweeps = Vec::new();
-    let mut timed = |sweep: &str, grid_s: f64, list_s: f64| {
+    let mut timed = |sweep: &str, grid_s: f64, list_s: f64, scalar_s: f64| {
         let t = SweepTiming {
             sweep: sweep.to_string(),
             grid_seconds: grid_s,
             list_seconds: list_s,
+            scalar_list_seconds: scalar_s,
             speedup: grid_s / list_s,
+            blocked_vs_scalar: scalar_s / list_s,
         };
         sweeps.push(t);
     };
@@ -123,28 +136,44 @@ fn measure(workload: &str, mut parts: Particles, bbox: Box3, reps: usize) -> Wor
         let l = median_secs(reps, || {
             let _ = neighbor_counts(p, &nlist, &bbox, kernel);
         });
-        timed("neighbor_counts", g, l);
+        let s = median_secs(reps, || {
+            let _ = neighbor_counts(p, &ScalarReplay(&nlist), &bbox, kernel);
+        });
+        timed("neighbor_counts", g, l, s);
     }
     {
         let g = median_secs(reps, || density_gradh(&mut parts, &grid, &bbox, kernel));
         let l = median_secs(reps, || density_gradh(&mut parts, &nlist, &bbox, kernel));
-        timed("density_gradh", g, l);
+        let s = median_secs(reps, || {
+            density_gradh(&mut parts, &ScalarReplay(&nlist), &bbox, kernel)
+        });
+        timed("density_gradh", g, l, s);
     }
     {
         let g = median_secs(reps, || iad_divv_curlv(&mut parts, &grid, &bbox, kernel));
         let l = median_secs(reps, || iad_divv_curlv(&mut parts, &nlist, &bbox, kernel));
-        timed("iad_divv_curlv", g, l);
+        let s = median_secs(reps, || {
+            iad_divv_curlv(&mut parts, &ScalarReplay(&nlist), &bbox, kernel)
+        });
+        timed("iad_divv_curlv", g, l, s);
     }
     {
         let g = median_secs(reps, || momentum_energy(&mut parts, &grid, &bbox, kernel));
         let l = median_secs(reps, || momentum_energy(&mut parts, &nlist, &bbox, kernel));
-        timed("momentum_energy", g, l);
+        let s = median_secs(reps, || {
+            momentum_energy(&mut parts, &ScalarReplay(&nlist), &bbox, kernel)
+        });
+        timed("momentum_energy", g, l, s);
     }
 
     let full_grid = median_secs(reps, || five_sweeps(&mut parts, &grid, &bbox, kernel));
     let full_list = median_secs(reps, || {
-        nlist.build_into(&grid, &parts.x, &parts.y, &parts.z, n, radius);
+        nlist.build_adaptive_into(&grid, &parts.x, &parts.y, &parts.z, n, &radii);
         five_sweeps(&mut parts, &nlist, &bbox, kernel);
+    });
+    let full_scalar = median_secs(reps, || {
+        nlist.build_adaptive_into(&grid, &parts.x, &parts.y, &parts.z, n, &radii);
+        five_sweeps(&mut parts, &ScalarReplay(&nlist), &bbox, kernel);
     });
 
     WorkloadReport {
@@ -159,7 +188,9 @@ fn measure(workload: &str, mut parts: Particles, bbox: Box3, reps: usize) -> Wor
             sweep: "five_sweep_step".to_string(),
             grid_seconds: full_grid,
             list_seconds: full_list,
+            scalar_list_seconds: full_scalar,
             speedup: full_grid / full_list,
+            blocked_vs_scalar: full_scalar / full_list,
         },
     }
 }
@@ -184,7 +215,7 @@ fn main() {
     let reps = if cli.check { 1 } else { REPS };
     banner(
         "NEIGHBOR SEARCH (BENCH_neighbors.json)",
-        "Per-sweep grid re-walk vs shared per-step CSR NeighborList; median-of-reps speedups.",
+        "Grid re-walk vs CSR list (scalar replay and blocked 4-lane engine); median-of-reps speedups.",
     );
 
     let ev = evrard(18);
@@ -212,12 +243,24 @@ fn main() {
                 vec![
                     s.sweep.clone(),
                     format!("{:.3}", s.grid_seconds * 1e3),
+                    format!("{:.3}", s.scalar_list_seconds * 1e3),
                     format!("{:.3}", s.list_seconds * 1e3),
                     format!("{:.2}x", s.speedup),
+                    format!("{:.2}x", s.blocked_vs_scalar),
                 ]
             })
             .collect();
-        print_table(&["sweep", "grid ms", "list ms", "speedup"], &rows);
+        print_table(
+            &[
+                "sweep",
+                "grid ms",
+                "scalar ms",
+                "blocked ms",
+                "vs grid",
+                "vs scalar",
+            ],
+            &rows,
+        );
     }
 
     if cli.check {

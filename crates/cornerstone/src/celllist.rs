@@ -157,6 +157,378 @@ impl CellList {
         }
     }
 
+    /// Cell-sorted particle indices: `order()[k]` is the particle stored in
+    /// CSR slot `k`. The neighbor-list build gathers coordinate copies into
+    /// this layout so candidate scans read memory contiguously.
+    pub(crate) fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The [`for_neighbors`](CellList::for_neighbors) walk, reading candidate
+    /// positions from *cell-sorted coordinate copies* (`xs[k]` must hold the
+    /// position of particle `order()[k]`) and emitting the minimum-image
+    /// displacement instead of just the distance: `emit(j, dx, dy, dz, d2)`
+    /// with `(dx, dy, dz) = r_j - r_i` for every candidate with `d2 <= r²`.
+    ///
+    /// The emitted `(j, d2)` sequence is bit-identical to the one
+    /// `for_neighbors` produces for the same query: the cell visit order is
+    /// the same code, IEEE negation is exact (`b - a == -(a - b)`, squares
+    /// agree), and the branch-free select form of the periodic wrap below
+    /// performs the same operations as [`Box3::delta`]'s branches
+    /// (`d - 0.0 == d` and `d - (-l) == d + l` exactly).
+    ///
+    /// Each cell run is scanned in 4-lane chunks: deltas, wraps and `d2` are
+    /// computed branch-free for the whole chunk (the pass rate at the list
+    /// radius is ~10-40%, so the scan dominates the build), then the rare
+    /// passing lanes are emitted in index order — the emitted values and
+    /// sequence are exactly the per-candidate loop's. The chunked body is
+    /// dispatched through an AVX2 clone when available (see
+    /// [`crate::simd`]; same operations, wider registers, same bits).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn for_candidate_deltas<F: FnMut(u32, f64, f64, f64, f64)>(
+        &self,
+        px: f64,
+        py: f64,
+        pz: f64,
+        r: f64,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        emit: F,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (it is the portable body under different codegen).
+            return unsafe {
+                self.for_candidate_deltas_avx2::<false, F>(px, py, pz, r, &[], xs, ys, zs, emit)
+            };
+        }
+        self.for_candidate_deltas_impl::<false, F>(px, py, pz, r, &[], xs, ys, zs, emit)
+    }
+
+    /// [`CellList::for_candidate_deltas`] with a per-candidate radius
+    /// floor: candidate `k` passes if `d2 <= max(r², rs2[k])`, where
+    /// `rs2[k]` is the candidate's own squared search radius in cell-sorted
+    /// slot order (`rs2[k]` belongs to particle `order()[k]`). This is the
+    /// h-aware neighbor-list build rule — a pair is stored when it is
+    /// within *either* particle's reach — which keeps every row complete
+    /// for queries up to the row's own radius while dropping the far
+    /// candidates a globally-maximal radius would haul in. The emitted
+    /// subsequence and its values are exactly the plain scan's (the pass
+    /// set is widened, never reordered).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn for_candidate_deltas_adaptive<F: FnMut(u32, f64, f64, f64, f64)>(
+        &self,
+        px: f64,
+        py: f64,
+        pz: f64,
+        r: f64,
+        rs2: &[f64],
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        emit: F,
+    ) {
+        debug_assert_eq!(rs2.len(), xs.len(), "per-candidate radii mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (it is the portable body under different codegen).
+            return unsafe {
+                self.for_candidate_deltas_avx2::<true, F>(px, py, pz, r, rs2, xs, ys, zs, emit)
+            };
+        }
+        self.for_candidate_deltas_impl::<true, F>(px, py, pz, r, rs2, xs, ys, zs, emit)
+    }
+
+    /// Hand-vectorized AVX2 scan: the auto-vectorizer's cost model keeps
+    /// the chunked scalar body on 128-bit ops, so the 4-lane delta / wrap /
+    /// `d2` math is spelled with explicit 256-bit intrinsics here. Every
+    /// intrinsic is the same correctly-rounded IEEE-754 double operation
+    /// the scalar body performs, on the same values in the same order:
+    /// `vsubpd`/`vmulpd`/`vaddpd` per lane; the wrap as mask-and-or
+    /// (`lx` where `dx > hx`, `-lx` where `dx < -hx`, else `+0.0` — the
+    /// scalar path also subtracts `0.0` in its else arm, and the two
+    /// compare masks are mutually exclusive, so the merged subtrahend is
+    /// identical); ordered compares matching `>`/`<`/`<=`. Passing lanes
+    /// are emitted in index order from a 4-lane spill. Chunks where no
+    /// lane passes (the common case at ~10-40% pass rates) skip the spill
+    /// and emit loop entirely on the movemask.
+    ///
+    /// With `ADAPTIVE` the pass limit per lane is `max(r², rs2[k])`
+    /// (`vmaxpd` — identical to `f64::max` on the positive finite radii
+    /// involved); without it `rs2` is unused and the limit folds to the
+    /// scalar constant.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn for_candidate_deltas_avx2<const ADAPTIVE: bool, F: FnMut(u32, f64, f64, f64, f64)>(
+        &self,
+        px: f64,
+        py: f64,
+        pz: f64,
+        r: f64,
+        rs2: &[f64],
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        mut emit: F,
+    ) {
+        use std::arch::x86_64::*;
+        let (ux, uy, uz) = self.bbox.normalize(px, py, pz);
+        let cx = ((ux * self.nx as f64) as isize).min(self.nx as isize - 1);
+        let cy = ((uy * self.ny as f64) as isize).min(self.ny as isize - 1);
+        let cz = ((uz * self.nz as f64) as isize).min(self.nz as isize - 1);
+        let r2 = r * r;
+        let periodic = self.bbox.periodic;
+        let (lx, ly, lz) = (self.bbox.lx(), self.bbox.ly(), self.bbox.lz());
+        let (hx, hy, hz) = (0.5 * lx, 0.5 * ly, 0.5 * lz);
+        let (sx, xn) = self.axis_candidates(cx, self.nx);
+        let (sy, yn) = self.axis_candidates(cy, self.ny);
+        let (sz, zn) = self.axis_candidates(cz, self.nz);
+        let vpx = _mm256_set1_pd(px);
+        let vpy = _mm256_set1_pd(py);
+        let vpz = _mm256_set1_pd(pz);
+        let vr2 = _mm256_set1_pd(r2);
+        let (vlx, vly, vlz) = (_mm256_set1_pd(lx), _mm256_set1_pd(ly), _mm256_set1_pd(lz));
+        let (vnlx, vnly, vnlz) = (
+            _mm256_set1_pd(-lx),
+            _mm256_set1_pd(-ly),
+            _mm256_set1_pd(-lz),
+        );
+        let (vhx, vhy, vhz) = (_mm256_set1_pd(hx), _mm256_set1_pd(hy), _mm256_set1_pd(hz));
+        let (vnhx, vnhy, vnhz) = (
+            _mm256_set1_pd(-hx),
+            _mm256_set1_pd(-hy),
+            _mm256_set1_pd(-hz),
+        );
+        // dx -= (lx where dx > hx) | (-lx where dx < -hx) | (+0.0 else);
+        // the masks are disjoint, so or-merging the masked constants is
+        // exactly the scalar if/else-if/else subtrahend.
+        #[inline(always)]
+        unsafe fn wrap(
+            d: __m256d,
+            vh: __m256d,
+            vnh: __m256d,
+            vl: __m256d,
+            vnl: __m256d,
+        ) -> __m256d {
+            let hi = _mm256_cmp_pd::<_CMP_GT_OQ>(d, vh);
+            let lo = _mm256_cmp_pd::<_CMP_LT_OQ>(d, vnh);
+            let adj = _mm256_or_pd(_mm256_and_pd(hi, vl), _mm256_and_pd(lo, vnl));
+            _mm256_sub_pd(d, adj)
+        }
+        // Scalar remainder: identical expressions to the portable body.
+        let candidate = |k: usize| {
+            let mut dx = xs[k] - px;
+            let mut dy = ys[k] - py;
+            let mut dz = zs[k] - pz;
+            if periodic {
+                dx -= if dx > hx {
+                    lx
+                } else if dx < -hx {
+                    -lx
+                } else {
+                    0.0
+                };
+                dy -= if dy > hy {
+                    ly
+                } else if dy < -hy {
+                    -ly
+                } else {
+                    0.0
+                };
+                dz -= if dz > hz {
+                    lz
+                } else if dz < -hz {
+                    -lz
+                } else {
+                    0.0
+                };
+            }
+            (dx, dy, dz, dx * dx + dy * dy + dz * dz)
+        };
+        for &ix in &sx[..xn] {
+            for &iy in &sy[..yn] {
+                for &iz in &sz[..zn] {
+                    let c = (ix * self.ny + iy) * self.nz + iz;
+                    let (s, e) = (self.cell_start[c] as usize, self.cell_start[c + 1] as usize);
+                    let mut k = s;
+                    while k + 4 <= e {
+                        let mut dx = _mm256_sub_pd(_mm256_loadu_pd(xs.as_ptr().add(k)), vpx);
+                        let mut dy = _mm256_sub_pd(_mm256_loadu_pd(ys.as_ptr().add(k)), vpy);
+                        let mut dz = _mm256_sub_pd(_mm256_loadu_pd(zs.as_ptr().add(k)), vpz);
+                        if periodic {
+                            dx = wrap(dx, vhx, vnhx, vlx, vnlx);
+                            dy = wrap(dy, vhy, vnhy, vly, vnly);
+                            dz = wrap(dz, vhz, vnhz, vlz, vnlz);
+                        }
+                        let d2 = _mm256_add_pd(
+                            _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                            _mm256_mul_pd(dz, dz),
+                        );
+                        let vlim = if ADAPTIVE {
+                            _mm256_max_pd(vr2, _mm256_loadu_pd(rs2.as_ptr().add(k)))
+                        } else {
+                            vr2
+                        };
+                        let mask = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(d2, vlim));
+                        if mask != 0 {
+                            let mut a = [0.0f64; 4];
+                            let mut b = [0.0f64; 4];
+                            let mut cc = [0.0f64; 4];
+                            let mut q = [0.0f64; 4];
+                            _mm256_storeu_pd(a.as_mut_ptr(), dx);
+                            _mm256_storeu_pd(b.as_mut_ptr(), dy);
+                            _mm256_storeu_pd(cc.as_mut_ptr(), dz);
+                            _mm256_storeu_pd(q.as_mut_ptr(), d2);
+                            for l in 0..4 {
+                                if mask & (1 << l) != 0 {
+                                    emit(self.order[k + l], a[l], b[l], cc[l], q[l]);
+                                }
+                            }
+                        }
+                        k += 4;
+                    }
+                    while k < e {
+                        let (dx, dy, dz, d2) = candidate(k);
+                        let lim = if ADAPTIVE { r2.max(rs2[k]) } else { r2 };
+                        if d2 <= lim {
+                            emit(self.order[k], dx, dy, dz, d2);
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn for_candidate_deltas_impl<const ADAPTIVE: bool, F: FnMut(u32, f64, f64, f64, f64)>(
+        &self,
+        px: f64,
+        py: f64,
+        pz: f64,
+        r: f64,
+        rs2: &[f64],
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        mut emit: F,
+    ) {
+        let (ux, uy, uz) = self.bbox.normalize(px, py, pz);
+        let cx = ((ux * self.nx as f64) as isize).min(self.nx as isize - 1);
+        let cy = ((uy * self.ny as f64) as isize).min(self.ny as isize - 1);
+        let cz = ((uz * self.nz as f64) as isize).min(self.nz as isize - 1);
+        let r2 = r * r;
+        let periodic = self.bbox.periodic;
+        let (lx, ly, lz) = (self.bbox.lx(), self.bbox.ly(), self.bbox.lz());
+        let (hx, hy, hz) = (0.5 * lx, 0.5 * ly, 0.5 * lz);
+        let (sx, xn) = self.axis_candidates(cx, self.nx);
+        let (sy, yn) = self.axis_candidates(cy, self.ny);
+        let (sz, zn) = self.axis_candidates(cz, self.nz);
+        // One candidate's delta/wrap/d2 — shared by the chunked lanes and
+        // the remainder so both compute the same expressions (same bits).
+        let candidate = |k: usize| {
+            let mut dx = xs[k] - px;
+            let mut dy = ys[k] - py;
+            let mut dz = zs[k] - pz;
+            if periodic {
+                dx -= if dx > hx {
+                    lx
+                } else if dx < -hx {
+                    -lx
+                } else {
+                    0.0
+                };
+                dy -= if dy > hy {
+                    ly
+                } else if dy < -hy {
+                    -ly
+                } else {
+                    0.0
+                };
+                dz -= if dz > hz {
+                    lz
+                } else if dz < -hz {
+                    -lz
+                } else {
+                    0.0
+                };
+            }
+            (dx, dy, dz, dx * dx + dy * dy + dz * dz)
+        };
+        for &ix in &sx[..xn] {
+            for &iy in &sy[..yn] {
+                for &iz in &sz[..zn] {
+                    let c = (ix * self.ny + iy) * self.nz + iz;
+                    let (s, e) = (self.cell_start[c] as usize, self.cell_start[c + 1] as usize);
+                    let mut k = s;
+                    while k + 4 <= e {
+                        // Structure-of-arrays lanes, filled by component-wise
+                        // sub-loops: each is a straight 4-wide map the SLP
+                        // vectorizer turns into one 256-bit op (an
+                        // array-of-tuples chunk defeats it with shuffles).
+                        let mut dxv = [0.0f64; 4];
+                        let mut dyv = [0.0f64; 4];
+                        let mut dzv = [0.0f64; 4];
+                        let mut d2v = [0.0f64; 4];
+                        for l in 0..4 {
+                            dxv[l] = xs[k + l] - px;
+                            dyv[l] = ys[k + l] - py;
+                            dzv[l] = zs[k + l] - pz;
+                        }
+                        if periodic {
+                            for l in 0..4 {
+                                dxv[l] -= if dxv[l] > hx {
+                                    lx
+                                } else if dxv[l] < -hx {
+                                    -lx
+                                } else {
+                                    0.0
+                                };
+                                dyv[l] -= if dyv[l] > hy {
+                                    ly
+                                } else if dyv[l] < -hy {
+                                    -ly
+                                } else {
+                                    0.0
+                                };
+                                dzv[l] -= if dzv[l] > hz {
+                                    lz
+                                } else if dzv[l] < -hz {
+                                    -lz
+                                } else {
+                                    0.0
+                                };
+                            }
+                        }
+                        for l in 0..4 {
+                            d2v[l] = dxv[l] * dxv[l] + dyv[l] * dyv[l] + dzv[l] * dzv[l];
+                        }
+                        for l in 0..4 {
+                            let lim = if ADAPTIVE { r2.max(rs2[k + l]) } else { r2 };
+                            if d2v[l] <= lim {
+                                emit(self.order[k + l], dxv[l], dyv[l], dzv[l], d2v[l]);
+                            }
+                        }
+                        k += 4;
+                    }
+                    while k < e {
+                        let (dx, dy, dz, d2) = candidate(k);
+                        let lim = if ADAPTIVE { r2.max(rs2[k]) } else { r2 };
+                        if d2 <= lim {
+                            emit(self.order[k], dx, dy, dz, d2);
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Collect neighbor indices of particle `i` within `r`, excluding `i`.
     pub fn neighbors_of(&self, i: usize, r: f64, x: &[f64], y: &[f64], z: &[f64]) -> Vec<usize> {
         let mut out = Vec::new();
@@ -244,6 +616,45 @@ mod tests {
             found.dedup();
             assert_eq!(found.len(), len, "duplicate neighbors for {i}");
             assert_eq!(found, brute_force_neighbors(i, r, &x, &y, &z, &bbox));
+        }
+    }
+
+    #[test]
+    fn candidate_deltas_replay_for_neighbors_bitwise() {
+        // The neighbor-list build rests on this: the sorted-coordinate delta
+        // walk must emit the same (j, d2) sequence — same order, same bits —
+        // as for_neighbors, and its deltas must equal Box3::delta(j, i).
+        for periodic in [true, false] {
+            let (x, y, z) = cloud(250, 8);
+            let bbox = Box3::cube(0.0, 1.0, periodic);
+            let r = 0.14;
+            let cl = CellList::build(&x, &y, &z, &bbox, r);
+            let order = cl.order();
+            let xs: Vec<f64> = order.iter().map(|&j| x[j as usize]).collect();
+            let ys: Vec<f64> = order.iter().map(|&j| y[j as usize]).collect();
+            let zs: Vec<f64> = order.iter().map(|&j| z[j as usize]).collect();
+            for i in (0..250).step_by(9) {
+                let mut direct = Vec::new();
+                cl.for_neighbors(x[i], y[i], z[i], r, &x, &y, &z, |j, d2| {
+                    direct.push((j, d2.to_bits()));
+                });
+                let mut replay = Vec::new();
+                cl.for_candidate_deltas(x[i], y[i], z[i], r, &xs, &ys, &zs, |j, dx, dy, dz, d2| {
+                    let (ex, ey, ez) = bbox.delta(
+                        x[j as usize],
+                        y[j as usize],
+                        z[j as usize],
+                        x[i],
+                        y[i],
+                        z[i],
+                    );
+                    assert_eq!(dx.to_bits(), ex.to_bits(), "dx of pair ({i},{j})");
+                    assert_eq!(dy.to_bits(), ey.to_bits(), "dy of pair ({i},{j})");
+                    assert_eq!(dz.to_bits(), ez.to_bits(), "dz of pair ({i},{j})");
+                    replay.push((j as usize, d2.to_bits()));
+                });
+                assert_eq!(direct, replay, "particle {i}, periodic={periodic}");
+            }
         }
     }
 

@@ -17,10 +17,11 @@ pub mod domain;
 pub mod key;
 pub mod neighborlist;
 pub mod octree;
+pub mod simd;
 
 pub use box3::Box3;
 pub use celllist::{brute_force_neighbors, CellList};
 pub use domain::{halo_candidates, Aabb, Assignment};
 pub use key::{decode, encode, key_of, node_range, node_size, KEY_END, MAX_LEVEL};
-pub use neighborlist::{NeighborList, NeighborSearch};
+pub use neighborlist::{FilteredRow, NeighborList, NeighborSearch, ScalarReplay};
 pub use octree::Octree;

@@ -1,11 +1,29 @@
-//! Shared per-step CSR neighbor list.
+//! Shared per-step CSR neighbor list with stored minimum-image deltas.
 //!
 //! The SPH step performs five neighbor sweeps (`FindNeighbors`, density,
 //! two IAD passes, momentum) over the *same* [`CellList`], each re-walking
-//! the 27-cell stencil per particle. [`NeighborList`] runs that walk once at
-//! the step's maximum interaction radius and stores the visited candidates
-//! in CSR form; every sweep then iterates the precomputed row with a
-//! per-sweep radius filter.
+//! the 27-cell stencil per particle. [`NeighborList`] runs that walk once
+//! and stores, per candidate, the neighbor index *and* the wrapped
+//! displacement `r_j - r_i`; every sweep then iterates the precomputed row
+//! with a per-sweep radius filter and never touches scattered positions or
+//! [`Box3`] again. Rows are recorded either at one fixed superset radius
+//! ([`NeighborList::build_into`]) or — the simulation's default — with the
+//! h-aware per-pair rule of [`NeighborList::build_adaptive_into`], which
+//! keeps rows of small-`h` particles from hauling in candidates out to the
+//! global maximum radius.
+//!
+//! The build itself is single-pass: candidate positions are gathered once
+//! into cell-sorted coordinate copies (contiguous scans instead of `order`
+//! indirections), rows are pushed directly (serial) or into per-chunk
+//! scratch buffers spliced back in row order (parallel) — both produce
+//! identical arrays.
+//!
+//! ## Positions-unchanged contract
+//!
+//! Stored deltas are only valid while the positions the list was built over
+//! are unchanged. The simulation satisfies this by construction: positions
+//! move in `update_quantities`, after every sweep of the step, and the list
+//! is rebuilt at the start of the next step.
 //!
 //! ## Bit-identity argument
 //!
@@ -14,21 +32,36 @@
 //! changes — so the candidates visited at radius `r <= R` are exactly the
 //! subsequence of the radius-`R` visit sequence passing the filter. A CSR
 //! row recorded at `R` in visit order, replayed with the per-sweep filter,
-//! therefore yields the identical `(j, d2)` callback sequence, and f64
-//! accumulation in the sweeps stays bit-identical to the direct-grid path
-//! (`d2` is recomputed by the same [`Box3::dist2`] on the same inputs).
-//! This requires the grid's cells to be at least `R` wide — the same
-//! precondition the direct path already has — which [`NeighborList::build`]
-//! cannot check (the grid does not expose its cell size) but the simulation
-//! guarantees by building the grid at the list radius.
+//! therefore yields the identical `(j, d2)` callback sequence. The replayed
+//! `d2` is recomputed from the stored delta as `dx² + dy² + dz²` — the same
+//! value [`Box3::dist2`] produces, to the bit: the stored delta is the exact
+//! IEEE negation of `dist2`'s internal `r_i - r_j` (see
+//! `CellList::for_candidate_deltas`), squares erase the sign, and the
+//! summation order matches. This requires the grid's cells to be at least
+//! `R` wide — the same precondition the direct path already has — which
+//! [`NeighborList::build`] cannot check (the grid does not expose its cell
+//! size) but the simulation guarantees by building the grid at the list
+//! radius.
+//!
+//! The adaptive build preserves the argument row by row: row `i` stores the
+//! visit-order subsequence passing `d2 <= max(radii[i], radii[j])²`, which
+//! contains every candidate within `radii[i]` — so replaying it at any query
+//! radius `r <= radii[i]` yields the same `(j, d2)` sequence the grid walk
+//! produces at `r`. Candidates the rule drops lie beyond *both* particles'
+//! search radii; no sweep ever visits them (each filters at its own radius
+//! `<= radii[i]`), so dropping them cannot reorder or change any fold. The
+//! grid-cell precondition becomes `max(radii)`.
 //!
 //! ## Memory cost model
 //!
-//! `4·pairs + 8·(n+1)` bytes: one `u32` per candidate pair plus `usize`
-//! offsets. At the laptop scale (~60 neighbors within support, ~2.7× that
-//! inside the superset sphere at `R`) this is ~650 B/particle — far below
-//! the 27-cell re-scan the five sweeps would otherwise repeat, which touches
-//! ~6.9× more candidates than the `R`-sphere contains per sweep.
+//! `28·pairs + 8·(n+1) + 24·stored` bytes: a `u32` index plus three `f64`
+//! delta components per candidate pair, `usize` offsets, and one cell-sorted
+//! coordinate copy per stored particle (plus transient per-chunk build
+//! scratch of the same shape as the pair arrays). At the laptop scale
+//! (~160 candidates per row) this is ~4.5 KiB/particle — a deliberate trade:
+//! the five sweeps re-read each pair's geometry 6× per step (IAD twice), and
+//! streaming 28 B beats re-gathering three scattered positions plus a
+//! minimum-image computation each time.
 
 use crate::box3::Box3;
 use crate::celllist::CellList;
@@ -58,6 +91,15 @@ pub trait NeighborSearch {
         bbox: &Box3,
         f: F,
     );
+
+    /// The concrete CSR list behind this source, if any. The SPH sweeps use
+    /// it to take the cache-blocked row path ([`NeighborList::filter_row_into`])
+    /// instead of the per-pair callback replay. Sources whose candidates are
+    /// not stored CSR rows — the direct grid walk, the [`ScalarReplay`]
+    /// adapter — return `None` and keep the callback path.
+    fn as_list(&self) -> Option<&NeighborList> {
+        None
+    }
 }
 
 impl NeighborSearch for CellList {
@@ -75,19 +117,159 @@ impl NeighborSearch for CellList {
     }
 }
 
+/// Rows per parallel build chunk. Output is chunk-size independent (chunks
+/// are spliced back in row order), so this only tunes load balance against
+/// splice/scratch overhead.
+const ROWS_PER_CHUNK: usize = 128;
+
+/// Below this row count the scoped-thread spawn overhead of the chunked
+/// build dominates; build serially instead.
+const PAR_BUILD_MIN_ROWS: usize = 256;
+
+/// Cell-sorted coordinate copies: slot `k` holds the position of the
+/// particle in the grid's CSR slot `k`, so candidate scans are contiguous.
+/// The adaptive build additionally keeps each candidate's squared search
+/// radius in the same slot order (`r2`, empty for fixed-radius builds).
+#[derive(Debug, Clone, Default)]
+struct SortedCoords {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    r2: Vec<f64>,
+}
+
+impl SortedCoords {
+    fn fill(&mut self, order: &[u32], x: &[f64], y: &[f64], z: &[f64]) {
+        let n = order.len();
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.r2.clear();
+        self.x.resize(n, 0.0);
+        self.y.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        for (k, &j) in order.iter().enumerate() {
+            let j = j as usize;
+            self.x[k] = x[j];
+            self.y[k] = y[j];
+            self.z[k] = z[j];
+        }
+    }
+
+    /// Gather squared per-particle radii into cell-sorted slots (adaptive
+    /// builds only).
+    fn fill_radii(&mut self, order: &[u32], radii: &[f64]) {
+        self.r2.clear();
+        self.r2.resize(order.len(), 0.0);
+        for (k, &j) in order.iter().enumerate() {
+            let r = radii[j as usize];
+            self.r2[k] = r * r;
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        (self.x.capacity() + self.y.capacity() + self.z.capacity() + self.r2.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+/// Per-chunk scratch of the parallel build: a contiguous run of rows'
+/// candidates plus per-row counts, spliced into the main arrays serially.
+#[derive(Debug, Clone, Default)]
+struct BuildChunk {
+    counts: Vec<u32>,
+    j: Vec<u32>,
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+}
+
+impl BuildChunk {
+    fn clear(&mut self) {
+        self.counts.clear();
+        self.j.clear();
+        self.dx.clear();
+        self.dy.clear();
+        self.dz.clear();
+    }
+
+    fn bytes(&self) -> usize {
+        (self.counts.capacity() + self.j.capacity()) * std::mem::size_of::<u32>()
+            + (self.dx.capacity() + self.dy.capacity() + self.dz.capacity())
+                * std::mem::size_of::<f64>()
+    }
+}
+
+/// One row's radius-filtered candidates, compacted into contiguous lane
+/// buffers: parallel arrays of neighbor index, wrapped displacement
+/// `r_j - r_i`, and squared distance, in visit order. The blocked sweeps
+/// fill one of these per row (thread-local, reused) and run their pair math
+/// as passes over the buffers.
+#[derive(Debug, Clone, Default)]
+pub struct FilteredRow {
+    /// Passing candidate indices (self included), visit order.
+    pub j: Vec<u32>,
+    /// Wrapped displacement components `r_j - r_i`.
+    pub dx: Vec<f64>,
+    pub dy: Vec<f64>,
+    pub dz: Vec<f64>,
+    /// `dx² + dy² + dz²` — the same bits the scalar replay hands callbacks.
+    pub d2: Vec<f64>,
+}
+
+impl FilteredRow {
+    /// Number of passing candidates.
+    pub fn len(&self) -> usize {
+        self.j.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.j.is_empty()
+    }
+
+    /// Drop all candidates, keeping capacity.
+    pub fn clear(&mut self) {
+        self.j.clear();
+        self.dx.clear();
+        self.dy.clear();
+        self.dz.clear();
+        self.d2.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, j: u32, dx: f64, dy: f64, dz: f64, d2: f64) {
+        self.j.push(j);
+        self.dx.push(dx);
+        self.dy.push(dy);
+        self.dz.push(dz);
+        self.d2.push(d2);
+    }
+}
+
 /// CSR neighbor candidates for the first `n_query` stored particles,
-/// recorded at a fixed superset radius (see the module docs).
+/// recorded with their minimum-image deltas at a fixed superset radius or
+/// under the h-aware per-pair rule (see the module docs).
 ///
 /// Buffers are reusable across steps via [`NeighborList::build_into`]; a
 /// rebuild only reallocates when the pair count grows past capacity.
 #[derive(Debug, Clone, Default)]
 pub struct NeighborList {
-    /// Row `i` spans `pairs[offsets[i]..offsets[i + 1]]`.
+    /// Row `i` spans slot range `offsets[i]..offsets[i + 1]`.
     offsets: Vec<usize>,
     /// Candidate particle indices in cell-list visit order (self included).
     pairs: Vec<u32>,
-    /// The superset radius rows were recorded at.
+    /// Wrapped displacement `r_j - r_i` per candidate pair, recorded at
+    /// build time (valid while positions are unchanged — see module docs).
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    /// The superset radius rows were recorded at — `max(radii)` for
+    /// adaptive builds, where it bounds any *global*-radius query; row `i`
+    /// individually answers queries up to its own `radii[i]`.
     radius: f64,
+    /// Build scratch, reused across steps.
+    sorted: SortedCoords,
+    chunks: Vec<BuildChunk>,
 }
 
 impl NeighborList {
@@ -95,14 +277,14 @@ impl NeighborList {
     pub fn new() -> Self {
         NeighborList {
             offsets: vec![0],
-            pairs: Vec::new(),
-            radius: 0.0,
+            ..NeighborList::default()
         }
     }
 
     /// Build a fresh list: rows for particles `0..n_query` holding every
-    /// candidate within `radius`, in grid visit order. The grid must have
-    /// been built over `x/y/z` with cells at least `radius` wide.
+    /// candidate within `radius` with its wrapped delta, in grid visit
+    /// order. The grid must have been built over `x/y/z` with cells at
+    /// least `radius` wide.
     pub fn build(
         grid: &CellList,
         x: &[f64],
@@ -118,9 +300,13 @@ impl NeighborList {
 
     /// Rebuild in place, reusing the CSR allocations of a previous step.
     ///
-    /// Two passes, both parallel and order-preserving: count candidates per
-    /// row (`par_map`), prefix-sum serially, then fill each row's slice
-    /// (`par_fill_rows`) — rows land in exactly the serial visit order.
+    /// Single traversal per row over cell-sorted coordinate copies: the
+    /// serial path pushes candidates straight into the CSR arrays; the
+    /// parallel path fills fixed-size row chunks into per-chunk scratch
+    /// (each chunk owned by one worker via `par_for_each_mut`) and splices
+    /// them back in row order. Both paths produce bit-identical arrays, and
+    /// the emitted `(j, d2)` sequence per row is bit-identical to the
+    /// direct grid walk (see `CellList::for_candidate_deltas`).
     pub fn build_into(
         &mut self,
         grid: &CellList,
@@ -130,34 +316,178 @@ impl NeighborList {
         n_query: usize,
         radius: f64,
     ) {
+        self.build_common(grid, x, y, z, n_query, radius, None);
+    }
+
+    /// h-aware rebuild: pair `(i, j)` is stored iff
+    /// `d2 <= max(radii[i], radii[j])²`, with `radii[p]` the per-particle
+    /// search radius (one entry per stored particle, queries and candidates
+    /// alike). Row `i` is then complete for any query radius up to
+    /// `radii[i]` — every sweep filters at its own radius `<= radii[i]`, so
+    /// results are unchanged — while rows of small-radius particles no
+    /// longer haul in every candidate out to the *global* maximum radius.
+    /// On strongly h-graded workloads (Evrard collapse) this shrinks rows
+    /// severalfold; with uniform radii the stored arrays are bit-identical
+    /// to [`NeighborList::build_into`] at that radius.
+    ///
+    /// The grid's cells must be at least `max(radii)` wide (the same
+    /// precondition as the fixed-radius build at that maximum).
+    pub fn build_adaptive_into(
+        &mut self,
+        grid: &CellList,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        n_query: usize,
+        radii: &[f64],
+    ) {
+        assert_eq!(
+            radii.len(),
+            x.len(),
+            "one search radius per stored particle"
+        );
+        let rmax = radii.iter().fold(0.0f64, |m, &r| m.max(r));
+        self.build_common(grid, x, y, z, n_query, rmax, Some(radii));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_common(
+        &mut self,
+        grid: &CellList,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        n_query: usize,
+        radius: f64,
+        radii: Option<&[f64]>,
+    ) {
         assert!(radius > 0.0, "neighbor radius must be positive");
         assert!(n_query <= x.len(), "query range exceeds stored particles");
+        assert_eq!(
+            grid.len(),
+            x.len(),
+            "grid and coordinate arrays disagree on particle count"
+        );
         self.radius = radius;
-        let counts: Vec<u32> = par::par_map(n_query, |i| {
-            let mut c = 0u32;
-            grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |_, _| c += 1);
-            c
-        });
+        self.sorted.fill(grid.order(), x, y, z);
+        if let Some(rr) = radii {
+            self.sorted.fill_radii(grid.order(), rr);
+        }
         self.offsets.clear();
         self.offsets.reserve(n_query + 1);
         self.offsets.push(0);
-        let mut total = 0usize;
-        for &c in &counts {
-            total += c as usize;
-            self.offsets.push(total);
+        self.pairs.clear();
+        self.dx.clear();
+        self.dy.clear();
+        self.dz.clear();
+        if par::max_threads() <= 1 || n_query < PAR_BUILD_MIN_ROWS {
+            self.fill_rows_serial(grid, x, y, z, n_query, radius, radii);
+        } else {
+            self.fill_rows_chunked(grid, x, y, z, n_query, radius, radii);
         }
-        self.pairs.resize(total, 0);
-        par::par_fill_rows(&self.offsets, &mut self.pairs, |i, row| {
-            let mut k = 0;
-            grid.for_neighbors(x[i], y[i], z[i], radius, x, y, z, |j, _| {
-                row[k] = j as u32;
-                k += 1;
-            });
-            debug_assert_eq!(k, row.len(), "count and fill passes disagree");
-        });
     }
 
-    /// The superset radius rows were recorded at.
+    /// Serial single-pass fill: rows pushed directly into the CSR arrays.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_rows_serial(
+        &mut self,
+        grid: &CellList,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        n_query: usize,
+        radius: f64,
+        radii: Option<&[f64]>,
+    ) {
+        let Self {
+            offsets,
+            pairs,
+            dx,
+            dy,
+            dz,
+            sorted,
+            ..
+        } = self;
+        for i in 0..n_query {
+            let emit = |j: u32, a: f64, b: f64, c: f64, _d2: f64| {
+                pairs.push(j);
+                dx.push(a);
+                dy.push(b);
+                dz.push(c);
+            };
+            match radii {
+                Some(rr) => grid.for_candidate_deltas_adaptive(
+                    x[i], y[i], z[i], rr[i], &sorted.r2, &sorted.x, &sorted.y, &sorted.z, emit,
+                ),
+                None => grid.for_candidate_deltas(
+                    x[i], y[i], z[i], radius, &sorted.x, &sorted.y, &sorted.z, emit,
+                ),
+            }
+            offsets.push(pairs.len());
+        }
+    }
+
+    /// Parallel fill: fixed-size row chunks into per-chunk scratch, then an
+    /// order-preserving serial splice. Chunk size cannot affect the output —
+    /// every row's candidates land in the same final slots.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_rows_chunked(
+        &mut self,
+        grid: &CellList,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        n_query: usize,
+        radius: f64,
+        radii: Option<&[f64]>,
+    ) {
+        let nchunks = n_query.div_ceil(ROWS_PER_CHUNK);
+        self.chunks.resize_with(nchunks, BuildChunk::default);
+        let sorted = &self.sorted;
+        par::par_for_each_mut(&mut self.chunks[..nchunks], |ci, ch| {
+            ch.clear();
+            let lo = ci * ROWS_PER_CHUNK;
+            let hi = ((ci + 1) * ROWS_PER_CHUNK).min(n_query);
+            for i in lo..hi {
+                let before = ch.j.len();
+                let emit = |j: u32, a: f64, b: f64, c: f64, _d2: f64| {
+                    ch.j.push(j);
+                    ch.dx.push(a);
+                    ch.dy.push(b);
+                    ch.dz.push(c);
+                };
+                match radii {
+                    Some(rr) => grid.for_candidate_deltas_adaptive(
+                        x[i], y[i], z[i], rr[i], &sorted.r2, &sorted.x, &sorted.y, &sorted.z, emit,
+                    ),
+                    None => grid.for_candidate_deltas(
+                        x[i], y[i], z[i], radius, &sorted.x, &sorted.y, &sorted.z, emit,
+                    ),
+                }
+                ch.counts.push((ch.j.len() - before) as u32);
+            }
+        });
+        let total: usize = self.chunks[..nchunks].iter().map(|c| c.j.len()).sum();
+        self.pairs.reserve(total);
+        self.dx.reserve(total);
+        self.dy.reserve(total);
+        self.dz.reserve(total);
+        let mut running = 0usize;
+        for ch in &self.chunks[..nchunks] {
+            for &c in &ch.counts {
+                running += c as usize;
+                self.offsets.push(running);
+            }
+            self.pairs.extend_from_slice(&ch.j);
+            self.dx.extend_from_slice(&ch.dx);
+            self.dy.extend_from_slice(&ch.dy);
+            self.dz.extend_from_slice(&ch.dz);
+        }
+        debug_assert_eq!(running, total, "chunk counts and payload disagree");
+    }
+
+    /// The superset radius rows were recorded at (`max(radii)` for
+    /// adaptive builds).
     pub fn radius(&self) -> f64 {
         self.radius
     }
@@ -174,6 +504,383 @@ impl NeighborList {
     /// Candidate indices of row `i`, in visit order (includes `i` itself).
     pub fn row(&self, i: usize) -> &[u32] {
         &self.pairs[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Row `i`'s raw candidates with their stored deltas, unfiltered:
+    /// `(j, dx, dy, dz)` parallel slices in visit order (self included).
+    /// Sweeps that can tolerate out-of-radius candidates (because the
+    /// kernel evaluates to exact zero beyond support, or because they apply
+    /// the radius cut themselves) iterate this directly and skip the
+    /// compaction pass entirely.
+    pub fn row_deltas(&self, i: usize) -> (&[u32], &[f64], &[f64], &[f64]) {
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        (
+            &self.pairs[s..e],
+            &self.dx[s..e],
+            &self.dy[s..e],
+            &self.dz[s..e],
+        )
+    }
+
+    /// Compact row `i`'s candidates within `r` (inclusive) into `out`, in
+    /// visit order — index, stored delta and recomputed `d2` per passing
+    /// candidate. Distances are evaluated in 4-lane chunks with the
+    /// pass/fail pushes kept in index order (remainder lanes likewise), so
+    /// the emitted sequence is exactly the scalar replay's, bit for bit.
+    /// Dispatched through an AVX2 clone when available ([`crate::simd`]).
+    pub fn filter_row_into(&self, i: usize, r: f64, out: &mut FilteredRow) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (portable body under different codegen).
+            return unsafe { self.filter_row_into_avx2(i, r, out) };
+        }
+        self.filter_row_into_impl(i, r, out)
+    }
+
+    /// Hand-vectorized AVX2 compaction (the auto-vectorizer keeps the
+    /// chunked portable body scalar): `d2` for four candidates per
+    /// `vmulpd`/`vaddpd` — the same `(a·a + b·b) + c·c` association, hence
+    /// the same bits — then an ordered compare + movemask picks the passing
+    /// lanes, pushed in index order straight from the stored slices. Chunks
+    /// with no passing lane skip the push loop entirely.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn filter_row_into_avx2(&self, i: usize, r: f64, out: &mut FilteredRow) {
+        use std::arch::x86_64::*;
+        debug_assert!(
+            r <= self.radius,
+            "query radius {r} exceeds the recorded superset radius {}",
+            self.radius
+        );
+        out.clear();
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        let n = e - s;
+        let (jj, xs, ys, zs) = (
+            &self.pairs[s..e],
+            &self.dx[s..e],
+            &self.dy[s..e],
+            &self.dz[s..e],
+        );
+        out.j.reserve(n);
+        out.dx.reserve(n);
+        out.dy.reserve(n);
+        out.dz.reserve(n);
+        out.d2.reserve(n);
+        let r2 = r * r;
+        let vr2 = _mm256_set1_pd(r2);
+        let mut k = 0;
+        while k + 4 <= n {
+            let x = _mm256_loadu_pd(xs.as_ptr().add(k));
+            let y = _mm256_loadu_pd(ys.as_ptr().add(k));
+            let z = _mm256_loadu_pd(zs.as_ptr().add(k));
+            let q = _mm256_add_pd(
+                _mm256_add_pd(_mm256_mul_pd(x, x), _mm256_mul_pd(y, y)),
+                _mm256_mul_pd(z, z),
+            );
+            let mask = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(q, vr2));
+            if mask != 0 {
+                let mut ql = [0.0f64; 4];
+                _mm256_storeu_pd(ql.as_mut_ptr(), q);
+                for l in 0..4 {
+                    if mask & (1 << l) != 0 {
+                        out.push(jj[k + l], xs[k + l], ys[k + l], zs[k + l], ql[l]);
+                    }
+                }
+            }
+            k += 4;
+        }
+        while k < n {
+            let (a, b, c) = (xs[k], ys[k], zs[k]);
+            let q = a * a + b * b + c * c;
+            if q <= r2 {
+                out.push(jj[k], a, b, c, q);
+            }
+            k += 1;
+        }
+    }
+
+    #[inline(always)]
+    fn filter_row_into_impl(&self, i: usize, r: f64, out: &mut FilteredRow) {
+        debug_assert!(
+            r <= self.radius,
+            "query radius {r} exceeds the recorded superset radius {}",
+            self.radius
+        );
+        out.clear();
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        let n = e - s;
+        let (jj, xs, ys, zs) = (
+            &self.pairs[s..e],
+            &self.dx[s..e],
+            &self.dy[s..e],
+            &self.dz[s..e],
+        );
+        out.j.reserve(n);
+        out.dx.reserve(n);
+        out.dy.reserve(n);
+        out.dz.reserve(n);
+        out.d2.reserve(n);
+        let r2 = r * r;
+        let mut k = 0;
+        while k + 4 <= n {
+            let mut q = [0.0f64; 4];
+            for l in 0..4 {
+                let (a, b, c) = (xs[k + l], ys[k + l], zs[k + l]);
+                q[l] = a * a + b * b + c * c;
+            }
+            for l in 0..4 {
+                if q[l] <= r2 {
+                    out.push(jj[k + l], xs[k + l], ys[k + l], zs[k + l], q[l]);
+                }
+            }
+            k += 4;
+        }
+        while k < n {
+            let (a, b, c) = (xs[k], ys[k], zs[k]);
+            let q = a * a + b * b + c * c;
+            if q <= r2 {
+                out.push(jj[k], a, b, c, q);
+            }
+            k += 1;
+        }
+    }
+
+    /// [`NeighborList::filter_row_into`] minus the zero-distance
+    /// candidates: compact row `i`'s candidates with `0 < d2 <= r²` into
+    /// `out`, in visit order. `d2 == 0` happens exactly for the self-pair
+    /// and coincident particles — the set every pair-interaction sweep
+    /// skips (`j == i || d2 == 0`), so fusing the skip into the filter
+    /// saves those sweeps a second compaction pass. With `NEGATE` the
+    /// stored `r_j - r_i` deltas are emitted negated (`r_i - r_j`, the
+    /// momentum equation's direction); IEEE negation is exact and `d2` is
+    /// unchanged (squares erase sign).
+    /// Dispatched through an AVX2 clone when available ([`crate::simd`]).
+    pub fn filter_pairs_into<const NEGATE: bool>(&self, i: usize, r: f64, out: &mut FilteredRow) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (portable body under different codegen).
+            return unsafe { self.filter_pairs_into_avx2::<NEGATE>(i, r, out) };
+        }
+        self.filter_pairs_into_impl::<NEGATE>(i, r, out)
+    }
+
+    /// Hand-vectorized like [`NeighborList::filter_row_into_avx2`], with
+    /// the pair condition `0 < d2 <= r²` as two ordered compares and-ed
+    /// into one mask. Negation (under `NEGATE`) stays scalar on the pushed
+    /// values — exact IEEE sign flips, `d2` untouched.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn filter_pairs_into_avx2<const NEGATE: bool>(
+        &self,
+        i: usize,
+        r: f64,
+        out: &mut FilteredRow,
+    ) {
+        use std::arch::x86_64::*;
+        debug_assert!(
+            r <= self.radius,
+            "query radius {r} exceeds the recorded superset radius {}",
+            self.radius
+        );
+        out.clear();
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        let n = e - s;
+        let (jj, xs, ys, zs) = (
+            &self.pairs[s..e],
+            &self.dx[s..e],
+            &self.dy[s..e],
+            &self.dz[s..e],
+        );
+        out.j.reserve(n);
+        out.dx.reserve(n);
+        out.dy.reserve(n);
+        out.dz.reserve(n);
+        out.d2.reserve(n);
+        let r2 = r * r;
+        let vr2 = _mm256_set1_pd(r2);
+        let vzero = _mm256_setzero_pd();
+        let mut k = 0;
+        while k + 4 <= n {
+            let x = _mm256_loadu_pd(xs.as_ptr().add(k));
+            let y = _mm256_loadu_pd(ys.as_ptr().add(k));
+            let z = _mm256_loadu_pd(zs.as_ptr().add(k));
+            let q = _mm256_add_pd(
+                _mm256_add_pd(_mm256_mul_pd(x, x), _mm256_mul_pd(y, y)),
+                _mm256_mul_pd(z, z),
+            );
+            let pass = _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_GT_OQ>(q, vzero),
+                _mm256_cmp_pd::<_CMP_LE_OQ>(q, vr2),
+            );
+            let mask = _mm256_movemask_pd(pass);
+            if mask != 0 {
+                let mut ql = [0.0f64; 4];
+                _mm256_storeu_pd(ql.as_mut_ptr(), q);
+                for l in 0..4 {
+                    if mask & (1 << l) != 0 {
+                        let (a, b, c) = (xs[k + l], ys[k + l], zs[k + l]);
+                        if NEGATE {
+                            out.push(jj[k + l], -a, -b, -c, ql[l]);
+                        } else {
+                            out.push(jj[k + l], a, b, c, ql[l]);
+                        }
+                    }
+                }
+            }
+            k += 4;
+        }
+        while k < n {
+            let (a, b, c) = (xs[k], ys[k], zs[k]);
+            let q = a * a + b * b + c * c;
+            if q > 0.0 && q <= r2 {
+                if NEGATE {
+                    out.push(jj[k], -a, -b, -c, q);
+                } else {
+                    out.push(jj[k], a, b, c, q);
+                }
+            }
+            k += 1;
+        }
+    }
+
+    #[inline(always)]
+    fn filter_pairs_into_impl<const NEGATE: bool>(&self, i: usize, r: f64, out: &mut FilteredRow) {
+        debug_assert!(
+            r <= self.radius,
+            "query radius {r} exceeds the recorded superset radius {}",
+            self.radius
+        );
+        out.clear();
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        let n = e - s;
+        let (jj, xs, ys, zs) = (
+            &self.pairs[s..e],
+            &self.dx[s..e],
+            &self.dy[s..e],
+            &self.dz[s..e],
+        );
+        out.j.reserve(n);
+        out.dx.reserve(n);
+        out.dy.reserve(n);
+        out.dz.reserve(n);
+        out.d2.reserve(n);
+        let r2 = r * r;
+        let mut k = 0;
+        while k + 4 <= n {
+            let mut q = [0.0f64; 4];
+            for l in 0..4 {
+                let (a, b, c) = (xs[k + l], ys[k + l], zs[k + l]);
+                q[l] = a * a + b * b + c * c;
+            }
+            for l in 0..4 {
+                if q[l] > 0.0 && q[l] <= r2 {
+                    let (a, b, c) = (xs[k + l], ys[k + l], zs[k + l]);
+                    if NEGATE {
+                        out.push(jj[k + l], -a, -b, -c, q[l]);
+                    } else {
+                        out.push(jj[k + l], a, b, c, q[l]);
+                    }
+                }
+            }
+            k += 4;
+        }
+        while k < n {
+            let (a, b, c) = (xs[k], ys[k], zs[k]);
+            let q = a * a + b * b + c * c;
+            if q > 0.0 && q <= r2 {
+                if NEGATE {
+                    out.push(jj[k], -a, -b, -c, q);
+                } else {
+                    out.push(jj[k], a, b, c, q);
+                }
+            }
+            k += 1;
+        }
+    }
+
+    /// Count row `i`'s candidates within `r` (inclusive), self-pair
+    /// included. Counting is order-insensitive, so the four lane counters
+    /// need no ordered combine.
+    /// Dispatched through an AVX2 clone when available ([`crate::simd`]).
+    pub fn count_within(&self, i: usize, r: f64) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (portable body under different codegen).
+            return unsafe { self.count_within_avx2(i, r) };
+        }
+        self.count_within_impl(i, r)
+    }
+
+    /// Hand-vectorized count: the pass mask (all-ones = -1 per passing
+    /// lane, reinterpreted as i64) is subtracted from a vector counter, so
+    /// each passing lane increments its own tally with no extract in the
+    /// loop. Counting is order-insensitive, so summing the four lane
+    /// counters at the end is exact.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn count_within_avx2(&self, i: usize, r: f64) -> usize {
+        use std::arch::x86_64::*;
+        debug_assert!(
+            r <= self.radius,
+            "query radius {r} exceeds the recorded superset radius {}",
+            self.radius
+        );
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        let r2 = r * r;
+        let vr2 = _mm256_set1_pd(r2);
+        let mut vcount = _mm256_setzero_si256();
+        let mut k = s;
+        while k + 4 <= e {
+            let x = _mm256_loadu_pd(self.dx.as_ptr().add(k));
+            let y = _mm256_loadu_pd(self.dy.as_ptr().add(k));
+            let z = _mm256_loadu_pd(self.dz.as_ptr().add(k));
+            let q = _mm256_add_pd(
+                _mm256_add_pd(_mm256_mul_pd(x, x), _mm256_mul_pd(y, y)),
+                _mm256_mul_pd(z, z),
+            );
+            let pass = _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_LE_OQ>(q, vr2));
+            vcount = _mm256_sub_epi64(vcount, pass);
+            k += 4;
+        }
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, vcount);
+        let mut total = (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize;
+        while k < e {
+            let (a, b, c) = (self.dx[k], self.dy[k], self.dz[k]);
+            total += ((a * a + b * b + c * c) <= r2) as usize;
+            k += 1;
+        }
+        total
+    }
+
+    #[inline(always)]
+    fn count_within_impl(&self, i: usize, r: f64) -> usize {
+        debug_assert!(
+            r <= self.radius,
+            "query radius {r} exceeds the recorded superset radius {}",
+            self.radius
+        );
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        let r2 = r * r;
+        let mut lanes = [0usize; 4];
+        let mut k = s;
+        while k + 4 <= e {
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                let (a, b, c) = (self.dx[k + l], self.dy[k + l], self.dz[k + l]);
+                *lane += ((a * a + b * b + c * c) <= r2) as usize;
+            }
+            k += 4;
+        }
+        let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        while k < e {
+            let (a, b, c) = (self.dx[k], self.dy[k], self.dz[k]);
+            total += ((a * a + b * b + c * c) <= r2) as usize;
+            k += 1;
+        }
+        total
     }
 
     /// Total stored candidate pairs (self-pairs included).
@@ -199,15 +906,62 @@ impl NeighborList {
             .saturating_sub(1)
     }
 
-    /// Resident bytes of the CSR arrays (capacity, not just length — this is
-    /// what the buffer reuse actually holds onto across steps).
+    /// Resident bytes of the CSR arrays plus build scratch (capacity, not
+    /// just length — this is what the buffer reuse actually holds onto
+    /// across steps).
     pub fn csr_bytes(&self) -> usize {
         self.offsets.capacity() * std::mem::size_of::<usize>()
             + self.pairs.capacity() * std::mem::size_of::<u32>()
+            + (self.dx.capacity() + self.dy.capacity() + self.dz.capacity())
+                * std::mem::size_of::<f64>()
+            + self.sorted.bytes()
+            + self.chunks.iter().map(BuildChunk::bytes).sum::<usize>()
     }
 }
 
 impl NeighborSearch for NeighborList {
+    /// Scalar replay from the stored deltas: `d2` is `dx² + dy² + dz²` of
+    /// the recorded displacement — bit-identical to [`Box3::dist2`] on the
+    /// build-time positions (see the module docs). The coordinate and box
+    /// arguments are unused; they exist so the grid walk stays drop-in.
+    fn for_neighbors_of<F: FnMut(usize, f64)>(
+        &self,
+        i: usize,
+        r: f64,
+        _x: &[f64],
+        _y: &[f64],
+        _z: &[f64],
+        _bbox: &Box3,
+        mut f: F,
+    ) {
+        debug_assert!(
+            r <= self.radius,
+            "query radius {r} exceeds the recorded superset radius {}",
+            self.radius
+        );
+        let r2 = r * r;
+        for k in self.offsets[i]..self.offsets[i + 1] {
+            let (a, b, c) = (self.dx[k], self.dy[k], self.dz[k]);
+            let d2 = a * a + b * b + c * c;
+            if d2 <= r2 {
+                f(self.pairs[k] as usize, d2);
+            }
+        }
+    }
+
+    fn as_list(&self) -> Option<&NeighborList> {
+        Some(self)
+    }
+}
+
+/// Forces the scalar `for_neighbors_of` replay of a [`NeighborList`]:
+/// [`NeighborSearch::as_list`] stays `None`, so sweeps keep the per-pair
+/// callback path instead of the blocked row path. The benchmark and the
+/// blocked-vs-scalar equivalence tests use it as the reference.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarReplay<'a>(pub &'a NeighborList);
+
+impl NeighborSearch for ScalarReplay<'_> {
     fn for_neighbors_of<F: FnMut(usize, f64)>(
         &self,
         i: usize,
@@ -216,22 +970,9 @@ impl NeighborSearch for NeighborList {
         y: &[f64],
         z: &[f64],
         bbox: &Box3,
-        mut f: F,
+        f: F,
     ) {
-        debug_assert!(
-            r <= self.radius,
-            "query radius {r} exceeds the recorded superset radius {}",
-            self.radius
-        );
-        let (px, py, pz) = (x[i], y[i], z[i]);
-        let r2 = r * r;
-        for &j in self.row(i) {
-            let j = j as usize;
-            let d2 = bbox.dist2(px, py, pz, x[j], y[j], z[j]);
-            if d2 <= r2 {
-                f(j, d2);
-            }
-        }
+        self.0.for_neighbors_of(i, r, x, y, z, bbox, f);
     }
 }
 
@@ -298,6 +1039,281 @@ mod tests {
     }
 
     #[test]
+    fn stored_deltas_match_box_delta_bitwise() {
+        for periodic in [true, false] {
+            let (x, y, z) = cloud(300, 21);
+            let bbox = Box3::cube(0.0, 1.0, periodic);
+            let r = 0.18;
+            let grid = CellList::build(&x, &y, &z, &bbox, r);
+            let nl = NeighborList::build(&grid, &x, &y, &z, 300, r);
+            for i in (0..300).step_by(13) {
+                let (s, e) = (nl.offsets[i], nl.offsets[i + 1]);
+                for k in s..e {
+                    let j = nl.pairs[k] as usize;
+                    let (ex, ey, ez) = bbox.delta(x[j], y[j], z[j], x[i], y[i], z[i]);
+                    assert_eq!(nl.dx[k].to_bits(), ex.to_bits(), "dx of ({i},{j})");
+                    assert_eq!(nl.dy[k].to_bits(), ey.to_bits(), "dy of ({i},{j})");
+                    assert_eq!(nl.dz[k].to_bits(), ez.to_bits(), "dz of ({i},{j})");
+                    let d2 = nl.dx[k] * nl.dx[k] + nl.dy[k] * nl.dy[k] + nl.dz[k] * nl.dz[k];
+                    let expect = bbox.dist2(x[i], y[i], z[i], x[j], y[j], z[j]);
+                    assert_eq!(d2.to_bits(), expect.to_bits(), "d2 of ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_chunked_builds_are_bitwise_identical() {
+        for (n, periodic) in [(700, true), (700, false), (300, true)] {
+            let (x, y, z) = cloud(n, 31);
+            let bbox = Box3::cube(0.0, 1.0, periodic);
+            let r = 0.11;
+            // Non-uniform per-particle radii for the adaptive variant, all
+            // bounded by the grid cell size `r`.
+            let radii: Vec<f64> = (0..n).map(|i| 0.06 + 0.05 * (i % 7) as f64 / 6.0).collect();
+            let grid = CellList::build(&x, &y, &z, &bbox, r);
+            for rr in [None, Some(radii.as_slice())] {
+                let mut serial = NeighborList::new();
+                serial.radius = r;
+                serial.sorted.fill(grid.order(), &x, &y, &z);
+                if let Some(rr) = rr {
+                    serial.sorted.fill_radii(grid.order(), rr);
+                }
+                serial.fill_rows_serial(&grid, &x, &y, &z, n, r, rr);
+                let mut chunked = NeighborList::new();
+                chunked.radius = r;
+                chunked.sorted.fill(grid.order(), &x, &y, &z);
+                if let Some(rr) = rr {
+                    chunked.sorted.fill_radii(grid.order(), rr);
+                }
+                chunked.fill_rows_chunked(&grid, &x, &y, &z, n, r, rr);
+                assert_eq!(serial.offsets, chunked.offsets);
+                assert_eq!(serial.pairs, chunked.pairs);
+                let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&serial.dx), bits(&chunked.dx));
+                assert_eq!(bits(&serial.dy), bits(&chunked.dy));
+                assert_eq!(bits(&serial.dz), bits(&chunked.dz));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_build_with_uniform_radii_matches_fixed_radius_build() {
+        // With every per-particle radius equal, the pair rule degenerates to
+        // the fixed-radius filter — the stored arrays must be bitwise the
+        // same (max-then-square equals square-then-max for equal operands).
+        for periodic in [true, false] {
+            let (x, y, z) = cloud(500, 41);
+            let bbox = Box3::cube(0.0, 1.0, periodic);
+            let r = 0.13;
+            let grid = CellList::build(&x, &y, &z, &bbox, r);
+            let plain = NeighborList::build(&grid, &x, &y, &z, 500, r);
+            let mut adaptive = NeighborList::new();
+            adaptive.build_adaptive_into(&grid, &x, &y, &z, 500, &vec![r; 500]);
+            assert_eq!(plain.offsets, adaptive.offsets);
+            assert_eq!(plain.pairs, adaptive.pairs);
+            let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&plain.dx), bits(&adaptive.dx));
+            assert_eq!(bits(&plain.dy), bits(&adaptive.dy));
+            assert_eq!(bits(&plain.dz), bits(&adaptive.dz));
+            assert_eq!(plain.radius(), adaptive.radius());
+        }
+    }
+
+    #[test]
+    fn adaptive_build_stores_exactly_the_pair_rule_set() {
+        // Against first principles: row i holds j iff
+        // d2 <= max(radii[i], radii[j])², nothing more, nothing less.
+        for periodic in [true, false] {
+            let (x, y, z) = cloud(350, 43);
+            let bbox = Box3::cube(0.0, 1.0, periodic);
+            let n = 350;
+            let radii: Vec<f64> = (0..n).map(|i| 0.05 + 0.09 * (i % 5) as f64 / 4.0).collect();
+            let rmax = radii.iter().fold(0.0f64, |m, &r| m.max(r));
+            let grid = CellList::build(&x, &y, &z, &bbox, rmax);
+            let mut nl = NeighborList::new();
+            nl.build_adaptive_into(&grid, &x, &y, &z, n, &radii);
+            for i in 0..n {
+                let mut stored: Vec<usize> = nl.row(i).iter().map(|&j| j as usize).collect();
+                stored.sort_unstable();
+                let mut expect: Vec<usize> = (0..n)
+                    .filter(|&j| {
+                        let d2 = bbox.dist2(x[i], y[i], z[i], x[j], y[j], z[j]);
+                        let lim = radii[i].max(radii[j]);
+                        d2 <= lim * lim
+                    })
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(stored, expect, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_rows_replay_the_grid_sequence_within_row_radius() {
+        // The per-row completeness contract: replaying row i at any query
+        // radius up to radii[i] reproduces the direct grid walk's (j, d2)
+        // sequence — same order, same bits — exactly as the fixed-radius
+        // list does at its superset radius.
+        let (x, y, z) = cloud(400, 47);
+        let bbox = Box3::unit_periodic();
+        let n = 400;
+        let radii: Vec<f64> = (0..n).map(|i| 0.06 + 0.08 * (i % 7) as f64 / 6.0).collect();
+        let rmax = radii.iter().fold(0.0f64, |m, &r| m.max(r));
+        let grid = CellList::build(&x, &y, &z, &bbox, rmax);
+        let mut nl = NeighborList::new();
+        nl.build_adaptive_into(&grid, &x, &y, &z, n, &radii);
+        for i in (0..n).step_by(7) {
+            for r in [radii[i], 0.6 * radii[i], 0.25 * radii[i]] {
+                let mut direct = Vec::new();
+                grid.for_neighbors(x[i], y[i], z[i], r, &x, &y, &z, |j, d2| {
+                    direct.push((j, d2.to_bits()));
+                });
+                let mut replay = Vec::new();
+                nl.for_neighbors_of(i, r, &x, &y, &z, &bbox, |j, d2| {
+                    replay.push((j, d2.to_bits()));
+                });
+                assert_eq!(direct, replay, "particle {i} at radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_filter_drops_zero_distance_and_negates_exactly() {
+        // filter_pairs_into must emit filter_row_into's sequence minus the
+        // zero-distance candidates (self included), with NEGATE flipping
+        // exactly the delta signs and leaving d2 bits untouched.
+        let (x, y, z) = cloud(300, 53);
+        let bbox = Box3::unit_periodic();
+        let big = 0.16;
+        let grid = CellList::build(&x, &y, &z, &bbox, big);
+        let nl = NeighborList::build(&grid, &x, &y, &z, 300, big);
+        let mut base = FilteredRow::default();
+        let mut pairs = FilteredRow::default();
+        let mut negated = FilteredRow::default();
+        for i in (0..300).step_by(11) {
+            // Row lengths vary mod 4, covering the vector remainder cases.
+            for r in [big, 0.11, 0.05] {
+                nl.filter_row_into(i, r, &mut base);
+                nl.filter_pairs_into::<false>(i, r, &mut pairs);
+                nl.filter_pairs_into::<true>(i, r, &mut negated);
+                let keep: Vec<usize> = (0..base.len()).filter(|&k| base.d2[k] > 0.0).collect();
+                assert_eq!(pairs.len(), keep.len(), "row {i} at radius {r}");
+                assert!(pairs.j.iter().all(|&j| j as usize != i));
+                for (out_k, &k) in keep.iter().enumerate() {
+                    assert_eq!(pairs.j[out_k], base.j[k]);
+                    assert_eq!(pairs.dx[out_k].to_bits(), base.dx[k].to_bits());
+                    assert_eq!(pairs.dy[out_k].to_bits(), base.dy[k].to_bits());
+                    assert_eq!(pairs.dz[out_k].to_bits(), base.dz[k].to_bits());
+                    assert_eq!(pairs.d2[out_k].to_bits(), base.d2[k].to_bits());
+                    assert_eq!(negated.j[out_k], base.j[k]);
+                    assert_eq!(negated.dx[out_k].to_bits(), (-base.dx[k]).to_bits());
+                    assert_eq!(negated.dy[out_k].to_bits(), (-base.dy[k]).to_bits());
+                    assert_eq!(negated.dz[out_k].to_bits(), (-base.dz[k]).to_bits());
+                    assert_eq!(negated.d2[out_k].to_bits(), base.d2[k].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_rows_match_the_scalar_replay() {
+        // filter_row_into must emit exactly the scalar replay's passing
+        // sequence — indices, deltas and d2 bits — at every radius,
+        // covering all 4-lane remainder classes (row lengths vary mod 4).
+        let (x, y, z) = cloud(400, 11);
+        let bbox = Box3::unit_periodic();
+        let big = 0.15;
+        let grid = CellList::build(&x, &y, &z, &bbox, big);
+        let nl = NeighborList::build(&grid, &x, &y, &z, 400, big);
+        let mut row = FilteredRow::default();
+        let mut seen_rem = [false; 4];
+        for i in 0..400 {
+            for r in [big, 0.1, 0.04, 0.002] {
+                let mut scalar = Vec::new();
+                nl.for_neighbors_of(i, r, &x, &y, &z, &bbox, |j, d2| {
+                    scalar.push((j as u32, d2.to_bits()));
+                });
+                nl.filter_row_into(i, r, &mut row);
+                seen_rem[nl.row(i).len() % 4] = true;
+                let blocked: Vec<(u32, u64)> = row
+                    .j
+                    .iter()
+                    .zip(&row.d2)
+                    .map(|(&j, d2)| (j, d2.to_bits()))
+                    .collect();
+                assert_eq!(scalar, blocked, "row {i} at radius {r}");
+                assert_eq!(nl.count_within(i, r), row.len(), "count of row {i} at {r}");
+                for k in 0..row.len() {
+                    let slot =
+                        nl.offsets[i] + nl.row(i).iter().position(|&j| j == row.j[k]).unwrap();
+                    assert_eq!(row.dx[k].to_bits(), nl.dx[slot].to_bits());
+                }
+            }
+        }
+        assert_eq!(seen_rem, [true; 4], "all remainder classes exercised");
+    }
+
+    #[test]
+    fn tiny_rows_cover_every_remainder_length() {
+        // Rows of length 1..=6 (a clustered line of particles): the
+        // remainder-lane path handles every length-mod-4 class including
+        // whole rows shorter than one chunk.
+        let bbox = Box3::cube(0.0, 1.0, false);
+        for n in 1usize..=6 {
+            let x: Vec<f64> = (0..n).map(|k| 0.5 + 0.001 * k as f64).collect();
+            let y = vec![0.5; n];
+            let z = vec![0.5; n];
+            let r = 0.1;
+            let grid = CellList::build(&x, &y, &z, &bbox, r);
+            let nl = NeighborList::build(&grid, &x, &y, &z, n, r);
+            let mut row = FilteredRow::default();
+            for i in 0..n {
+                nl.filter_row_into(i, r, &mut row);
+                assert_eq!(row.len(), n, "row {i} of the {n}-cluster");
+                let mut scalar = Vec::new();
+                nl.for_neighbors_of(i, r, &x, &y, &z, &bbox, |j, d2| {
+                    scalar.push((j as u32, d2.to_bits()));
+                });
+                let blocked: Vec<(u32, u64)> = row
+                    .j
+                    .iter()
+                    .zip(&row.d2)
+                    .map(|(&j, d2)| (j, d2.to_bits()))
+                    .collect();
+                assert_eq!(scalar, blocked);
+                // A sub-support filter that drops the far tail.
+                let small = 0.0015;
+                nl.filter_row_into(i, small, &mut row);
+                assert_eq!(nl.count_within(i, small), row.len());
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_replay_adapter_is_transparent() {
+        let (x, y, z) = cloud(150, 17);
+        let bbox = Box3::unit_periodic();
+        let r = 0.2;
+        let grid = CellList::build(&x, &y, &z, &bbox, r);
+        let nl = NeighborList::build(&grid, &x, &y, &z, 150, r);
+        let adapter = ScalarReplay(&nl);
+        assert!(adapter.as_list().is_none(), "adapter must hide the list");
+        assert!(nl.as_list().is_some(), "list must expose itself");
+        for i in (0..150).step_by(11) {
+            let mut direct = Vec::new();
+            nl.for_neighbors_of(i, r, &x, &y, &z, &bbox, |j, d2| {
+                direct.push((j, d2.to_bits()));
+            });
+            let mut via = Vec::new();
+            adapter.for_neighbors_of(i, r, &x, &y, &z, &bbox, |j, d2| {
+                via.push((j, d2.to_bits()));
+            });
+            assert_eq!(direct, via);
+        }
+    }
+
+    #[test]
     fn build_into_reuses_buffers_and_stays_correct() {
         let bbox = Box3::unit_periodic();
         let (x, y, z) = cloud(500, 3);
@@ -352,7 +1368,8 @@ mod tests {
         // Recompute max from the rows directly.
         let by_rows = (0..300).map(|i| nl.row(i).len() - 1).max().unwrap();
         assert_eq!(max, by_rows);
-        assert!(nl.csr_bytes() >= nl.pair_count() * 4);
+        // 28 bytes per pair (u32 index + 3 f64 deltas) at minimum.
+        assert!(nl.csr_bytes() >= nl.pair_count() * 28);
         // Empty list edge case.
         let empty = NeighborList::new();
         assert!(empty.is_empty());
@@ -390,7 +1407,9 @@ mod tests {
             periodic in proptest::bool::ANY,
         ) {
             // Querying a NeighborList recorded at R with any r <= R must
-            // agree with brute force at r (the superset-plus-filter claim).
+            // agree with brute force at r (the superset-plus-filter claim),
+            // and the blocked compaction must match the scalar replay on
+            // rows of every length (n down to 1 covers all remainders).
             let big = 0.3;
             let (x, y, z) = cloud(n, seed);
             let bbox = Box3::cube(0.0, 1.0, periodic);
@@ -402,6 +1421,20 @@ mod tests {
                 neighbors_via(&nl, i, r, &x, &y, &z, &bbox),
                 brute_force_neighbors(i, r, &x, &y, &z, &bbox)
             );
+            let mut row = FilteredRow::default();
+            nl.filter_row_into(i, r, &mut row);
+            let mut scalar = Vec::new();
+            nl.for_neighbors_of(i, r, &x, &y, &z, &bbox, |j, d2| {
+                scalar.push((j as u32, d2.to_bits()));
+            });
+            let blocked: Vec<(u32, u64)> = row
+                .j
+                .iter()
+                .zip(&row.d2)
+                .map(|(&j, d2)| (j, d2.to_bits()))
+                .collect();
+            prop_assert_eq!(scalar, blocked);
+            prop_assert_eq!(nl.count_within(i, r), row.len());
         }
     }
 }

@@ -1,0 +1,33 @@
+//! Runtime CPU-feature dispatch for the hot per-row loops.
+//!
+//! The crate is built for the baseline `x86-64` target (SSE2), but the hot
+//! candidate-scan and sweep-batch loops are all straight-line f64 lane code
+//! that LLVM happily widens to 256-bit vectors when AVX2 is available. Each
+//! such loop therefore exists twice: the portable body in an
+//! `#[inline(always)]` function, and a thin `#[target_feature(enable =
+//! "avx2")]` clone that inlines the *same body* compiled with AVX2 codegen.
+//! [`avx2()`] picks the clone at runtime (the `is_x86_feature_detected!`
+//! result is cached by `std`, so the check is an atomic load).
+//!
+//! Cloning cannot change results: every operation is the same IEEE-754
+//! double operation on the same values in the same order — wider registers
+//! evaluate lanes independently, and rustc never licenses FMA contraction
+//! or reassociation, with or without `target_feature`. The clones are
+//! therefore bit-identical to the portable bodies; the dispatch is purely a
+//! codegen choice. (This mirrors how SPH-EXA ships one kernel source
+//! compiled per-architecture, minus the separate translation units.)
+
+/// `true` when the running CPU supports AVX2 and the crate was compiled for
+/// an x86-64 target that does not already assume it.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub fn avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Non-x86 targets: no AVX2 clone exists; always take the portable body.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub fn avx2() -> bool {
+    false
+}

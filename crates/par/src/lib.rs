@@ -198,6 +198,47 @@ where
     });
 }
 
+/// Run `f(i, &mut data[i])` for every element, each index claimed by
+/// exactly one worker. Like [`par_map`], but in place over caller-owned
+/// slots — the pattern for heavyweight per-chunk scratch (e.g. the neighbor
+/// list's build buffers) that must be reused across calls rather than
+/// returned. Elements are claimed one at a time: each is expected to carry
+/// many rows of work, so cursor traffic is negligible and single-element
+/// claims give the best load balance.
+pub fn par_for_each_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = data.len();
+    let threads = max_threads().min(n.max(1));
+    if !cfg!(feature = "parallel") || threads <= 1 || n <= 1 {
+        for (i, v) in data.iter_mut().enumerate() {
+            f(i, v);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let base = OutPtr(data.as_mut_ptr().cast::<MaybeUninit<T>>());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (next, f, base) = (&next, &f, &base);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: the cursor hands each index to exactly one worker
+                // and `data` outlives the scope, so this is the only live
+                // reference to element `i`; it is an initialized `T` only
+                // lent out as `&mut T`, never moved or deinitialized.
+                let v = unsafe { &mut *base.0.add(i).cast::<T>() };
+                f(i, v);
+            });
+        }
+    });
+}
+
 /// Run `f(offset, chunk)` over disjoint contiguous chunks of `data`, one
 /// chunk per worker. `offset` is the chunk's start index in `data`.
 pub fn par_chunks_mut<T, F>(data: &mut [T], f: F)
@@ -338,6 +379,46 @@ mod tests {
     fn par_fill_rows_rejects_descending_offsets() {
         let mut out = vec![0u8; 4];
         par_fill_rows(&[0, 3, 1], &mut out, |_, _| {});
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial() {
+        let mut serial: Vec<Vec<u64>> = (0..257).map(|i| vec![i as u64]).collect();
+        for (i, v) in serial.iter_mut().enumerate() {
+            v.push((i as u64).wrapping_mul(0x9E3779B9));
+        }
+        let mut parallel: Vec<Vec<u64>> = (0..257).map(|i| vec![i as u64]).collect();
+        par_for_each_mut(&mut parallel, |i, v| {
+            v.push((i as u64).wrapping_mul(0x9E3779B9));
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_for_each_mut_thread_counts_agree() {
+        let run = |threads: usize| {
+            set_max_threads(threads);
+            let mut data = vec![0u64; 4096];
+            par_for_each_mut(&mut data, |i, v| *v = (i as u64) * 3 + 1);
+            set_max_threads(0);
+            data
+        };
+        let reference = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(run(t), reference, "at {t} threads");
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_empty_and_single() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| panic!("no elements expected"));
+        let mut one = vec![1u8];
+        par_for_each_mut(&mut one, |i, v| {
+            assert_eq!(i, 0);
+            *v = 7;
+        });
+        assert_eq!(one, vec![7]);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! `NormalizationGradh` in the SPH-EXA function set), plus the `XMass`
 //! generalized volume elements.
 
-use cornerstone::{Box3, NeighborSearch};
+use cornerstone::{Box3, NeighborList, NeighborSearch};
 
-use crate::kernels::Kernel;
+use crate::kernels::{Kernel, RowKernel};
+use crate::lanes;
 use crate::particles::Particles;
 
 /// `XMass`: estimate generalized volume elements from the previous
@@ -39,18 +40,22 @@ pub fn density_gradh<N: NeighborSearch + Sync>(
     kernel: Kernel,
 ) {
     let p = &*parts;
-    let sums: Vec<(f64, f64)> = par::par_map(p.n_local, |i| {
-        let hi = p.h[i];
-        let radius = kernel.support(hi);
-        let mut rho_i = 0.0;
-        let mut dh_i = 0.0;
-        nb.for_neighbors_of(i, radius, &p.x, &p.y, &p.z, bbox, |j, d2| {
-            let r = d2.sqrt();
-            rho_i += p.m[j] * kernel.w(r, hi);
-            dh_i += p.m[j] * kernel.dw_dh(r, hi);
-        });
-        (rho_i, dh_i)
-    });
+    let sums: Vec<(f64, f64)> = if let Some(nl) = nb.as_list() {
+        par::par_map(p.n_local, |i| density_row_blocked(p, nl, i, kernel))
+    } else {
+        par::par_map(p.n_local, |i| {
+            let hi = p.h[i];
+            let radius = kernel.support(hi);
+            let mut rho_i = 0.0;
+            let mut dh_i = 0.0;
+            nb.for_neighbors_of(i, radius, &p.x, &p.y, &p.z, bbox, |j, d2| {
+                let (w, dw_dh) = kernel.w_and_dw_dh(d2.sqrt(), hi);
+                rho_i += p.m[j] * w;
+                dh_i += p.m[j] * dw_dh;
+            });
+            (rho_i, dh_i)
+        })
+    };
     for (i, (rho_i, dh_i)) in sums.into_iter().enumerate() {
         parts.rho[i] = rho_i;
         // Omega = 1 + h/(3 rho) * sum m dW/dh; guard against degenerate rho.
@@ -62,6 +67,51 @@ pub fn density_gradh<N: NeighborSearch + Sync>(
     }
 }
 
+/// Blocked density row: filter-free. The raw CSR row (recorded at the
+/// step's per-pair superset radius) is consumed whole — distances, then
+/// the fused `(W, dW/dh)` over every candidate with the hoisted-`h`
+/// branch-free [`RowKernel`], then the `m_j`-scaled accumulation in visit
+/// order. No compaction pass, no data-dependent branches anywhere in the
+/// row. (Compact-first was measured slower on both bench workloads even at
+/// the adaptive list's ~36% pass rate: the in-order 5-channel push loop is
+/// branchy per lane, and its mispredicts cost more than the extra
+/// branch-free kernel evaluations save.)
+///
+/// Bit-identical to the scalar callback under default features even though
+/// the scalar path only folds the candidates within `support(h_i)`:
+///
+/// * a dropped candidate has `d2 > (2h)²`, so its correctly-rounded
+///   `r = sqrt(d2) >= 2h` and `q = r/h >= 2.0` — the kernel's strict
+///   `q < 2` selects produce exactly `w = +0.0` and `dw = +0.0`, hence
+///   `dwdh = -(3·0 + r·0)/h = -0.0`; its terms are `m_j · (±0.0) = ±0.0`;
+/// * a running fold that starts at `+0.0` can never hold `-0.0` (`-0.0`
+///   only arises from `-0.0 + -0.0`, and round-to-nearest cancellation
+///   yields `+0.0`), and adding `±0.0` to a non-`-0.0` accumulator never
+///   changes its bits — so interleaving the zero terms leaves every
+///   genuine partial sum, and the final bits, identical.
+///
+/// Under `fast-math` the accumulator is lane-partial and `Sinc5` uses the
+/// polynomial sinc (the zero terms are still value-neutral).
+fn density_row_blocked(p: &Particles, nl: &NeighborList, i: usize, kernel: Kernel) -> (f64, f64) {
+    let hi = p.h[i];
+    let rk = RowKernel::new(kernel, hi);
+    let (jj, dxs, dys, dzs) = nl.row_deltas(i);
+    lanes::with_scratch(|s| {
+        let lanes::RowScratch { r, w, aux, .. } = s;
+        lanes::dist_into(dxs, dys, dzs, r);
+        let [dwdh, ..] = aux;
+        rk.w_and_dw_dh_into(r, w, dwdh);
+        let mut rho = lanes::Acc::default();
+        let mut dh = lanes::Acc::default();
+        for k in 0..jj.len() {
+            let mj = p.m[jj[k] as usize];
+            rho.add(k, mj * w[k]);
+            dh.add(k, mj * dwdh[k]);
+        }
+        (rho.value(), dh.value())
+    })
+}
+
 /// Count neighbors within the kernel support of each owned particle
 /// (`FindNeighbors`). Returned counts exclude the particle itself.
 pub fn neighbor_counts<N: NeighborSearch + Sync>(
@@ -70,6 +120,14 @@ pub fn neighbor_counts<N: NeighborSearch + Sync>(
     bbox: &Box3,
     kernel: Kernel,
 ) -> Vec<usize> {
+    if let Some(nl) = nb.as_list() {
+        // The row always contains exactly one self-candidate (the grid
+        // stores each particle once) and it always passes the filter
+        // (d2 = 0), so "neighbors excluding self" is the lane count - 1.
+        return par::par_map(parts.n_local, |i| {
+            nl.count_within(i, kernel.support(parts.h[i])) - 1
+        });
+    }
     let (x, y, z) = (&parts.x, &parts.y, &parts.z);
     par::par_map(parts.n_local, |i| {
         let mut n = 0usize;

@@ -6,9 +6,10 @@
 //! inverse `C = tau^{-1}` of the local moment matrix
 //! `tau_ab = sum_j V_j (r_j - r_i)_a (r_j - r_i)_b W_ij`.
 
-use cornerstone::{Box3, NeighborSearch};
+use cornerstone::{Box3, NeighborList, NeighborSearch};
 
-use crate::kernels::Kernel;
+use crate::kernels::{Kernel, RowKernel};
+use crate::lanes;
 use crate::particles::Particles;
 
 /// Invert a symmetric 3x3 matrix given as `[xx, xy, xz, yy, yz, zz]`.
@@ -55,6 +56,12 @@ pub fn iad_divv_curlv<N: NeighborSearch + Sync>(
 ) {
     let p = &*parts;
     let n = p.n_local;
+    if let Some(nl) = nb.as_list() {
+        let per_particle: Vec<([f64; 6], f64, [f64; 3])> =
+            par::par_map(n, |i| iad_row_blocked(p, nl, i, kernel));
+        write_iad(parts, per_particle);
+        return;
+    }
     let per_particle: Vec<([f64; 6], f64, [f64; 3])> = par::par_map(n, |i| {
         let (x, y, z) = (&p.x, &p.y, &p.z);
         let hi = p.h[i];
@@ -119,7 +126,10 @@ pub fn iad_divv_curlv<N: NeighborSearch + Sync>(
         ];
         (c, divv, curl)
     });
+    write_iad(parts, per_particle);
+}
 
+fn write_iad(parts: &mut Particles, per_particle: Vec<([f64; 6], f64, [f64; 3])>) {
     for (i, (t, divv, [cx, cy, cz])) in per_particle.into_iter().enumerate() {
         parts.c11[i] = t[0];
         parts.c12[i] = t[1];
@@ -130,6 +140,110 @@ pub fn iad_divv_curlv<N: NeighborSearch + Sync>(
         parts.divv[i] = divv;
         parts.curlv[i] = (cx * cx + cy * cy + cz * cz).sqrt();
     }
+}
+
+/// Blocked IAD row. One fused pair filter serves both passes (the scalar
+/// path re-walks the neighbor source twice at the same radius, visiting
+/// the same pairs in the same order, and skips `j == i || d2 == 0` in
+/// each — exactly the set [`cornerstone::NeighborList::filter_pairs_into`]
+/// drops), and the per-pair kernel value `W` (batched through the
+/// hoisted-`h` [`RowKernel`]) and bootstrap volume `V_j` are computed once
+/// and reused — the scalar path recomputes both in its second sweep with
+/// identical inputs, so reuse changes nothing bitwise and halves the
+/// kernel evaluations.
+///
+/// The stored CSR delta is exactly the `r_j - r_i` direction the scalar
+/// pass feeds `Box3::delta`, and every accumulation below keeps the scalar
+/// expressions in visit order through [`lanes::Acc`], so default-feature
+/// results are bit-identical. Under `fast-math` the `Sinc5` kernel
+/// evaluation and the accumulator association are relaxed.
+fn iad_row_blocked(
+    p: &Particles,
+    nl: &NeighborList,
+    i: usize,
+    kernel: Kernel,
+) -> ([f64; 6], f64, [f64; 3]) {
+    let hi = p.h[i];
+    let radius = kernel.support(hi);
+    let rkn = RowKernel::new(kernel, hi);
+    let (vxi, vyi, vzi) = (p.vx[i], p.vy[i], p.vz[i]);
+    lanes::with_scratch(|s| {
+        let lanes::RowScratch {
+            row, r, w, vj, aux, ..
+        } = s;
+        nl.filter_pairs_into::<false>(i, radius, row);
+        let m = row.len();
+        lanes::sqrt_into(&row.d2, r);
+        rkn.w_into(r, w);
+        vj.clear();
+        vj.resize(m, 0.0);
+        for (v, &j32) in vj.iter_mut().zip(&row.j) {
+            let j = j32 as usize;
+            // Bootstrap volume for particles whose density is not yet
+            // known (first-step halos): fall back to the mass itself, the
+            // same rule XMass uses.
+            *v = if p.rho[j] > 0.0 {
+                p.m[j] / p.rho[j]
+            } else {
+                p.m[j]
+            };
+        }
+
+        // Pass 1: moment tensor.
+        let mut tau_acc = [lanes::Acc::default(); 6];
+        for k in 0..m {
+            let (dx, dy, dz, wv, v) = (row.dx[k], row.dy[k], row.dz[k], w[k], vj[k]);
+            tau_acc[0].add(k, v * dx * dx * wv);
+            tau_acc[1].add(k, v * dx * dy * wv);
+            tau_acc[2].add(k, v * dx * dz * wv);
+            tau_acc[3].add(k, v * dy * dy * wv);
+            tau_acc[4].add(k, v * dy * dz * wv);
+            tau_acc[5].add(k, v * dz * dz * wv);
+        }
+        let mut tau = [0.0f64; 6];
+        for (t, a) in tau.iter_mut().zip(tau_acc) {
+            *t = a.value();
+        }
+        let c = invert_sym3(tau);
+
+        // Pass 2: C·d products as a contiguous lane pass, then the velocity
+        // gradient with the scalar expressions and order.
+        let [cdx, cdy, cdz, ..] = aux;
+        cdx.clear();
+        cdx.resize(m, 0.0);
+        cdy.clear();
+        cdy.resize(m, 0.0);
+        cdz.clear();
+        cdz.resize(m, 0.0);
+        for k in 0..m {
+            let (dx, dy, dz) = (row.dx[k], row.dy[k], row.dz[k]);
+            cdx[k] = c[0] * dx + c[1] * dy + c[2] * dz;
+            cdy[k] = c[1] * dx + c[3] * dy + c[4] * dz;
+            cdz[k] = c[2] * dx + c[4] * dy + c[5] * dz;
+        }
+        let mut grad_acc = [[lanes::Acc::default(); 3]; 3];
+        for k in 0..m {
+            let j = row.j[k] as usize;
+            let (v, wv) = (vj[k], w[k]);
+            let dvx = p.vx[j] - vxi;
+            let dvy = p.vy[j] - vyi;
+            let dvz = p.vz[j] - vzi;
+            for (a, dva) in [dvx, dvy, dvz].into_iter().enumerate() {
+                grad_acc[a][0].add(k, v * dva * cdx[k] * wv);
+                grad_acc[a][1].add(k, v * dva * cdy[k] * wv);
+                grad_acc[a][2].add(k, v * dva * cdz[k] * wv);
+            }
+        }
+        let grad: [[f64; 3]; 3] =
+            grad_acc.map(|row_acc| [row_acc[0].value(), row_acc[1].value(), row_acc[2].value()]);
+        let divv = grad[0][0] + grad[1][1] + grad[2][2];
+        let curl = [
+            grad[2][1] - grad[1][2],
+            grad[0][2] - grad[2][0],
+            grad[1][0] - grad[0][1],
+        ];
+        (c, divv, curl)
+    })
 }
 
 #[cfg(test)]

@@ -41,6 +41,28 @@ fn dsinc(x: f64) -> f64 {
     }
 }
 
+/// `(sinc(x), dsinc(x))` sharing one `sin` + one `cos` call. Each output
+/// reproduces its standalone function bit-for-bit: the branch thresholds
+/// and every arithmetic expression are kept verbatim (`sin`/`cos` are
+/// correctly rounded for a given input, so hoisting the calls cannot
+/// change the result) — only the redundant second `sin` is eliminated.
+#[inline]
+fn sinc_dsinc(x: f64) -> (f64, f64) {
+    let ax = x.abs();
+    if ax < 1e-8 {
+        // Both series branches: |x| < 1e-8 implies |x| < 1e-6.
+        return (1.0 - x * x / 6.0, -x / 3.0);
+    }
+    let sin_x = x.sin();
+    let s = sin_x / x;
+    let ds = if ax < 1e-6 {
+        -x / 3.0
+    } else {
+        (x * x.cos() - sin_x) / (x * x)
+    };
+    (s, ds)
+}
+
 impl Kernel {
     /// Kernel value `W(r, h)`. Support radius is `2h`: zero at and beyond.
     pub fn w(self, r: f64, h: f64) -> f64 {
@@ -131,9 +153,578 @@ impl Kernel {
         -(3.0 * self.w(r, h) + r * self.dw_dr(r, h)) / h
     }
 
+    /// Fused `(W, dW/dr)` — bit-identical to the separate calls, sharing
+    /// the normalization, the `q` polynomials' common subterms, and (for
+    /// [`Kernel::Sinc5`]) a single `sin` evaluation.
+    ///
+    /// Bit-identity discipline: every expression below is copied verbatim
+    /// from [`Kernel::w`] / [`Kernel::dw_dr`], including Wendland's two
+    /// *different* `om^8` association orders (`w` builds it from `om2`
+    /// squarings, `dw_dr` as `om7 * om`) — only values that are exactly
+    /// shared (same expression, same inputs) are hoisted.
+    pub fn w_and_dw_dr(self, r: f64, h: f64) -> (f64, f64) {
+        debug_assert!(h > 0.0);
+        let q = r / h;
+        match self {
+            Kernel::CubicSpline => {
+                let sigma = 1.0 / (std::f64::consts::PI * h * h * h);
+                let dq = 1.0 / h;
+                if q < 1.0 {
+                    (
+                        sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q),
+                        sigma * (-3.0 * q + 2.25 * q * q) * dq,
+                    )
+                } else if q < 2.0 {
+                    let t = 2.0 - q;
+                    (sigma * 0.25 * t * t * t, sigma * (-0.75 * t * t) * dq)
+                } else {
+                    (0.0, 0.0)
+                }
+            }
+            Kernel::WendlandC6 => {
+                if q >= 2.0 {
+                    return (0.0, 0.0);
+                }
+                let sigma = 1365.0 / (512.0 * std::f64::consts::PI * h * h * h);
+                let om = 1.0 - 0.5 * q;
+                let om2 = om * om;
+                let poly = 4.0 * q * q * q + 6.25 * q * q + 4.0 * q + 1.0;
+                // `w`'s association order for om^8:
+                let om8_w = om2 * om2 * om2 * om2;
+                // `dw_dr`'s: om^7 then * om.
+                let om7 = om2 * om2 * om2 * om;
+                let dpoly = 12.0 * q * q + 12.5 * q + 4.0;
+                let om8_d = om7 * om;
+                (
+                    sigma * om8_w * poly,
+                    sigma * (om8_d * dpoly - 4.0 * om7 * poly) / h,
+                )
+            }
+            Kernel::Sinc5 => {
+                if q >= 2.0 {
+                    return (0.0, 0.0);
+                }
+                let a = std::f64::consts::FRAC_PI_2;
+                let (s, ds) = sinc_dsinc(a * q);
+                (
+                    SINC5_SIGMA / (h * h * h) * s.powi(5),
+                    SINC5_SIGMA / (h * h * h) * 5.0 * s.powi(4) * ds * a / h,
+                )
+            }
+        }
+    }
+
+    /// Fused `(W, dW/dh)` — bit-identical to the separate calls; see
+    /// [`Kernel::w_and_dw_dr`] for the sharing discipline. The density sweep
+    /// evaluates both per pair; fusing halves the kernel work (and for
+    /// [`Kernel::Sinc5`] cuts four trig calls to two).
+    pub fn w_and_dw_dh(self, r: f64, h: f64) -> (f64, f64) {
+        let (w, dw_dr) = self.w_and_dw_dr(r, h);
+        (w, -(3.0 * w + r * dw_dr) / h)
+    }
+
     /// Support radius: the distance beyond which the kernel is exactly zero.
     pub fn support(self, h: f64) -> f64 {
         2.0 * h
+    }
+}
+
+/// A kernel with its per-`h` normalization hoisted, evaluating whole
+/// distance buffers at once — the blocked sweeps' row-level evaluator.
+///
+/// Every scalar kernel call recomputes `sigma = f(h)` and `1/h` (two
+/// divisions); within one CSR row all evaluations against particle `i`
+/// share the same `h`, so those divisions are paid once per row here. The
+/// hoisted values are computed by the *verbatim* expressions the scalar
+/// functions use (same inputs, same operations → same bits), and the
+/// per-lane bodies below are written in branch-free select form: both
+/// polynomial branches are evaluated and the scalar path's strict
+/// comparisons pick one. Selection never alters a value, and the remaining
+/// per-lane division `q = r/h` is IEEE-correctly rounded whether issued
+/// scalar or SIMD — so every lane reproduces the scalar call bit-for-bit
+/// while the loop auto-vectorizes (no branches, no calls) for the
+/// polynomial kernels. `Sinc5` keeps its `libm` calls per lane under
+/// default features (exact, not vectorizable) and switches to the
+/// [`fast`] polynomials under `fast-math` (vectorizable, not exact).
+pub(crate) struct RowKernel {
+    kernel: Kernel,
+    h: f64,
+    /// Hoisted normalization (`sigma`), per the scalar expression.
+    sigma: f64,
+    /// Hoisted `1/h` (the cubic spline's `dq` factor).
+    dq: f64,
+}
+
+impl RowKernel {
+    pub fn new(kernel: Kernel, h: f64) -> Self {
+        debug_assert!(h > 0.0);
+        let sigma = match kernel {
+            Kernel::CubicSpline => 1.0 / (std::f64::consts::PI * h * h * h),
+            Kernel::WendlandC6 => 1365.0 / (512.0 * std::f64::consts::PI * h * h * h),
+            Kernel::Sinc5 => SINC5_SIGMA / (h * h * h),
+        };
+        RowKernel {
+            kernel,
+            h,
+            sigma,
+            dq: 1.0 / h,
+        }
+    }
+
+    /// `out[k] = W(r[k], h)` — bit-identical to [`Kernel::w`] per lane
+    /// (default features; `Sinc5` under `fast-math` uses [`fast::sinc_poly`]).
+    /// Dispatched through an AVX2 clone when available (`cornerstone::simd`).
+    pub fn w_into(&self, r: &[f64], out: &mut Vec<f64>) {
+        #[cfg(target_arch = "x86_64")]
+        if cornerstone::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (portable body under different codegen).
+            return unsafe { self.w_into_avx2(r, out) };
+        }
+        self.w_into_impl(r, out)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn w_into_avx2(&self, r: &[f64], out: &mut Vec<f64>) {
+        self.w_into_impl(r, out)
+    }
+
+    #[inline(always)]
+    fn w_into_impl(&self, r: &[f64], out: &mut Vec<f64>) {
+        let n = r.len();
+        out.clear();
+        out.resize(n, 0.0);
+        match self.kernel {
+            Kernel::CubicSpline => {
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let w1 = self.sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+                    let t = 2.0 - q;
+                    let w2 = self.sigma * 0.25 * t * t * t;
+                    out[k] = if q < 1.0 {
+                        w1
+                    } else if q < 2.0 {
+                        w2
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            Kernel::WendlandC6 => {
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let om = 1.0 - 0.5 * q;
+                    let om2 = om * om;
+                    let om8 = om2 * om2 * om2 * om2;
+                    let w = self.sigma * om8 * (4.0 * q * q * q + 6.25 * q * q + 4.0 * q + 1.0);
+                    out[k] = if q < 2.0 { w } else { 0.0 };
+                }
+            }
+            Kernel::Sinc5 => {
+                let a = std::f64::consts::FRAC_PI_2;
+                #[cfg(not(feature = "fast-math"))]
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    out[k] = if q < 2.0 {
+                        let s = sinc(a * q);
+                        self.sigma * s.powi(5)
+                    } else {
+                        0.0
+                    };
+                }
+                #[cfg(feature = "fast-math")]
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let s = fast::sinc_poly(a * q);
+                    let w = self.sigma * s.powi(5);
+                    out[k] = if q < 2.0 { w } else { 0.0 };
+                }
+            }
+        }
+    }
+
+    /// `(w[k], dwdh[k]) = (W, dW/dh)(r[k], h)` — bit-identical to
+    /// [`Kernel::w_and_dw_dh`] per lane under default features.
+    /// Dispatched through an AVX2 clone when available (`cornerstone::simd`).
+    pub fn w_and_dw_dh_into(&self, r: &[f64], w_out: &mut Vec<f64>, dwdh_out: &mut Vec<f64>) {
+        #[cfg(target_arch = "x86_64")]
+        if cornerstone::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (portable body under different codegen).
+            return unsafe { self.w_and_dw_dh_into_avx2(r, w_out, dwdh_out) };
+        }
+        self.w_and_dw_dh_into_impl(r, w_out, dwdh_out)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn w_and_dw_dh_into_avx2(
+        &self,
+        r: &[f64],
+        w_out: &mut Vec<f64>,
+        dwdh_out: &mut Vec<f64>,
+    ) {
+        self.w_and_dw_dh_into_impl(r, w_out, dwdh_out)
+    }
+
+    #[inline(always)]
+    fn w_and_dw_dh_into_impl(&self, r: &[f64], w_out: &mut Vec<f64>, dwdh_out: &mut Vec<f64>) {
+        let n = r.len();
+        w_out.clear();
+        w_out.resize(n, 0.0);
+        dwdh_out.clear();
+        dwdh_out.resize(n, 0.0);
+        match self.kernel {
+            Kernel::CubicSpline => {
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let w1 = self.sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+                    let d1 = self.sigma * (-3.0 * q + 2.25 * q * q) * self.dq;
+                    let t = 2.0 - q;
+                    let w2 = self.sigma * 0.25 * t * t * t;
+                    let d2 = self.sigma * (-0.75 * t * t) * self.dq;
+                    let (w, dw) = if q < 1.0 {
+                        (w1, d1)
+                    } else if q < 2.0 {
+                        (w2, d2)
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    w_out[k] = w;
+                    dwdh_out[k] = -(3.0 * w + r[k] * dw) / self.h;
+                }
+            }
+            Kernel::WendlandC6 => {
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let om = 1.0 - 0.5 * q;
+                    let om2 = om * om;
+                    let poly = 4.0 * q * q * q + 6.25 * q * q + 4.0 * q + 1.0;
+                    let om8_w = om2 * om2 * om2 * om2;
+                    let om7 = om2 * om2 * om2 * om;
+                    let dpoly = 12.0 * q * q + 12.5 * q + 4.0;
+                    let om8_d = om7 * om;
+                    let wv = self.sigma * om8_w * poly;
+                    let dv = self.sigma * (om8_d * dpoly - 4.0 * om7 * poly) / self.h;
+                    let (w, dw) = if q < 2.0 { (wv, dv) } else { (0.0, 0.0) };
+                    w_out[k] = w;
+                    dwdh_out[k] = -(3.0 * w + r[k] * dw) / self.h;
+                }
+            }
+            Kernel::Sinc5 => {
+                let a = std::f64::consts::FRAC_PI_2;
+                #[cfg(not(feature = "fast-math"))]
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let (w, dw) = if q < 2.0 {
+                        let (s, ds) = sinc_dsinc(a * q);
+                        (
+                            self.sigma * s.powi(5),
+                            self.sigma * 5.0 * s.powi(4) * ds * a / self.h,
+                        )
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    w_out[k] = w;
+                    dwdh_out[k] = -(3.0 * w + r[k] * dw) / self.h;
+                }
+                #[cfg(feature = "fast-math")]
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let s = fast::sinc_poly(a * q);
+                    let ds = fast::dsinc_poly(a * q);
+                    let wv = self.sigma * s.powi(5);
+                    let dv = self.sigma * 5.0 * s.powi(4) * ds * a / self.h;
+                    let (w, dw) = if q < 2.0 { (wv, dv) } else { (0.0, 0.0) };
+                    w_out[k] = w;
+                    dwdh_out[k] = -(3.0 * w + r[k] * dw) / self.h;
+                }
+            }
+        }
+    }
+
+    /// `out[k] = dW/dr(r[k], h) / r[k]` — the momentum equation's gradient
+    /// prefactor. Bit-identical to `Kernel::dw_dr(r, h) / r` per lane under
+    /// default features. Requires `r[k] > 0` (pair-filtered rows).
+    /// Dispatched through an AVX2 clone when available (`cornerstone::simd`).
+    pub fn dw_dr_over_r_into(&self, r: &[f64], out: &mut Vec<f64>) {
+        #[cfg(target_arch = "x86_64")]
+        if cornerstone::simd::avx2() {
+            // SAFETY: AVX2 support was just checked; the clone has no other
+            // precondition (portable body under different codegen).
+            return unsafe { self.dw_dr_over_r_into_avx2(r, out) };
+        }
+        self.dw_dr_over_r_into_impl(r, out)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn dw_dr_over_r_into_avx2(&self, r: &[f64], out: &mut Vec<f64>) {
+        self.dw_dr_over_r_into_impl(r, out)
+    }
+
+    #[inline(always)]
+    fn dw_dr_over_r_into_impl(&self, r: &[f64], out: &mut Vec<f64>) {
+        let n = r.len();
+        out.clear();
+        out.resize(n, 0.0);
+        match self.kernel {
+            Kernel::CubicSpline => {
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let d1 = self.sigma * (-3.0 * q + 2.25 * q * q) * self.dq;
+                    let t = 2.0 - q;
+                    let d2 = self.sigma * (-0.75 * t * t) * self.dq;
+                    let dw = if q < 1.0 {
+                        d1
+                    } else if q < 2.0 {
+                        d2
+                    } else {
+                        0.0
+                    };
+                    out[k] = dw / r[k];
+                }
+            }
+            Kernel::WendlandC6 => {
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let om = 1.0 - 0.5 * q;
+                    let om2 = om * om;
+                    let om7 = om2 * om2 * om2 * om;
+                    let poly = 4.0 * q * q * q + 6.25 * q * q + 4.0 * q + 1.0;
+                    let dpoly = 12.0 * q * q + 12.5 * q + 4.0;
+                    let om8 = om7 * om;
+                    let dv = self.sigma * (om8 * dpoly - 4.0 * om7 * poly) / self.h;
+                    let dw = if q < 2.0 { dv } else { 0.0 };
+                    out[k] = dw / r[k];
+                }
+            }
+            Kernel::Sinc5 => {
+                let a = std::f64::consts::FRAC_PI_2;
+                #[cfg(not(feature = "fast-math"))]
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let dw = if q < 2.0 {
+                        let s = sinc(a * q);
+                        self.sigma * 5.0 * s.powi(4) * dsinc(a * q) * a / self.h
+                    } else {
+                        0.0
+                    };
+                    out[k] = dw / r[k];
+                }
+                #[cfg(feature = "fast-math")]
+                for k in 0..n {
+                    let q = r[k] / self.h;
+                    let s = fast::sinc_poly(a * q);
+                    let dv = self.sigma * 5.0 * s.powi(4) * fast::dsinc_poly(a * q) * a / self.h;
+                    let dw = if q < 2.0 { dv } else { 0.0 };
+                    out[k] = dw / r[k];
+                }
+            }
+        }
+    }
+}
+
+/// `out[k] = dW/dr(r[k], h[k]) / r[k]` with a *per-lane* smoothing length —
+/// the momentum equation's neighbor-side gradient. Nothing hoists (each
+/// lane has its own `h`), but the select-form body keeps the loop
+/// branch-free so the normalization divisions issue as SIMD divides —
+/// which are IEEE-correctly rounded per lane, hence still bit-identical to
+/// `Kernel::dw_dr(r, h) / r` under default features. Requires `r[k] > 0`
+/// and `h[k] > 0`.
+/// Dispatched through an AVX2 clone when available (`cornerstone::simd`).
+pub(crate) fn dw_dr_over_r_varh_into(kernel: Kernel, r: &[f64], h: &[f64], out: &mut Vec<f64>) {
+    #[cfg(target_arch = "x86_64")]
+    if cornerstone::simd::avx2() {
+        // SAFETY: AVX2 support was just checked; the clone has no other
+        // precondition (portable body under different codegen).
+        return unsafe { dw_dr_over_r_varh_into_avx2(kernel, r, h, out) };
+    }
+    dw_dr_over_r_varh_into_impl(kernel, r, h, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dw_dr_over_r_varh_into_avx2(kernel: Kernel, r: &[f64], h: &[f64], out: &mut Vec<f64>) {
+    dw_dr_over_r_varh_into_impl(kernel, r, h, out)
+}
+
+#[inline(always)]
+fn dw_dr_over_r_varh_into_impl(kernel: Kernel, r: &[f64], h: &[f64], out: &mut Vec<f64>) {
+    let n = r.len();
+    debug_assert_eq!(h.len(), n);
+    out.clear();
+    out.resize(n, 0.0);
+    match kernel {
+        Kernel::CubicSpline => {
+            for k in 0..n {
+                let hk = h[k];
+                let sigma = 1.0 / (std::f64::consts::PI * hk * hk * hk);
+                let dq = 1.0 / hk;
+                let q = r[k] / hk;
+                let d1 = sigma * (-3.0 * q + 2.25 * q * q) * dq;
+                let t = 2.0 - q;
+                let d2 = sigma * (-0.75 * t * t) * dq;
+                let dw = if q < 1.0 {
+                    d1
+                } else if q < 2.0 {
+                    d2
+                } else {
+                    0.0
+                };
+                out[k] = dw / r[k];
+            }
+        }
+        Kernel::WendlandC6 => {
+            for k in 0..n {
+                let hk = h[k];
+                let q = r[k] / hk;
+                let sigma = 1365.0 / (512.0 * std::f64::consts::PI * hk * hk * hk);
+                let om = 1.0 - 0.5 * q;
+                let om2 = om * om;
+                let om7 = om2 * om2 * om2 * om;
+                let poly = 4.0 * q * q * q + 6.25 * q * q + 4.0 * q + 1.0;
+                let dpoly = 12.0 * q * q + 12.5 * q + 4.0;
+                let om8 = om7 * om;
+                let dv = sigma * (om8 * dpoly - 4.0 * om7 * poly) / hk;
+                let dw = if q < 2.0 { dv } else { 0.0 };
+                out[k] = dw / r[k];
+            }
+        }
+        Kernel::Sinc5 => {
+            let a = std::f64::consts::FRAC_PI_2;
+            #[cfg(not(feature = "fast-math"))]
+            for k in 0..n {
+                let hk = h[k];
+                let q = r[k] / hk;
+                let dw = if q < 2.0 {
+                    let s = sinc(a * q);
+                    SINC5_SIGMA / (hk * hk * hk) * 5.0 * s.powi(4) * dsinc(a * q) * a / hk
+                } else {
+                    0.0
+                };
+                out[k] = dw / r[k];
+            }
+            #[cfg(feature = "fast-math")]
+            for k in 0..n {
+                let hk = h[k];
+                let q = r[k] / hk;
+                let s = fast::sinc_poly(a * q);
+                let dv =
+                    SINC5_SIGMA / (hk * hk * hk) * 5.0 * s.powi(4) * fast::dsinc_poly(a * q) * a
+                        / hk;
+                let dw = if q < 2.0 { dv } else { 0.0 };
+                out[k] = dw / r[k];
+            }
+        }
+    }
+}
+
+/// Relaxed-precision kernel evaluations backing the `fast-math` feature.
+///
+/// [`Kernel::Sinc5`] is the only kernel whose inner math calls `libm`
+/// (`sin`/`cos`); these variants replace both with truncated Maclaurin
+/// polynomials in `u = x²` (Horner form), exact at `x = 0` and accurate to
+/// `< 8e-9` (sinc) / `< 5e-8` (dsinc) absolute over the full support
+/// `x ∈ [0, π]` — far below the SPH discretization error, but NOT
+/// bit-identical to `libm`. Only the blocked sweeps' `RowKernel` batch
+/// evaluators route here, and only when the `fast-math` feature is
+/// enabled; the module itself is always compiled so accuracy tests run in
+/// every configuration.
+pub mod fast {
+    use super::SINC5_SIGMA;
+
+    /// Maclaurin coefficients of `sinc(x) = Σ (−1)^m x^{2m} / (2m+1)!` as a
+    /// polynomial in `u = x²`, ascending. Nine terms: the first omitted term
+    /// is `x^18/19! ≈ 7.3e-9` at `x = π`.
+    const SINC_COEFFS: [f64; 9] = [
+        1.0,
+        -1.0 / 6.0,
+        1.0 / 120.0,
+        -1.0 / 5_040.0,
+        1.0 / 362_880.0,
+        -1.0 / 39_916_800.0,
+        1.0 / 6_227_020_800.0,
+        -1.0 / 1_307_674_368_000.0,
+        1.0 / 355_687_428_096_000.0,
+    ];
+
+    /// Coefficients of `dsinc(x)/x = Σ (−1)^{m+1} (2m+2) u^m / (2m+3)!`,
+    /// ascending in `u = x²`. Eight terms: first omitted is
+    /// `18 x^16/19! ≈ 4.2e-8·x` at `x = π`.
+    const DSINC_COEFFS: [f64; 8] = [
+        -1.0 / 3.0,
+        1.0 / 30.0,
+        -1.0 / 840.0,
+        1.0 / 45_360.0,
+        -1.0 / 3_991_680.0,
+        1.0 / 518_918_400.0,
+        -1.0 / 93_405_312_000.0,
+        1.0 / 22_230_464_256_000.0,
+    ];
+
+    /// Polynomial `sinc(x)`, valid on `|x| <= π` (the sinc⁵ support).
+    #[inline]
+    pub fn sinc_poly(x: f64) -> f64 {
+        let u = x * x;
+        let mut p = SINC_COEFFS[8];
+        let mut m = 8;
+        while m > 0 {
+            m -= 1;
+            p = p * u + SINC_COEFFS[m];
+        }
+        p
+    }
+
+    /// Polynomial `dsinc(x)`, valid on `|x| <= π`.
+    #[inline]
+    pub fn dsinc_poly(x: f64) -> f64 {
+        let u = x * x;
+        let mut p = DSINC_COEFFS[7];
+        let mut m = 7;
+        while m > 0 {
+            m -= 1;
+            p = p * u + DSINC_COEFFS[m];
+        }
+        x * p
+    }
+
+    /// `Sinc5` kernel value via the polynomial sinc.
+    #[inline]
+    pub fn sinc5_w(r: f64, h: f64) -> f64 {
+        let q = r / h;
+        if q >= 2.0 {
+            return 0.0;
+        }
+        let s = sinc_poly(std::f64::consts::FRAC_PI_2 * q);
+        SINC5_SIGMA / (h * h * h) * s.powi(5)
+    }
+
+    /// `Sinc5` radial derivative via the polynomial sinc/dsinc.
+    #[inline]
+    pub fn sinc5_dw_dr(r: f64, h: f64) -> f64 {
+        let q = r / h;
+        if q >= 2.0 {
+            return 0.0;
+        }
+        let a = std::f64::consts::FRAC_PI_2;
+        let s = sinc_poly(a * q);
+        SINC5_SIGMA / (h * h * h) * 5.0 * s.powi(4) * dsinc_poly(a * q) * a / h
+    }
+
+    /// Fused `(W, dW/dh)` for `Sinc5` via the polynomials.
+    #[inline]
+    pub fn sinc5_w_and_dw_dh(r: f64, h: f64) -> (f64, f64) {
+        let q = r / h;
+        if q >= 2.0 {
+            return (0.0, 0.0);
+        }
+        let a = std::f64::consts::FRAC_PI_2;
+        let s = sinc_poly(a * q);
+        let w = SINC5_SIGMA / (h * h * h) * s.powi(5);
+        let dw_dr = SINC5_SIGMA / (h * h * h) * 5.0 * s.powi(4) * dsinc_poly(a * q) * a / h;
+        (w, -(3.0 * w + r * dw_dr) / h)
     }
 }
 
@@ -207,6 +798,150 @@ mod tests {
                 let fd = (k.w(r, h + eps) - k.w(r, h - eps)) / (2.0 * eps);
                 let an = k.dw_dh(r, h);
                 assert!((fd - an).abs() < 1e-4, "{k:?} r={r} h={h}: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_evaluations_are_bit_identical_to_separate_calls() {
+        // The blocked sweeps depend on this: fusing W with its derivatives
+        // must not change a single bit vs the scalar path's separate calls.
+        for k in KERNELS {
+            for h in [0.05, 0.5, 1.0, 2.3] {
+                for i in 0..=400 {
+                    let r = 2.2 * h * i as f64 / 400.0; // crosses both branches + support edge
+                    let (w, dw_dr) = k.w_and_dw_dr(r, h);
+                    assert_eq!(w.to_bits(), k.w(r, h).to_bits(), "{k:?} w at r={r} h={h}");
+                    assert_eq!(
+                        dw_dr.to_bits(),
+                        k.dw_dr(r, h).to_bits(),
+                        "{k:?} dw_dr at r={r} h={h}"
+                    );
+                    let (w2, dw_dh) = k.w_and_dw_dh(r, h);
+                    assert_eq!(w2.to_bits(), w.to_bits());
+                    assert_eq!(
+                        dw_dh.to_bits(),
+                        k.dw_dh(r, h).to_bits(),
+                        "{k:?} dw_dh at r={r} h={h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fast-math"))]
+    #[test]
+    fn batch_evaluators_are_bit_identical_to_scalar_calls() {
+        // The blocked sweeps' row evaluators: hoisted normalization and
+        // select-form bodies must reproduce the scalar calls bit-for-bit
+        // (default features; fast-math relaxes Sinc5 by design).
+        for k in KERNELS {
+            for h in [0.05, 0.5, 1.0, 2.3] {
+                let r: Vec<f64> = (1..=401).map(|i| 2.2 * h * i as f64 / 401.0).collect();
+                let hs: Vec<f64> = (0..r.len())
+                    .map(|i| h * (0.9 + 0.2 * (i % 7) as f64))
+                    .collect();
+                let rk = RowKernel::new(k, h);
+                let (mut w, mut dwdh, mut dwr) = (Vec::new(), Vec::new(), Vec::new());
+                rk.w_into(&r, &mut w);
+                let mut w2 = Vec::new();
+                rk.w_and_dw_dh_into(&r, &mut w2, &mut dwdh);
+                rk.dw_dr_over_r_into(&r, &mut dwr);
+                let mut dwr_var = Vec::new();
+                dw_dr_over_r_varh_into(k, &r, &hs, &mut dwr_var);
+                for (i, &ri) in r.iter().enumerate() {
+                    assert_eq!(w[i].to_bits(), k.w(ri, h).to_bits(), "{k:?} w at r={ri}");
+                    assert_eq!(w2[i].to_bits(), w[i].to_bits());
+                    assert_eq!(
+                        dwdh[i].to_bits(),
+                        k.dw_dh(ri, h).to_bits(),
+                        "{k:?} dw_dh at r={ri}"
+                    );
+                    assert_eq!(
+                        dwr[i].to_bits(),
+                        (k.dw_dr(ri, h) / ri).to_bits(),
+                        "{k:?} dw_dr/r at r={ri}"
+                    );
+                    assert_eq!(
+                        dwr_var[i].to_bits(),
+                        (k.dw_dr(ri, hs[i]) / ri).to_bits(),
+                        "{k:?} varh dw_dr/r at r={ri} h={}",
+                        hs[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "fast-math")]
+    #[test]
+    fn batch_evaluators_stay_close_to_scalar_under_fast_math() {
+        // Sinc5 routes through the polynomials; the others stay exact.
+        for k in KERNELS {
+            let h = 0.7;
+            let r: Vec<f64> = (1..=301).map(|i| 2.1 * h * i as f64 / 301.0).collect();
+            let rk = RowKernel::new(k, h);
+            let (mut w, mut dwdh) = (Vec::new(), Vec::new());
+            rk.w_and_dw_dh_into(&r, &mut w, &mut dwdh);
+            let scale = k.w(0.0, h);
+            for (i, &ri) in r.iter().enumerate() {
+                assert!(
+                    (w[i] - k.w(ri, h)).abs() < 1e-7 * scale,
+                    "{k:?} w at r={ri}"
+                );
+                assert!(
+                    (dwdh[i] - k.dw_dh(ri, h)).abs() < 1e-6 * scale / h,
+                    "{k:?} dw_dh at r={ri}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_sinc_matches_libm_within_tolerance() {
+        for i in 0..=1000 {
+            let x = std::f64::consts::PI * i as f64 / 1000.0;
+            let exact = if x == 0.0 { 1.0 } else { x.sin() / x };
+            assert!(
+                (fast::sinc_poly(x) - exact).abs() < 8e-9,
+                "sinc at {x}: {} vs {exact}",
+                fast::sinc_poly(x)
+            );
+            let dexact = if x < 1e-6 {
+                -x / 3.0
+            } else {
+                (x * x.cos() - x.sin()) / (x * x)
+            };
+            assert!(
+                (fast::dsinc_poly(x) - dexact).abs() < 5e-8,
+                "dsinc at {x}: {} vs {dexact}",
+                fast::dsinc_poly(x)
+            );
+        }
+    }
+
+    #[test]
+    fn fast_sinc5_kernel_stays_close_to_exact() {
+        let k = Kernel::Sinc5;
+        for h in [0.05, 1.0] {
+            for i in 0..=300 {
+                let r = 2.1 * h * i as f64 / 300.0;
+                let scale = k.w(0.0, h); // kernel magnitude for relative tolerance
+                assert!(
+                    (fast::sinc5_w(r, h) - k.w(r, h)).abs() < 1e-7 * scale,
+                    "w at r={r} h={h}"
+                );
+                let (wf, dhf) = fast::sinc5_w_and_dw_dh(r, h);
+                assert!((wf - k.w(r, h)).abs() < 1e-7 * scale);
+                assert!(
+                    (dhf - k.dw_dh(r, h)).abs() < 1e-6 * scale / h,
+                    "dw_dh at r={r} h={h}: {dhf} vs {}",
+                    k.dw_dh(r, h)
+                );
+                assert!(
+                    (fast::sinc5_dw_dr(r, h) - k.dw_dr(r, h)).abs() < 1e-6 * scale / h,
+                    "dw_dr at r={r} h={h}"
+                );
             }
         }
     }

@@ -23,6 +23,7 @@ pub mod gravity;
 pub mod iad;
 pub mod ic;
 pub mod kernels;
+pub(crate) mod lanes;
 pub mod momentum;
 pub mod nbody;
 pub mod particles;

@@ -2,10 +2,11 @@
 //! artificial viscosity — the most compute-intensive kernel in the paper's
 //! per-function breakdown (Figs. 5 and 8).
 
-use cornerstone::{Box3, NeighborSearch};
+use cornerstone::{Box3, NeighborList, NeighborSearch};
 
 use crate::av::viscosity_pi;
-use crate::kernels::Kernel;
+use crate::kernels::{self, Kernel, RowKernel};
+use crate::lanes;
 use crate::particles::Particles;
 
 /// Compute accelerations `(ax, ay, az)` and energy rates `du` for owned
@@ -30,6 +31,12 @@ pub fn momentum_energy<N: NeighborSearch + Sync>(
 ) {
     let p = &*parts;
     let n = p.n_local;
+    if let Some(nl) = nb.as_list() {
+        let rates: Vec<(f64, f64, f64, f64)> =
+            par::par_map(n, |i| momentum_row_blocked(p, nl, i, kernel));
+        write_rates(parts, rates);
+        return;
+    }
     let rates: Vec<(f64, f64, f64, f64)> = par::par_map(n, |i| {
         let (x, y, z) = (&p.x, &p.y, &p.z);
         let hi = p.h[i];
@@ -87,13 +94,149 @@ pub fn momentum_energy<N: NeighborSearch + Sync>(
 
         (axi, ayi, azi, dui)
     });
+    write_rates(parts, rates);
+}
 
+fn write_rates(parts: &mut Particles, rates: Vec<(f64, f64, f64, f64)>) {
     for (i, (axi, ayi, azi, dui)) in rates.into_iter().enumerate() {
         parts.ax[i] = axi;
         parts.ay[i] = ayi;
         parts.az[i] = azi;
         parts.du[i] = dui;
     }
+}
+
+/// Blocked momentum row: select-then-batch. Distances are batched over the
+/// whole CSR row; a branch-free selection pass then compacts the positions
+/// of the pairs the scalar path actually processes — its radius filter
+/// (`d2 > (1.4 s_i)²`), self/coincident skip (`d2 == 0`, exactly the
+/// scalar `j == i || d2 == 0` set), and pairwise support check, evaluated
+/// as mask arithmetic with a write-then-advance store so the loop carries
+/// no data-dependent branches. The two gradient prefactors `dW/dr / r`
+/// (one at `h_i` via the hoisted [`RowKernel`], one at the gathered `h_j`)
+/// are then batched over just the compacted survivors — on the h-aware
+/// list only ~1/1.4³ of a row interacts, and the varh pass pays two
+/// divisions per lane, so evaluating it on survivors rather than the raw
+/// row is the win — and the accumulation loop walks the survivor list with
+/// no skips left to take.
+///
+/// Bit-identical to the scalar callback under default features: the
+/// survivor set and order equal the scalar path's processed set and order
+/// (`keep` is the literal negation of its skips), the batched evaluators
+/// are elementwise (same input value → same bits regardless of lane
+/// position), and visited pairs see the scalar path's exact expressions
+/// (deltas read negated from the stored `r_j - r_i` into the `r_i - r_j`
+/// direction `Box3::delta(i, j)` builds — IEEE negation is exact and `d2`
+/// is unchanged since squares erase the sign), accumulated in visit order
+/// through [`lanes::Acc`]. Per-`i` invariants (`hi`, `rho_i`, `pi_term`,
+/// `support(hi)`, velocities, `alpha`, `c`) are hoisted.
+fn momentum_row_blocked(
+    p: &Particles,
+    nl: &NeighborList,
+    i: usize,
+    kernel: Kernel,
+) -> (f64, f64, f64, f64) {
+    let hi = p.h[i];
+    let rho_i = p.rho[i].max(1e-300);
+    let pi_term = p.p[i] / (p.gradh[i] * rho_i * rho_i);
+    let si = kernel.support(hi);
+    // Search must cover the larger support of interacting pairs; h is
+    // smooth so 1.4x covers neighbor h differences.
+    let radius = si * 1.4;
+    let r2 = radius * radius;
+    let rkn = RowKernel::new(kernel, hi);
+    let (vxi, vyi, vzi) = (p.vx[i], p.vy[i], p.vz[i]);
+    let (alpha_i, c_i) = (p.alpha[i], p.c[i]);
+    let (jj, dxs, dys, dzs) = nl.row_deltas(i);
+    let m = jj.len();
+    lanes::with_scratch(|s| {
+        let lanes::RowScratch {
+            r,
+            w: dwi_b,
+            vj: dwj_b,
+            aux,
+            idx,
+            ..
+        } = s;
+        let [hj_b, d2_b, rc, hjc] = aux;
+        lanes::dist2_dist_into(dxs, dys, dzs, d2_b, r);
+        hj_b.clear();
+        hj_b.resize(m, 0.0);
+        for k in 0..m {
+            hj_b[k] = p.h[jj[k] as usize];
+        }
+        // Branch-free survivor selection (see the doc comment): `keep` is
+        // the exact negation of the scalar path's skip conditions.
+        idx.clear();
+        idx.resize(m, 0);
+        let mut nsel = 0usize;
+        for k in 0..m {
+            let d2k = d2_b[k];
+            let rk = r[k];
+            let keep = (d2k != 0.0) & (d2k <= r2) & ((rk < si) | (rk < kernel.support(hj_b[k])));
+            idx[nsel] = k as u32;
+            nsel += keep as usize;
+        }
+        idx.truncate(nsel);
+        // Dense gather of the survivors' `r` and `h_j` so the gradient
+        // batches touch only interacting pairs. Survivors have `d2 != 0`,
+        // so the varh pass never divides by a zero distance here.
+        rc.clear();
+        rc.resize(nsel, 0.0);
+        hjc.clear();
+        hjc.resize(nsel, 0.0);
+        for (c, &k32) in idx.iter().enumerate() {
+            rc[c] = r[k32 as usize];
+            hjc[c] = hj_b[k32 as usize];
+        }
+        rkn.dw_dr_over_r_into(rc, dwi_b);
+        kernels::dw_dr_over_r_varh_into(kernel, rc, hjc, dwj_b);
+
+        let mut ax = lanes::Acc::default();
+        let mut ay = lanes::Acc::default();
+        let mut az = lanes::Acc::default();
+        let mut du = lanes::Acc::default();
+        for (c, &k32) in idx.iter().enumerate() {
+            let k = k32 as usize;
+            let d2k = d2_b[k];
+            let j = jj[k] as usize;
+            let hj = hjc[c];
+            let (dx, dy, dz) = (-dxs[k], -dys[k], -dzs[k]);
+            let dwi = dwi_b[c];
+            let dwj = dwj_b[c];
+            let dw_avg = 0.5 * (dwi + dwj);
+
+            // First-step halos arrive before their owner computed a density;
+            // they carry no pressure yet and must not divide by rho^2 = 0
+            // (which underflows to 0/0 = NaN).
+            let rho_j = p.rho[j];
+            let pj_term = if rho_j > 0.0 {
+                p.p[j] / (p.gradh[j] * rho_j * rho_j)
+            } else {
+                0.0
+            };
+            let rho_j = rho_j.max(1e-300);
+
+            let dvx = vxi - p.vx[j];
+            let dvy = vyi - p.vy[j];
+            let dvz = vzi - p.vz[j];
+            let vdotr = dvx * dx + dvy * dy + dvz * dz;
+
+            let alpha_ij = 0.5 * (alpha_i + p.alpha[j]);
+            let h_ij = 0.5 * (hi + hj);
+            let c_ij = 0.5 * (c_i + p.c[j]);
+            let rho_ij = 0.5 * (rho_i + rho_j);
+            let visc = viscosity_pi(alpha_ij, h_ij, c_ij, rho_ij, vdotr, d2k);
+
+            let mj = p.m[j];
+            let grad_scale = pi_term * dwi + pj_term * dwj + visc * dw_avg;
+            ax.sub(c, mj * grad_scale * dx);
+            ay.sub(c, mj * grad_scale * dy);
+            az.sub(c, mj * grad_scale * dz);
+            du.add(c, mj * (pi_term * dwi + 0.5 * visc * dw_avg) * vdotr);
+        }
+        (ax.value(), ay.value(), az.value(), du.value())
+    })
 }
 
 #[cfg(test)]

@@ -137,8 +137,11 @@ pub struct Simulation {
     /// or pin the pre-list baseline.
     pub neighbor_path: NeighborPath,
     /// Step-shared CSR neighbor candidates, rebuilt in place every step
-    /// (`build_into` keeps the allocations across steps).
+    /// (`build_adaptive_into` keeps the allocations across steps).
     nlist: NeighborList,
+    /// Per-particle search radii (`1.4 · support(h)`) for the h-aware list
+    /// build, refilled every step; kept here to reuse the allocation.
+    nlist_radii: Vec<f64>,
     nn: Vec<usize>,
     dt: f64,
     time: f64,
@@ -162,6 +165,7 @@ impl Simulation {
             name: ic.name,
             neighbor_path: NeighborPath::default(),
             nlist: NeighborList::new(),
+            nlist_radii: Vec::new(),
             nn: Vec::new(),
             dt: 0.0,
             time: 0.0,
@@ -197,6 +201,7 @@ impl Simulation {
             name: ic.name,
             neighbor_path: NeighborPath::default(),
             nlist: NeighborList::new(),
+            nlist_radii: Vec::new(),
             nn: Vec::new(),
             dt: 0.0,
             time: 0.0,
@@ -257,17 +262,23 @@ impl Simulation {
         let grid = self.build_grid();
         match self.neighbor_path {
             NeighborPath::SharedList => {
-                // One traversal at the step's maximum interaction radius
-                // (the grid's own cell size); every sweep below replays the
-                // list through its own radius filter.
+                // One h-aware traversal: pair (i, j) is stored when within
+                // either particle's own search radius `1.4 · support(h)`,
+                // so every sweep below replays a row complete for its own
+                // query radius without rows inflating to the global
+                // maximum radius (the grid's cell size still is that
+                // maximum, as the scan stencil requires).
                 let t0 = telemetry::active().then(std::time::Instant::now);
-                self.nlist.build_into(
+                self.nlist_radii.clear();
+                self.nlist_radii
+                    .extend(self.parts.h.iter().map(|&h| kernel.support(h) * 1.4));
+                self.nlist.build_adaptive_into(
                     &grid,
                     &self.parts.x,
                     &self.parts.y,
                     &self.parts.z,
                     self.parts.n_local,
-                    self.cfg.kernel.support(self.h_max_all) * 1.4,
+                    &self.nlist_radii,
                 );
                 if let Some(t0) = t0 {
                     telemetry::gauge_set("neighbors/avg", self.nlist.avg_neighbors());

@@ -80,10 +80,10 @@ fn evrard_step_at(threads: usize, path: NeighborPath) -> (Vec<u64>, StepStats) {
 
 /// A multi-step Evrard run (5 steps: h adapts, halos refresh, the neighbor
 /// list is rebuilt in place each step) through the given neighbor path.
-fn evrard_run_via(path: NeighborPath) -> (Vec<u64>, Vec<StepStats>) {
+fn evrard_run_via(path: NeighborPath, kernel: Kernel) -> (Vec<u64>, Vec<StepStats>) {
     ranks::run(1, CommCost::default(), |ctx| {
         let cfg = SimConfig {
-            kernel: Kernel::CubicSpline,
+            kernel,
             target_particles_per_rank: 1e6,
             target_neighbors: 40,
             bucket_size: 32,
@@ -154,22 +154,22 @@ fn cell_grid_path_is_bit_identical_across_thread_counts() {
     assert_eq!(stats_1t.dt.to_bits(), stats_4t.dt.to_bits());
 }
 
-#[test]
-fn shared_list_path_is_bit_identical_to_cell_grid_path() {
-    // The tentpole guarantee: a full Evrard run (gravity, adaptive h, halo
-    // refresh, per-step in-place list rebuild) through the shared CSR
-    // NeighborList produces the same bits — particle state and every
-    // reported stat — as the pre-change per-sweep grid walk. Everything an
-    // experiment report derives from the physics (ManDyn rung measurements,
-    // EDP scores, energy budgets) is a function of this state plus
-    // path-independent workload descriptors, so report equality follows.
-    let _guard = THREAD_OVERRIDE.lock().unwrap();
-    let (state_grid, stats_grid) = evrard_run_via(NeighborPath::CellGrid);
-    let (state_list, stats_list) = evrard_run_via(NeighborPath::SharedList);
+/// The tentpole guarantee (default features only — `fast-math` explicitly
+/// relaxes it): a full Evrard run through the shared CSR NeighborList with
+/// the cache-blocked sweep engine produces the same bits — particle state
+/// and every reported stat — as the per-sweep grid walk with the scalar
+/// callbacks. Everything an experiment report derives from the physics
+/// (ManDyn rung measurements, EDP scores, energy budgets) is a function of
+/// this state plus path-independent workload descriptors, so report
+/// equality follows.
+#[cfg(not(feature = "fast-math"))]
+fn assert_paths_agree(kernel: Kernel) {
+    let (state_grid, stats_grid) = evrard_run_via(NeighborPath::CellGrid, kernel);
+    let (state_list, stats_list) = evrard_run_via(NeighborPath::SharedList, kernel);
     assert!(!state_grid.is_empty());
     assert_eq!(
         state_grid, state_list,
-        "five-sweep step must not change a single bit when sweeps replay the shared list"
+        "{kernel:?}: five-sweep step must not change a single bit when sweeps replay the shared list"
     );
     assert_eq!(stats_grid.len(), stats_list.len());
     for (g, l) in stats_grid.iter().zip(&stats_list) {
@@ -182,6 +182,39 @@ fn shared_list_path_is_bit_identical_to_cell_grid_path() {
             assert_eq!(a.to_bits(), b.to_bits(), "budget fields must match bitwise");
         }
     }
+}
+
+#[cfg(not(feature = "fast-math"))]
+#[test]
+fn shared_list_path_is_bit_identical_to_cell_grid_path() {
+    let _guard = THREAD_OVERRIDE.lock().unwrap();
+    assert_paths_agree(Kernel::CubicSpline);
+}
+
+#[cfg(not(feature = "fast-math"))]
+#[test]
+fn shared_list_path_is_bit_identical_for_sinc5() {
+    // Sinc5 is the kernel fast-math actually replaces — pin that with the
+    // feature OFF its blocked path (fused sinc_dsinc, lane buffers) is
+    // still exact to the bit.
+    let _guard = THREAD_OVERRIDE.lock().unwrap();
+    assert_paths_agree(Kernel::Sinc5);
+}
+
+#[cfg(feature = "fast-math")]
+#[test]
+fn fast_math_shared_list_stays_thread_count_invariant_over_a_run() {
+    // fast-math gives up grid-vs-list bit-identity, NOT determinism: the
+    // lane-partial reductions depend only on each row's term sequence, so a
+    // multi-step run must still be bit-identical across worker counts.
+    let _guard = THREAD_OVERRIDE.lock().unwrap();
+    par::set_max_threads(1);
+    let (state_1t, _) = evrard_run_via(NeighborPath::SharedList, Kernel::Sinc5);
+    par::set_max_threads(4);
+    let (state_4t, _) = evrard_run_via(NeighborPath::SharedList, Kernel::Sinc5);
+    par::set_max_threads(0);
+    assert!(!state_1t.is_empty());
+    assert_eq!(state_1t, state_4t);
 }
 
 #[test]
