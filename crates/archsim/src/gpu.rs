@@ -252,11 +252,17 @@ impl GpuDevice {
 
     /// Set the memory clock to one of the supported P-states (the memory
     /// half of `nvmlDeviceSetApplicationsClocks`).
+    ///
+    /// Rides the same fault channels as the graphics half: the transition
+    /// can be transiently rejected (`ClockSet`) or silently land one P-state
+    /// lower (`ClockClamp`, detectable only by readback). Re-requesting the
+    /// clock the device already holds is a no-op and draws no faults, so
+    /// core-only tuners keep their exact fault schedules.
     pub fn set_memory_clock(&mut self, mem_mhz: MegaHertz) -> Result<(), ArchError> {
         if !self.user_clock_control {
             return Err(ArchError::NoPermission("SetApplicationsClocks(mem)"));
         }
-        if !self.spec.mem_clock_table.contains(&mem_mhz) {
+        let Some(idx) = self.spec.mem_clock_table.iter().position(|&f| f == mem_mhz) else {
             return Err(ArchError::UnsupportedClock {
                 requested: mem_mhz,
                 min: *self
@@ -266,8 +272,33 @@ impl GpuDevice {
                     .expect("non-empty mem table"),
                 max: self.spec.mem_clock,
             });
+        };
+        if mem_mhz == self.cur_mem_clock {
+            return Ok(());
+        }
+        if self.faults.clock_set_rejects() {
+            self.faults.note_injected(faults::Channel::ClockSet);
+            return Err(ArchError::Transient("SetApplicationsClocks(mem)"));
+        }
+        // Silent clamping: the table is descending, so losing rungs means
+        // moving toward its tail (lower P-states).
+        let mut mem_mhz = mem_mhz;
+        let clamp_rungs = self.faults.clock_clamp_rungs();
+        if clamp_rungs > 0 {
+            let clamped_idx = (idx + clamp_rungs as usize).min(self.spec.mem_clock_table.len() - 1);
+            let clamped = self.spec.mem_clock_table[clamped_idx];
+            if clamped < mem_mhz {
+                self.faults.note_injected(faults::Channel::ClockClamp);
+                mem_mhz = clamped;
+            }
         }
         self.cur_mem_clock = mem_mhz;
+        telemetry::instant(
+            "gpu",
+            "set_memory_clock",
+            Some(self.now.as_nanos()),
+            vec![("mhz", mem_mhz.0.into())],
+        );
         Ok(())
     }
 
@@ -999,5 +1030,51 @@ mod tests {
         d.set_application_clocks(MegaHertz(1110)).unwrap();
         let r = d.run_region(&heavy());
         assert_eq!(r.avg_freq, MegaHertz(1110));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn memory_clock_set_rides_the_clock_set_channel() {
+        let inj = faults::FaultInjector::new(faults::FaultProfile {
+            seed: 42,
+            clock_set_reject: 1.0,
+            ..faults::FaultProfile::default()
+        });
+        let mut d = device();
+        d.set_fault_handle(inj.device(0));
+        // Re-requesting the clock the device already holds draws no fault —
+        // core-only tuners keep their exact schedules.
+        assert!(d.set_memory_clock(MegaHertz(1593)).is_ok());
+        assert_eq!(inj.stats().clock_set_injected, 0);
+        // A real transition is transiently rejected, leaving the clock as-is.
+        assert!(matches!(
+            d.set_memory_clock(MegaHertz(1215)),
+            Err(ArchError::Transient(_))
+        ));
+        assert_eq!(inj.stats().clock_set_injected, 1);
+        assert_eq!(d.current_mem_clock(), MegaHertz(1593));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn memory_clock_clamp_lands_a_pstate_lower_and_reads_back() {
+        let inj = faults::FaultInjector::new(faults::FaultProfile {
+            seed: 7,
+            clock_clamp: 1.0,
+            clock_clamp_rungs: 1,
+            ..faults::FaultProfile::default()
+        });
+        let mut d = device();
+        d.set_fault_handle(inj.device(0));
+        // The call "succeeds" but the device holds the next lower P-state —
+        // detectable only by reading the clock back.
+        assert!(d.set_memory_clock(MegaHertz(1215)).is_ok());
+        assert_eq!(d.current_mem_clock(), MegaHertz(810));
+        assert_eq!(inj.stats().clock_clamp_injected, 1);
+        // At the bottom of the table there is nothing lower to clamp to.
+        let mut d2 = device();
+        d2.set_fault_handle(inj.device(1));
+        assert!(d2.set_memory_clock(MegaHertz(810)).is_ok());
+        assert_eq!(d2.current_mem_clock(), MegaHertz(810));
     }
 }

@@ -47,6 +47,7 @@ fn bench_experiment(c: &mut Criterion) {
                 report_dir: None,
                 power_cap_w: None,
                 table_store: None,
+                memory_clock: None,
                 faults: None,
             };
             black_box(run_experiment(&spec))

@@ -101,6 +101,7 @@ fn main() {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            memory_clock: None,
             faults: None,
         };
         let base = run_experiment(&mk(FreqPolicy::Baseline));

@@ -78,6 +78,7 @@ pub fn production_spec(
         report_dir: None,
         power_cap_w: None,
         table_store: None,
+        memory_clock: None,
         faults: None,
     }
 }

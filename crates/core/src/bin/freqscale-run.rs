@@ -14,7 +14,7 @@
 //! ```
 
 use freqscale::{run_experiments, ExperimentSpec, FreqPolicy};
-use online::OnlineTunerConfig;
+use online::{OnlineTunerConfig, PredictiveConfig};
 
 fn template() -> ExperimentSpec {
     let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 10);
@@ -35,21 +35,41 @@ fn online_template() -> ExperimentSpec {
     spec
 }
 
+/// Predictive-ManDyn starter spec: probe-fit-jump tuning with the memory
+/// P-state axis open, plus a table store so fitted coefficients persist and
+/// repeat runs skip even the probe phase.
+fn predictive_template() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::minihpc_turbulence(
+        FreqPolicy::ManDynPredictive(PredictiveConfig {
+            tune_memory: true,
+            ..PredictiveConfig::default()
+        }),
+        40,
+    );
+    spec.collect_trace = true;
+    spec.table_store = Some(std::path::PathBuf::from("freqscale-tables"));
+    spec
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: freqscale-run [--jobs N] [--out merged.json] [--trace-out trace.json]\n\
          \x20                 [--metrics-out metrics.txt] [--timeline-csv timeline.csv]\n\
-         \x20                 [--fault-profile default|profile.json] <spec.json>...\n\
+         \x20                 [--fault-profile default|profile.json] [--print-model]\n\
+         \x20                 <spec.json>...\n\
          \x20      freqscale-run <spec.json> [report.json]\n\
          \x20      freqscale-run --print-template | --print-online-template\n\
-         \x20                    | --print-fault-template\n\
+         \x20                    | --print-predictive-template | --print-fault-template\n\
          \n\
          \x20 --trace-out      Chrome-trace/Perfetto JSON of the run (open at\n\
          \x20                  https://ui.perfetto.dev)\n\
          \x20 --metrics-out    Prometheus-style text dump of counters/histograms\n\
          \x20 --timeline-csv   CSV merging span boundaries with GPU power samples\n\
          \x20 --fault-profile  chaos run: inject the given fault profile into\n\
-         \x20                  every spec (`default` = the standard chaos mix)"
+         \x20                  every spec (`default` = the standard chaos mix)\n\
+         \x20 --print-model    dump the fitted per-kernel model coefficients\n\
+         \x20                  (predictive policy) as JSON to stdout; the\n\
+         \x20                  report then only goes to --out"
     );
     std::process::exit(2);
 }
@@ -67,6 +87,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut timeline_csv: Option<String> = None;
     let mut fault_profile: Option<faults::FaultProfile> = None;
+    let mut print_model = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -108,6 +129,15 @@ fn main() {
                 );
                 return;
             }
+            "--print-predictive-template" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&predictive_template())
+                        .expect("template serializes")
+                );
+                return;
+            }
+            "--print-model" => print_model = true,
             "--jobs" | "-j" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 jobs = v
@@ -139,6 +169,25 @@ fn main() {
                 .unwrap_or_else(|e| fail(format!("reading spec {path}: {e}")));
             let mut spec: ExperimentSpec = serde_json::from_str(&body)
                 .unwrap_or_else(|e| fail(format!("parsing spec {path}: {e}")));
+            // A requested memory clock must be one of the device's P-states
+            // — catch it here, before any work, the way NVML rejects an
+            // unsupported memory clock at the SetApplicationsClocks call.
+            if let Some(m) = spec.memory_clock {
+                let gpu = &spec.system.node.gpu;
+                if !gpu.mem_clock_table.iter().any(|p| p.0 == m) {
+                    let supported: Vec<String> = gpu
+                        .mem_clock_table
+                        .iter()
+                        .map(|p| p.0.to_string())
+                        .collect();
+                    fail(format!(
+                        "spec {path}: memory clock {m} MHz is not a supported P-state \
+                         on {} (supported: {} MHz)",
+                        gpu.name,
+                        supported.join(", ")
+                    ));
+                }
+            }
             if let Some(profile) = &fault_profile {
                 spec.faults = Some(profile.clone());
             }
@@ -237,11 +286,31 @@ fn main() {
             }
         }
     }
+    if print_model {
+        // One object per spec, keyed "<workload>/<policy>", each holding
+        // rank 0's fitted per-kernel coefficients (empty for non-predictive
+        // policies or kernels that fell back to the search).
+        let models: std::collections::BTreeMap<String, online::StoredModels> = results
+            .iter()
+            .map(|r| {
+                (
+                    format!("{}/{}", r.workload, r.policy),
+                    r.per_rank[0].models.clone(),
+                )
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&models).expect("models serialize")
+        );
+    }
     match out {
         Some(path) => {
             std::fs::write(&path, &json).unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
             eprintln!("wrote {path}");
         }
+        // --print-model owns stdout; without --out the report is dropped.
+        None if print_model => {}
         None => println!("{json}"),
     }
 }

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use archsim::{ArchError, EnergyDelay, GpuDevice, MegaHertz, SimDuration, SimInstant, Watts};
 use nvml_shim::{Nvml, NvmlDevice, NvmlError};
-use online::OnlineTuner;
+use online::{ModelTable, OnlineTuner, PredictiveTuner, RecordOutcome};
 use parking_lot::Mutex;
 use pmt::{backends::NvmlSensor, joules, Pmt, State};
 use ranks::RankCtx;
@@ -53,13 +53,18 @@ pub struct EnergyInstrument {
     rank: usize,
     gpu: Arc<Mutex<GpuDevice>>,
     nvml_dev: NvmlDevice,
-    mem_clock_mhz: u32,
+    /// Memory clock the next `try_set_clocks` requests. Stays at the
+    /// device's current P-state for every policy except `ManDynPredictive`,
+    /// whose tuner retargets it per kernel when the memory axis is open.
+    mem_target_mhz: u32,
     policy: FreqPolicy,
     pmt: Pmt,
     functions: BTreeMap<FuncId, FunctionAccum>,
     auto_tune: BTreeMap<FuncId, AutoTuneState>,
     /// Live search state under `ManDynOnline`; `None` for other policies.
     online: Option<OnlineTuner>,
+    /// Live model state under `ManDynPredictive`; `None` for other policies.
+    predictive: Option<PredictiveTuner>,
     pending: Option<Pending>,
     loop_start: Option<SimInstant>,
     clock_control_denied: bool,
@@ -152,6 +157,9 @@ struct Pending {
     /// True when the online tuner proposed this call's clock and wants the
     /// region measurement fed back.
     online_tuned: bool,
+    /// True when the predictive tuner proposed this call's (core, mem)
+    /// clocks and wants the region measurement fed back.
+    predictive_tuned: bool,
 }
 
 impl EnergyInstrument {
@@ -173,16 +181,24 @@ impl EnergyInstrument {
             ),
             _ => None,
         };
+        let predictive = match &policy {
+            FreqPolicy::ManDynPredictive(cfg) => Some(
+                PredictiveTuner::new(gpu.lock().spec(), cfg.clone())
+                    .expect("valid predictive tuner config"),
+            ),
+            _ => None,
+        };
         Ok(EnergyInstrument {
             rank,
             gpu,
             nvml_dev: dev,
-            mem_clock_mhz,
+            mem_target_mhz: mem_clock_mhz,
             policy,
             pmt,
             functions: BTreeMap::new(),
             auto_tune: BTreeMap::new(),
             online,
+            predictive,
             pending: None,
             loop_start: None,
             clock_control_denied: false,
@@ -206,10 +222,24 @@ impl EnergyInstrument {
 
     /// Warm-start the online tuner from a previously learned table: every
     /// listed kernel is pinned up front and no exploration happens for it.
-    /// No-op for policies other than `ManDynOnline`.
+    /// Under `ManDynPredictive`, kernels without a stored model pin through
+    /// the inner search. No-op for other policies.
     pub fn with_warm_table(mut self, table: &crate::policy::FreqTable) -> Self {
         if let Some(tuner) = &mut self.online {
             tuner.warm_start(table);
+        }
+        if let Some(tuner) = &mut self.predictive {
+            tuner.warm_start_table(table);
+        }
+        self
+    }
+
+    /// Warm-start the predictive tuner from persisted fitted models: each
+    /// listed kernel jumps straight to its model's predicted optimum — no
+    /// probe phase. No-op for policies other than `ManDynPredictive`.
+    pub fn with_warm_models(mut self, models: &ModelTable) -> Self {
+        if let Some(tuner) = &mut self.predictive {
+            tuner.warm_start_models(models);
         }
         self
     }
@@ -236,6 +266,9 @@ impl EnergyInstrument {
         if let Some(tuner) = &mut self.online {
             tuner.set_ceiling(ceiling);
         }
+        if let Some(tuner) = &mut self.predictive {
+            tuner.set_ceiling(ceiling);
+        }
         self
     }
 
@@ -249,6 +282,9 @@ impl EnergyInstrument {
             .filter_map(|(f, st)| st.chosen.map(|mhz| (*f, mhz)))
             .collect();
         if let Some(tuner) = &self.online {
+            table.extend(tuner.table());
+        }
+        if let Some(tuner) = &self.predictive {
             table.extend(tuner.table());
         }
         table
@@ -276,7 +312,7 @@ impl EnergyInstrument {
         loop {
             match self
                 .nvml_dev
-                .set_applications_clocks(self.mem_clock_mhz, mhz)
+                .set_applications_clocks(self.mem_target_mhz, mhz)
             {
                 Ok(()) => {
                     if failed > 0 {
@@ -287,6 +323,18 @@ impl EnergyInstrument {
                     if let Ok(actual) = self.nvml_dev.applications_clock(nvml_shim::ClockType::Sm) {
                         if actual != mhz {
                             self.faults.note_recovered(faults::Channel::ClockClamp);
+                        }
+                    }
+                    // The memory axis only moves under the predictive
+                    // policy; elsewhere the request re-pins the default
+                    // P-state and the readback is trivially clean.
+                    if self.predictive.is_some() {
+                        if let Ok(actual) =
+                            self.nvml_dev.applications_clock(nvml_shim::ClockType::Mem)
+                        {
+                            if actual != self.mem_target_mhz {
+                                self.faults.note_recovered(faults::Channel::ClockClamp);
+                            }
                         }
                     }
                     return;
@@ -323,6 +371,24 @@ impl EnergyInstrument {
                 }
                 Err(e) => panic!("rank {}: unexpected NVML failure: {e}", self.rank),
             }
+        }
+    }
+
+    /// Poison one exploration measurement if the glitch channel fires.
+    /// Injection targets tuner *feedback* only — the accounting ledgers and
+    /// telemetry keep the true timeline integrals — and the tuner's
+    /// measurement-validity guard is the recovery layer: a poisoned sample
+    /// must come back rejected or quarantined, never accepted into a fit.
+    fn glitch_measurement(
+        faults: &faults::DeviceFaults,
+        energy_j: f64,
+        time_s: f64,
+    ) -> (f64, f64, bool) {
+        if faults.measurement_glitch() {
+            faults.note_injected(faults::Channel::MeasurementGlitch);
+            (f64::NAN, f64::NAN, true)
+        } else {
+            (energy_j, time_s, false)
         }
     }
 
@@ -398,7 +464,25 @@ impl EnergyInstrument {
         let exploration_launches = self
             .online
             .as_ref()
-            .map_or(0, OnlineTuner::exploration_launches);
+            .map_or(0, OnlineTuner::exploration_launches)
+            + self
+                .predictive
+                .as_ref()
+                .map_or(0, PredictiveTuner::exploration_launches);
+        let mem_table = self.predictive.as_ref().map_or_else(BTreeMap::new, |t| {
+            t.mem_table()
+                .into_iter()
+                .map(|(f, mhz)| (f.name().to_string(), mhz.0))
+                .collect()
+        });
+        let models = self
+            .predictive
+            .as_ref()
+            .map_or_else(Default::default, |t| online::models_by_name(t.models()));
+        let search_fallbacks = self
+            .predictive
+            .as_ref()
+            .map_or(0, PredictiveTuner::search_fallbacks);
 
         let _ = final_state;
         RankReport {
@@ -411,6 +495,9 @@ impl EnergyInstrument {
             power_trace,
             learned_table,
             exploration_launches,
+            mem_table,
+            models,
+            search_fallbacks,
         }
     }
 }
@@ -471,6 +558,7 @@ impl StepObserver for EnergyInstrument {
                     rank_clock: ctx.now(),
                     tuning_candidate: candidate,
                     online_tuned: false,
+                    predictive_tuned: false,
                 });
                 return;
             }
@@ -488,6 +576,26 @@ impl StepObserver for EnergyInstrument {
                     rank_clock: ctx.now(),
                     tuning_candidate: None,
                     online_tuned: true,
+                    predictive_tuned: false,
+                });
+                return;
+            }
+            FreqPolicy::ManDynPredictive(_) => {
+                let (core, mem) = self
+                    .predictive
+                    .as_mut()
+                    .expect("predictive tuner built with the policy")
+                    .propose(func);
+                self.mem_target_mhz = mem.0;
+                self.try_set_clocks(ctx, core.0);
+                let state = self.pmt.read();
+                self.pending = Some(Pending {
+                    func,
+                    state,
+                    rank_clock: ctx.now(),
+                    tuning_candidate: None,
+                    online_tuned: false,
+                    predictive_tuned: true,
                 });
                 return;
             }
@@ -499,6 +607,7 @@ impl StepObserver for EnergyInstrument {
             rank_clock: ctx.now(),
             tuning_candidate: None,
             online_tuned: false,
+            predictive_tuned: false,
         });
     }
 
@@ -560,7 +669,18 @@ impl StepObserver for EnergyInstrument {
                 // KernelTuner harness scores, so learned tables are directly
                 // comparable to `tune_table`'s.
                 let region_t = exec.duration().as_secs_f64();
-                tuner.record(func, exec.avg_freq, exec.energy.0, region_t);
+                let (e_j, t_s, glitched) = if tuner.is_pinned(func) {
+                    (exec.energy.0, region_t, false)
+                } else {
+                    Self::glitch_measurement(&self.faults, exec.energy.0, region_t)
+                };
+                let outcome = tuner.record(func, exec.avg_freq, e_j, t_s);
+                if glitched && outcome != RecordOutcome::Accepted {
+                    // The validity guard caught the garbled sample — that
+                    // rejection *is* the recovery for this channel.
+                    self.faults
+                        .note_recovered(faults::Channel::MeasurementGlitch);
+                }
                 if telemetry::active() {
                     // Each online rung measurement *is* a tuner evaluation —
                     // the in-run counterpart of an offline sweep point.
@@ -580,6 +700,48 @@ impl StepObserver for EnergyInstrument {
                     if let Some(edp) = tuner.windowed_edp(func) {
                         telemetry::gauge_set(&format!("online.windowed_edp.{}", func.name()), edp);
                     }
+                }
+            }
+        }
+
+        if pending.predictive_tuned {
+            if let Some(tuner) = self.predictive.as_mut() {
+                // Feed back the clocks the region *actually* ran at: the
+                // core clock from the execution's energy-weighted average,
+                // the memory clock from the device readback (a clamped
+                // request must anchor the model at the real P-state).
+                let region_t = exec.duration().as_secs_f64();
+                let mem_mhz = self
+                    .nvml_dev
+                    .clock_info(nvml_shim::ClockType::Mem)
+                    .unwrap_or(self.mem_target_mhz);
+                let (e_j, t_s, glitched) = if tuner.is_pinned(func) {
+                    (exec.energy.0, region_t, false)
+                } else {
+                    Self::glitch_measurement(&self.faults, exec.energy.0, region_t)
+                };
+                let outcome = tuner.record(func, exec.avg_freq, MegaHertz(mem_mhz), e_j, t_s);
+                if glitched && outcome != RecordOutcome::Accepted {
+                    // Caught by the probe guard (or quarantined outright):
+                    // the rejection is the recovery.
+                    self.faults
+                        .note_recovered(faults::Channel::MeasurementGlitch);
+                }
+                if telemetry::active() {
+                    telemetry::span_complete(
+                        "tuner",
+                        "eval",
+                        exec.start.as_nanos(),
+                        exec.end.as_nanos(),
+                        vec![
+                            ("func", func.name().into()),
+                            ("freq_mhz", exec.avg_freq.0.into()),
+                            ("mem_mhz", mem_mhz.into()),
+                            ("energy_j", exec.energy.0.into()),
+                            ("edp", EnergyDelay::of(exec.energy.0, region_t).0.into()),
+                            ("pinned", tuner.is_pinned(func).into()),
+                        ],
+                    );
                 }
             }
         }
@@ -783,6 +945,50 @@ mod tests {
         assert!(e < 0.97, "autotune must save energy: {e}");
         assert!(t < 1.08, "autotune time loss bounded: {t}");
         assert!(t * e < 0.99, "autotune must improve EDP: {}", t * e);
+    }
+
+    #[test]
+    fn predictive_policy_pins_kernels_and_reports_models() {
+        let policy = FreqPolicy::ManDynPredictive(online::PredictiveConfig::default());
+        let report = run_policy(policy, 16);
+        // Probing (4 rungs × 2 samples) plus verification fits inside the
+        // 16-step window, so kernels are pinned with fitted coefficients.
+        assert!(!report.learned_table.is_empty(), "kernels must pin");
+        assert!(!report.models.is_empty(), "fitted models must be reported");
+        assert!(report.exploration_launches > 0, "cold start probes");
+        // Fig. 2 split: memory-bound XMass pins low.
+        if let Some(xm) = report.learned_table.get("XMass") {
+            assert!(*xm <= 1110, "XMass pinned at {xm}");
+        }
+        // Every model-pinned kernel reports a memory P-state (the default,
+        // since the memory axis is closed here).
+        for (name, mem) in &report.mem_table {
+            assert_eq!(*mem, 1593, "{name} memory clock");
+        }
+    }
+
+    #[test]
+    fn predictive_spends_far_fewer_launches_than_the_search() {
+        let online = run_policy(FreqPolicy::ManDynOnline(Default::default()), 20);
+        let predictive = run_policy(
+            FreqPolicy::ManDynPredictive(online::PredictiveConfig::default()),
+            20,
+        );
+        assert!(
+            online.exploration_launches > 0 && predictive.exploration_launches > 0,
+            "both cold starts explore"
+        );
+        assert!(
+            predictive.exploration_launches * 2 <= online.exploration_launches,
+            "predictive ({}) must explore far less than the search ({})",
+            predictive.exploration_launches,
+            online.exploration_launches
+        );
+        // And it still lands in the efficient neighbourhood.
+        let base = run_policy(FreqPolicy::Baseline, 20);
+        let e = predictive.gpu_loop_j / base.gpu_loop_j;
+        let t = predictive.loop_time_s / base.loop_time_s;
+        assert!(t * e < 1.0, "predictive must improve EDP: {}", t * e);
     }
 
     #[test]

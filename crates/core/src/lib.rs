@@ -51,7 +51,7 @@ pub use instrument::EnergyInstrument;
 pub use policy::{paper_mandyn_table, tune_table, FreqPolicy, FreqTable};
 pub use report::{ExperimentResult, FunctionReport, NodeBreakdown, RankReport};
 pub use runner::{
-    learned_freq_table, run_experiment, run_experiment_with_table, run_experiments, ExperimentSpec,
-    WorkloadKind,
+    learned_freq_table, run_experiment, run_experiment_with_table, run_experiment_with_warm_start,
+    run_experiments, ExperimentSpec, WorkloadKind,
 };
 pub use serving::ExperimentExecutor;

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use archsim::{GpuSpec, MegaHertz};
-use online::OnlineTunerConfig;
+use online::{OnlineTunerConfig, PredictiveConfig};
 use serde::{Deserialize, Serialize};
 use sph::FuncId;
 use tuner::{tune_kernel, Objective, ParamSpace, TuneOptions, TuneResult};
@@ -44,6 +44,14 @@ pub enum FreqPolicy {
     /// composition. `{"ManDynOnline": {}}` in a spec file selects the
     /// paper-equivalent defaults.
     ManDynOnline(OnlineTunerConfig),
+    /// Predictive ManDyn (the `online` crate's model path): probe a handful
+    /// of rungs per kernel, fit the analytic roofline/CV²f model, jump
+    /// straight to the predicted (core, memory) EDP optimum and verify it in
+    /// one measurement — falling back to the `ManDynOnline` search whenever
+    /// the fit is rejected, probes are quarantined, or verification fails.
+    /// `{"ManDynPredictive": {}}` in a spec file selects the defaults;
+    /// `"tune_memory": true` opens the memory P-state axis.
+    ManDynPredictive(PredictiveConfig),
 }
 
 impl FreqPolicy {
@@ -56,6 +64,7 @@ impl FreqPolicy {
             FreqPolicy::ManDyn(_) => "mandyn".into(),
             FreqPolicy::AutoTune { .. } => "autotune".into(),
             FreqPolicy::ManDynOnline(_) => "mandyn-online".into(),
+            FreqPolicy::ManDynPredictive(_) => "mandyn-predictive".into(),
         }
     }
 
@@ -83,10 +92,11 @@ impl FreqPolicy {
             FreqPolicy::ManDyn(table) => {
                 Some(table.get(&func).copied().unwrap_or(gpu.clock_table.max()))
             }
-            // AutoTune's and ManDynOnline's clocks depend on runtime state;
-            // the instrumentation layer resolves them per call.
+            // AutoTune's and the online/predictive tuners' clocks depend on
+            // runtime state; the instrumentation layer resolves them per call.
             FreqPolicy::AutoTune { .. } => None,
             FreqPolicy::ManDynOnline(_) => None,
+            FreqPolicy::ManDynPredictive(_) => None,
         }
     }
 }
@@ -173,6 +183,10 @@ mod tests {
         assert_eq!(
             FreqPolicy::ManDynOnline(OnlineTunerConfig::default()).label(),
             "mandyn-online"
+        );
+        assert_eq!(
+            FreqPolicy::ManDynPredictive(PredictiveConfig::default()).label(),
+            "mandyn-predictive"
         );
     }
 

@@ -57,6 +57,18 @@ pub struct RankReport {
     /// ManDynOnline; `0` for other policies and for warm-started runs.
     #[serde(default)]
     pub exploration_launches: u64,
+    /// Per-kernel memory P-state (MHz) the predictive policy committed.
+    /// Empty unless `ManDynPredictive` ran with the memory axis open.
+    #[serde(default)]
+    pub mem_table: BTreeMap<String, u32>,
+    /// Fitted analytic models (predictive policy), keyed by function name —
+    /// the coefficients a table store persists for model warm starts.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub models: online::StoredModels,
+    /// Kernels that abandoned the predictive model path for the search
+    /// (quarantined probes, rejected fits or failed verification).
+    #[serde(default)]
+    pub search_fallbacks: u64,
 }
 
 impl RankReport {

@@ -9,7 +9,7 @@
 
 use archsim::{Cluster, MegaHertz, SimDuration, SimInstant, SystemSpec, Watts};
 use nvml_shim::Nvml;
-use online::{PowerCapCoordinator, TableStore};
+use online::{ModelTable, PowerCapCoordinator, TableStore};
 use pm_counters::PmCounters;
 use ranks::CommCost;
 use serde::{Deserialize, Serialize};
@@ -103,8 +103,16 @@ pub struct ExperimentSpec {
     /// Directory of learned-table JSON files. `ManDynOnline` warm-starts
     /// from the table stored for this (GPU, workload) — skipping
     /// exploration entirely — and persists whatever it learns at the end.
+    /// `ManDynPredictive` additionally loads/saves fitted model
+    /// coefficients, so a warm start skips even the probe phase.
     #[serde(default)]
     pub table_store: Option<std::path::PathBuf>,
+    /// Pin every GPU's memory clock to this P-state (MHz) for the whole
+    /// run. Must be one of the device's supported memory clocks
+    /// (`mem_clock_table`); the `freqscale-run` CLI validates this before
+    /// the run starts. `None` keeps the device default.
+    #[serde(default)]
+    pub memory_clock: Option<u32>,
     /// Deterministic fault-injection profile for chaos runs (see DESIGN.md
     /// "Fault model & resilience"). `None` or an all-zero profile runs
     /// fault-free; [`faults::FaultProfile::chaos`] is the standard mix. The
@@ -139,6 +147,7 @@ impl ExperimentSpec {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            memory_clock: None,
             faults: None,
         }
     }
@@ -183,6 +192,20 @@ pub fn run_experiment_with_table(
     spec: &ExperimentSpec,
     external_warm: Option<&FreqTable>,
 ) -> ExperimentResult {
+    run_experiment_with_warm_start(spec, external_warm, None)
+}
+
+/// Like [`run_experiment_with_table`], but also accepting externally served
+/// fitted model coefficients: under the predictive policy, kernels covered
+/// by `external_models` pin straight from the analytic model — zero
+/// exploration launches, not even a probe phase. The table server hands
+/// both pieces to served jobs; batch runs get the same effect through the
+/// spec's own `table_store`.
+pub fn run_experiment_with_warm_start(
+    spec: &ExperimentSpec,
+    external_warm: Option<&FreqTable>,
+    external_models: Option<&ModelTable>,
+) -> ExperimentResult {
     let cluster = Cluster::for_ranks(spec.system.clone(), spec.ranks);
     let setup_end = SimInstant::ZERO + spec.setup;
 
@@ -197,6 +220,19 @@ pub fn run_experiment_with_table(
     if let Some(khz) = spec.slurm_cpu_freq_khz {
         for node in cluster.nodes() {
             node.cpu().lock().set_frequency_khz(khz);
+        }
+    }
+    // A requested memory P-state applies before the injector is installed,
+    // like --gpu-freq: scheduler-side setup is never perturbed. The CLI
+    // validates the value against the device table up front, so a failure
+    // here means a programmatic spec skipped validation.
+    if let Some(mem) = spec.memory_clock {
+        for node in cluster.nodes() {
+            for gpu in node.gpus() {
+                gpu.lock()
+                    .set_memory_clock(MegaHertz(mem))
+                    .expect("requested memory clock must be a supported P-state");
+            }
         }
     }
 
@@ -232,14 +268,32 @@ pub fn run_experiment_with_table(
         .map(|dir| TableStore::open(dir).expect("table store directory is usable"));
     let gpu_name = spec.system.node.gpu.name.clone();
     let store_key = spec.table_store_key();
-    let warm_table: Option<FreqTable> = match (external_warm, &store, &spec.policy) {
-        (Some(t), _, FreqPolicy::ManDynOnline(_)) => Some(t.clone()),
-        // A corrupt or truncated store entry must cost one cold-start
-        // exploration, never a crash: `load_or_rebuild` warns, moves the bad
-        // file aside and returns `None`.
-        (None, Some(s), FreqPolicy::ManDynOnline(_)) => s.load_or_rebuild(&gpu_name, &store_key),
-        _ => None,
-    };
+    let (warm_table, warm_models): (Option<FreqTable>, Option<ModelTable>) =
+        match (external_warm, &store, &spec.policy) {
+            (Some(t), _, FreqPolicy::ManDynOnline(_) | FreqPolicy::ManDynPredictive(_)) => (
+                Some(t.clone()),
+                external_models.filter(|m| !m.is_empty()).cloned(),
+            ),
+            // A corrupt or truncated store entry must cost one cold-start
+            // exploration, never a crash: `load_or_rebuild` warns, moves the
+            // bad file aside and returns `None`.
+            (None, Some(s), FreqPolicy::ManDynOnline(_)) => {
+                (s.load_or_rebuild(&gpu_name, &store_key), None)
+            }
+            // The predictive policy also loads fitted coefficients: kernels
+            // with a stored model skip even the probe phase; the rest pin
+            // from the plain table through the search.
+            (None, Some(s), FreqPolicy::ManDynPredictive(_)) => {
+                match s.load_or_rebuild_stored(&gpu_name, &store_key) {
+                    Some(stored) => {
+                        let models = stored.model_table();
+                        (Some(stored.table), Some(models))
+                    }
+                    None => (None, None),
+                }
+            }
+            _ => (None, None),
+        };
 
     // One (device budget, clock ceiling) per rank. The budget is enforced on
     // the device; the ceiling keeps an online search out of throttled rungs.
@@ -284,6 +338,11 @@ pub fn run_experiment_with_table(
             .expect("rank binds to a device");
         if spec.collect_trace && ctx.rank() == 0 {
             inst = inst.with_freq_trace();
+        }
+        if let Some(models) = &warm_models {
+            // Models first: a kernel with stored coefficients pins at its
+            // predicted optimum; `with_warm_table` then only covers the rest.
+            inst = inst.with_warm_models(models);
         }
         if let Some(warm) = &warm_table {
             inst = inst.with_warm_table(warm);
@@ -365,13 +424,30 @@ pub fn run_experiment_with_table(
         }
     }
     // Persist what the online tuner learned, so the next run of the same
-    // (GPU, workload) warm-starts with zero exploration launches.
-    if let (Some(s), FreqPolicy::ManDynOnline(_)) = (&store, &spec.policy) {
-        let learned: FreqTable = learned_freq_table(&per_rank[0]);
-        if !learned.is_empty() {
-            s.save(&gpu_name, &store_key, &learned)
-                .expect("persist learned table");
+    // (GPU, workload) warm-starts with zero exploration launches. The
+    // predictive policy saves its fitted coefficients alongside the table,
+    // so the *next* warm start skips even the probe phase.
+    match (&store, &spec.policy) {
+        (Some(s), FreqPolicy::ManDynOnline(_)) => {
+            let learned: FreqTable = learned_freq_table(&per_rank[0]);
+            if !learned.is_empty() {
+                s.save(&gpu_name, &store_key, &learned)
+                    .expect("persist learned table");
+            }
         }
+        (Some(s), FreqPolicy::ManDynPredictive(_)) => {
+            let learned: FreqTable = learned_freq_table(&per_rank[0]);
+            let models: ModelTable = per_rank[0]
+                .models
+                .iter()
+                .filter_map(|(name, m)| FuncId::from_name(name).map(|f| (f, m.clone())))
+                .collect();
+            if !learned.is_empty() || !models.is_empty() {
+                s.save_with_models(&gpu_name, &store_key, &learned, &models)
+                    .expect("persist learned table and models");
+            }
+        }
+        _ => {}
     }
 
     let pmt_gpu_j: f64 = per_rank.iter().map(|r| r.gpu_loop_j).sum();
@@ -494,6 +570,7 @@ mod tests {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            memory_clock: None,
             faults: None,
         };
         let r = run_experiment(&spec);
@@ -545,6 +622,7 @@ mod tests {
             report_dir: None,
             power_cap_w: None,
             table_store: None,
+            memory_clock: None,
             faults: None,
         };
         let low = run_experiment(&spec);
@@ -654,6 +732,76 @@ mod tests {
         assert_eq!(r.workload, "SedovBlast");
         assert_eq!(r.per_rank[0].functions.len(), 11, "hydro set, no gravity");
         assert!(r.pmt_gpu_j > 0.0);
+    }
+
+    #[test]
+    fn predictive_run_persists_models_and_warm_starts_probe_free() {
+        let dir =
+            std::env::temp_dir().join(format!("freqscale_predictive_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = ExperimentSpec::minihpc_turbulence(
+            FreqPolicy::ManDynPredictive(online::PredictiveConfig::default()),
+            16,
+        );
+        spec.workload = WorkloadKind::Turbulence {
+            n_side: 6,
+            mach: 0.3,
+            seed: 1,
+        };
+        spec.target_neighbors = 30;
+        spec.table_store = Some(dir.clone());
+
+        let cold = run_experiment(&spec);
+        let rank = &cold.per_rank[0];
+        assert!(rank.exploration_launches > 0, "cold start probes");
+        assert!(!rank.models.is_empty(), "models reported");
+        assert!(!rank.learned_table.is_empty(), "kernels pinned");
+
+        // The store now holds both the table and the fitted coefficients…
+        let store = online::TableStore::open(&dir).unwrap();
+        let stored = store
+            .load_stored(&spec.system.node.gpu.name, &spec.table_store_key())
+            .unwrap()
+            .expect("entry persisted");
+        assert!(!stored.models.is_empty(), "coefficients persisted");
+        assert_eq!(
+            stored.table.len(),
+            rank.learned_table.len(),
+            "table persisted"
+        );
+
+        // …so the second run skips probing entirely for model-backed
+        // kernels and pins table-backed ones through the search warm start.
+        let warm = run_experiment(&spec);
+        assert_eq!(
+            warm.per_rank[0].exploration_launches, 0,
+            "warm start must skip the probe phase"
+        );
+        assert_eq!(
+            warm.per_rank[0].learned_table, cold.per_rank[0].learned_table,
+            "warm run pins the same clocks"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn pinned_memory_clock_slows_memory_bound_work() {
+        let base = quick(FreqPolicy::Baseline);
+        let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, 2);
+        spec.workload = WorkloadKind::Turbulence {
+            n_side: 6,
+            mach: 0.3,
+            seed: 1,
+        };
+        spec.target_neighbors = 30;
+        spec.memory_clock = Some(810);
+        let slow = run_experiment(&spec);
+        assert!(
+            slow.time_to_solution_s > base.time_to_solution_s,
+            "halving memory bandwidth must cost time: {} vs {}",
+            slow.time_to_solution_s,
+            base.time_to_solution_s
+        );
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! The `freqscale-serve` and `freqscale-submit` binaries are thin wrappers
 //! around this module plus `serve::daemon`/`serve::client`.
 
-use online::LearnedTable;
+use online::{LearnedTable, ModelTable, StoredModels};
 use serve::daemon::{Executor, JobMeta, JobOutcome};
+use sph::FuncId;
 
 use crate::policy::FreqPolicy;
-use crate::runner::{learned_freq_table, run_experiment_with_table, ExperimentSpec};
+use crate::runner::{learned_freq_table, run_experiment_with_warm_start, ExperimentSpec};
 
 /// The daemon's executor for real experiment specs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,22 +49,45 @@ impl Executor for ExperimentExecutor {
             name: format!("{}-{}", spec.workload.name(), spec.policy.label()),
             gpu: spec.system.node.gpu.name.clone(),
             workload: spec.table_store_key(),
-            uses_tables: matches!(spec.policy, FreqPolicy::ManDynOnline(_)),
+            uses_tables: matches!(
+                spec.policy,
+                FreqPolicy::ManDynOnline(_) | FreqPolicy::ManDynPredictive(_)
+            ),
             nodes: spec.ranks.div_ceil(devices.max(1)),
         })
     }
 
-    fn execute(&self, spec_json: &str, warm: Option<&LearnedTable>) -> Result<JobOutcome, String> {
+    fn execute(
+        &self,
+        spec_json: &str,
+        warm: Option<&LearnedTable>,
+        warm_models: &StoredModels,
+    ) -> Result<JobOutcome, String> {
         let spec = Self::parse(spec_json)?;
         // The served warm table is keyed by FuncId already; the instrument
-        // side wants the same shape (LearnedTable == FreqTable).
-        let result = run_experiment_with_table(&spec, warm);
-        let learned = match spec.policy {
+        // side wants the same shape (LearnedTable == FreqTable). Served
+        // model coefficients (stored by kernel name) convert to the typed
+        // table the predictive tuner warm-starts from.
+        let model_table: ModelTable = warm_models
+            .iter()
+            .filter_map(|(name, m)| FuncId::from_name(name).map(|f| (f, m.clone())))
+            .collect();
+        let result = run_experiment_with_warm_start(&spec, warm, Some(&model_table));
+        let (learned, models) = match spec.policy {
             FreqPolicy::ManDynOnline(_) => {
                 let t = learned_freq_table(&result.per_rank[0]);
-                (!t.is_empty()).then_some(t)
+                ((!t.is_empty()).then_some(t), StoredModels::new())
             }
-            _ => None,
+            // Predictive jobs also publish their fitted coefficients, so the
+            // next lease of this key skips even the probe phase.
+            FreqPolicy::ManDynPredictive(_) => {
+                let t = learned_freq_table(&result.per_rank[0]);
+                (
+                    (!t.is_empty()).then_some(t),
+                    result.per_rank[0].models.clone(),
+                )
+            }
+            _ => (None, StoredModels::new()),
         };
         let recovery = (result.fault_stats.injected() > 0).then(|| {
             format!(
@@ -74,6 +98,7 @@ impl Executor for ExperimentExecutor {
         });
         Ok(JobOutcome {
             learned,
+            models,
             exploration_launches: result.per_rank[0].exploration_launches,
             elapsed_s: result.job_elapsed_s,
             energy_j: result.slurm_consumed_j,

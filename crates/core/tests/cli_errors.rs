@@ -96,6 +96,46 @@ fn unwritable_out_path_fails_cleanly() {
 }
 
 #[test]
+fn unsupported_memory_clock_fails_listing_pstates() {
+    // A spec requesting a memory clock absent from the device's P-state
+    // table must fail up front with the supported list, not panic mid-run.
+    let mut spec =
+        freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    spec.memory_clock = Some(1234);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "freqscale-memclock-spec-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    assert_clean_failure(&out, "memory clock 1234 MHz is not a supported P-state");
+    // The diagnostic lists the A100's supported memory P-states.
+    let err = stderr(&out);
+    for pstate in ["1593", "1215", "810"] {
+        assert!(
+            err.contains(pstate),
+            "P-state {pstate} missing from:\n{err}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn supported_memory_clock_is_accepted() {
+    // The same spec with an on-table P-state runs to completion.
+    let mut spec =
+        freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    spec.memory_clock = Some(1215);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("freqscale-memclock-ok-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{}", stderr(&out));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn no_arguments_prints_usage_exit_2() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2));

@@ -23,7 +23,7 @@ struct Inner {
     draws: Mutex<HashMap<(u8, u64), u64>>,
     /// Injected/recovered counters, `[inj, rec]` per channel in
     /// `FaultStats::CHANNELS` order.
-    stats: [[AtomicU64; 2]; 6],
+    stats: [[AtomicU64; 2]; 7],
 }
 
 fn channel_index(ch: Channel) -> usize {
@@ -127,6 +127,8 @@ impl FaultInjector {
         s.thermal_recovered = read(4, 1);
         s.straggler_injected = read(5, 0);
         s.straggler_recovered = read(5, 1);
+        s.measurement_glitch_injected = read(6, 0);
+        s.measurement_glitch_recovered = read(6, 1);
         s
     }
 }
@@ -222,6 +224,17 @@ impl DeviceFaults {
         match &self.inner {
             Some(i) if i.profile.straggler_stall > 0.0 => {
                 self.unit(i, Channel::Straggler) < i.profile.straggler_stall
+            }
+            _ => false,
+        }
+    }
+
+    /// Should the next per-region measurement reach the tuner poisoned
+    /// (non-finite) instead of as measured?
+    pub fn measurement_glitch(&self) -> bool {
+        match &self.inner {
+            Some(i) if i.profile.measurement_glitch > 0.0 => {
+                self.unit(i, Channel::MeasurementGlitch) < i.profile.measurement_glitch
             }
             _ => false,
         }

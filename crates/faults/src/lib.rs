@@ -73,6 +73,7 @@ mod enabled_tests {
             assert_eq!(dev.sample_fault(), SampleFault::None);
             assert!(!dev.thermal_throttle());
             assert!(!dev.straggler_stall());
+            assert!(!dev.measurement_glitch());
         }
         assert_eq!(dev.energy_rollover_j(), None);
         assert_eq!(inj.stats(), FaultStats::default());
@@ -108,6 +109,26 @@ mod enabled_tests {
         }
         assert!((drops as f64 / n as f64 - 0.10).abs() < 0.02);
         assert!((dups as f64 / n as f64 - 0.10).abs() < 0.02);
+    }
+
+    #[test]
+    fn measurement_glitch_rate_and_accounting() {
+        let inj = FaultInjector::new(FaultProfile {
+            seed: 9,
+            measurement_glitch: 0.2,
+            ..FaultProfile::default()
+        });
+        let dev = inj.device(0);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| dev.measurement_glitch()).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "glitch rate {frac} far from 0.2");
+        dev.note_injected(Channel::MeasurementGlitch);
+        dev.note_recovered(Channel::MeasurementGlitch);
+        let s = inj.stats();
+        assert_eq!(s.channel(Channel::MeasurementGlitch), (1, 1));
+        assert!(s.all_recovered());
+        assert!(s.summary().contains("measurement_glitch: 1 injected"));
     }
 
     #[test]

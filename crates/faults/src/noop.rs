@@ -80,6 +80,11 @@ impl DeviceFaults {
     }
 
     #[inline]
+    pub fn measurement_glitch(&self) -> bool {
+        false
+    }
+
+    #[inline]
     pub fn note_injected(&self, _ch: Channel) {}
 
     #[inline]

@@ -25,6 +25,10 @@ pub enum Channel {
     Thermal,
     /// A rank's local compute stalls (straggler), inflating one `advance`.
     Straggler,
+    /// One per-region (energy, time) measurement reaches the tuner as a
+    /// poisoned (non-finite) reading, exercising the measurement-validity
+    /// guards (invalid-sample rejection, probe quarantine, search fallback).
+    MeasurementGlitch,
 }
 
 impl Channel {
@@ -37,6 +41,7 @@ impl Channel {
             Channel::EnergyCounter => 0x726f_6c6c_6f76_6572,
             Channel::Thermal => 0x7468_6572_6d61_6c00,
             Channel::Straggler => 0x7374_7261_6767_6c65,
+            Channel::MeasurementGlitch => 0x676c_6974_6368_0000,
         }
     }
 
@@ -48,6 +53,7 @@ impl Channel {
             Channel::EnergyCounter => "energy_counter",
             Channel::Thermal => "thermal",
             Channel::Straggler => "straggler",
+            Channel::MeasurementGlitch => "measurement_glitch",
         }
     }
 }
@@ -101,6 +107,10 @@ pub struct FaultProfile {
     /// Time-inflation factor applied to a stalled `advance` (> 1).
     #[serde(default = "default_straggler_factor")]
     pub straggler_factor: f64,
+    /// Probability one per-region (energy, time) measurement reaches the
+    /// tuner as a poisoned (non-finite) reading instead of as measured.
+    #[serde(default)]
+    pub measurement_glitch: f64,
 }
 
 fn default_clamp_rungs() -> u32 {
@@ -124,6 +134,7 @@ impl Default for FaultProfile {
             thermal_throttle: 0.0,
             straggler_stall: 0.0,
             straggler_factor: default_straggler_factor(),
+            measurement_glitch: 0.0,
         }
     }
 }
@@ -155,6 +166,7 @@ impl FaultProfile {
             && self.energy_rollover_j.is_none()
             && self.thermal_throttle <= 0.0
             && self.straggler_stall <= 0.0
+            && self.measurement_glitch <= 0.0
     }
 
     /// Reject profiles the injector cannot run with.
@@ -166,6 +178,7 @@ impl FaultProfile {
             ("sample_duplicate", self.sample_duplicate),
             ("thermal_throttle", self.thermal_throttle),
             ("straggler_stall", self.straggler_stall),
+            ("measurement_glitch", self.measurement_glitch),
         ];
         for (name, p) in rates {
             if !(0.0..=1.0).contains(&p) {
@@ -223,6 +236,10 @@ pub struct FaultStats {
     pub straggler_injected: u64,
     #[serde(default)]
     pub straggler_recovered: u64,
+    #[serde(default)]
+    pub measurement_glitch_injected: u64,
+    #[serde(default)]
+    pub measurement_glitch_recovered: u64,
 }
 
 impl FaultStats {
@@ -235,16 +252,21 @@ impl FaultStats {
             Channel::EnergyCounter => (self.energy_counter_injected, self.energy_counter_recovered),
             Channel::Thermal => (self.thermal_injected, self.thermal_recovered),
             Channel::Straggler => (self.straggler_injected, self.straggler_recovered),
+            Channel::MeasurementGlitch => (
+                self.measurement_glitch_injected,
+                self.measurement_glitch_recovered,
+            ),
         }
     }
 
-    pub const CHANNELS: [Channel; 6] = [
+    pub const CHANNELS: [Channel; 7] = [
         Channel::ClockSet,
         Channel::ClockClamp,
         Channel::PowerSample,
         Channel::EnergyCounter,
         Channel::Thermal,
         Channel::Straggler,
+        Channel::MeasurementGlitch,
     ];
 
     /// Total faults injected across channels.
@@ -279,6 +301,8 @@ impl FaultStats {
         self.thermal_recovered += other.thermal_recovered;
         self.straggler_injected += other.straggler_injected;
         self.straggler_recovered += other.straggler_recovered;
+        self.measurement_glitch_injected += other.measurement_glitch_injected;
+        self.measurement_glitch_recovered += other.measurement_glitch_recovered;
     }
 
     /// Human-readable per-channel summary, one `name: N injected, M

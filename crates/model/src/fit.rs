@@ -1,0 +1,473 @@
+//! Ordinary least squares fitting of the analytic time/power models.
+//!
+//! Both models are linear in their coefficients once the predictors are
+//! formed (`f_ref/f` for time, `1`, `V²f` and `(f_mem/f_ref)^1.3` for
+//! power), so a handful of probe samples pins them down through the normal
+//! equations — no iterative solver, no external linear-algebra crate. The
+//! systems are at most 3×3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{KernelModel, Sample, VoltageParams, MEM_POWER_EXP};
+
+/// Fewest samples a fit will accept. Three points over two distinct core
+/// clocks already determine the 2-coefficient time model with one residual
+/// degree of freedom.
+pub const MIN_FIT_SAMPLES: usize = 3;
+
+/// Why a fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than [`MIN_FIT_SAMPLES`] valid samples.
+    TooFewSamples { needed: usize, got: usize },
+    /// All samples sit at one core clock — the clock-sensitive share is
+    /// unobservable.
+    NoClockVariation,
+    /// The normal equations were numerically singular.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples { needed, got } => {
+                write!(f, "too few valid samples: need {needed}, got {got}")
+            }
+            FitError::NoClockVariation => {
+                write!(
+                    f,
+                    "samples cover a single core clock; cannot separate T_comp"
+                )
+            }
+            FitError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Quality of a fit: coefficient-of-determination per response plus the
+/// worst relative residual, so callers can reject fits that interpolate
+/// noise or miss structure (e.g. a roofline dominance flip mid-ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FitDiagnostics {
+    /// R² of the time model over the fit samples.
+    pub r2_time: f64,
+    /// R² of the power model over the fit samples.
+    pub r2_power: f64,
+    /// Worst `|observed − predicted| / observed` for time.
+    pub max_rel_residual_time: f64,
+    /// Worst relative residual for power.
+    pub max_rel_residual_power: f64,
+    /// Number of samples the fit consumed.
+    pub samples: usize,
+}
+
+impl FitDiagnostics {
+    /// A fit a predictive tuner should trust: both R² at or above `min_r2`
+    /// and no residual beyond `max_residual` (relative).
+    pub fn healthy(&self, min_r2: f64, max_residual: f64) -> bool {
+        self.r2_time >= min_r2
+            && self.r2_power >= min_r2
+            && self.max_rel_residual_time <= max_residual
+            && self.max_rel_residual_power <= max_residual
+    }
+}
+
+/// Solve the least-squares problem `min ||X·b − y||²` through the normal
+/// equations, for `k ≤ 3` predictors. Gaussian elimination with partial
+/// pivoting; returns `None` when the system is numerically singular.
+fn solve_normal(rows: &[[f64; 3]], y: &[f64], k: usize) -> Option<[f64; 3]> {
+    debug_assert!((1..=3).contains(&k) && rows.len() == y.len());
+    // Accumulate XᵀX and Xᵀy.
+    let mut a = [[0.0f64; 3]; 3];
+    let mut b = [0.0f64; 3];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..k {
+            b[i] += row[i] * yi;
+            for j in 0..k {
+                a[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Scale-aware singularity guard, then eliminate.
+    let scale = (0..k)
+        .map(|i| a[i][i].abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    for col in 0..k {
+        let pivot = (col..k).max_by(|&r, &s| a[r][col].abs().total_cmp(&a[s][col].abs()))?;
+        if a[pivot][col].abs() <= 1e-12 * scale {
+            return None;
+        }
+        if pivot != col {
+            a.swap(pivot, col);
+            b.swap(pivot, col);
+        }
+        let pivot_row = a[col];
+        for r in (col + 1)..k {
+            let m = a[r][col] / pivot_row[col];
+            for (c, &p) in pivot_row.iter().enumerate().take(k).skip(col) {
+                a[r][c] -= m * p;
+            }
+            b[r] -= m * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for r in (0..k).rev() {
+        let mut acc = b[r];
+        for c in (r + 1)..k {
+            acc -= a[r][c] * x[c];
+        }
+        x[r] = acc / a[r][r];
+    }
+    Some(x)
+}
+
+/// R² of `predicted` against `actual`, guarded for near-constant responses:
+/// when the response has (almost) no variance, score the residuals against
+/// the response magnitude instead, so a flat kernel fitted flat still reads
+/// as a good fit.
+fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
+    let n = actual.len() as f64;
+    let mean = actual.iter().sum::<f64>() / n;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    let magnitude: f64 = actual.iter().map(|a| a * a).sum();
+    if ss_tot > 1e-9 * magnitude {
+        1.0 - ss_res / ss_tot
+    } else if magnitude > 0.0 {
+        (1.0 - ss_res / magnitude).clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+fn distinct(values: impl Iterator<Item = f64>) -> usize {
+    let mut seen: Vec<f64> = Vec::new();
+    for v in values {
+        if !seen.iter().any(|s| (s - v).abs() < 1e-9) {
+            seen.push(v);
+        }
+    }
+    seen.len()
+}
+
+impl KernelModel {
+    /// Fit both models from probe samples by ordinary least squares.
+    ///
+    /// Invalid samples (non-finite or non-positive time/energy) are dropped
+    /// first; at least [`MIN_FIT_SAMPLES`] valid ones covering two distinct
+    /// core clocks must remain. The memory-power coefficient is fitted only
+    /// when the samples vary the memory clock, otherwise it is zero and the
+    /// static term absorbs memory power at the reference P-state.
+    pub fn fit(
+        samples: &[Sample],
+        f_core_ref_mhz: f64,
+        f_mem_ref_mhz: f64,
+        voltage: VoltageParams,
+    ) -> Result<KernelModel, FitError> {
+        let valid: Vec<Sample> = samples.iter().copied().filter(Sample::is_valid).collect();
+        if valid.len() < MIN_FIT_SAMPLES {
+            return Err(FitError::TooFewSamples {
+                needed: MIN_FIT_SAMPLES,
+                got: valid.len(),
+            });
+        }
+        if distinct(valid.iter().map(|s| s.f_core_mhz)) < 2 {
+            return Err(FitError::NoClockVariation);
+        }
+        let mem_varies = distinct(valid.iter().map(|s| s.f_mem_mhz)) >= 2;
+
+        // ---- time: y = t_mem·(fm_ref/fm) + t_comp·(fc_ref/fc) ----
+        let t_rows: Vec<[f64; 3]> = valid
+            .iter()
+            .map(|s| {
+                [
+                    f_mem_ref_mhz / s.f_mem_mhz,
+                    f_core_ref_mhz / s.f_core_mhz,
+                    0.0,
+                ]
+            })
+            .collect();
+        let t_y: Vec<f64> = valid.iter().map(|s| s.time_s).collect();
+        let t = solve_normal(&t_rows, &t_y, 2).ok_or(FitError::Singular)?;
+        let (mut t_mem_s, mut t_comp_s) = (t[0], t[1]);
+        // A negative share means that axis contributes nothing observable;
+        // drop it and refit the other in one dimension.
+        if t_comp_s < 0.0 {
+            t_comp_s = 0.0;
+            t_mem_s = one_dim(&t_rows, &t_y, 0);
+        } else if t_mem_s < 0.0 {
+            t_mem_s = 0.0;
+            t_comp_s = one_dim(&t_rows, &t_y, 1);
+        }
+
+        // ---- power: y = p_static + p_core·s(fc) [+ p_mem·(fm/fm_ref)^1.3] ----
+        let ref_scale = voltage.core_power_scale(f_core_ref_mhz).max(1e-12);
+        let p_rows: Vec<[f64; 3]> = valid
+            .iter()
+            .map(|s| {
+                [
+                    1.0,
+                    voltage.core_power_scale(s.f_core_mhz) / ref_scale,
+                    if mem_varies {
+                        (s.f_mem_mhz / f_mem_ref_mhz).powf(MEM_POWER_EXP)
+                    } else {
+                        0.0
+                    },
+                ]
+            })
+            .collect();
+        let p_y: Vec<f64> = valid.iter().map(Sample::power_w).collect();
+        let k = if mem_varies { 3 } else { 2 };
+        let p = solve_normal(&p_rows, &p_y, k)
+            .or_else(|| solve_normal(&p_rows, &p_y, 2))
+            .ok_or(FitError::Singular)?;
+        let (mut p_static_w, mut p_core_w, mut p_mem_w) =
+            (p[0], p[1], if k == 3 { p[2] } else { 0.0 });
+        if p_core_w < 0.0 {
+            // Power that falls with the core clock is unphysical here; call
+            // it flat and let the diagnostics report the misfit.
+            p_core_w = 0.0;
+        }
+        if p_mem_w < 0.0 {
+            p_mem_w = 0.0;
+        }
+        if p_static_w < 0.0 {
+            p_static_w = 0.0;
+        }
+
+        let mut m = KernelModel {
+            f_core_ref_mhz,
+            f_mem_ref_mhz,
+            t_comp_s,
+            t_mem_s,
+            p_static_w,
+            p_core_w,
+            p_mem_w,
+            voltage,
+            diag: FitDiagnostics::default(),
+        };
+        let t_pred: Vec<f64> = valid
+            .iter()
+            .map(|s| m.time_s(s.f_core_mhz, s.f_mem_mhz))
+            .collect();
+        let p_pred: Vec<f64> = valid
+            .iter()
+            .map(|s| m.power_w(s.f_core_mhz, s.f_mem_mhz))
+            .collect();
+        let rel = |a: &[f64], p: &[f64]| {
+            a.iter()
+                .zip(p)
+                .map(|(a, p)| (a - p).abs() / a.max(1e-300))
+                .fold(0.0f64, f64::max)
+        };
+        m.diag = FitDiagnostics {
+            r2_time: r_squared(&t_y, &t_pred),
+            r2_power: r_squared(&p_y, &p_pred),
+            max_rel_residual_time: rel(&t_y, &t_pred),
+            max_rel_residual_power: rel(&p_y, &p_pred),
+            samples: valid.len(),
+        };
+        Ok(m)
+    }
+}
+
+/// One-predictor least squares on column `col` of `rows`.
+fn one_dim(rows: &[[f64; 3]], y: &[f64], col: usize) -> f64 {
+    let num: f64 = rows.iter().zip(y).map(|(r, &yi)| r[col] * yi).sum();
+    let den: f64 = rows.iter().map(|r| r[col] * r[col]).sum();
+    if den > 0.0 {
+        (num / den).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volts() -> VoltageParams {
+        VoltageParams {
+            v_min: 0.70,
+            v_max: 1.05,
+            f_min_mhz: 210.0,
+            f_max_mhz: 1410.0,
+        }
+    }
+
+    /// Generate a sample exactly on a ground-truth model.
+    fn on_model(truth: &KernelModel, fc: f64, fm: f64) -> Sample {
+        Sample {
+            f_core_mhz: fc,
+            f_mem_mhz: fm,
+            time_s: truth.time_s(fc, fm),
+            energy_j: truth.energy_j(fc, fm),
+        }
+    }
+
+    fn truth() -> KernelModel {
+        KernelModel {
+            f_core_ref_mhz: 1410.0,
+            f_mem_ref_mhz: 1593.0,
+            t_comp_s: 0.045,
+            t_mem_s: 0.012,
+            p_static_w: 85.0,
+            p_core_w: 140.0,
+            p_mem_w: 38.0,
+            voltage: volts(),
+            diag: FitDiagnostics::default(),
+        }
+    }
+
+    #[test]
+    fn recovers_coefficients_from_clean_core_probes() {
+        let t = truth();
+        let samples: Vec<Sample> = [1410.0, 1275.0, 1140.0, 1005.0]
+            .iter()
+            .map(|&fc| on_model(&t, fc, 1593.0))
+            .collect();
+        let m = KernelModel::fit(&samples, 1410.0, 1593.0, volts()).unwrap();
+        assert!(
+            (m.t_comp_s - t.t_comp_s).abs() < 1e-9,
+            "t_comp {}",
+            m.t_comp_s
+        );
+        assert!((m.t_mem_s - t.t_mem_s).abs() < 1e-9, "t_mem {}", m.t_mem_s);
+        assert!((m.p_core_w - t.p_core_w).abs() < 1e-6);
+        // Without mem variation, static power absorbs the mem share.
+        assert_eq!(m.p_mem_w, 0.0);
+        assert!((m.p_static_w - (t.p_static_w + t.p_mem_w)).abs() < 1e-6);
+        assert!(m.diag.r2_time > 0.999 && m.diag.r2_power > 0.999);
+        assert!(m.diag.healthy(0.99, 0.02));
+    }
+
+    #[test]
+    fn recovers_memory_coefficients_with_a_mem_probe() {
+        let t = truth();
+        let mut samples: Vec<Sample> = [1410.0, 1275.0, 1140.0, 1005.0]
+            .iter()
+            .map(|&fc| on_model(&t, fc, 1593.0))
+            .collect();
+        samples.push(on_model(&t, 1410.0, 810.0));
+        let m = KernelModel::fit(&samples, 1410.0, 1593.0, volts()).unwrap();
+        assert!((m.t_mem_s - t.t_mem_s).abs() < 1e-9);
+        assert!((m.p_mem_w - t.p_mem_w).abs() < 1e-6, "p_mem {}", m.p_mem_w);
+        assert!((m.p_static_w - t.p_static_w).abs() < 1e-6);
+        assert!(m.diag.healthy(0.99, 0.02));
+    }
+
+    #[test]
+    fn tolerates_mild_noise() {
+        let t = truth();
+        let noise = [1.01, 0.99, 1.02, 0.985, 1.005];
+        let samples: Vec<Sample> = [1410.0, 1305.0, 1200.0, 1095.0, 1005.0]
+            .iter()
+            .zip(noise)
+            .map(|(&fc, n)| {
+                let s = on_model(&t, fc, 1593.0);
+                Sample {
+                    time_s: s.time_s * n,
+                    energy_j: s.energy_j * n,
+                    ..s
+                }
+            })
+            .collect();
+        let m = KernelModel::fit(&samples, 1410.0, 1593.0, volts()).unwrap();
+        assert!(m.diag.r2_time > 0.9, "r2_time {}", m.diag.r2_time);
+        assert!((m.t_comp_s - t.t_comp_s).abs() / t.t_comp_s < 0.2);
+    }
+
+    #[test]
+    fn rejects_too_few_or_invalid_samples() {
+        let t = truth();
+        let s = on_model(&t, 1410.0, 1593.0);
+        assert_eq!(
+            KernelModel::fit(&[s, s], 1410.0, 1593.0, volts()),
+            Err(FitError::TooFewSamples { needed: 3, got: 2 })
+        );
+        let bad = Sample {
+            time_s: f64::NAN,
+            ..s
+        };
+        assert_eq!(
+            KernelModel::fit(&[s, bad, bad, bad], 1410.0, 1593.0, volts()),
+            Err(FitError::TooFewSamples { needed: 3, got: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_single_clock_probes() {
+        let t = truth();
+        let samples = [
+            on_model(&t, 1410.0, 1593.0),
+            on_model(&t, 1410.0, 1593.0),
+            on_model(&t, 1410.0, 1593.0),
+        ];
+        assert_eq!(
+            KernelModel::fit(&samples, 1410.0, 1593.0, volts()),
+            Err(FitError::NoClockVariation)
+        );
+    }
+
+    #[test]
+    fn flat_kernel_fits_flat_with_good_diagnostics() {
+        // Memory-bound limit: time and power barely move with the core clock.
+        let flat = KernelModel {
+            t_comp_s: 0.0,
+            t_mem_s: 0.05,
+            p_core_w: 5.0,
+            ..truth()
+        };
+        let samples: Vec<Sample> = [1410.0, 1200.0, 1005.0]
+            .iter()
+            .map(|&fc| on_model(&flat, fc, 1593.0))
+            .collect();
+        let m = KernelModel::fit(&samples, 1410.0, 1593.0, volts()).unwrap();
+        assert!(m.t_comp_s.abs() < 1e-9);
+        assert!(m.diag.healthy(0.9, 0.05), "diag {:?}", m.diag);
+    }
+
+    #[test]
+    fn garbage_samples_produce_unhealthy_diagnostics() {
+        // Time *rising* with clock in a zig-zag no roofline can express.
+        let samples = [
+            Sample {
+                f_core_mhz: 1410.0,
+                f_mem_mhz: 1593.0,
+                time_s: 0.10,
+                energy_j: 30.0,
+            },
+            Sample {
+                f_core_mhz: 1200.0,
+                f_mem_mhz: 1593.0,
+                time_s: 0.02,
+                energy_j: 2.0,
+            },
+            Sample {
+                f_core_mhz: 1005.0,
+                f_mem_mhz: 1593.0,
+                time_s: 0.30,
+                energy_j: 80.0,
+            },
+            Sample {
+                f_core_mhz: 1300.0,
+                f_mem_mhz: 1593.0,
+                time_s: 0.01,
+                energy_j: 1.0,
+            },
+        ];
+        let m = KernelModel::fit(&samples, 1410.0, 1593.0, volts()).unwrap();
+        assert!(
+            !m.diag.healthy(0.95, 0.10),
+            "zig-zag should not fit cleanly: {:?}",
+            m.diag
+        );
+    }
+}

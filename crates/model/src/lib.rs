@@ -1,0 +1,298 @@
+//! Analytic per-kernel time/power models for predictive frequency tuning.
+//!
+//! The paper's ManDyn *searches* the clock ladder for each kernel's
+//! EDP-optimal frequency. Afzal et al. ("Modeling and Chasing the
+//! Energy-Efficiency Sweet Spots in Modern GPUs", PAPERS.md) show the sweet
+//! spot is *predictable* from a roofline time model plus a CV²f power model;
+//! Calore et al. show the real optimization space is the (core, memory) DVFS
+//! product. This crate holds the model layer shared by the online predictive
+//! tuner and the offline sweep harness:
+//!
+//! ```text
+//! T(f_core, f_mem) = T_mem · (f_mem_ref / f_mem) + T_comp · (f_core_ref / f_core)
+//! P(f_core, f_mem) = P_static + P_core · V(f_core)²·f_core / (V(ref)²·ref)
+//!                             + P_mem · (f_mem / f_mem_ref)^1.3
+//! ```
+//!
+//! Both are fitted by ordinary least squares from a handful of
+//! (core clock, memory clock, time, energy) samples ([`KernelModel::fit`]),
+//! carry fit-quality diagnostics (R², worst relative residual) so callers can
+//! tell a trustworthy fit from garbage, predict the EDP optimum over the
+//! discrete (core, mem) ladder product ([`KernelModel::predict_optimum`]),
+//! and detect drift of live measurements away from the fit
+//! ([`KernelModel::drifted`]) to trigger a refit.
+//!
+//! The crate is dependency-free apart from `serde` (the coefficients persist
+//! in learned-table files); it knows nothing about archsim devices, NVML or
+//! tuner state machines.
+
+mod fit;
+mod predict;
+
+pub use fit::{FitDiagnostics, FitError, MIN_FIT_SAMPLES};
+pub use predict::{golden_section_min, Predicted};
+
+use serde::{Deserialize, Serialize};
+
+/// Exponent of the memory-clock share of dynamic power: HBM I/O voltage
+/// tracks the memory clock weakly, so power scales slightly super-linearly
+/// (matches `GpuSpec::with_memory_clock`).
+pub const MEM_POWER_EXP: f64 = 1.3;
+
+/// One accepted measurement: a kernel region run at pinned clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Pinned core (graphics/SM) clock, MHz.
+    pub f_core_mhz: f64,
+    /// Pinned memory clock, MHz.
+    pub f_mem_mhz: f64,
+    /// Region busy time, seconds.
+    pub time_s: f64,
+    /// Region energy, joules.
+    pub energy_j: f64,
+}
+
+impl Sample {
+    /// Average power over the region, watts.
+    pub fn power_w(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.energy_j / self.time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// A sample the fitter may use: finite, strictly positive time/energy,
+    /// positive clocks.
+    pub fn is_valid(&self) -> bool {
+        self.f_core_mhz > 0.0
+            && self.f_mem_mhz > 0.0
+            && self.time_s.is_finite()
+            && self.time_s > 0.0
+            && self.energy_j.is_finite()
+            && self.energy_j > 0.0
+    }
+}
+
+/// Linear voltage/frequency operating curve, the shape archsim's
+/// `VoltageCurve` uses. Duplicated here (plain floats) so the model crate
+/// stays free of workspace dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageParams {
+    pub v_min: f64,
+    pub v_max: f64,
+    pub f_min_mhz: f64,
+    pub f_max_mhz: f64,
+}
+
+impl VoltageParams {
+    /// Operating voltage at core clock `f_mhz` (clamped to the curve).
+    pub fn volts(&self, f_mhz: f64) -> f64 {
+        let f = f_mhz.clamp(self.f_min_mhz, self.f_max_mhz);
+        let span = self.f_max_mhz - self.f_min_mhz;
+        let x = if span <= 0.0 {
+            1.0
+        } else {
+            (f - self.f_min_mhz) / span
+        };
+        self.v_min + (self.v_max - self.v_min) * x
+    }
+
+    /// The CV²f dynamic-power scale `V(f)²·f / (V(f_max)²·f_max)` — 1.0 at
+    /// the top of the curve.
+    pub fn core_power_scale(&self, f_mhz: f64) -> f64 {
+        let v = self.volts(f_mhz) / self.volts(self.f_max_mhz);
+        v * v * (f_mhz / self.f_max_mhz).min(1.0)
+    }
+}
+
+/// Fitted per-kernel analytic model: time roofline + CV²f power, with the
+/// diagnostics of the fit that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelModel {
+    /// Reference core clock the coefficients are expressed at, MHz
+    /// (normally the top of the ladder).
+    pub f_core_ref_mhz: f64,
+    /// Reference memory clock, MHz (normally the default P-state).
+    pub f_mem_ref_mhz: f64,
+    /// Core-clock-sensitive time share at the reference clocks, seconds.
+    pub t_comp_s: f64,
+    /// Core-clock-insensitive (memory/overhead) time share at the reference
+    /// clocks, seconds.
+    pub t_mem_s: f64,
+    /// Clock-independent power floor, watts.
+    pub p_static_w: f64,
+    /// Core dynamic power at the reference core clock, watts. Scales as
+    /// CV²f via [`VoltageParams::core_power_scale`].
+    pub p_core_w: f64,
+    /// Memory dynamic power at the reference memory clock, watts. Scales as
+    /// `(f_mem/f_mem_ref)^`[`MEM_POWER_EXP`]. Zero when the fit saw no
+    /// memory-clock variation.
+    pub p_mem_w: f64,
+    /// Voltage curve used to evaluate the CV²f term.
+    pub voltage: VoltageParams,
+    /// Quality of the fit that produced these coefficients.
+    pub diag: FitDiagnostics,
+}
+
+impl KernelModel {
+    /// Predicted region time at the given clocks, seconds.
+    pub fn time_s(&self, f_core_mhz: f64, f_mem_mhz: f64) -> f64 {
+        self.t_mem_s * (self.f_mem_ref_mhz / f_mem_mhz)
+            + self.t_comp_s * (self.f_core_ref_mhz / f_core_mhz)
+    }
+
+    /// Predicted average power at the given clocks, watts.
+    pub fn power_w(&self, f_core_mhz: f64, f_mem_mhz: f64) -> f64 {
+        let core_rel = self.voltage.core_power_scale(f_core_mhz)
+            / self.voltage.core_power_scale(self.f_core_ref_mhz);
+        self.p_static_w
+            + self.p_core_w * core_rel
+            + self.p_mem_w * (f_mem_mhz / self.f_mem_ref_mhz).powf(MEM_POWER_EXP)
+    }
+
+    /// Predicted region energy, joules.
+    pub fn energy_j(&self, f_core_mhz: f64, f_mem_mhz: f64) -> f64 {
+        self.power_w(f_core_mhz, f_mem_mhz) * self.time_s(f_core_mhz, f_mem_mhz)
+    }
+
+    /// Predicted energy-delay product, J·s.
+    pub fn edp(&self, f_core_mhz: f64, f_mem_mhz: f64) -> f64 {
+        let t = self.time_s(f_core_mhz, f_mem_mhz);
+        self.power_w(f_core_mhz, f_mem_mhz) * t * t
+    }
+
+    /// Relative time residual of a live sample against the model.
+    pub fn rel_time_residual(&self, s: &Sample) -> f64 {
+        let pred = self.time_s(s.f_core_mhz, s.f_mem_mhz);
+        if pred <= 0.0 {
+            return f64::INFINITY;
+        }
+        (s.time_s - pred).abs() / pred
+    }
+
+    /// Relative power residual of a live sample against the model.
+    pub fn rel_power_residual(&self, s: &Sample) -> f64 {
+        let pred = self.power_w(s.f_core_mhz, s.f_mem_mhz);
+        if pred <= 0.0 {
+            return f64::INFINITY;
+        }
+        (s.power_w() - pred).abs() / pred
+    }
+
+    /// Has the kernel drifted away from the fit? True when either the time
+    /// or the power residual of `s` exceeds `tolerance` (relative). Callers
+    /// count consecutive positives and refit when the count crosses their
+    /// threshold.
+    pub fn drifted(&self, s: &Sample, tolerance: f64) -> bool {
+        self.rel_time_residual(s) > tolerance || self.rel_power_residual(s) > tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn a100_voltage() -> VoltageParams {
+        VoltageParams {
+            v_min: 0.70,
+            v_max: 1.05,
+            f_min_mhz: 210.0,
+            f_max_mhz: 1410.0,
+        }
+    }
+
+    #[test]
+    fn voltage_curve_matches_endpoints() {
+        let v = a100_voltage();
+        assert!((v.volts(210.0) - 0.70).abs() < 1e-12);
+        assert!((v.volts(1410.0) - 1.05).abs() < 1e-12);
+        assert!((v.core_power_scale(1410.0) - 1.0).abs() < 1e-12);
+        assert!(v.core_power_scale(1005.0) < 1.0);
+        assert!(v.core_power_scale(1005.0) > 0.4);
+    }
+
+    #[test]
+    fn sample_validity() {
+        let good = Sample {
+            f_core_mhz: 1410.0,
+            f_mem_mhz: 1593.0,
+            time_s: 0.1,
+            energy_j: 30.0,
+        };
+        assert!(good.is_valid());
+        assert!((good.power_w() - 300.0).abs() < 1e-9);
+        assert!(!Sample {
+            time_s: 0.0,
+            ..good
+        }
+        .is_valid());
+        assert!(!Sample {
+            energy_j: f64::NAN,
+            ..good
+        }
+        .is_valid());
+        assert!(!Sample {
+            time_s: -1.0,
+            ..good
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn model_roundtrips_through_serde() {
+        let m = KernelModel {
+            f_core_ref_mhz: 1410.0,
+            f_mem_ref_mhz: 1593.0,
+            t_comp_s: 0.04,
+            t_mem_s: 0.01,
+            p_static_w: 80.0,
+            p_core_w: 150.0,
+            p_mem_w: 40.0,
+            voltage: a100_voltage(),
+            diag: FitDiagnostics {
+                r2_time: 0.999,
+                r2_power: 0.998,
+                max_rel_residual_time: 0.01,
+                max_rel_residual_power: 0.02,
+                samples: 5,
+            },
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: KernelModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn drift_detection_uses_both_axes() {
+        let m = KernelModel {
+            f_core_ref_mhz: 1410.0,
+            f_mem_ref_mhz: 1593.0,
+            t_comp_s: 0.04,
+            t_mem_s: 0.01,
+            p_static_w: 80.0,
+            p_core_w: 150.0,
+            p_mem_w: 0.0,
+            voltage: a100_voltage(),
+            diag: FitDiagnostics::default(),
+        };
+        let on_model = Sample {
+            f_core_mhz: 1410.0,
+            f_mem_mhz: 1593.0,
+            time_s: m.time_s(1410.0, 1593.0),
+            energy_j: m.energy_j(1410.0, 1593.0),
+        };
+        assert!(!m.drifted(&on_model, 0.05));
+        let slow = Sample {
+            time_s: on_model.time_s * 1.5,
+            energy_j: on_model.energy_j * 1.5,
+            ..on_model
+        };
+        assert!(m.drifted(&slow, 0.1));
+        let hungry = Sample {
+            energy_j: on_model.energy_j * 1.5,
+            ..on_model
+        };
+        assert!(m.drifted(&hungry, 0.1));
+    }
+}

@@ -1,0 +1,194 @@
+//! EDP-optimum prediction over the discrete (core, memory) clock ladder.
+//!
+//! The fitted EDP surface `P(f)·T(f)²` is unimodal in the core clock for
+//! fixed memory clock (monotone-decreasing time times monotone-increasing
+//! power), so a golden-section search brackets the continuous minimizer
+//! cheaply; the discrete prediction then scores the ladder rungs around it.
+//! Ladders are small (tens of core rungs × a few memory P-states), so
+//! [`KernelModel::predict_optimum`] simply evaluates every product point —
+//! exact, and still thousands of times cheaper than one real measurement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::KernelModel;
+
+/// The model's predicted EDP optimum on the discrete ladder product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Predicted {
+    /// Core clock of the predicted optimum, MHz.
+    pub f_core_mhz: u32,
+    /// Memory clock of the predicted optimum, MHz.
+    pub f_mem_mhz: u32,
+    /// Predicted region time there, seconds.
+    pub time_s: f64,
+    /// Predicted average power there, watts.
+    pub power_w: f64,
+    /// Predicted EDP there, J·s.
+    pub edp: f64,
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[lo, hi]`.
+/// Returns the abscissa of the minimum to within `tol`.
+pub fn golden_section_min(mut lo: f64, mut hi: f64, tol: f64, f: impl Fn(f64) -> f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    if hi < lo {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    let mut a = hi - INV_PHI * (hi - lo);
+    let mut b = lo + INV_PHI * (hi - lo);
+    let (mut fa, mut fb) = (f(a), f(b));
+    while hi - lo > tol.max(1e-12) {
+        if fa <= fb {
+            hi = b;
+            b = a;
+            fb = fa;
+            a = hi - INV_PHI * (hi - lo);
+            fa = f(a);
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            b = lo + INV_PHI * (hi - lo);
+            fb = f(b);
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+impl KernelModel {
+    /// Continuous core-clock EDP minimizer at a fixed memory clock, via
+    /// golden-section search over `[lo, hi]` MHz.
+    pub fn continuous_core_optimum(&self, lo_mhz: f64, hi_mhz: f64, f_mem_mhz: f64) -> f64 {
+        golden_section_min(lo_mhz, hi_mhz, 0.5, |fc| self.edp(fc, f_mem_mhz))
+    }
+
+    /// Exact argmin of the predicted EDP over the discrete
+    /// `core_ladder × mem_ladder` product. Returns `None` when either
+    /// ladder is empty. Ties break toward higher clocks (cheap safety: when
+    /// the model can't tell, don't slow the kernel down).
+    pub fn predict_optimum(&self, core_ladder: &[u32], mem_ladder: &[u32]) -> Option<Predicted> {
+        let mut best: Option<Predicted> = None;
+        for &fm in mem_ladder {
+            for &fc in core_ladder {
+                let (fcf, fmf) = (f64::from(fc), f64::from(fm));
+                let time_s = self.time_s(fcf, fmf);
+                let power_w = self.power_w(fcf, fmf);
+                let edp = power_w * time_s * time_s;
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        edp < b.edp || (edp == b.edp && (fc, fm) > (b.f_core_mhz, b.f_mem_mhz))
+                    }
+                };
+                if better {
+                    best = Some(Predicted {
+                        f_core_mhz: fc,
+                        f_mem_mhz: fm,
+                        time_s,
+                        power_w,
+                        edp,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FitDiagnostics, VoltageParams};
+
+    fn volts() -> VoltageParams {
+        VoltageParams {
+            v_min: 0.70,
+            v_max: 1.05,
+            f_min_mhz: 210.0,
+            f_max_mhz: 1410.0,
+        }
+    }
+
+    fn core_ladder() -> Vec<u32> {
+        (0..28).map(|i| 1410 - 15 * i).collect()
+    }
+
+    fn model(t_comp: f64, t_mem: f64) -> KernelModel {
+        KernelModel {
+            f_core_ref_mhz: 1410.0,
+            f_mem_ref_mhz: 1593.0,
+            t_comp_s: t_comp,
+            t_mem_s: t_mem,
+            p_static_w: 85.0,
+            p_core_w: 140.0,
+            p_mem_w: 38.0,
+            voltage: volts(),
+            diag: FitDiagnostics::default(),
+        }
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let x = golden_section_min(0.0, 10.0, 1e-6, |x| (x - 3.7) * (x - 3.7));
+        assert!((x - 3.7).abs() < 1e-4, "got {x}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_prefers_high_clocks() {
+        // Strongly compute-bound: slowdown hurts EDP quadratically.
+        let m = model(0.10, 0.002);
+        let p = m.predict_optimum(&core_ladder(), &[1593]).unwrap();
+        assert!(p.f_core_mhz >= 1300, "got {}", p.f_core_mhz);
+    }
+
+    #[test]
+    fn memory_bound_kernel_prefers_low_core_clock() {
+        // Time barely moves with the core clock; power still does.
+        let m = model(0.002, 0.10);
+        let p = m.predict_optimum(&core_ladder(), &[1593]).unwrap();
+        assert!(p.f_core_mhz <= 1050, "got {}", p.f_core_mhz);
+    }
+
+    #[test]
+    fn discrete_argmin_matches_golden_section() {
+        for (tc, tm) in [(0.08, 0.02), (0.02, 0.08), (0.05, 0.05)] {
+            let m = model(tc, tm);
+            let cont = m.continuous_core_optimum(1005.0, 1410.0, 1593.0);
+            let disc = m.predict_optimum(&core_ladder(), &[1593]).unwrap();
+            assert!(
+                (f64::from(disc.f_core_mhz) - cont).abs() <= 15.0 + 0.5,
+                "discrete {} vs continuous {cont}",
+                disc.f_core_mhz
+            );
+        }
+    }
+
+    #[test]
+    fn memory_axis_widens_the_savings_for_compute_bound_kernels() {
+        // A compute-bound kernel wastes memory power at the top P-state;
+        // the co-tuned optimum downclocks memory.
+        let m = model(0.10, 0.001);
+        let mono = m.predict_optimum(&core_ladder(), &[1593]).unwrap();
+        let co = m
+            .predict_optimum(&core_ladder(), &[1593, 1215, 810])
+            .unwrap();
+        assert!(co.f_mem_mhz < 1593, "got {}", co.f_mem_mhz);
+        assert!(co.edp <= mono.edp);
+    }
+
+    #[test]
+    fn memory_bound_kernel_keeps_memory_at_the_top_pstate() {
+        let m = model(0.002, 0.10);
+        let co = m
+            .predict_optimum(&core_ladder(), &[1593, 1215, 810])
+            .unwrap();
+        assert_eq!(co.f_mem_mhz, 1593);
+    }
+
+    #[test]
+    fn empty_ladders_predict_nothing() {
+        let m = model(0.05, 0.05);
+        assert!(m.predict_optimum(&[], &[1593]).is_none());
+        assert!(m.predict_optimum(&core_ladder(), &[]).is_none());
+    }
+}

@@ -123,7 +123,9 @@ impl NvmlDevice {
     pub fn applications_clock(&self, which: ClockType) -> Result<u32, NvmlError> {
         let d = self.inner.lock();
         match which {
-            ClockType::Mem => Ok(d.spec().mem_clock.0),
+            // The memory clock the device actually pins — a silently clamped
+            // P-state shows up here, which is how co-tuners detect it.
+            ClockType::Mem => Ok(d.current_mem_clock().0),
             ClockType::Graphics | ClockType::Sm => match d.policy() {
                 archsim::ClockPolicy::ApplicationClocks(f) => Ok(f.0),
                 archsim::ClockPolicy::Dvfs(_) => {
@@ -135,8 +137,11 @@ impl NvmlDevice {
 
     /// `nvmlDeviceSetApplicationsClocks(mem, graphics)` — the call the paper
     /// instruments SPH-EXA with (§III-D). Argument order matches NVML: memory
-    /// clock first. The memory clock must be the device's (the paper never
-    /// changes it); the graphics clock must be on the supported ladder.
+    /// clock first. Both clocks must be on their supported ladders; either
+    /// half may fail transiently under fault injection, in which case the
+    /// caller's retry loop re-requests the pair (the device may then hold a
+    /// partially applied pair until the retry lands — real NVML behaves the
+    /// same way).
     pub fn set_applications_clocks(
         &self,
         mem_mhz: u32,
@@ -178,7 +183,7 @@ impl NvmlDevice {
     /// enumerates them.
     pub fn supported_graphics_clocks(&self, mem_mhz: u32) -> Result<Vec<u32>, NvmlError> {
         let d = self.inner.lock();
-        if mem_mhz != d.spec().mem_clock.0 {
+        if !d.spec().mem_clock_table.contains(&MegaHertz(mem_mhz)) {
             return Err(NvmlError::InvalidArgument(format!(
                 "no graphics clocks for memory clock {mem_mhz} MHz"
             )));

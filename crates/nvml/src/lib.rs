@@ -162,7 +162,26 @@ mod tests {
         assert_eq!(clocks.first(), Some(&1410));
         assert_eq!(clocks.last(), Some(&210));
         assert!(clocks.windows(2).all(|w| w[0] > w[1]));
+        // Any supported P-state enumerates the same graphics ladder.
+        assert_eq!(dev.supported_graphics_clocks(810).unwrap(), clocks);
         assert!(dev.supported_graphics_clocks(1600).is_err());
+    }
+
+    #[test]
+    fn memory_clock_sets_and_reads_back() {
+        let nvml = nvml_with(1);
+        let dev = nvml.device_by_index(0).unwrap();
+        assert_eq!(dev.applications_clock(ClockType::Mem).unwrap(), 1593);
+        dev.set_applications_clocks(1215, 1410).unwrap();
+        // Both the current clock and the pinned applications clock reflect
+        // the requested P-state — this readback is how co-tuners detect a
+        // silently clamped memory transition.
+        assert_eq!(dev.clock_info(ClockType::Mem).unwrap(), 1215);
+        assert_eq!(dev.applications_clock(ClockType::Mem).unwrap(), 1215);
+        assert_eq!(
+            dev.supported_memory_clocks().unwrap(),
+            vec![1593, 1215, 810]
+        );
     }
 
     #[test]

@@ -180,6 +180,110 @@ impl OnlineTunerConfig {
     }
 }
 
+/// Knobs of the predictive (model-fitting) tuner. Layers on a full search
+/// config — the machine the predictive mode falls back to when the fit is
+/// poor or faults quarantine its probes — plus the probe/fit/drift knobs of
+/// the model path. All serde-defaulted, so a spec can say
+/// `"policy": {"ManDynPredictive": {}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictiveConfig {
+    /// The coarse-to-refine search fallback, and the shared window/validity
+    /// knobs (`min_freq`, `max_freq`, `min_samples`, `quarantine_after`).
+    #[serde(default)]
+    pub search: OnlineTunerConfig,
+    /// Core-clock probe rungs sampled before fitting, spread evenly over
+    /// the search window (top and bottom always included). The paper-level
+    /// claim is 3–5 probes instead of dozens of search launches.
+    #[serde(default = "default_probe_rungs")]
+    pub probe_rungs: u32,
+    /// Open the memory-clock axis: add one probe at the lowest memory
+    /// P-state and predict over the full (core, mem) ladder product.
+    #[serde(default)]
+    pub tune_memory: bool,
+    /// Minimum R² (both time and power fits) for a prediction to be
+    /// trusted; below it the kernel falls back to the search.
+    #[serde(default = "default_min_r2")]
+    pub min_r2: f64,
+    /// Maximum relative residual any fit sample may show.
+    #[serde(default = "default_max_fit_residual")]
+    pub max_fit_residual: f64,
+    /// Relative time/power deviation of a live sample from the model before
+    /// it counts as drift.
+    #[serde(default = "default_drift_tolerance")]
+    pub drift_tolerance: f64,
+    /// Consecutive drifted samples at the pinned point that trigger a
+    /// refit (re-probe from scratch).
+    #[serde(default = "default_drift_after")]
+    pub drift_after: u32,
+}
+
+fn default_probe_rungs() -> u32 {
+    4
+}
+
+fn default_min_r2() -> f64 {
+    0.95
+}
+
+fn default_max_fit_residual() -> f64 {
+    0.10
+}
+
+fn default_drift_tolerance() -> f64 {
+    0.25
+}
+
+fn default_drift_after() -> u32 {
+    4
+}
+
+impl Default for PredictiveConfig {
+    fn default() -> Self {
+        PredictiveConfig {
+            search: OnlineTunerConfig::default(),
+            probe_rungs: default_probe_rungs(),
+            tune_memory: false,
+            min_r2: default_min_r2(),
+            max_fit_residual: default_max_fit_residual(),
+            drift_tolerance: default_drift_tolerance(),
+            drift_after: default_drift_after(),
+        }
+    }
+}
+
+impl PredictiveConfig {
+    /// Reject configurations the predictive tuner cannot run with.
+    pub fn validate(&self) -> Result<(), OnlineError> {
+        self.search.validate()?;
+        if !(3..=5).contains(&self.probe_rungs) {
+            return Err(OnlineError::InvalidConfig(
+                "probe_rungs must be in 3..=5".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_r2) {
+            return Err(OnlineError::InvalidConfig(
+                "min_r2 must be in [0, 1]".into(),
+            ));
+        }
+        if !self.max_fit_residual.is_finite() || self.max_fit_residual <= 0.0 {
+            return Err(OnlineError::InvalidConfig(
+                "max_fit_residual must be positive".into(),
+            ));
+        }
+        if !self.drift_tolerance.is_finite() || self.drift_tolerance <= 0.0 {
+            return Err(OnlineError::InvalidConfig(
+                "drift_tolerance must be positive".into(),
+            ));
+        }
+        if self.drift_after == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "drift_after must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -280,4 +280,102 @@ mod tests {
         let allocs = coord.allocate(&[BTreeMap::new()]).unwrap();
         assert_eq!(allocs[0].table, full_demand(&gpu));
     }
+
+    #[test]
+    fn single_rank_gets_the_whole_budget_capped_at_tdp() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let demand = full_demand(&gpu);
+        // Comfortable but sub-TDP budget: the one rank owns all of it.
+        let budget = Watts(0.95 * gpu.tdp().0);
+        let coord = PowerCapCoordinator::new(gpu.clone(), budget);
+        let allocs = coord.allocate(std::slice::from_ref(&demand)).unwrap();
+        assert_eq!(allocs.len(), 1);
+        let a = &allocs[0];
+        assert!(a.budget.0 <= budget.0 + 1e-9, "never over the job budget");
+        assert!(
+            coord.table_peak(&a.table).0 * (1.0 + DEFAULT_MARGIN) <= a.budget.0 + 1e-9,
+            "modelled worst case fits the enforced limit"
+        );
+        // And with budget above TDP, the device limit caps the grant.
+        let rich = PowerCapCoordinator::new(gpu.clone(), Watts(3.0 * gpu.tdp().0));
+        let a = &rich.allocate(std::slice::from_ref(&demand)).unwrap()[0];
+        assert_eq!(a.table, demand, "no clamping under an over-TDP budget");
+        assert!(
+            a.budget.0 <= gpu.tdp().0 + 1e-9,
+            "per-rank budget saturates at TDP, surplus watts are dead"
+        );
+    }
+
+    #[test]
+    fn budget_below_summed_idle_power_is_infeasible_for_every_rank_count() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        for ranks in [1usize, 4] {
+            // Idle power alone exceeds the split budget: no amount of
+            // clamping reaches feasibility, because the floor of every
+            // rank's draw is its idle power.
+            let budget = Watts(0.9 * gpu.idle_power.0 * ranks as f64);
+            let coord = PowerCapCoordinator::new(gpu.clone(), budget);
+            let demands = vec![full_demand(&gpu); ranks];
+            match coord.allocate(&demands) {
+                Err(OnlineError::InfeasibleBudget { budget_w, floor_w }) => {
+                    assert!(floor_w > budget_w, "{ranks} ranks: floor above budget");
+                    assert!(
+                        floor_w >= gpu.idle_power.0 * ranks as f64,
+                        "reported floor accounts for every rank's idle draw"
+                    );
+                }
+                other => panic!("{ranks} ranks: expected InfeasibleBudget, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_above_summed_tdp_never_grants_more_than_tdp_per_rank() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let ranks = 4usize;
+        let coord = PowerCapCoordinator::new(gpu.clone(), Watts(2.5 * gpu.tdp().0 * ranks as f64));
+        let demands = vec![full_demand(&gpu); ranks];
+        let allocs = coord.allocate(&demands).unwrap();
+        assert_eq!(allocs.len(), ranks);
+        for a in &allocs {
+            assert_eq!(a.table, full_demand(&gpu), "no clamping");
+            assert!(
+                a.budget.0 <= gpu.tdp().0 + 1e-9,
+                "TDP is the hard per-GPU cap"
+            );
+        }
+    }
+
+    #[test]
+    fn starved_ceiling_clamps_to_ladder_floor_and_confines_both_tuners() {
+        let gpu = GpuSpec::a100_pcie_40gb();
+        let coord = PowerCapCoordinator::new(gpu.clone(), Watts(gpu.tdp().0));
+        // A rank budget below what even the ladder floor draws: the ceiling
+        // saturates at the lowest rung rather than walking off the ladder.
+        let floor = gpu.clock_table.min();
+        let starved = Watts(gpu.idle_power.0 * 0.5);
+        let ceiling = coord.freq_ceiling(starved, &full_demand(&gpu));
+        assert_eq!(ceiling, floor, "ceiling never leaves the device ladder");
+
+        // The online search accepts that ceiling: its window collapses to
+        // the configured floor rung (min_freq), and every proposal stays
+        // inside it.
+        let cfg = crate::OnlineTunerConfig::default();
+        let mut tuner = crate::OnlineTuner::new(&gpu, cfg.clone()).unwrap();
+        tuner.set_ceiling(ceiling);
+        assert_eq!(
+            tuner.ladder(),
+            &[cfg.min_freq],
+            "ceiling below the window floor leaves exactly the floor rung"
+        );
+        assert_eq!(tuner.propose(FuncId::XMass), cfg.min_freq);
+
+        // Same contract for the predictive tuner: probe plan and proposals
+        // are confined to the single surviving rung.
+        let mut pred =
+            crate::PredictiveTuner::new(&gpu, crate::PredictiveConfig::default()).unwrap();
+        pred.set_ceiling(ceiling);
+        let (core, _mem) = pred.propose(FuncId::XMass);
+        assert_eq!(core, cfg.min_freq);
+    }
 }

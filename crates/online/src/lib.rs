@@ -23,11 +23,13 @@ pub mod controller;
 pub mod coordinator;
 pub mod error;
 pub mod estimator;
+pub mod predictive;
 pub mod store;
 
-pub use config::OnlineTunerConfig;
+pub use config::{OnlineTunerConfig, PredictiveConfig};
 pub use controller::{LearnedTable, OnlineTuner, RecordOutcome};
 pub use coordinator::{PowerCapCoordinator, RankAllocation, DEFAULT_MARGIN};
 pub use error::OnlineError;
 pub use estimator::RungEstimate;
-pub use store::{StoredTable, TableStore};
+pub use predictive::{ModelTable, PredictiveTuner};
+pub use store::{models_by_name, StoredModels, StoredTable, TableStore};

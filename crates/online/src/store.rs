@@ -11,6 +11,7 @@
 //! identity key repeated inside the file so a store survives renames and
 //! can be audited with a pager.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -19,6 +20,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::controller::LearnedTable;
 use crate::error::OnlineError;
+use crate::predictive::ModelTable;
+
+/// Fitted per-kernel models as persisted: keyed by kernel name so the JSON
+/// stays greppable and survives enum reordering.
+pub type StoredModels = BTreeMap<String, model::KernelModel>;
 
 /// One persisted table, self-describing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +43,31 @@ pub struct StoredTable {
     /// files, which read back as version 0.
     #[serde(default)]
     pub version: u64,
+    /// Fitted analytic models (predictive policy), keyed by kernel name.
+    /// Absent in pre-predictive files — those read back empty, and a
+    /// predictive warm start then runs its probe phase. Omitted from the
+    /// JSON when empty so search-only stores keep their old shape.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub models: StoredModels,
+}
+
+impl StoredTable {
+    /// The stored models re-keyed by [`sph::FuncId`], dropping entries whose
+    /// kernel name no longer exists (e.g. a table from a newer build).
+    pub fn model_table(&self) -> ModelTable {
+        self.models
+            .iter()
+            .filter_map(|(name, m)| sph::FuncId::from_name(name).map(|f| (f, m.clone())))
+            .collect()
+    }
+}
+
+/// Re-key a [`ModelTable`] by kernel name for persistence.
+pub fn models_by_name(models: &ModelTable) -> StoredModels {
+    models
+        .iter()
+        .map(|(f, m)| (f.name().to_string(), m.clone()))
+        .collect()
 }
 
 /// Directory-backed store of learned frequency tables.
@@ -165,14 +196,39 @@ impl TableStore {
         workload: &str,
         table: &LearnedTable,
     ) -> Result<u64, OnlineError> {
+        self.save_bumping(gpu, workload, table, None)
+    }
+
+    /// [`TableStore::save`], also persisting the fitted per-kernel models so
+    /// a later predictive run warm-starts without even a probe phase.
+    pub fn save_with_models(
+        &self,
+        gpu: &str,
+        workload: &str,
+        table: &LearnedTable,
+        models: &ModelTable,
+    ) -> Result<u64, OnlineError> {
+        self.save_bumping(gpu, workload, table, Some(models_by_name(models)))
+    }
+
+    /// Read-bump-write under the save lock. `models: None` keeps whatever
+    /// models the slot already holds (a search-only save must not discard a
+    /// previous predictive run's coefficients).
+    fn save_bumping(
+        &self,
+        gpu: &str,
+        workload: &str,
+        table: &LearnedTable,
+        models: Option<StoredModels>,
+    ) -> Result<u64, OnlineError> {
         let _bump = self.save_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let prior = match self.load_stored(gpu, workload) {
-            Ok(Some(stored)) => stored.version,
-            Ok(None) | Err(OnlineError::Corrupt { .. }) => 0,
+        let (prior, kept) = match self.load_stored(gpu, workload) {
+            Ok(Some(stored)) => (stored.version, stored.models),
+            Ok(None) | Err(OnlineError::Corrupt { .. }) => (0, StoredModels::new()),
             Err(e) => return Err(e),
         };
         let version = prior + 1;
-        self.save_versioned(gpu, workload, table, version)?;
+        self.save_versioned_with_models(gpu, workload, table, &models.unwrap_or(kept), version)?;
         Ok(version)
     }
 
@@ -190,12 +246,25 @@ impl TableStore {
         table: &LearnedTable,
         version: u64,
     ) -> Result<(), OnlineError> {
+        self.save_versioned_with_models(gpu, workload, table, &StoredModels::new(), version)
+    }
+
+    /// [`TableStore::save_versioned`] carrying fitted models (possibly none).
+    pub fn save_versioned_with_models(
+        &self,
+        gpu: &str,
+        workload: &str,
+        table: &LearnedTable,
+        models: &StoredModels,
+        version: u64,
+    ) -> Result<(), OnlineError> {
         static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let stored = StoredTable {
             gpu: gpu.to_string(),
             workload: workload.to_string(),
             table: table.clone(),
             version,
+            models: models.clone(),
         };
         let text = serde_json::to_string_pretty(&stored)
             .map_err(|e| OnlineError::InvalidConfig(e.to_string()))?;
@@ -330,6 +399,7 @@ mod tests {
             workload: "evrard".into(),
             table: sample_table(),
             version: 1,
+            models: StoredModels::new(),
         })
         .unwrap();
         fs::write(dir.join("A100__evrard.json"), &full[..full.len() / 2]).unwrap();
@@ -339,6 +409,106 @@ mod tests {
             "truncated entry degrades to a cold start"
         );
         assert!(dir.join("A100__evrard.json.corrupt").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn sample_models() -> ModelTable {
+        let samples = [
+            (1005.0, 0.090),
+            (1140.0, 0.082),
+            (1275.0, 0.076),
+            (1410.0, 0.071),
+        ]
+        .map(|(f, t)| model::Sample {
+            f_core_mhz: f,
+            f_mem_mhz: 1593.0,
+            time_s: t,
+            energy_j: t * (80.0 + 0.1 * f),
+        });
+        let voltage = model::VoltageParams {
+            v_min: 0.70,
+            v_max: 1.05,
+            f_min_mhz: 210.0,
+            f_max_mhz: 1410.0,
+        };
+        let m = model::KernelModel::fit(&samples, 1410.0, 1593.0, voltage).unwrap();
+        let mut t = ModelTable::new();
+        t.insert(FuncId::XMass, m);
+        t
+    }
+
+    /// Satellite: a PR-6-era store file — no `models` key at all — must
+    /// load cleanly with empty models, so the predictive warm start falls
+    /// through to its probe phase instead of crashing on the old schema.
+    #[test]
+    fn pre_model_schema_loads_with_empty_models() {
+        let dir = tmpdir("oldschema");
+        let store = TableStore::open(&dir).unwrap();
+        // Byte-for-byte the shape `save` produced before models existed
+        // (and before that, without `version` either).
+        fs::write(
+            dir.join("A100__turb.json"),
+            r#"{"gpu":"A100","workload":"turb","table":{"XMass":1050},"version":3}"#,
+        )
+        .unwrap();
+        fs::write(
+            dir.join("A100__sedov.json"),
+            r#"{"gpu":"A100","workload":"sedov","table":{"Gravity":1410}}"#,
+        )
+        .unwrap();
+        let turb = store.load_stored("A100", "turb").unwrap().unwrap();
+        assert_eq!(turb.version, 3);
+        assert!(turb.models.is_empty());
+        assert!(turb.model_table().is_empty());
+        let sedov = store.load_stored("A100", "sedov").unwrap().unwrap();
+        assert_eq!(sedov.version, 0, "pre-version files read as version 0");
+        assert!(sedov.models.is_empty());
+        // And a plain re-save of the old-format slot keeps models empty.
+        store.save("A100", "turb", &sample_table()).unwrap();
+        let resaved = store.load_stored("A100", "turb").unwrap().unwrap();
+        assert_eq!(resaved.version, 4);
+        assert!(resaved.models.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: the new format — coefficients included — round-trips
+    /// save/load bit-exactly.
+    #[test]
+    fn model_schema_round_trips_bit_exactly() {
+        let dir = tmpdir("modelschema");
+        let store = TableStore::open(&dir).unwrap();
+        let table = sample_table();
+        let models = sample_models();
+        store
+            .save_with_models("A100", "turb", &table, &models)
+            .unwrap();
+        let first = fs::read(dir.join("A100__turb.json")).unwrap();
+        let stored = store.load_stored("A100", "turb").unwrap().unwrap();
+        assert_eq!(stored.table, table);
+        assert_eq!(stored.model_table(), models);
+        // Re-saving the loaded entry reproduces the same bytes (version
+        // pinned so the bump doesn't differ).
+        store
+            .save_versioned_with_models("A100", "turb", &stored.table, &stored.models, 1)
+            .unwrap();
+        let second = fs::read(dir.join("A100__turb.json")).unwrap();
+        assert_eq!(first, second, "save/load is bit-exact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A search-only save must not discard a previous predictive run's
+    /// fitted coefficients for the same slot.
+    #[test]
+    fn plain_save_preserves_stored_models() {
+        let dir = tmpdir("preserve");
+        let store = TableStore::open(&dir).unwrap();
+        store
+            .save_with_models("A100", "turb", &sample_table(), &sample_models())
+            .unwrap();
+        store.save("A100", "turb", &sample_table()).unwrap();
+        let stored = store.load_stored("A100", "turb").unwrap().unwrap();
+        assert_eq!(stored.version, 2);
+        assert_eq!(stored.model_table(), sample_models());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -31,14 +31,24 @@
 //! Publishes update the in-memory map synchronously and queue the disk
 //! write to a persister thread, so the publish path never blocks on I/O.
 //! [`TableServer::flush`] drains the persister (used at daemon shutdown and
-//! by tests); writes go through `TableStore::save_versioned`, which stages
-//! to a temp file and renames, so readers never observe a torn entry.
+//! by tests); writes go through `TableStore::save_versioned_with_models`,
+//! which stages to a temp file and renames, so readers never observe a torn
+//! entry.
+//!
+//! ## Models
+//!
+//! Entries carry the fitted per-kernel model coefficients alongside the
+//! learned table ([`online::StoredModels`]). Predictive jobs publish them
+//! via [`ExploreGuard::publish_with_models`]; warm leases hand them back so
+//! a repeat predictive submission skips even the probe phase. Search-only
+//! publishes never erase models an entry already holds — in memory or on
+//! disk.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 
-use online::{LearnedTable, TableStore};
+use online::{LearnedTable, StoredModels, TableStore};
 use serde::{Deserialize, Serialize};
 
 type Key = (String, String);
@@ -81,6 +91,10 @@ pub struct TableServerStats {
 
 struct Entry {
     table: LearnedTable,
+    /// Fitted per-kernel model coefficients published alongside the table
+    /// (empty for search-only jobs). Served to predictive warm starts so
+    /// they skip even the probe phase.
+    models: StoredModels,
     version: u64,
     /// Monotonic use tick for LRU; atomic so hits can touch it under the
     /// read lock.
@@ -120,6 +134,7 @@ enum WriteMsg {
         gpu: String,
         workload: String,
         table: LearnedTable,
+        models: StoredModels,
         version: u64,
     },
     Flush(mpsc::Sender<()>),
@@ -143,7 +158,13 @@ struct Inner {
 /// What a job gets from [`TableServer::lease`].
 pub enum Lease {
     /// Warm-start from this table (version included for reporting).
-    Warm { table: LearnedTable, version: u64 },
+    /// `models` carries any fitted coefficients published with the entry —
+    /// empty unless a predictive job explored this key.
+    Warm {
+        table: LearnedTable,
+        models: StoredModels,
+        version: u64,
+    },
     /// This caller won the flight for a cold key: run the exploration, then
     /// [`ExploreGuard::publish`] the learned table (or drop/abort to release
     /// the waiters to re-race).
@@ -161,10 +182,18 @@ pub struct ExploreGuard {
 
 impl ExploreGuard {
     /// Publish the learned table, waking all waiters with `Warm` leases.
-    /// Returns the new version.
-    pub fn publish(mut self, table: LearnedTable) -> u64 {
+    /// Returns the new version. Any models the entry already held (in
+    /// memory or on disk) are preserved — a search-only publish must not
+    /// discard a predictive run's coefficients.
+    pub fn publish(self, table: LearnedTable) -> u64 {
+        self.publish_with_models(table, StoredModels::new())
+    }
+
+    /// [`ExploreGuard::publish`], also publishing fitted per-kernel model
+    /// coefficients so later predictive leases warm-start probe-free.
+    pub fn publish_with_models(mut self, table: LearnedTable, models: StoredModels) -> u64 {
         self.done = true;
-        self.inner.publish(&self.key, table)
+        self.inner.publish(&self.key, table, models)
     }
 
     /// Abandon the flight without publishing; waiters re-race for it.
@@ -189,22 +218,23 @@ impl Inner {
     }
 
     /// Fast-path lookup; touches the LRU tick on hit.
-    fn cached(&self, key: &Key) -> Option<(LearnedTable, u64)> {
+    fn cached(&self, key: &Key) -> Option<(LearnedTable, StoredModels, u64)> {
         let map = self.map.read().unwrap_or_else(|e| e.into_inner());
         let e = map.get(key)?;
         e.last_used.store(
             self.tick.fetch_add(1, Ordering::Relaxed) + 1,
             Ordering::Relaxed,
         );
-        Some((e.table.clone(), e.version))
+        Some((e.table.clone(), e.models.clone(), e.version))
     }
 
-    fn insert(&self, key: &Key, table: LearnedTable, version: u64) {
+    fn insert(&self, key: &Key, table: LearnedTable, models: StoredModels, version: u64) {
         let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
         map.insert(
             key.clone(),
             Entry {
                 table,
+                models,
                 version,
                 last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
             },
@@ -236,14 +266,24 @@ impl Inner {
         *slot
     }
 
-    fn publish(self: &Arc<Self>, key: &Key, table: LearnedTable) -> u64 {
+    fn publish(self: &Arc<Self>, key: &Key, table: LearnedTable, models: StoredModels) -> u64 {
+        // A model-less publish inherits whatever coefficients the resident
+        // entry holds, so a search-only job refreshing a key never wipes a
+        // predictive job's fit (the persister applies the same rule against
+        // the on-disk entry for keys that were evicted in between).
+        let models = if models.is_empty() {
+            self.cached(key).map(|(_, m, _)| m).unwrap_or_default()
+        } else {
+            models
+        };
         let version = self.next_version(key);
-        self.insert(key, table.clone(), version);
+        self.insert(key, table.clone(), models.clone(), version);
         if let Some(tx) = &self.writer {
             let _ = tx.send(WriteMsg::Save {
                 gpu: key.0.clone(),
                 workload: key.1.clone(),
                 table,
+                models,
                 version,
             });
         }
@@ -292,11 +332,26 @@ impl TableServer {
                                 gpu,
                                 workload,
                                 table,
+                                models,
                                 version,
                             } => {
-                                if let Err(e) =
-                                    persist_store.save_versioned(&gpu, &workload, &table, version)
-                                {
+                                // Model-less saves keep whatever coefficients
+                                // the on-disk entry already holds (the key may
+                                // have been evicted from memory since its
+                                // predictive publish).
+                                let models = if models.is_empty() {
+                                    persist_store
+                                        .load_stored(&gpu, &workload)
+                                        .ok()
+                                        .flatten()
+                                        .map(|s| s.models)
+                                        .unwrap_or_default()
+                                } else {
+                                    models
+                                };
+                                if let Err(e) = persist_store.save_versioned_with_models(
+                                    &gpu, &workload, &table, &models, version,
+                                ) {
                                     eprintln!(
                                         "warning: table write-behind for ({gpu}, {workload}) \
                                          failed: {e}"
@@ -334,20 +389,28 @@ impl TableServer {
         let key: Key = (gpu.to_string(), workload.to_string());
         let inner = &self.inner;
         loop {
-            if let Some((table, version)) = inner.cached(&key) {
+            if let Some((table, models, version)) = inner.cached(&key) {
                 inner.bump(&inner.counters.hits, "serve.tables.hits");
                 inner.bump(&inner.counters.warm_starts, "serve.tables.warm_starts");
-                return Lease::Warm { table, version };
+                return Lease::Warm {
+                    table,
+                    models,
+                    version,
+                };
             }
             let mut fl = inner.flight.lock().unwrap_or_else(|e| e.into_inner());
             // Re-check under the flight lock: a publisher inserts into the
             // map *before* releasing the flight, so "not cached and not in
             // flight" here really means cold.
-            if let Some((table, version)) = inner.cached(&key) {
+            if let Some((table, models, version)) = inner.cached(&key) {
                 drop(fl);
                 inner.bump(&inner.counters.hits, "serve.tables.hits");
                 inner.bump(&inner.counters.warm_starts, "serve.tables.warm_starts");
-                return Lease::Warm { table, version };
+                return Lease::Warm {
+                    table,
+                    models,
+                    version,
+                };
             }
             if fl.contains(&key) {
                 inner.bump(&inner.counters.waits, "serve.tables.waits");
@@ -366,12 +429,18 @@ impl TableServer {
             if let Some(store) = &inner.store {
                 if let Some(stored) = store.load_or_rebuild_stored(gpu, workload) {
                     inner.observe_version(&key, stored.version);
-                    inner.insert(&key, stored.table.clone(), stored.version);
+                    inner.insert(
+                        &key,
+                        stored.table.clone(),
+                        stored.models.clone(),
+                        stored.version,
+                    );
                     inner.release_flight(&key);
                     inner.bump(&inner.counters.disk_loads, "serve.tables.disk_loads");
                     inner.bump(&inner.counters.warm_starts, "serve.tables.warm_starts");
                     return Lease::Warm {
                         table: stored.table,
+                        models: stored.models,
                         version: stored.version,
                     };
                 }
@@ -435,6 +504,32 @@ mod tests {
         t
     }
 
+    /// A fitted single-kernel model set, as a predictive job would publish.
+    fn models() -> StoredModels {
+        let samples = [
+            (1005.0, 0.090),
+            (1140.0, 0.082),
+            (1275.0, 0.076),
+            (1410.0, 0.071),
+        ]
+        .map(|(f, t)| model::Sample {
+            f_core_mhz: f,
+            f_mem_mhz: 1593.0,
+            time_s: t,
+            energy_j: t * (80.0 + 0.1 * f),
+        });
+        let voltage = model::VoltageParams {
+            v_min: 0.70,
+            v_max: 1.05,
+            f_min_mhz: 210.0,
+            f_max_mhz: 1410.0,
+        };
+        let m = model::KernelModel::fit(&samples, 1410.0, 1593.0, voltage).unwrap();
+        let mut out = StoredModels::new();
+        out.insert("XMass".to_string(), m);
+        out
+    }
+
     fn mem_server(capacity: usize) -> TableServer {
         TableServer::new(TableServerConfig {
             dir: None,
@@ -453,9 +548,14 @@ mod tests {
         };
         assert_eq!(guard.publish(table(1410)), 1);
         match srv.lease("A100", "turb") {
-            Lease::Warm { table: t, version } => {
+            Lease::Warm {
+                table: t,
+                models,
+                version,
+            } => {
                 assert_eq!(version, 1);
                 assert_eq!(t, table(1410));
+                assert!(models.is_empty(), "plain publish carries no models");
             }
             Lease::Explore(_) => panic!("published key must be warm"),
         }
@@ -482,7 +582,9 @@ mod tests {
                             g.publish(table(1200));
                             true
                         }
-                        Lease::Warm { table: t, version } => {
+                        Lease::Warm {
+                            table: t, version, ..
+                        } => {
                             assert_eq!(t, table(1200));
                             assert_eq!(version, 1);
                             false
@@ -637,6 +739,90 @@ mod tests {
             dir.join("A100__turb.json.corrupt").exists(),
             "bad bytes moved aside"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn published_models_round_trip_through_memory_and_disk() {
+        let dir = std::env::temp_dir().join(format!("serve-tables-models-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let srv = TableServer::new(TableServerConfig {
+            dir: Some(dir.clone()),
+            capacity: 1,
+        })
+        .unwrap();
+        match srv.lease("A100", "turb") {
+            Lease::Explore(g) => {
+                g.publish_with_models(table(1410), models());
+            }
+            _ => panic!("cold"),
+        }
+        // Resident entry serves the models back.
+        match srv.lease("A100", "turb") {
+            Lease::Warm { models: m, .. } => assert_eq!(m, models()),
+            Lease::Explore(_) => panic!("published key must be warm"),
+        }
+        // Evict via capacity 1, then reload: models come back from disk,
+        // readable by a plain TableStore in the batch-runner layout.
+        match srv.lease("A100", "other") {
+            Lease::Explore(g) => {
+                g.publish(table(900));
+            }
+            _ => panic!("cold"),
+        }
+        srv.flush();
+        assert!(srv.peek("A100", "turb").is_none(), "evicted");
+        let store = TableStore::open(&dir).unwrap();
+        let stored = store.load_stored("A100", "turb").unwrap().unwrap();
+        assert_eq!(stored.models, models());
+        match srv.lease("A100", "turb") {
+            Lease::Warm { models: m, .. } => assert_eq!(m, models(), "disk warm start has models"),
+            Lease::Explore(_) => panic!("disk should warm-start"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn search_only_publish_preserves_existing_models() {
+        let dir = std::env::temp_dir().join(format!("serve-tables-keep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let srv = TableServer::new(TableServerConfig {
+            dir: Some(dir.clone()),
+            capacity: 0,
+        })
+        .unwrap();
+        // Seed the store the way a batch predictive run would.
+        let store = TableStore::open(&dir).unwrap();
+        store
+            .save_versioned_with_models("A100", "turb", &table(1410), &models(), 1)
+            .unwrap();
+        // First lease loads models from disk; pretend the entry goes stale
+        // and an online (search-only) job republishes the key.
+        match srv.lease("A100", "turb") {
+            Lease::Warm { models: m, .. } => assert_eq!(m, models()),
+            Lease::Explore(_) => panic!("disk should warm-start"),
+        }
+        srv.inner.publish(
+            &("A100".to_string(), "turb".to_string()),
+            table(1200),
+            StoredModels::new(),
+        );
+        srv.flush();
+        // Neither the resident entry nor the disk entry lost the fit.
+        match srv.lease("A100", "turb") {
+            Lease::Warm {
+                table: t,
+                models: m,
+                ..
+            } => {
+                assert_eq!(t, table(1200), "table refreshed");
+                assert_eq!(m, models(), "models inherited across the publish");
+            }
+            Lease::Explore(_) => panic!("warm"),
+        }
+        let stored = store.load_stored("A100", "turb").unwrap().unwrap();
+        assert_eq!(stored.table, table(1200));
+        assert_eq!(stored.models, models());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -82,6 +82,7 @@ impl Executor for MockExec {
         &self,
         spec_json: &str,
         warm: Option<&online::LearnedTable>,
+        _warm_models: &online::StoredModels,
     ) -> Result<JobOutcome, String> {
         let spec: MockSpec = serde_json::from_str(spec_json).unwrap();
         if spec.gated {
@@ -106,6 +107,7 @@ impl Executor for MockExec {
                     edp: 90.0,
                     recovery: None,
                     report: None,
+                    ..Default::default()
                 })
             }
         }

@@ -29,10 +29,10 @@ pub mod measure;
 pub mod space;
 pub mod strategy;
 
-use archsim::{GpuSpec, KernelWorkload};
+use archsim::{GpuSpec, KernelWorkload, MegaHertz};
 
 pub use measure::{measure_config, ConfigResult};
-pub use space::{ParamSpace, ParamValues, FREQ_KEY};
+pub use space::{ParamSpace, ParamValues, FREQ_KEY, MEM_FREQ_KEY};
 pub use strategy::Strategy;
 
 /// What to optimize for.
@@ -146,6 +146,142 @@ where
         configs,
         best,
     }
+}
+
+/// Build the full (core, memory) product space for `gpu`: core clocks in
+/// `[lo, max]` on the ladder, crossed with every memory P-state.
+pub fn core_mem_space(gpu: &GpuSpec, lo: MegaHertz) -> ParamSpace {
+    let mut params = ParamSpace::new();
+    params.add_frequency_range(lo, gpu.clock_table.max(), gpu.clock_table.step());
+    if gpu.mem_clock_table.len() > 1 {
+        params.add_memory_frequencies(&gpu.mem_clock_table);
+    }
+    params
+}
+
+/// Exhaustively sweep the (core, memory) clock product — the ground truth
+/// the predictive sweep is judged against.
+pub fn exhaustive_core_mem_sweep<F>(
+    kernel_name: &str,
+    kernel_source: F,
+    problem_size: f64,
+    gpu: &GpuSpec,
+    lo: MegaHertz,
+    opts: TuneOptions,
+) -> TuneResult
+where
+    F: Fn(&ParamValues, f64) -> KernelWorkload + Sync,
+{
+    let params = core_mem_space(gpu, lo);
+    tune_kernel(kernel_name, kernel_source, problem_size, &params, gpu, opts)
+}
+
+/// Outcome of a predictive (model-fitting) sweep.
+#[derive(Debug, Clone)]
+pub struct PredictiveSweep {
+    pub kernel_name: String,
+    /// The fitted analytic model.
+    pub model: model::KernelModel,
+    /// The model's predicted optimum over the (core, mem) product.
+    pub predicted: model::Predicted,
+    /// Measured cost at the predicted point (the verification launch).
+    pub verified: ConfigResult,
+    /// Configurations actually measured: the probes plus the verification.
+    /// Compare against the product-space size for the launch savings.
+    pub measurements: usize,
+}
+
+/// Sweep the (core, memory) product by measuring only `probe_rungs` core
+/// clocks (plus one low-memory probe when the device has multiple P-states),
+/// fitting the analytic roofline/power model, and jumping to its predicted
+/// EDP optimum — which is then measured once to verify.
+///
+/// Errors propagate from the fit (too few probes, degenerate samples); the
+/// caller decides whether to fall back to [`exhaustive_core_mem_sweep`].
+pub fn predictive_core_mem_sweep<F>(
+    kernel_name: &str,
+    kernel_source: F,
+    problem_size: f64,
+    gpu: &GpuSpec,
+    lo: MegaHertz,
+    probe_rungs: usize,
+    iterations: u32,
+) -> Result<PredictiveSweep, model::FitError>
+where
+    F: Fn(&ParamValues, f64) -> KernelWorkload + Sync,
+{
+    let ladder: Vec<MegaHertz> = gpu
+        .clock_table
+        .clocks_in_range(lo, gpu.clock_table.max())
+        .into_iter()
+        .rev()
+        .collect(); // ascending
+    assert!(!ladder.is_empty(), "empty core ladder");
+    let k = probe_rungs.clamp(2, ladder.len());
+    let mem_default = gpu.mem_clock;
+    // Evenly spaced core probes at the default P-state, top and bottom
+    // included, then one probe at the lowest P-state to open the memory axis.
+    let mut points: Vec<(MegaHertz, MegaHertz)> = (0..k)
+        .map(|j| {
+            let idx = (ladder.len() - 1) * (k - 1 - j) / (k - 1);
+            (ladder[idx], mem_default)
+        })
+        .collect();
+    points.dedup();
+    if gpu.mem_clock_table.len() > 1 {
+        let lowest = *gpu.mem_clock_table.last().expect("non-empty table");
+        points.push((*ladder.last().expect("non-empty"), lowest));
+    }
+    let measure_at = |core: MegaHertz, mem: MegaHertz| -> ConfigResult {
+        let mut p = ParamSpace::new();
+        p.add_frequencies(&[core]);
+        if gpu.mem_clock_table.len() > 1 {
+            p.add_memory_frequencies(&[mem]);
+        }
+        let assignment = p.enumerate().remove(0);
+        let workload = kernel_source(&assignment, problem_size);
+        measure_config(gpu, &workload, &assignment, iterations)
+    };
+    let samples: Vec<model::Sample> = points
+        .iter()
+        .map(|&(core, mem)| {
+            let r = measure_at(core, mem);
+            model::Sample {
+                f_core_mhz: f64::from(core.0),
+                f_mem_mhz: f64::from(mem.0),
+                time_s: r.time_s,
+                energy_j: r.energy_j,
+            }
+        })
+        .collect();
+    let voltage = model::VoltageParams {
+        v_min: gpu.voltage.v_min.0,
+        v_max: gpu.voltage.v_max.0,
+        f_min_mhz: f64::from(gpu.voltage.f_min.0),
+        f_max_mhz: f64::from(gpu.voltage.f_max.0),
+    };
+    let fitted = model::KernelModel::fit(
+        &samples,
+        f64::from(ladder.last().expect("non-empty").0),
+        f64::from(mem_default.0),
+        voltage,
+    )?;
+    let core_mhz: Vec<u32> = ladder.iter().map(|f| f.0).collect();
+    let mem_mhz: Vec<u32> = gpu.mem_clock_table.iter().map(|f| f.0).collect();
+    let predicted = fitted
+        .predict_optimum(&core_mhz, &mem_mhz)
+        .expect("non-empty ladders");
+    let verified = measure_at(
+        MegaHertz(predicted.f_core_mhz),
+        MegaHertz(predicted.f_mem_mhz),
+    );
+    Ok(PredictiveSweep {
+        kernel_name: kernel_name.to_string(),
+        model: fitted,
+        predicted,
+        verified,
+        measurements: points.len() + 1,
+    })
 }
 
 #[cfg(test)]
@@ -333,6 +469,100 @@ mod tests {
         // the bandwidth-bound kernel prefers the sweep floor.
         assert_eq!(best.params.get("block_size"), Some(256.0));
         assert_eq!(r.best_frequency(), Some(MegaHertz(1005)));
+    }
+
+    #[test]
+    fn exhaustive_core_mem_sweep_covers_the_product() {
+        let gpu = GpuSpec::a100_sxm4_80gb();
+        let r = exhaustive_core_mem_sweep(
+            "k",
+            compute_bound,
+            1e6,
+            &gpu,
+            MegaHertz(1005),
+            TuneOptions {
+                iterations: 2,
+                ..Default::default()
+            },
+        );
+        // 28 core rungs × 3 memory P-states.
+        assert_eq!(r.configs.len(), 28 * 3);
+        let best = r.best_config();
+        assert!(best.params.frequency().is_some());
+        assert!(best.params.memory_frequency().is_some());
+    }
+
+    #[test]
+    fn memory_bound_kernel_keeps_top_pstate_in_joint_sweep() {
+        let gpu = GpuSpec::a100_sxm4_80gb();
+        let r = exhaustive_core_mem_sweep(
+            "xm",
+            memory_bound,
+            1e6,
+            &gpu,
+            MegaHertz(1005),
+            TuneOptions {
+                iterations: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            r.best_config().params.memory_frequency(),
+            Some(MegaHertz(1593)),
+            "downclocking memory starves a bandwidth-bound kernel"
+        );
+    }
+
+    #[test]
+    fn predictive_sweep_lands_within_one_bin_of_exhaustive() {
+        let gpu = GpuSpec::a100_sxm4_80gb();
+        // Single-regime workloads at paper scale: the roofline stays on one
+        // side of the kink across the window, so the analytic model applies.
+        // (Kernels that cross the kink mid-window are what the online
+        // verification step and search fallback exist for.)
+        let strongly_compute = |_p: &ParamValues, n: f64| {
+            KernelWorkload::new("grav", 50_000.0 * n, 100.0 * n).with_activity(0.95, 0.9)
+        };
+        for factory in [
+            &strongly_compute as &(dyn Fn(&ParamValues, f64) -> KernelWorkload + Sync),
+            &memory_bound,
+        ] {
+            let truth = exhaustive_core_mem_sweep(
+                "k",
+                factory,
+                91.125e6,
+                &gpu,
+                MegaHertz(1005),
+                TuneOptions {
+                    iterations: 2,
+                    ..Default::default()
+                },
+            );
+            let pred =
+                predictive_core_mem_sweep("k", factory, 91.125e6, &gpu, MegaHertz(1005), 4, 2)
+                    .unwrap();
+            let best = truth.best_config();
+            let step = gpu.clock_table.step();
+            let d = best
+                .params
+                .frequency()
+                .unwrap()
+                .0
+                .abs_diff(pred.predicted.f_core_mhz);
+            assert!(
+                d <= step,
+                "predicted {} vs exhaustive {} (> one bin)",
+                pred.predicted.f_core_mhz,
+                best.params.frequency().unwrap()
+            );
+            assert_eq!(
+                Some(MegaHertz(pred.predicted.f_mem_mhz)),
+                best.params.memory_frequency(),
+                "memory P-state choice must match"
+            );
+            // ≥5× fewer measured configurations than the brute-force product.
+            assert!(pred.measurements * 5 <= truth.configs.len());
+        }
     }
 
     #[test]

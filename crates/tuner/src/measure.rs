@@ -41,6 +41,11 @@ pub fn measure_config(
             .set_application_clocks(gpu.clock_table.max())
             .expect("max clock is supported");
     }
+    if let Some(m) = params.memory_frequency() {
+        device
+            .set_memory_clock(m)
+            .unwrap_or_else(|e| panic!("config {params}: {e}"));
+    }
     let mut total_time = 0.0;
     let mut total_energy = 0.0;
     for _ in 0..iterations {

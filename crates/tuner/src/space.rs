@@ -7,6 +7,9 @@ use archsim::MegaHertz;
 /// The reserved key controlling the device compute clock.
 pub const FREQ_KEY: &str = "gpu_freq";
 
+/// The reserved key controlling the device memory clock (P-state).
+pub const MEM_FREQ_KEY: &str = "gpu_mem_freq";
+
 /// An ordered dictionary of tunable parameters, each with a list of values —
 /// KernelTuner's `params` argument.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +48,12 @@ impl ParamSpace {
     /// Add an explicit list of frequencies.
     pub fn add_frequencies(&mut self, freqs: &[MegaHertz]) -> &mut Self {
         self.add(FREQ_KEY, freqs.iter().map(|f| f.0 as f64).collect())
+    }
+
+    /// Add the memory-clock axis from a device's P-state table (descending,
+    /// as NVML enumerates supported memory clocks).
+    pub fn add_memory_frequencies(&mut self, pstates: &[MegaHertz]) -> &mut Self {
+        self.add(MEM_FREQ_KEY, pstates.iter().map(|f| f.0 as f64).collect())
     }
 
     /// Number of axes.
@@ -96,6 +105,11 @@ impl ParamValues {
     /// The GPU frequency, if this space tunes one.
     pub fn frequency(&self) -> Option<MegaHertz> {
         self.get(FREQ_KEY).map(|f| MegaHertz(f.round() as u32))
+    }
+
+    /// The memory clock (P-state), if this space tunes one.
+    pub fn memory_frequency(&self) -> Option<MegaHertz> {
+        self.get(MEM_FREQ_KEY).map(|f| MegaHertz(f.round() as u32))
     }
 
     /// All parameters, ordered by key.

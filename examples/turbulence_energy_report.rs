@@ -35,6 +35,7 @@ fn main() {
         report_dir: None,
         power_cap_w: None,
         table_store: None,
+        memory_clock: None,
         faults: None,
     };
     println!(

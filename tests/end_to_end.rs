@@ -30,6 +30,7 @@ fn small_spec(system: archsim::SystemSpec, ranks: usize, policy: FreqPolicy) -> 
         report_dir: None,
         power_cap_w: None,
         table_store: None,
+        memory_clock: None,
         faults: None,
     }
 }

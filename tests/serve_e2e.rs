@@ -8,7 +8,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use gpu_freq_scaling::freqscale::{ExperimentExecutor, ExperimentSpec, FreqPolicy, WorkloadKind};
-use gpu_freq_scaling::online::{OnlineTunerConfig, TableStore};
+use gpu_freq_scaling::online::{OnlineTunerConfig, PredictiveConfig, TableStore};
 use gpu_freq_scaling::serve::{
     client, Daemon, DaemonHandle, Executor, JobMeta, JobOutcome, ServeConfig, TableServerConfig,
 };
@@ -32,6 +32,23 @@ fn online_spec() -> ExperimentSpec {
         n_side: 6,
         mach: 0.3,
         seed: 9,
+    };
+    spec.target_neighbors = 30;
+    spec
+}
+
+/// The proven probe-free-warm-start predictive configuration from the
+/// runner's own store round-trip test: 16 steps fit and pin every kernel,
+/// so the explorer publishes both a table and model coefficients.
+fn predictive_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::minihpc_turbulence(
+        FreqPolicy::ManDynPredictive(PredictiveConfig::default()),
+        16,
+    );
+    spec.workload = WorkloadKind::Turbulence {
+        n_side: 6,
+        mach: 0.3,
+        seed: 1,
     };
     spec.target_neighbors = 30;
     spec
@@ -126,6 +143,46 @@ fn four_concurrent_same_key_submissions_share_one_exploration() {
     let _ = std::fs::remove_dir_all(&store);
 }
 
+/// Tentpole acceptance, serving layer: a predictive job's fitted
+/// coefficients travel through the table server — the explorer publishes
+/// models alongside its table, write-behind persists both, and a repeat
+/// submission of the same key warm-starts *probe-free* (zero exploration
+/// launches) from the served models.
+#[test]
+fn served_predictive_warm_start_skips_probe_phase() {
+    let store = tmp("predictive-store");
+    let handle = start("predictive", 4, 1, Some(store.clone()));
+
+    let spec = spec_json(&predictive_spec());
+    let cold = client::submit_all(handle.socket(), &[("pred-cold".to_string(), spec.clone())])
+        .expect("submit");
+    assert!(cold[0].ok, "{:?}", cold[0].error);
+    assert!(!cold[0].warm_start, "first submission explores");
+    assert!(
+        cold[0].exploration_launches > 0,
+        "cold predictive run spends probe launches"
+    );
+
+    let warm =
+        client::submit_all(handle.socket(), &[("pred-warm".to_string(), spec)]).expect("submit");
+    assert!(warm[0].ok, "{:?}", warm[0].error);
+    assert!(warm[0].warm_start, "second submission is served warm");
+    assert_eq!(
+        warm[0].exploration_launches, 0,
+        "served models must skip even the probe phase"
+    );
+
+    client::shutdown(handle.socket()).expect("shutdown");
+    handle.join();
+    // Write-behind persisted the coefficients in the batch-store layout.
+    let disk = TableStore::open(&store).unwrap();
+    let entries = disk.list().unwrap();
+    assert_eq!(entries.len(), 1);
+    assert!(!entries[0].table.is_empty(), "table persisted");
+    assert!(!entries[0].models.is_empty(), "models persisted");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
 /// `ExperimentExecutor` behind a gate, so jobs stay in flight while the
 /// queue is deliberately overflowed.
 struct GatedExecutor {
@@ -142,6 +199,7 @@ impl Executor for GatedExecutor {
         &self,
         spec_json: &str,
         warm: Option<&gpu_freq_scaling::online::LearnedTable>,
+        warm_models: &gpu_freq_scaling::online::StoredModels,
     ) -> Result<JobOutcome, String> {
         let (lock, cvar) = &*self.gate;
         let mut open = lock.lock().unwrap();
@@ -149,7 +207,7 @@ impl Executor for GatedExecutor {
             open = cvar.wait(open).unwrap();
         }
         drop(open);
-        self.inner.execute(spec_json, warm)
+        self.inner.execute(spec_json, warm, warm_models)
     }
 }
 
