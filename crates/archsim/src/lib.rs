@@ -31,6 +31,7 @@ pub mod kernel;
 pub mod node;
 pub mod spec;
 pub mod systems;
+pub mod template;
 pub mod thermal;
 pub mod time;
 pub mod timeline;
@@ -45,6 +46,7 @@ pub use kernel::{ExecBreakdown, ExecModel, KernelWorkload, NaiveInverseModel, Ro
 pub use node::{Node, NodeSpec};
 pub use spec::{CpuSpec, GpuSpec, MemSpec};
 pub use systems::{all_systems, cscs_a100, lumi_g, mini_hpc, Cluster, SystemSpec};
+pub use template::{Cooling, DeviceTemplate, BUILTIN_DEVICES};
 pub use thermal::ThermalSpec;
 pub use time::{SimDuration, SimInstant};
 pub use timeline::{FreqTimeline, PowerSegment, PowerTimeline};

@@ -1,0 +1,358 @@
+//! Loadable JSON device templates — the device half of the scenario & device
+//! zoo.
+//!
+//! A [`DeviceTemplate`] is the on-disk shape of a [`GpuSpec`]: the explicit
+//! supported-clock ladder (as `nvidia-smi -q -d SUPPORTED_CLOCKS` would print
+//! it), the V-f endpoints, the memory P-state ladder, and the power envelope
+//! with the SM dynamic share expressed as an effective switched capacitance
+//! (`P_sm = C · V² · f`). The repo ships templates for A100-, H100-, MI250X-
+//! and L4-class parts under `devices/`; `freqscale-matrix` expands them
+//! against the scenario registry.
+//!
+//! Parsing rejects unknown fields (the serde error lists every supported
+//! field), and [`DeviceTemplate::to_spec`] validates the physics: ladders
+//! must be non-empty, strictly descending and uniform, envelopes positive.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::freq::{ClockTable, VoltageCurve};
+use crate::spec::GpuSpec;
+use crate::thermal::ThermalSpec;
+use crate::time::SimDuration;
+use crate::units::{Joules, MegaHertz, Volts, Watts};
+
+/// V-f curve endpoints; the frequency endpoints come from the clock ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct VfEndpoints {
+    /// Operating voltage at the ladder floor.
+    pub v_min_v: f64,
+    /// Operating voltage at the ladder ceiling.
+    pub v_max_v: f64,
+}
+
+/// Package/cooling class, selecting the thermal envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cooling {
+    Sxm,
+    Pcie,
+    Oam,
+}
+
+impl Cooling {
+    fn thermal(self) -> ThermalSpec {
+        match self {
+            Cooling::Sxm => ThermalSpec::sxm(),
+            Cooling::Pcie => ThermalSpec::pcie(),
+            Cooling::Oam => ThermalSpec::oam(),
+        }
+    }
+
+    fn from_thermal(t: &ThermalSpec) -> Cooling {
+        for c in [Cooling::Sxm, Cooling::Oam, Cooling::Pcie] {
+            if c.thermal() == *t {
+                return c;
+            }
+        }
+        Cooling::Pcie
+    }
+}
+
+/// One GPU device class as a loadable JSON file. See the module docs for the
+/// field semantics; `devices/*.json` are the shipped instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct DeviceTemplate {
+    /// Marketing name, e.g. `"Nvidia A100-SXM4-80GB"`.
+    pub name: String,
+    /// Supported core clocks in MHz, descending (NVML enumeration order).
+    /// Must form a uniform ladder: `ClockTable` is (min, max, step).
+    pub core_clocks_mhz: Vec<u32>,
+    /// V-f endpoints; paired with the ladder ends to form the linear curve.
+    pub voltage: VfEndpoints,
+    /// Memory P-states in MHz, descending; the first is the default clock.
+    pub mem_clocks_mhz: Vec<u32>,
+    /// Peak FP64 throughput at the maximum clock, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Host-side launch/driver overhead per kernel launch, µs.
+    pub launch_overhead_us: u64,
+    /// Floor power (clocks at minimum, nothing resident), W.
+    pub idle_power_w: f64,
+    /// Effective switched capacitance of the SM domain, nF. The SM dynamic
+    /// ceiling is `C · V_max² · f_max` — the `P = C V² f` model the paper's
+    /// energy argument rests on.
+    pub core_capacitance_nf: f64,
+    /// Memory-subsystem dynamic ceiling, W.
+    pub mem_dynamic_max_w: f64,
+    /// Idle clock-hold power as a fraction of the SM dynamic ceiling.
+    pub clock_hold_fraction: f64,
+    /// Energy per DVFS transition, J.
+    pub transition_cost_j: f64,
+    /// Autoboost voltage guard-band (fraction).
+    pub boost_voltage_margin: f64,
+    /// Work items needed to saturate the device.
+    pub saturation_parallelism: f64,
+    /// Package class: `"Sxm"`, `"Pcie"` or `"Oam"`.
+    pub cooling: Cooling,
+}
+
+/// Every field a template may carry, in schema order — quoted by the
+/// unknown-field diagnostic.
+const SUPPORTED_FIELDS: [&str; 15] = [
+    "name",
+    "core_clocks_mhz",
+    "voltage",
+    "mem_clocks_mhz",
+    "peak_gflops",
+    "mem_bandwidth_gbs",
+    "launch_overhead_us",
+    "idle_power_w",
+    "core_capacitance_nf",
+    "mem_dynamic_max_w",
+    "clock_hold_fraction",
+    "transition_cost_j",
+    "boost_voltage_margin",
+    "saturation_parallelism",
+    "cooling",
+];
+
+/// Top-level object keys of already-validated JSON (depth-1 strings in key
+/// position). Used to reject unknown fields with a diagnostic that lists the
+/// supported schema.
+fn top_level_keys(json: &str) -> Vec<String> {
+    let b = json.as_bytes();
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut expecting_key = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => {
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                if depth == 1 && expecting_key {
+                    keys.push(json[start..i].to_string());
+                    expecting_key = false;
+                }
+            }
+            b'{' => {
+                depth += 1;
+                if depth == 1 {
+                    expecting_key = true;
+                }
+            }
+            b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b',' if depth == 1 => expecting_key = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Names of the templates compiled into the crate (mirrors `devices/`).
+pub const BUILTIN_DEVICES: [&str; 4] = ["a100-sxm4-80gb", "h100-sxm5-80gb", "mi250x-gcd", "l4"];
+
+impl DeviceTemplate {
+    /// Parse a template from JSON. Unknown fields are rejected with an error
+    /// listing every supported field.
+    pub fn from_json(json: &str) -> Result<DeviceTemplate, ArchError> {
+        let t: DeviceTemplate = serde_json::from_str(json)
+            .map_err(|e| ArchError::InvalidSpec(format!("device template: {e}")))?;
+        for key in top_level_keys(json) {
+            if !SUPPORTED_FIELDS.contains(&key.as_str()) {
+                let supported = SUPPORTED_FIELDS
+                    .iter()
+                    .map(|f| format!("`{f}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return Err(ArchError::InvalidSpec(format!(
+                    "device template: unknown field `{key}`, supported fields: {supported}"
+                )));
+            }
+        }
+        Ok(t)
+    }
+
+    /// Load a template from a JSON file.
+    pub fn load(path: &std::path::Path) -> Result<DeviceTemplate, ArchError> {
+        let json = std::fs::read_to_string(path).map_err(|e| {
+            ArchError::InvalidSpec(format!("reading device template {}: {e}", path.display()))
+        })?;
+        Self::from_json(&json)
+    }
+
+    /// One of the templates shipped in `devices/` and compiled in (so the
+    /// matrix generator works from any working directory).
+    pub fn builtin(name: &str) -> Option<DeviceTemplate> {
+        let json = match name {
+            "a100-sxm4-80gb" => include_str!("../../../devices/a100-sxm4-80gb.json"),
+            "h100-sxm5-80gb" => include_str!("../../../devices/h100-sxm5-80gb.json"),
+            "mi250x-gcd" => include_str!("../../../devices/mi250x-gcd.json"),
+            "l4" => include_str!("../../../devices/l4.json"),
+            _ => return None,
+        };
+        Some(Self::from_json(json).expect("builtin device template is valid"))
+    }
+
+    /// Validate the template and build the concrete [`GpuSpec`].
+    pub fn to_spec(&self) -> Result<GpuSpec, ArchError> {
+        let bad = |msg: String| {
+            Err(ArchError::InvalidSpec(format!(
+                "device template {:?}: {msg}",
+                self.name
+            )))
+        };
+        if self.core_clocks_mhz.len() < 2 {
+            return bad(format!(
+                "core_clocks_mhz must list at least two clocks (got {})",
+                self.core_clocks_mhz.len()
+            ));
+        }
+        for w in self.core_clocks_mhz.windows(2) {
+            if w[1] >= w[0] {
+                return bad(format!(
+                    "core_clocks_mhz must be strictly descending (… {}, {} …)",
+                    w[0], w[1]
+                ));
+            }
+        }
+        let step = self.core_clocks_mhz[0] - self.core_clocks_mhz[1];
+        for w in self.core_clocks_mhz.windows(2) {
+            if w[0] - w[1] != step {
+                return bad(format!(
+                    "core_clocks_mhz must form a uniform ladder (step {} MHz, but … {}, {} …)",
+                    step, w[0], w[1]
+                ));
+            }
+        }
+        let f_max = MegaHertz(self.core_clocks_mhz[0]);
+        let f_min = MegaHertz(*self.core_clocks_mhz.last().unwrap());
+        let clock_table = ClockTable::new(f_min, f_max, step)?;
+
+        if self.mem_clocks_mhz.is_empty() {
+            return bad("mem_clocks_mhz must list at least one P-state".into());
+        }
+        for w in self.mem_clocks_mhz.windows(2) {
+            if w[1] >= w[0] {
+                return bad(format!(
+                    "mem_clocks_mhz must be strictly descending (… {}, {} …)",
+                    w[0], w[1]
+                ));
+            }
+        }
+        if !(self.voltage.v_min_v > 0.0 && self.voltage.v_max_v >= self.voltage.v_min_v) {
+            return bad(format!(
+                "voltage endpoints must satisfy 0 < v_min_v <= v_max_v (got {} / {})",
+                self.voltage.v_min_v, self.voltage.v_max_v
+            ));
+        }
+        for (value, name) in [
+            (self.peak_gflops, "peak_gflops"),
+            (self.mem_bandwidth_gbs, "mem_bandwidth_gbs"),
+            (self.core_capacitance_nf, "core_capacitance_nf"),
+            (self.saturation_parallelism, "saturation_parallelism"),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return bad(format!("{name} must be positive (got {value})"));
+            }
+        }
+        for (value, name) in [
+            (self.idle_power_w, "idle_power_w"),
+            (self.mem_dynamic_max_w, "mem_dynamic_max_w"),
+            (self.transition_cost_j, "transition_cost_j"),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return bad(format!("{name} must be non-negative (got {value})"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.clock_hold_fraction) {
+            return bad(format!(
+                "clock_hold_fraction must be in [0, 1] (got {})",
+                self.clock_hold_fraction
+            ));
+        }
+        if !(0.0..=0.2).contains(&self.boost_voltage_margin) {
+            return bad(format!(
+                "boost_voltage_margin must be in [0, 0.2] (got {})",
+                self.boost_voltage_margin
+            ));
+        }
+
+        Ok(GpuSpec {
+            name: self.name.clone(),
+            voltage: VoltageCurve {
+                v_min: Volts(self.voltage.v_min_v),
+                v_max: Volts(self.voltage.v_max_v),
+                f_min,
+                f_max,
+            },
+            clock_table,
+            mem_clock: MegaHertz(self.mem_clocks_mhz[0]),
+            mem_clock_table: self.mem_clocks_mhz.iter().map(|&m| MegaHertz(m)).collect(),
+            peak_flops: self.peak_gflops * 1e9,
+            mem_bandwidth: self.mem_bandwidth_gbs * 1e9,
+            launch_overhead: SimDuration::from_micros(self.launch_overhead_us),
+            idle_power: Watts(self.idle_power_w),
+            sm_dynamic_max: Watts(sm_dynamic_from_capacitance(
+                self.core_capacitance_nf,
+                self.voltage.v_max_v,
+                f_max,
+            )),
+            mem_dynamic_max: Watts(self.mem_dynamic_max_w),
+            clock_hold_fraction: self.clock_hold_fraction,
+            transition_cost: Joules(self.transition_cost_j),
+            boost_voltage_margin: self.boost_voltage_margin,
+            saturation_parallelism: self.saturation_parallelism,
+            thermal: self.cooling.thermal(),
+        })
+    }
+
+    /// Re-express a concrete spec as a template (the round-trip direction:
+    /// the SM dynamic ceiling becomes an effective capacitance again).
+    pub fn from_spec(spec: &GpuSpec) -> DeviceTemplate {
+        let f_max = spec.clock_table.max();
+        DeviceTemplate {
+            name: spec.name.clone(),
+            core_clocks_mhz: spec
+                .clock_table
+                .supported_clocks()
+                .into_iter()
+                .map(|f| f.0)
+                .collect(),
+            voltage: VfEndpoints {
+                v_min_v: spec.voltage.v_min.0,
+                v_max_v: spec.voltage.v_max.0,
+            },
+            mem_clocks_mhz: spec.mem_clock_table.iter().map(|m| m.0).collect(),
+            peak_gflops: spec.peak_flops / 1e9,
+            mem_bandwidth_gbs: spec.mem_bandwidth / 1e9,
+            launch_overhead_us: spec.launch_overhead.as_nanos() / 1_000,
+            idle_power_w: spec.idle_power.0,
+            core_capacitance_nf: spec.sm_dynamic_max.0
+                / (spec.voltage.v_max.0 * spec.voltage.v_max.0 * f64::from(f_max.0) * 1e-3),
+            mem_dynamic_max_w: spec.mem_dynamic_max.0,
+            clock_hold_fraction: spec.clock_hold_fraction,
+            transition_cost_j: spec.transition_cost.0,
+            boost_voltage_margin: spec.boost_voltage_margin,
+            saturation_parallelism: spec.saturation_parallelism,
+            cooling: Cooling::from_thermal(&spec.thermal),
+        }
+    }
+}
+
+/// `P_sm = C V² f`: capacitance in nF, voltage in V, clock in MHz → watts
+/// (the nF·MHz product leaves a clean 1e-3 scale).
+fn sm_dynamic_from_capacitance(c_nf: f64, v_max: f64, f_max: MegaHertz) -> f64 {
+    c_nf * v_max * v_max * f64::from(f_max.0) * 1e-3
+}

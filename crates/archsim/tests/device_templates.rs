@@ -1,0 +1,162 @@
+//! Device-template loading: the shipped `devices/` zoo must validate, bad
+//! templates must fail with actionable diagnostics, and the template ↔
+//! `GpuSpec` conversion must round-trip.
+
+use archsim::{ArchError, DeviceTemplate, MegaHertz, BUILTIN_DEVICES};
+
+fn err_of(t: &DeviceTemplate) -> String {
+    match t.to_spec() {
+        Err(ArchError::InvalidSpec(msg)) => msg,
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_builtin_template_builds_a_sane_spec() {
+    for name in BUILTIN_DEVICES {
+        let t = DeviceTemplate::builtin(name).unwrap_or_else(|| panic!("builtin {name}"));
+        let gpu = t.to_spec().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(gpu.name, t.name);
+        assert!(gpu.tdp().0 > 0.0);
+        assert!(gpu.clock_table.len() >= 2, "{name}");
+        assert_eq!(gpu.mem_clock, gpu.mem_clock_table[0], "{name}");
+        assert!(
+            gpu.busy_power(gpu.clock_table.max(), 1.0, 1.0, false).0 <= gpu.tdp().0 + 1e-9,
+            "{name}: busy power exceeds TDP"
+        );
+    }
+    assert!(DeviceTemplate::builtin("rtx-5090").is_none());
+}
+
+#[test]
+fn builtins_match_their_devices_dir_files() {
+    // The compiled-in copies and the files under devices/ are the same bytes
+    // (include_str! reads the same files, but this pins the path layout).
+    for name in BUILTIN_DEVICES {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../devices")
+            .join(format!("{name}.json"));
+        let loaded = DeviceTemplate::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(Some(loaded), DeviceTemplate::builtin(name), "{name}");
+    }
+}
+
+#[test]
+fn device_classes_have_distinct_ladders() {
+    // The zoo must actually span different frequency ranges, otherwise the
+    // per-device sweet-spot contrast is vacuous.
+    let max_of = |n: &str| {
+        DeviceTemplate::builtin(n)
+            .unwrap()
+            .to_spec()
+            .unwrap()
+            .clock_table
+            .max()
+    };
+    assert_eq!(max_of("a100-sxm4-80gb"), MegaHertz(1410));
+    assert_eq!(max_of("h100-sxm5-80gb"), MegaHertz(1980));
+    assert_eq!(max_of("mi250x-gcd"), MegaHertz(1700));
+    assert_eq!(max_of("l4"), MegaHertz(2040));
+}
+
+#[test]
+fn malformed_json_is_rejected() {
+    let err = DeviceTemplate::from_json("{not a template").unwrap_err();
+    assert!(
+        err.to_string().contains("device template"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn unknown_field_error_lists_supported_fields() {
+    // Splice an extra field into an otherwise-valid template.
+    let good = serde_json::to_string(&DeviceTemplate::builtin("a100-sxm4-80gb").unwrap()).unwrap();
+    let bad = format!("{{\"tdp_w\": 400.0, {}", &good[1..]);
+    let err = DeviceTemplate::from_json(&bad).unwrap_err().to_string();
+    assert!(err.contains("unknown field `tdp_w`"), "{err}");
+    // The diagnostic enumerates the supported schema.
+    for field in [
+        "core_clocks_mhz",
+        "core_capacitance_nf",
+        "mem_clocks_mhz",
+        "cooling",
+    ] {
+        assert!(err.contains(field), "{field} missing from: {err}");
+    }
+}
+
+#[test]
+fn non_monotone_clock_ladder_is_rejected() {
+    let mut t = DeviceTemplate::builtin("a100-sxm4-80gb").unwrap();
+    t.core_clocks_mhz = vec![1410, 1395, 1400, 1380];
+    assert!(err_of(&t).contains("strictly descending"));
+    // Ascending order (the "looks sorted" mistake) is equally rejected.
+    t.core_clocks_mhz = vec![210, 225, 240];
+    assert!(err_of(&t).contains("strictly descending"));
+    // Descending but non-uniform is not a ladder either.
+    t.core_clocks_mhz = vec![1410, 1395, 1370];
+    assert!(err_of(&t).contains("uniform ladder"));
+    // A single clock is not a ladder.
+    t.core_clocks_mhz = vec![1410];
+    assert!(err_of(&t).contains("at least two clocks"));
+}
+
+#[test]
+fn empty_mem_pstate_table_is_rejected() {
+    let mut t = DeviceTemplate::builtin("a100-sxm4-80gb").unwrap();
+    t.mem_clocks_mhz = vec![];
+    assert!(err_of(&t).contains("at least one P-state"));
+    t.mem_clocks_mhz = vec![1593, 1593];
+    assert!(err_of(&t).contains("strictly descending"));
+}
+
+#[test]
+fn envelope_validation_rejects_nonsense() {
+    let mut t = DeviceTemplate::builtin("a100-sxm4-80gb").unwrap();
+    t.peak_gflops = 0.0;
+    assert!(err_of(&t).contains("peak_gflops"));
+    let mut t = DeviceTemplate::builtin("a100-sxm4-80gb").unwrap();
+    t.voltage.v_min_v = 1.2; // above v_max
+    assert!(err_of(&t).contains("v_min_v <= v_max_v"));
+    let mut t = DeviceTemplate::builtin("a100-sxm4-80gb").unwrap();
+    t.clock_hold_fraction = 1.5;
+    assert!(err_of(&t).contains("clock_hold_fraction"));
+}
+
+#[test]
+fn template_to_spec_round_trips() {
+    // template → GpuSpec → template: every field survives. The capacitance
+    // crosses `P = C V² f` twice (multiply then divide), so it is compared
+    // to float precision; everything else must be bit-exact.
+    for name in BUILTIN_DEVICES {
+        let t = DeviceTemplate::builtin(name).unwrap();
+        let gpu = t.to_spec().unwrap();
+        let mut back = DeviceTemplate::from_spec(&gpu);
+        let c_rel =
+            (back.core_capacitance_nf - t.core_capacitance_nf).abs() / t.core_capacitance_nf;
+        assert!(c_rel < 1e-14, "{name}: capacitance drifted by {c_rel}");
+        back.core_capacitance_nf = t.core_capacitance_nf;
+        assert_eq!(t, back, "{name}: template → spec → template drifted");
+        // And the re-derived template builds the identical spec.
+        assert_eq!(gpu, back.to_spec().unwrap(), "{name}");
+    }
+}
+
+#[test]
+fn spec_json_round_trips_exactly() {
+    for name in BUILTIN_DEVICES {
+        let gpu = DeviceTemplate::builtin(name).unwrap().to_spec().unwrap();
+        let json = serde_json::to_string(&gpu).unwrap();
+        let re: archsim::GpuSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(gpu, re, "{name}: GpuSpec JSON round trip");
+    }
+}
+
+#[test]
+fn missing_template_file_fails_with_path() {
+    let err = DeviceTemplate::load(std::path::Path::new("/nonexistent/zoo/gpu.json"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("/nonexistent/zoo/gpu.json"), "{err}");
+}

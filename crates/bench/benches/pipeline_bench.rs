@@ -49,6 +49,7 @@ fn bench_experiment(c: &mut Criterion) {
                 table_store: None,
                 memory_clock: None,
                 faults: None,
+                scenario: None,
             };
             black_box(run_experiment(&spec))
         })

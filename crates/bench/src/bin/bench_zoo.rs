@@ -1,0 +1,94 @@
+//! Zoo smoke — one short Baseline rep for every scenario × device cell.
+//!
+//! Cheap insurance that the whole cube actually runs: every registry
+//! scenario's IC builds, every device template's system boots it, and the
+//! experiment completes with finite, positive time and energy. The CI lint
+//! job runs this with `--check` (single step per cell); without flags it
+//! runs `DEFAULT_STEPS`-step cells and can write the timing table as JSON.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_zoo -- --check
+//! cargo run --release -p bench --bin bench_zoo -- --json zoo_smoke.json
+//! ```
+
+use archsim::{DeviceTemplate, BUILTIN_DEVICES};
+use bench::{banner, print_table, Cli};
+use freqscale::{run_experiment, system_for_device, ExperimentSpec, FreqPolicy, SCENARIOS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    device: String,
+    particles: usize,
+    time_s: f64,
+    gpu_j: f64,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    banner(
+        "ZOO SMOKE",
+        "One Baseline rep per scenario x device cell: the full cube must run.",
+    );
+    let steps = if cli.check { 1 } else { cli.steps.max(2) };
+
+    let mut rows = Vec::new();
+    for device in BUILTIN_DEVICES {
+        let template = DeviceTemplate::builtin(device).expect("builtin device");
+        let system = system_for_device(&template).expect("builtin template validates");
+        for scenario in SCENARIOS {
+            let mut spec = ExperimentSpec::minihpc_turbulence(FreqPolicy::Baseline, steps);
+            spec.system = system.clone();
+            spec.scenario = Some(scenario.to_string());
+            spec.resolve_scenario().expect("registry scenario");
+            let particles = spec.workload.build().parts.len();
+            let result = run_experiment(&spec);
+            assert!(
+                result.time_to_solution_s.is_finite() && result.time_to_solution_s > 0.0,
+                "{scenario}/{device}: bad time {}",
+                result.time_to_solution_s
+            );
+            assert!(
+                result.pmt_gpu_j.is_finite() && result.pmt_gpu_j > 0.0,
+                "{scenario}/{device}: bad energy {}",
+                result.pmt_gpu_j
+            );
+            rows.push(Row {
+                scenario: scenario.to_string(),
+                device: system.name.clone(),
+                particles,
+                time_s: result.time_to_solution_s,
+                gpu_j: result.pmt_gpu_j,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.device.clone(),
+                format!("{}", r.particles),
+                format!("{:.3}", r.time_s),
+                format!("{:.1}", r.gpu_j),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Scenario", "Device", "Particles", "Time [s]", "GPU [J]"],
+        &table,
+    );
+    println!(
+        "\nAll {} cells ({} scenarios x {} devices) ran to completion.",
+        rows.len(),
+        SCENARIOS.len(),
+        BUILTIN_DEVICES.len()
+    );
+    if cli.check {
+        eprintln!("--check: smoke rep complete");
+        return;
+    }
+    cli.maybe_write_json(&rows);
+}

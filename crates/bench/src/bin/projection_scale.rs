@@ -67,6 +67,7 @@ fn main() {
             table_store: None,
             memory_clock: None,
             faults: None,
+            scenario: None,
         };
         let base = run_experiment(&mk(FreqPolicy::Baseline));
         let mandyn = run_experiment(&mk(FreqPolicy::ManDyn(table.clone())));

@@ -80,6 +80,7 @@ pub fn production_spec(
         table_store: None,
         memory_clock: None,
         faults: None,
+        scenario: None,
     }
 }
 

@@ -56,7 +56,7 @@ fn usage() -> ! {
         "usage: freqscale-run [--jobs N] [--out merged.json] [--trace-out trace.json]\n\
          \x20                 [--metrics-out metrics.txt] [--timeline-csv timeline.csv]\n\
          \x20                 [--fault-profile default|profile.json] [--print-model]\n\
-         \x20                 <spec.json>...\n\
+         \x20                 <spec.json>... | -\n\
          \x20      freqscale-run <spec.json> [report.json]\n\
          \x20      freqscale-run --print-template | --print-online-template\n\
          \x20                    | --print-predictive-template | --print-fault-template\n\
@@ -69,7 +69,9 @@ fn usage() -> ! {
          \x20                  every spec (`default` = the standard chaos mix)\n\
          \x20 --print-model    dump the fitted per-kernel model coefficients\n\
          \x20                  (predictive policy) as JSON to stdout; the\n\
-         \x20                  report then only goes to --out"
+         \x20                  report then only goes to --out\n\
+         \x20 -                read newline-separated spec paths from stdin\n\
+         \x20                  (pipe from freqscale-matrix)"
     );
     std::process::exit(2);
 }
@@ -153,9 +155,35 @@ fn main() {
         }
     }
 
+    // A positional `-` expands to spec paths read from stdin, one per line
+    // — the shape `freqscale-matrix | freqscale-run --jobs 4 -` produces.
+    let mut used_stdin = false;
+    if positional.iter().any(|p| p == "-") {
+        used_stdin = true;
+        let mut body = String::new();
+        use std::io::Read as _;
+        std::io::stdin()
+            .read_to_string(&mut body)
+            .unwrap_or_else(|e| fail(format!("reading spec list from stdin: {e}")));
+        let from_stdin: Vec<String> = body
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .collect();
+        if from_stdin.is_empty() {
+            fail("stdin (`-`) supplied no spec paths".to_string());
+        }
+        positional = positional
+            .into_iter()
+            .filter(|p| p != "-")
+            .chain(from_stdin)
+            .collect();
+    }
+
     // Legacy form: exactly two positionals with no --out means
-    // `<spec.json> <report.json>`.
-    if out.is_none() && positional.len() == 2 {
+    // `<spec.json> <report.json>` — but not when the list came from stdin.
+    if out.is_none() && !used_stdin && positional.len() == 2 {
         out = positional.pop();
     }
     if positional.is_empty() {
@@ -169,6 +197,11 @@ fn main() {
                 .unwrap_or_else(|e| fail(format!("reading spec {path}: {e}")));
             let mut spec: ExperimentSpec = serde_json::from_str(&body)
                 .unwrap_or_else(|e| fail(format!("parsing spec {path}: {e}")));
+            // Resolve a symbolic `"scenario"` name into its registry
+            // workload before anything else — an unknown name must not get
+            // as far as the cluster.
+            spec.resolve_scenario()
+                .unwrap_or_else(|e| fail(format!("spec {path}: {e}")));
             // A requested memory clock must be one of the device's P-states
             // — catch it here, before any work, the way NVML rejects an
             // unsupported memory clock at the SetApplicationsClocks call.

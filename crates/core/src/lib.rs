@@ -41,6 +41,7 @@ pub mod instrument;
 pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod serving;
 
 pub use analysis::{
@@ -54,4 +55,5 @@ pub use runner::{
     learned_freq_table, run_experiment, run_experiment_with_table, run_experiment_with_warm_start,
     run_experiments, ExperimentSpec, WorkloadKind,
 };
+pub use scenario::{system_for_device, workload_for, SCENARIOS};
 pub use serving::ExperimentExecutor;

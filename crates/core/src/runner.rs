@@ -15,7 +15,8 @@ use ranks::CommCost;
 use serde::{Deserialize, Serialize};
 use slurm_sim::{AccountingConfig, JobTimes, Slurm};
 use sph::{
-    evrard, sedov, subsonic_turbulence, FuncId, InitialConditions, Kernel, SimConfig, Simulation,
+    evrard, kelvin_helmholtz, rotating_disk, sedov, sod, subsonic_turbulence, FuncId,
+    InitialConditions, Kernel, SimConfig, Simulation,
 };
 
 use crate::instrument::EnergyInstrument;
@@ -30,7 +31,7 @@ const SETUP_MEM_ACTIVITY: f64 = 0.40;
 const LOOP_CPU_ACTIVITY: f64 = 0.22;
 const LOOP_MEM_ACTIVITY: f64 = 0.30;
 
-/// Which Table I workload to run.
+/// Which scenario-zoo workload to run (Table I pair + validation problems).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// Subsonic turbulence (no gravity).
@@ -40,6 +41,12 @@ pub enum WorkloadKind {
     /// Sedov-Taylor blast (no gravity) — the strong-shock validation
     /// problem, usable as a third instrumented workload.
     Sedov { n_side: usize, e0: f64 },
+    /// Kelvin–Helmholtz shear layer (no gravity, compute-heavy kernel mix).
+    KelvinHelmholtz { n_side: usize, seed: u64 },
+    /// Rotating self-gravitating disk (gravity-dominated kernel mix).
+    RotatingDisk { n_side: usize },
+    /// Sod shock tube (no gravity, memory-bound kernel mix).
+    Sod { n_side: usize },
 }
 
 impl WorkloadKind {
@@ -51,6 +58,9 @@ impl WorkloadKind {
             }
             WorkloadKind::Evrard { n_side } => evrard(n_side),
             WorkloadKind::Sedov { n_side, e0 } => sedov(n_side, e0),
+            WorkloadKind::KelvinHelmholtz { n_side, seed } => kelvin_helmholtz(n_side, seed),
+            WorkloadKind::RotatingDisk { n_side } => rotating_disk(n_side),
+            WorkloadKind::Sod { n_side } => sod(n_side),
         }
     }
 
@@ -59,6 +69,9 @@ impl WorkloadKind {
             WorkloadKind::Turbulence { .. } => "SubsonicTurbulence",
             WorkloadKind::Evrard { .. } => "EvrardCollapse",
             WorkloadKind::Sedov { .. } => "SedovBlast",
+            WorkloadKind::KelvinHelmholtz { .. } => "KelvinHelmholtz",
+            WorkloadKind::RotatingDisk { .. } => "RotatingDisk",
+            WorkloadKind::Sod { .. } => "SodShockTube",
         }
     }
 }
@@ -120,6 +133,13 @@ pub struct ExperimentSpec {
     /// reproduces exactly across runs and worker counts.
     #[serde(default)]
     pub faults: Option<faults::FaultProfile>,
+    /// Scenario-registry name (e.g. `"kelvin-helmholtz"`). When set, the
+    /// concrete `workload` is replaced by the registry's default-parameter
+    /// IC for that scenario via [`ExperimentSpec::resolve_scenario`]; an
+    /// unknown name is a hard error listing the valid scenarios — never a
+    /// silent fall-through to a default IC.
+    #[serde(default)]
+    pub scenario: Option<String>,
 }
 
 impl ExperimentSpec {
@@ -149,6 +169,28 @@ impl ExperimentSpec {
             table_store: None,
             memory_clock: None,
             faults: None,
+            scenario: None,
+        }
+    }
+
+    /// Resolve the optional `scenario` registry name into the concrete
+    /// `workload`. A no-op when `scenario` is `None`; an error (listing the
+    /// valid names) when the name is not in the registry. Every spec entry
+    /// point — `freqscale-run`, the serving executor, the matrix generator —
+    /// calls this before running.
+    pub fn resolve_scenario(&mut self) -> Result<(), String> {
+        let Some(name) = self.scenario.as_deref() else {
+            return Ok(());
+        };
+        match crate::scenario::workload_for(name) {
+            Some(w) => {
+                self.workload = w;
+                Ok(())
+            }
+            None => Err(format!(
+                "unknown scenario {name:?} (valid scenarios: {})",
+                crate::scenario::SCENARIOS.join(", ")
+            )),
         }
     }
 
@@ -572,6 +614,7 @@ mod tests {
             table_store: None,
             memory_clock: None,
             faults: None,
+            scenario: None,
         };
         let r = run_experiment(&spec);
         assert_eq!(r.per_rank.len(), 8);
@@ -624,6 +667,7 @@ mod tests {
             table_store: None,
             memory_clock: None,
             faults: None,
+            scenario: None,
         };
         let low = run_experiment(&spec);
         // User-level control is still denied (Baseline tries to pin 1410 and

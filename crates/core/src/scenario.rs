@@ -1,0 +1,141 @@
+//! The scenario registry: one canonical name per zoo workload.
+//!
+//! Spec files (and `freqscale-matrix`) refer to scenarios by these
+//! kebab-case names; [`workload_for`] maps a name to the registry's
+//! default-parameter [`WorkloadKind`] (laptop-scale ICs sized for CI). The
+//! registry is the single source of truth for what `"scenario"` strings a
+//! spec may carry — `ExperimentSpec::resolve_scenario` rejects anything
+//! else, listing this set.
+
+use archsim::{DeviceTemplate, SystemSpec, Watts};
+
+use crate::runner::WorkloadKind;
+
+/// Every scenario the zoo ships, in registry order.
+pub const SCENARIOS: [&str; 6] = [
+    "turbulence",
+    "evrard",
+    "sedov",
+    "kelvin-helmholtz",
+    "rotating-disk",
+    "sod",
+];
+
+/// The registry's default-parameter workload for a scenario name, or `None`
+/// if the name is unknown. Parameters are laptop-scale (CI-sized): the
+/// paper-scale behaviour comes from `target_particles_per_rank`, not from
+/// the physics lattice.
+pub fn workload_for(name: &str) -> Option<WorkloadKind> {
+    match name {
+        "turbulence" => Some(WorkloadKind::Turbulence {
+            n_side: 8,
+            mach: 0.3,
+            seed: 42,
+        }),
+        "evrard" => Some(WorkloadKind::Evrard { n_side: 10 }),
+        "sedov" => Some(WorkloadKind::Sedov { n_side: 8, e0: 1.0 }),
+        "kelvin-helmholtz" => Some(WorkloadKind::KelvinHelmholtz {
+            n_side: 8,
+            seed: 42,
+        }),
+        "rotating-disk" => Some(WorkloadKind::RotatingDisk { n_side: 10 }),
+        "sod" => Some(WorkloadKind::Sod { n_side: 8 }),
+        _ => None,
+    }
+}
+
+/// A single-node, single-GPU system wrapped around a zoo device: the miniHPC
+/// chassis (CPU/DRAM/aux envelope) with the template's GPU dropped in,
+/// clocks unlocked and defaults at the device maximum. This is the system
+/// every matrix cell and `bench_zoo` rep runs on, so cells differ only in
+/// the device (and scenario/policy) axes.
+pub fn system_for_device(template: &DeviceTemplate) -> Result<SystemSpec, String> {
+    let gpu = template.to_spec().map_err(|e| e.to_string())?;
+    let name = format!("zoo-{}", slug(&template.name));
+    Ok(SystemSpec {
+        name: name.clone(),
+        node: archsim::NodeSpec {
+            system: name,
+            cpu: archsim::CpuSpec::xeon_6258r(),
+            sockets: 2,
+            mem: archsim::MemSpec::ddr4_1536gib(),
+            default_gpu_freq: gpu.clock_table.max(),
+            gpu_mem_freq: gpu.mem_clock,
+            gpu,
+            gpu_devices: 1,
+            gcds_per_card: 1,
+            aux_power: Watts(130.0),
+            user_clock_control: true,
+        },
+        notes: "scenario & device zoo cell (miniHPC chassis, swapped GPU)".into(),
+    })
+}
+
+/// Lowercase-kebab slug of a device marketing name (`"AMD MI250X GCD"` →
+/// `"amd-mi250x-gcd"`): filesystem- and job-name-safe.
+pub fn slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_name_resolves() {
+        for name in SCENARIOS {
+            let w = workload_for(name).unwrap_or_else(|| panic!("{name} missing"));
+            // The IC must actually build (asserts inside the constructors).
+            let ic = w.build();
+            assert!(!ic.name.is_empty());
+        }
+        assert!(workload_for("kevin-helmholtz").is_none());
+        assert!(workload_for("Turbulence").is_none(), "names are kebab-case");
+    }
+
+    #[test]
+    fn registry_covers_all_workload_kinds() {
+        // Compile-time-ish guard: adding a WorkloadKind variant without a
+        // registry entry should fail here.
+        let names: Vec<&str> = SCENARIOS
+            .iter()
+            .map(|s| workload_for(s).unwrap().name())
+            .collect();
+        for expect in [
+            "SubsonicTurbulence",
+            "EvrardCollapse",
+            "SedovBlast",
+            "KelvinHelmholtz",
+            "RotatingDisk",
+            "SodShockTube",
+        ] {
+            assert!(names.contains(&expect), "{expect} not reachable");
+        }
+    }
+
+    #[test]
+    fn zoo_system_swaps_the_gpu_and_unlocks_clocks() {
+        let t = DeviceTemplate::builtin("mi250x-gcd").unwrap();
+        let sys = system_for_device(&t).unwrap();
+        assert_eq!(sys.name, "zoo-amd-mi250x-gcd");
+        assert_eq!(sys.node.gpu.name, "AMD MI250X GCD");
+        assert!(sys.node.user_clock_control);
+        assert_eq!(sys.node.default_gpu_freq, sys.node.gpu.clock_table.max());
+        assert_eq!(sys.node.gpu_mem_freq, sys.node.gpu.mem_clock);
+    }
+
+    #[test]
+    fn slugs_are_path_safe() {
+        assert_eq!(slug("Nvidia A100-SXM4-80GB"), "nvidia-a100-sxm4-80gb");
+        assert_eq!(slug("AMD MI250X GCD"), "amd-mi250x-gcd");
+        assert_eq!(slug("  weird__name  "), "weird-name");
+    }
+}

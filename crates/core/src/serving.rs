@@ -4,7 +4,7 @@
 //! submitted spec files into [`ExperimentSpec`]s, derives the table-server
 //! key (the same `(GPU name, table_store_key)` pair the on-disk
 //! `TableStore` uses, so served and batch runs share warm-start state), and
-//! routes execution through [`run_experiment_with_table`] so a served warm
+//! routes execution through [`crate::runner::run_experiment_with_table`] so a served warm
 //! table takes precedence over any spec-level store directory.
 //!
 //! The `freqscale-serve` and `freqscale-submit` binaries are thin wrappers
@@ -23,7 +23,12 @@ pub struct ExperimentExecutor;
 
 impl ExperimentExecutor {
     fn parse(spec_json: &str) -> Result<ExperimentSpec, String> {
-        serde_json::from_str(spec_json).map_err(|e| e.to_string())
+        let mut spec: ExperimentSpec =
+            serde_json::from_str(spec_json).map_err(|e| e.to_string())?;
+        // Symbolic scenario names resolve (or are refused) at submission,
+        // exactly like the batch CLI does before any work starts.
+        spec.resolve_scenario()?;
+        Ok(spec)
     }
 }
 
@@ -163,6 +168,23 @@ mod tests {
             .validate(&serde_json::to_string(&spec).unwrap())
             .unwrap_err();
         assert!(err.starts_with("fault profile:"), "{err}");
+    }
+
+    #[test]
+    fn scenario_names_resolve_at_submission() {
+        // A known name swaps the workload in; an unknown one is refused
+        // before the job can occupy a queue slot.
+        let mut spec = online_spec();
+        spec.scenario = Some("sod".to_string());
+        let meta = ExperimentExecutor
+            .validate(&serde_json::to_string(&spec).unwrap())
+            .unwrap();
+        assert!(meta.name.starts_with("SodShockTube-"), "{}", meta.name);
+        spec.scenario = Some("sodd".to_string());
+        let err = ExperimentExecutor
+            .validate(&serde_json::to_string(&spec).unwrap())
+            .unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
     }
 
     #[test]

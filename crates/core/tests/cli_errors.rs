@@ -136,6 +136,60 @@ fn supported_memory_clock_is_accepted() {
 }
 
 #[test]
+fn unknown_scenario_fails_listing_valid_names() {
+    // A near-miss scenario name must be rejected up front, with the full
+    // registry in the diagnostic so the typo is obvious.
+    let mut spec =
+        freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    spec.scenario = Some("kelvin-helmoltz".to_string());
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "freqscale-scenario-bad-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    assert_clean_failure(&out, "unknown scenario \"kelvin-helmoltz\"");
+    let err = stderr(&out);
+    for name in freqscale::SCENARIOS {
+        assert!(err.contains(name), "valid name {name} missing from:\n{err}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn known_scenario_swaps_the_workload_in() {
+    // `"scenario": "sod"` overrides whatever workload the spec carried; the
+    // run completes and reports the registry workload's name.
+    let mut spec =
+        freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    spec.scenario = Some("sod".to_string());
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("freqscale-scenario-ok-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let out = run(&[path.to_str().unwrap()]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{err}");
+    assert!(err.contains("SodShockTube"), "workload not swapped:\n{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn empty_stdin_spec_list_fails_cleanly() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqscale-run"))
+        .arg("-")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn freqscale-run");
+    child.stdin.take().unwrap().write_all(b"\n  \n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_clean_failure(&out, "stdin (`-`) supplied no spec paths");
+}
+
+#[test]
 fn no_arguments_prints_usage_exit_2() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2));

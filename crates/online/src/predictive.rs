@@ -1,7 +1,7 @@
 //! Predictive per-kernel tuning: probe a handful of rungs, fit the analytic
 //! model, jump straight to the predicted EDP optimum.
 //!
-//! Where [`OnlineTuner`](crate::OnlineTuner) *searches* the ladder (dozens
+//! Where [`crate::OnlineTuner`] *searches* the ladder (dozens
 //! of exploration launches per kernel), this controller samples
 //! `probe_rungs` core clocks — plus one memory P-state when the memory axis
 //! is enabled — fits the roofline/CV²f model of the `model` crate by least

@@ -159,6 +159,81 @@ impl std::fmt::Display for FuncId {
     }
 }
 
+/// Per-scenario kernel mix: a pair of (FLOPs, DRAM bytes) multipliers applied
+/// on top of the per-kernel `FuncId` coefficients so each scenario sits at a
+/// different point on the compute-vs-bandwidth roofline — and the tuner's per-kernel
+/// frequency tables genuinely differ per scenario, as in the paper's
+/// turbulence-vs-Evrard contrast.
+///
+/// `Reference` is the identity mix: the Table I workloads (turbulence,
+/// Evrard, Sedov) keep their calibrated coefficients bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadProfile {
+    /// Table I coefficients unchanged (turbulence / Evrard / Sedov).
+    Reference,
+    /// Kelvin–Helmholtz: shear layers keep the viscosity/gradient kernels
+    /// hot — extra FLOPs in IAD, AV switches, and MomentumEnergy push the
+    /// mix further compute-bound.
+    ShearLayer,
+    /// Rotating disk: the tree walk dominates — heavier Gravity FLOPs and a
+    /// chattier decomposition (orbit-driven particle churn across domains).
+    GravityDisk,
+    /// Sod shock tube: planar streaming states with cheap per-pair physics —
+    /// the mix slides memory-bound, so EDP optima sit at lower core clocks.
+    ShockTube,
+}
+
+impl WorkloadProfile {
+    /// Profile for an IC's scenario name; unknown names get the reference
+    /// Table I mix.
+    pub fn for_scenario(name: &str) -> WorkloadProfile {
+        match name {
+            "KelvinHelmholtz" => WorkloadProfile::ShearLayer,
+            "RotatingDisk" => WorkloadProfile::GravityDisk,
+            "SodShockTube" => WorkloadProfile::ShockTube,
+            _ => WorkloadProfile::Reference,
+        }
+    }
+
+    /// `(flops multiplier, bytes multiplier)` for one function under this
+    /// mix.
+    pub fn factors(self, func: FuncId) -> (f64, f64) {
+        match self {
+            WorkloadProfile::Reference => (1.0, 1.0),
+            WorkloadProfile::ShearLayer => match func {
+                FuncId::IADVelocityDivCurl => (1.6, 1.0),
+                FuncId::AVSwitches => (1.8, 1.1),
+                FuncId::MomentumEnergy => (1.25, 1.0),
+                FuncId::FindNeighbors => (1.1, 1.2),
+                _ => (1.0, 1.0),
+            },
+            WorkloadProfile::GravityDisk => match func {
+                FuncId::Gravity => (1.8, 1.1),
+                FuncId::DomainDecompAndSync => (1.2, 1.5),
+                FuncId::MomentumEnergy => (0.9, 1.0),
+                _ => (1.0, 1.0),
+            },
+            WorkloadProfile::ShockTube => match func {
+                FuncId::MomentumEnergy => (0.65, 1.1),
+                FuncId::IADVelocityDivCurl => (0.7, 1.15),
+                FuncId::EquationOfState => (1.3, 1.6),
+                FuncId::XMass => (1.0, 1.3),
+                FuncId::UpdateQuantities => (1.0, 1.4),
+                _ => (1.0, 1.0),
+            },
+        }
+    }
+
+    /// The function's paper-scale workload under this scenario's mix.
+    pub fn workload(self, func: FuncId, n_particles: f64) -> KernelWorkload {
+        let (fm, bm) = self.factors(func);
+        let mut w = func.workload(n_particles);
+        w.flops *= fm;
+        w.bytes *= bm;
+        w
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +337,57 @@ mod tests {
         let w2 = FuncId::MomentumEnergy.workload(2e6);
         assert!((w2.flops / w1.flops - 2.0).abs() < 1e-12);
         assert!((w2.bytes / w1.bytes - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_profile_is_the_identity_mix() {
+        for f in FuncId::ALL {
+            let plain = f.workload(1e6);
+            let via = WorkloadProfile::Reference.workload(f, 1e6);
+            assert_eq!(plain.flops, via.flops, "{f} flops");
+            assert_eq!(plain.bytes, via.bytes, "{f} bytes");
+            assert_eq!(plain.launches, via.launches, "{f} launches");
+        }
+        for name in ["SubsonicTurbulence", "EvrardCollapse", "SedovBlast"] {
+            assert_eq!(
+                WorkloadProfile::for_scenario(name),
+                WorkloadProfile::Reference
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_profiles_shift_the_roofline_in_opposite_directions() {
+        // Arithmetic intensity (F/B) of the dominant pairwise kernel must
+        // rise under the shear mix and fall under the shock-tube mix, so the
+        // tuner lands on different sweet spots per scenario.
+        let f = FuncId::MomentumEnergy;
+        let intensity = |p: WorkloadProfile| {
+            let w = p.workload(f, 1e6);
+            w.flops / w.bytes
+        };
+        let base = intensity(WorkloadProfile::Reference);
+        assert!(intensity(WorkloadProfile::ShearLayer) > base);
+        assert!(intensity(WorkloadProfile::ShockTube) < base);
+        // The disk mix is gravity-dominated instead.
+        let g_base = WorkloadProfile::Reference.workload(FuncId::Gravity, 1e6);
+        let g_disk = WorkloadProfile::GravityDisk.workload(FuncId::Gravity, 1e6);
+        assert!(g_disk.flops > 1.5 * g_base.flops);
+    }
+
+    #[test]
+    fn scenario_profiles_map_from_ic_names() {
+        assert_eq!(
+            WorkloadProfile::for_scenario("KelvinHelmholtz"),
+            WorkloadProfile::ShearLayer
+        );
+        assert_eq!(
+            WorkloadProfile::for_scenario("RotatingDisk"),
+            WorkloadProfile::GravityDisk
+        );
+        assert_eq!(
+            WorkloadProfile::for_scenario("SodShockTube"),
+            WorkloadProfile::ShockTube
+        );
     }
 }

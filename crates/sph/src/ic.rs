@@ -212,6 +212,146 @@ pub fn sedov(n_side: usize, e0: f64) -> InitialConditions {
     }
 }
 
+/// Kelvin–Helmholtz shear layer: a dense band (`rho = 2`) moving `+x`
+/// through a light medium (`rho = 1`) moving `-x` in a periodic unit box, in
+/// pressure equilibrium, with a seeded sinusoidal transverse perturbation at
+/// both interfaces. The classic mixing-layer instability problem; shear
+/// feeds the perturbation, so transverse kinetic energy grows from the seed.
+pub fn kelvin_helmholtz(n_side: usize, seed: u64) -> InitialConditions {
+    assert!(n_side >= 4);
+    let bbox = Box3::unit_periodic();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spacing = 1.0 / n_side as f64;
+    let n3 = n_side.pow(3);
+    // Unit background density; band particles carry double mass on the same
+    // lattice, giving rho = 2 inside |y - 0.5| < 0.25.
+    let m0 = 1.0 / n3 as f64;
+    let h = 1.3 * spacing;
+    // Pressure equilibrium across the band: P0 = (gamma - 1) rho u.
+    let p0 = 2.5;
+    let gamma = 5.0 / 3.0;
+    // Transverse seed: two interface-localized sine modes.
+    let amp = 0.1;
+    let sigma = 0.05;
+    let shear = 0.5;
+
+    let mut parts = Particles::new();
+    for ix in 0..n_side {
+        for iy in 0..n_side {
+            for iz in 0..n_side {
+                let jitter = |rng: &mut StdRng| (rng.random::<f64>() - 0.5) * 0.1 * spacing;
+                let x = (ix as f64 + 0.5) * spacing + jitter(&mut rng);
+                let y = (iy as f64 + 0.5) * spacing + jitter(&mut rng);
+                let z = (iz as f64 + 0.5) * spacing + jitter(&mut rng);
+                let (x, y, z) = bbox.wrap(x, y, z);
+                let in_band = (y - 0.5).abs() < 0.25;
+                let (m, vx) = if in_band {
+                    (2.0 * m0, shear)
+                } else {
+                    (m0, -shear)
+                };
+                let rho = if in_band { 2.0 } else { 1.0 };
+                let u = p0 / ((gamma - 1.0) * rho);
+                let vy = amp
+                    * (std::f64::consts::TAU * 2.0 * x).sin()
+                    * ((-(y - 0.25).powi(2) / (2.0 * sigma * sigma)).exp()
+                        + (-(y - 0.75).powi(2) / (2.0 * sigma * sigma)).exp());
+                parts.push(x, y, z, vx, vy, 0.0, m, h, u);
+            }
+        }
+    }
+    InitialConditions {
+        parts,
+        bbox,
+        eos: Eos::ideal_monatomic(),
+        gravity: false,
+        name: "KelvinHelmholtz",
+    }
+}
+
+/// Rotating self-gravitating disk: a thin cold cylinder (M = R = G = 1) of
+/// uniform surface density on near-circular orbits against its own enclosed
+/// mass. Rotation support keeps it from collapsing; self-gravity keeps it
+/// from flying apart — angular momentum and the radial mass profile are the
+/// conserved observables.
+pub fn rotating_disk(n_side: usize) -> InitialConditions {
+    assert!(n_side >= 8);
+    let bbox = Box3::cube(-2.0, 2.0, false);
+    let spacing = 2.0 / n_side as f64;
+    // Keep one or two lattice planes of thickness around the midplane.
+    let half_thickness = (0.12f64).max(0.6 * spacing);
+    let mut raw = Vec::new();
+    for ix in 0..n_side {
+        for iy in 0..n_side {
+            for iz in 0..n_side {
+                let x = -1.0 + (ix as f64 + 0.5) * spacing;
+                let y = -1.0 + (iy as f64 + 0.5) * spacing;
+                let z = -1.0 + (iz as f64 + 0.5) * spacing;
+                let r = (x * x + y * y).sqrt();
+                if r <= 1.0 && r > 0.0 && z.abs() <= half_thickness {
+                    raw.push((x, y, z, r));
+                }
+            }
+        }
+    }
+    let n = raw.len();
+    let m = 1.0 / n as f64;
+    let mut parts = Particles::new();
+    for (x, y, z, r) in raw {
+        // Uniform surface density: M(<r) = r^2. Circular speed against the
+        // enclosed mass, softened at the centre so inner orbits stay bound.
+        let soft = 0.15;
+        let v_c = (r * r / (r * r + soft * soft).sqrt()).sqrt();
+        let (vx, vy) = (-v_c * y / r, v_c * x / r);
+        let h = 1.4 * spacing;
+        parts.push(x, y, z, vx, vy, 0.0, m, h, 0.05);
+    }
+    InitialConditions {
+        parts,
+        bbox,
+        eos: Eos::ideal_monatomic(),
+        gravity: true,
+        name: "RotatingDisk",
+    }
+}
+
+/// Sod shock tube in a periodic unit box (the wind-tunnel workload): a hot
+/// dense left state (`rho = 1`, `P = 1`) against a cold rarefied right state
+/// (`rho = 0.25`, `P = 0.1`) at rest. The interface at `x = 0.5` launches a
+/// rightward shock plus contact and a leftward rarefaction; the wrapped
+/// interface at `x = 0/1` mirrors it.
+pub fn sod(n_side: usize) -> InitialConditions {
+    assert!(n_side >= 4);
+    let bbox = Box3::unit_periodic();
+    let spacing = 1.0 / n_side as f64;
+    let n3 = n_side.pow(3);
+    let m0 = 1.0 / n3 as f64;
+    let h = 1.3 * spacing;
+    let gamma = 5.0 / 3.0;
+    let mut parts = Particles::new();
+    for ix in 0..n_side {
+        for iy in 0..n_side {
+            for iz in 0..n_side {
+                let x = (ix as f64 + 0.5) * spacing;
+                let y = (iy as f64 + 0.5) * spacing;
+                let z = (iz as f64 + 0.5) * spacing;
+                // Equal spacing, unequal mass: density ratio 4 from mass.
+                let left = x < 0.5;
+                let (rho, p) = if left { (1.0, 1.0) } else { (0.25, 0.1) };
+                let u = p / ((gamma - 1.0) * rho);
+                parts.push(x, y, z, 0.0, 0.0, 0.0, m0 * rho, h, u);
+            }
+        }
+    }
+    InitialConditions {
+        parts,
+        bbox,
+        eos: Eos::ideal_monatomic(),
+        gravity: false,
+        name: "SodShockTube",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +481,72 @@ mod tests {
             mean(&outer),
             mean(&inner)
         );
+    }
+
+    #[test]
+    fn kelvin_helmholtz_is_in_pressure_equilibrium_with_counterflow() {
+        let ic = kelvin_helmholtz(10, 42);
+        assert!(!ic.gravity);
+        assert_eq!(ic.parts.len(), 1000);
+        let gamma = 5.0 / 3.0;
+        let mut band_px = 0.0;
+        let mut out_px = 0.0;
+        for i in 0..ic.parts.len() {
+            let in_band = (ic.parts.y[i] - 0.5).abs() < 0.25;
+            let rho = if in_band { 2.0 } else { 1.0 };
+            let p = (gamma - 1.0) * rho * ic.parts.u[i];
+            assert!((p - 2.5).abs() < 1e-9, "pressure {p} off equilibrium");
+            if in_band {
+                band_px += ic.parts.m[i] * ic.parts.vx[i];
+            } else {
+                out_px += ic.parts.m[i] * ic.parts.vx[i];
+            }
+        }
+        assert!(band_px > 0.0, "band must stream +x");
+        assert!(out_px < 0.0, "ambient must stream -x");
+        // The transverse seed is small relative to the shear.
+        let vy_rms =
+            (ic.parts.vy.iter().map(|v| v * v).sum::<f64>() / ic.parts.len() as f64).sqrt();
+        assert!(vy_rms > 0.0 && vy_rms < 0.1, "seed rms {vy_rms}");
+    }
+
+    #[test]
+    fn rotating_disk_is_thin_and_rotation_supported() {
+        let ic = rotating_disk(12);
+        assert!(ic.gravity);
+        assert!((ic.parts.total_mass() - 1.0).abs() < 1e-9);
+        let mut lz = 0.0;
+        for i in 0..ic.parts.len() {
+            let (x, y, z) = (ic.parts.x[i], ic.parts.y[i], ic.parts.z[i]);
+            assert!((x * x + y * y).sqrt() <= 1.0 + 1e-9);
+            assert!(z.abs() <= 0.2, "disk should be thin, |z| = {}", z.abs());
+            lz += ic.parts.m[i] * (x * ic.parts.vy[i] - y * ic.parts.vx[i]);
+        }
+        // Uniform-surface-density disk on circular orbits has Lz of order
+        // integral r v_c dM ~ 0.5; sign fixed by the +z rotation sense.
+        assert!(lz > 0.2, "disk angular momentum {lz} too small");
+    }
+
+    #[test]
+    fn sod_ic_has_the_textbook_density_and_pressure_ratios() {
+        let ic = sod(10);
+        assert!(!ic.gravity);
+        let gamma = 5.0 / 3.0;
+        let (mut m_left, mut m_right) = (0.0, 0.0);
+        for i in 0..ic.parts.len() {
+            assert_eq!(ic.parts.vx[i], 0.0, "both states start at rest");
+            let left = ic.parts.x[i] < 0.5;
+            let rho = if left { 1.0 } else { 0.25 };
+            let p = (gamma - 1.0) * rho * ic.parts.u[i];
+            let want = if left { 1.0 } else { 0.1 };
+            assert!((p - want).abs() < 1e-9, "pressure {p}, want {want}");
+            if left {
+                m_left += ic.parts.m[i];
+            } else {
+                m_right += ic.parts.m[i];
+            }
+        }
+        // Same particle count per side, 4x the mass on the left.
+        assert!((m_left / m_right - 4.0).abs() < 1e-9);
     }
 }

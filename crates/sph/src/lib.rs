@@ -33,8 +33,10 @@ pub mod update;
 
 pub use conservation::EnergyBudget;
 pub use eos::Eos;
-pub use funcs::FuncId;
-pub use ic::{evrard, sedov, subsonic_turbulence, InitialConditions};
+pub use funcs::{FuncId, WorkloadProfile};
+pub use ic::{
+    evrard, kelvin_helmholtz, rotating_disk, sedov, sod, subsonic_turbulence, InitialConditions,
+};
 pub use kernels::Kernel;
 pub use nbody::{plummer, NBody, NBODY_FUNCS};
 pub use particles::Particles;

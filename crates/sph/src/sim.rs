@@ -16,7 +16,7 @@ use crate::av::av_switches;
 use crate::conservation::{local_budget, EnergyBudget};
 use crate::density::{density_gradh, neighbor_counts, xmass};
 use crate::eos::Eos;
-use crate::funcs::FuncId;
+use crate::funcs::{FuncId, WorkloadProfile};
 use crate::gravity::BhTree;
 use crate::iad::iad_divv_curlv;
 use crate::ic::InitialConditions;
@@ -133,6 +133,9 @@ pub struct Simulation {
     pub eos: Eos,
     pub gravity: bool,
     pub name: &'static str,
+    /// Scenario kernel mix applied to every reported GPU workload, derived
+    /// from the IC name (identity for the Table I workloads).
+    pub profile: WorkloadProfile,
     /// Neighbor-sweep strategy; flip to [`NeighborPath::CellGrid`] to time
     /// or pin the pre-list baseline.
     pub neighbor_path: NeighborPath,
@@ -163,6 +166,7 @@ impl Simulation {
             eos: ic.eos,
             gravity: ic.gravity,
             name: ic.name,
+            profile: WorkloadProfile::for_scenario(ic.name),
             neighbor_path: NeighborPath::default(),
             nlist: NeighborList::new(),
             nlist_radii: Vec::new(),
@@ -199,6 +203,7 @@ impl Simulation {
             eos: ic.eos,
             gravity: ic.gravity,
             name: ic.name,
+            profile: WorkloadProfile::for_scenario(ic.name),
             neighbor_path: NeighborPath::default(),
             nlist: NeighborList::new(),
             nlist_radii: Vec::new(),
@@ -250,7 +255,7 @@ impl Simulation {
         self.domain_decomp_and_sync(ctx);
         obs.after(
             FuncId::DomainDecompAndSync,
-            &FuncId::DomainDecompAndSync.workload(target),
+            &self.profile.workload(FuncId::DomainDecompAndSync, target),
             FuncId::DomainDecompAndSync.host_overhead(size),
             ctx,
         );
@@ -294,7 +299,7 @@ impl Simulation {
         }
         obs.after(
             FuncId::FindNeighbors,
-            &FuncId::FindNeighbors.workload(target),
+            &self.profile.workload(FuncId::FindNeighbors, target),
             FuncId::FindNeighbors.host_overhead(size),
             ctx,
         );
@@ -306,7 +311,7 @@ impl Simulation {
         xmass(&mut self.parts);
         obs.after(
             FuncId::XMass,
-            &FuncId::XMass.workload(target),
+            &self.profile.workload(FuncId::XMass, target),
             FuncId::XMass.host_overhead(size),
             ctx,
         );
@@ -323,7 +328,7 @@ impl Simulation {
         }
         obs.after(
             FuncId::NormalizationGradh,
-            &FuncId::NormalizationGradh.workload(target),
+            &self.profile.workload(FuncId::NormalizationGradh, target),
             FuncId::NormalizationGradh.host_overhead(size),
             ctx,
         );
@@ -335,7 +340,7 @@ impl Simulation {
         self.eos.apply(&mut self.parts);
         obs.after(
             FuncId::EquationOfState,
-            &FuncId::EquationOfState.workload(target),
+            &self.profile.workload(FuncId::EquationOfState, target),
             FuncId::EquationOfState.host_overhead(size),
             ctx,
         );
@@ -352,7 +357,7 @@ impl Simulation {
         }
         obs.after(
             FuncId::IADVelocityDivCurl,
-            &FuncId::IADVelocityDivCurl.workload(target),
+            &self.profile.workload(FuncId::IADVelocityDivCurl, target),
             FuncId::IADVelocityDivCurl.host_overhead(size),
             ctx,
         );
@@ -364,7 +369,7 @@ impl Simulation {
         av_switches(&mut self.parts, self.dt);
         obs.after(
             FuncId::AVSwitches,
-            &FuncId::AVSwitches.workload(target),
+            &self.profile.workload(FuncId::AVSwitches, target),
             FuncId::AVSwitches.host_overhead(size),
             ctx,
         );
@@ -381,7 +386,7 @@ impl Simulation {
         }
         obs.after(
             FuncId::MomentumEnergy,
-            &FuncId::MomentumEnergy.workload(target),
+            &self.profile.workload(FuncId::MomentumEnergy, target),
             FuncId::MomentumEnergy.host_overhead(size),
             ctx,
         );
@@ -419,7 +424,7 @@ impl Simulation {
             self.apply_gravity(ctx);
             obs.after(
                 FuncId::Gravity,
-                &FuncId::Gravity.workload(target),
+                &self.profile.workload(FuncId::Gravity, target),
                 FuncId::Gravity.host_overhead(size),
                 ctx,
             );
@@ -437,7 +442,7 @@ impl Simulation {
         self.time += dt;
         obs.after(
             FuncId::Timestep,
-            &FuncId::Timestep.workload(target),
+            &self.profile.workload(FuncId::Timestep, target),
             FuncId::Timestep.host_overhead(size),
             ctx,
         );
@@ -450,7 +455,7 @@ impl Simulation {
         update_smoothing_lengths(&mut self.parts, &self.nn, self.cfg.target_neighbors);
         obs.after(
             FuncId::UpdateQuantities,
-            &FuncId::UpdateQuantities.workload(target),
+            &self.profile.workload(FuncId::UpdateQuantities, target),
             FuncId::UpdateQuantities.host_overhead(size),
             ctx,
         );
@@ -467,7 +472,7 @@ impl Simulation {
             .fold(EnergyBudget::default(), |acc, b| acc.merged(&b));
         obs.after(
             FuncId::EnergyConservation,
-            &FuncId::EnergyConservation.workload(target),
+            &self.profile.workload(FuncId::EnergyConservation, target),
             FuncId::EnergyConservation.host_overhead(size),
             ctx,
         );

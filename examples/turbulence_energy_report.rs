@@ -37,6 +37,7 @@ fn main() {
         table_store: None,
         memory_clock: None,
         faults: None,
+        scenario: None,
     };
     println!(
         "running {} on {} with {} ranks ({} steps, 150 M particles/GPU at paper scale)...",

@@ -32,6 +32,7 @@ fn small_spec(system: archsim::SystemSpec, ranks: usize, policy: FreqPolicy) -> 
         table_store: None,
         memory_clock: None,
         faults: None,
+        scenario: None,
     }
 }
 

@@ -4,7 +4,8 @@
 
 use gpu_freq_scaling::ranks::{run, CommCost};
 use gpu_freq_scaling::sph::{
-    evrard, plummer, sedov, subsonic_turbulence, Kernel, NBody, NullObserver, SimConfig, Simulation,
+    evrard, kelvin_helmholtz, plummer, rotating_disk, sedov, sod, subsonic_turbulence, Kernel,
+    NBody, NullObserver, SimConfig, Simulation,
 };
 
 fn cfg(neighbors: usize) -> SimConfig {
@@ -114,6 +115,130 @@ fn turbulence_is_statistically_isotropic() {
             "axis {axis} holds {share} of kinetic energy — anisotropic"
         );
     }
+}
+
+#[test]
+fn kelvin_helmholtz_amplifies_the_seed_while_conserving_x_momentum() {
+    // The shear layer feeds the seeded transverse mode: the y-kinetic energy
+    // must grow from its tiny seed value, while the net x-momentum (nonzero:
+    // the dense band outweighs the ambient counterflow) is conserved — the
+    // instability redistributes momentum, it does not create any.
+    let (ey0, ey1, px0, px1) = run(1, CommCost::default(), |ctx| {
+        let ic = kelvin_helmholtz(12, 42);
+        let mut sim = Simulation::new(ic, cfg(40));
+        let measure = |p: &gpu_freq_scaling::sph::Particles| {
+            let mut ey = 0.0;
+            let mut px = 0.0;
+            for i in 0..p.n_local {
+                ey += 0.5 * p.m[i] * p.vy[i] * p.vy[i];
+                px += p.m[i] * p.vx[i];
+            }
+            (ey, px)
+        };
+        let (ey0, px0) = measure(&sim.parts);
+        for _ in 0..10 {
+            sim.step(ctx, &mut NullObserver);
+        }
+        let (ey1, px1) = measure(&sim.parts);
+        (ey0, ey1, px0, px1)
+    })
+    .remove(0);
+    assert!(ey0 > 0.0, "the IC must carry a transverse seed");
+    assert!(
+        ey1 > ey0 * 1.2,
+        "transverse kinetic energy must grow off the seed: {ey0} -> {ey1}"
+    );
+    assert!(px0.abs() > 1e-3, "band/ambient mass contrast gives net px");
+    let drift = (px1 - px0).abs() / px0.abs();
+    assert!(drift < 0.05, "x-momentum drift {drift}: {px0} -> {px1}");
+}
+
+#[test]
+fn rotating_disk_conserves_angular_momentum_and_stays_a_disk() {
+    // Rotation support: L_z is conserved by the axisymmetric gravity +
+    // pressure forces, the mass-weighted cylindrical radius stays put (no
+    // collapse, no fly-apart), and the energy budget closes.
+    let out = run(1, CommCost::default(), |ctx| {
+        let ic = rotating_disk(12);
+        let mut sim = Simulation::new(ic, cfg(40));
+        let measure = |p: &gpu_freq_scaling::sph::Particles| {
+            let mut lz = 0.0;
+            let mut mr = 0.0;
+            let mut m = 0.0;
+            for i in 0..p.n_local {
+                lz += p.m[i] * (p.x[i] * p.vy[i] - p.y[i] * p.vx[i]);
+                mr += p.m[i] * (p.x[i] * p.x[i] + p.y[i] * p.y[i]).sqrt();
+                m += p.m[i];
+            }
+            (lz, mr / m)
+        };
+        let (lz0, r0) = measure(&sim.parts);
+        let mut budgets = Vec::new();
+        for _ in 0..10 {
+            budgets.push(sim.step(ctx, &mut NullObserver).budget);
+        }
+        let (lz1, r1) = measure(&sim.parts);
+        (lz0, lz1, r0, r1, budgets)
+    })
+    .remove(0);
+    let (lz0, lz1, r0, r1, budgets) = out;
+    assert!(lz0 > 0.1, "the disk must rotate: Lz = {lz0}");
+    let lz_drift = (lz1 - lz0).abs() / lz0;
+    assert!(lz_drift < 0.05, "Lz drift {lz_drift}: {lz0} -> {lz1}");
+    let r_drift = (r1 - r0).abs() / r0;
+    assert!(r_drift < 0.25, "mean radius moved {r_drift}: {r0} -> {r1}");
+    let first = budgets.first().expect("steps");
+    let last = budgets.last().expect("steps");
+    let e_drift = (last.total() - first.total()).abs() / first.total().abs();
+    assert!(e_drift < 0.1, "energy drift {e_drift}");
+}
+
+#[test]
+fn sod_tube_launches_flow_from_rest_and_conserves_mass_and_energy() {
+    // The pressure discontinuity starts everything at rest; the expansion
+    // converts internal into kinetic energy symmetrically (the periodic box
+    // has mirror interfaces, so net momentum stays zero) and conserves mass
+    // and total energy.
+    let out = run(1, CommCost::default(), |ctx| {
+        let ic = sod(12);
+        let mut sim = Simulation::new(ic, cfg(40));
+        let mass0: f64 = sim.parts.m[..sim.parts.n_local].iter().sum();
+        let ke_ic: f64 = (0..sim.parts.n_local)
+            .map(|i| {
+                let p = &sim.parts;
+                0.5 * p.m[i] * (p.vx[i] * p.vx[i] + p.vy[i] * p.vy[i] + p.vz[i] * p.vz[i])
+            })
+            .sum();
+        let mut budgets = Vec::new();
+        for _ in 0..10 {
+            budgets.push(sim.step(ctx, &mut NullObserver).budget);
+        }
+        let mass1: f64 = sim.parts.m[..sim.parts.n_local].iter().sum();
+        let mut px = 0.0;
+        for i in 0..sim.parts.n_local {
+            px += sim.parts.m[i] * sim.parts.vx[i];
+        }
+        (mass0, mass1, ke_ic, px, budgets)
+    })
+    .remove(0);
+    let (mass0, mass1, ke_ic, px, budgets) = out;
+    assert!((mass1 - mass0).abs() / mass0 < 1e-12, "mass drift");
+    let first = budgets.first().expect("steps");
+    let last = budgets.last().expect("steps");
+    assert!(ke_ic < 1e-12, "the tube starts at rest: KE = {ke_ic}");
+    assert!(
+        last.kinetic > 1e-4 && last.kinetic > first.kinetic,
+        "the discontinuity must keep accelerating flow: {} -> {}",
+        first.kinetic,
+        last.kinetic
+    );
+    assert!(
+        last.internal < first.internal,
+        "expansion must cool the gas"
+    );
+    assert!(px.abs() < 1e-6, "mirror interfaces: net momentum {px}");
+    let e_drift = (last.total() - first.total()).abs() / first.total().abs();
+    assert!(e_drift < 0.05, "energy drift {e_drift}");
 }
 
 #[test]
