@@ -50,6 +50,11 @@ fn bench_experiment(c: &mut Criterion) {
                 memory_clock: None,
                 faults: None,
                 scenario: None,
+                checkpoint_dir: None,
+                checkpoint_every: 0,
+                restore_from: None,
+                repart_skew_threshold: None,
+                halo_overlap: true,
             };
             black_box(run_experiment(&spec))
         })

@@ -1,0 +1,182 @@
+//! Million-particle weak scaling of the real host-side SPH loop, written as
+//! the `BENCH_scaling.json` artifact checked into the repo root.
+//!
+//! Two measurements:
+//!
+//! 1. **Weak scaling** — 1/2/4 ranks at 250 k particles per rank (so the
+//!    4-rank row is a full million particles), per-rank CPU seconds per
+//!    steady step. Weak scaling holds when the normalized CPU time stays
+//!    flat (the acceptance bar is ≤ 1.3× from 1 to 4 ranks). Per-thread CPU
+//!    time — not wall clock — is measured, so the numbers are meaningful
+//!    even on an oversubscribed single-core host.
+//! 2. **Incremental vs full repartitioning** — the same 4-rank problem run
+//!    with the default skew threshold (repartition only when max/mean load
+//!    exceeds 1.15) against a sub-1 threshold that forces a full SFC
+//!    rebuild every step. The artifact records how many steps repartitioned
+//!    and what fraction of particles changed owner after the initial
+//!    partition.
+//!
+//! Regenerate with:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_scaling
+//! ```
+//!
+//! `--check` runs a miniature version of both measurements and never writes
+//! the artifact — the CI smoke mode.
+
+use bench::{banner, host_weak_scaling, print_table, Cli, HostScalingRow};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RepartitionComparison {
+    ranks: usize,
+    particles: usize,
+    steps: usize,
+    /// Steps that recomputed the SFC partition under the default (1.15)
+    /// skew threshold — the initial partition plus skew-triggered rebuilds.
+    incremental_repartitions: u64,
+    /// Fraction of (particles × steady steps) that changed owner under the
+    /// incremental scheme.
+    incremental_moved_frac: f64,
+    /// Same, with a sub-1 threshold forcing a full rebuild every step.
+    full_repartitions: u64,
+    full_moved_frac: f64,
+    /// Per-steady-step particle data motion: owner-change migration plus
+    /// the full key gather a rebuild pays, as a fraction of the total
+    /// particle count. A rebuild-every-step scheme is ≥ 1.0 by
+    /// construction; the incremental scheme's whole point is keeping this
+    /// under 0.2.
+    incremental_sync_frac: f64,
+    full_sync_frac: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_threads: usize,
+    steps: usize,
+    per_rank_particles: usize,
+    weak_scaling: Vec<HostScalingRow>,
+    repartition: RepartitionComparison,
+}
+
+fn moved_frac(rows: &[HostScalingRow], steps: usize) -> f64 {
+    let last = rows.last().expect("rows");
+    last.migrated_after_first as f64 / (last.particles as f64 * (steps - 1) as f64)
+}
+
+/// Migration plus rebuild key-gathers per steady step, as a fraction of the
+/// particle count (a rebuild ships every key to every rank, so each one
+/// counts as a full pass over the data).
+fn sync_frac(rows: &[HostScalingRow], steps: usize) -> f64 {
+    let last = rows.last().expect("rows");
+    let gathered = last.particles as f64 * (last.repartitions.saturating_sub(1)) as f64;
+    (last.migrated_after_first as f64 + gathered) / (last.particles as f64 * (steps - 1) as f64)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out_path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_scaling.json".to_string());
+    if !cli.check {
+        if let Err(msg) = bench::refuse_single_core_overwrite(
+            host_threads,
+            std::path::Path::new(&out_path).exists(),
+            cli.force,
+        ) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+    banner(
+        "WEAK SCALING, host-side SPH (BENCH_scaling.json)",
+        "1/2/4 ranks at fixed particles/rank; per-rank CPU s per steady step, plus incremental vs full repartitioning.",
+    );
+
+    // --check shrinks everything to smoke-test scale and writes nothing.
+    let (per_rank, steps) = if cli.check { (4_000, 2) } else { (250_000, 3) };
+    let rank_counts = [1usize, 2, 4];
+
+    let weak = host_weak_scaling(&rank_counts, per_rank, steps, None);
+    let rows: Vec<Vec<String>> = weak
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                r.particles.to_string(),
+                format!("{:.3}", r.cpu_s_per_rank_step),
+                format!("{:.3}", r.cpu_norm),
+                r.repartitions.to_string(),
+                r.migrated_after_first.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "ranks",
+            "particles",
+            "cpu s/step",
+            "norm",
+            "reparts",
+            "migrated",
+        ],
+        &rows,
+    );
+    let worst = weak.iter().map(|r| r.cpu_norm).fold(0.0, f64::max);
+    println!("\nweak-scaling flatness: worst normalized CPU time {worst:.3} (bar: <= 1.3)");
+
+    // Repartition comparison on the largest rank count at a lighter size.
+    let (rep_per_rank, rep_steps) = if cli.check { (2_000, 3) } else { (25_000, 6) };
+    let incremental = host_weak_scaling(&[4], rep_per_rank, rep_steps, None);
+    let full = host_weak_scaling(&[4], rep_per_rank, rep_steps, Some(0.99));
+    let repartition = RepartitionComparison {
+        ranks: 4,
+        particles: incremental[0].particles,
+        steps: rep_steps,
+        incremental_repartitions: incremental[0].repartitions,
+        incremental_moved_frac: moved_frac(&incremental, rep_steps),
+        full_repartitions: full[0].repartitions,
+        full_moved_frac: moved_frac(&full, rep_steps),
+        incremental_sync_frac: sync_frac(&incremental, rep_steps),
+        full_sync_frac: sync_frac(&full, rep_steps),
+    };
+    println!(
+        "repartitioning over {} steps: incremental {} rebuilds, {:.4} of particle data \
+         moved/step; full {} rebuilds, {:.4} moved/step",
+        rep_steps,
+        repartition.incremental_repartitions,
+        repartition.incremental_sync_frac,
+        repartition.full_repartitions,
+        repartition.full_sync_frac,
+    );
+    assert!(
+        repartition.incremental_repartitions < repartition.full_repartitions,
+        "incremental scheme must rebuild less often than the forced-full run"
+    );
+    assert!(
+        repartition.incremental_sync_frac < 0.2,
+        "incremental repartitioning must move <20% of particle data per steady step"
+    );
+    assert!(
+        repartition.full_sync_frac >= 1.0,
+        "a rebuild-every-step scheme re-gathers 100% of the data"
+    );
+
+    if cli.check {
+        println!("\n--check: smoke only, artifact not written");
+        return;
+    }
+    let report = Report {
+        host_threads,
+        steps,
+        per_rank_particles: per_rank,
+        weak_scaling: weak,
+        repartition,
+    };
+    let body = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, body).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

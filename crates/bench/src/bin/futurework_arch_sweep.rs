@@ -104,6 +104,11 @@ fn main() {
             memory_clock: None,
             faults: None,
             scenario: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            restore_from: None,
+            repart_skew_threshold: None,
+            halo_overlap: true,
         };
         let base = run_experiment(&mk(FreqPolicy::Baseline));
         let mandyn = run_experiment(&mk(FreqPolicy::ManDyn(table)));

@@ -68,6 +68,11 @@ fn main() {
             memory_clock: None,
             faults: None,
             scenario: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            restore_from: None,
+            repart_skew_threshold: None,
+            halo_overlap: true,
         };
         let base = run_experiment(&mk(FreqPolicy::Baseline));
         let mandyn = run_experiment(&mk(FreqPolicy::ManDyn(table.clone())));
@@ -123,5 +128,26 @@ fn main() {
     );
     println!("paper's 14.7 B-particle runs this is the 'more sustainable large-scale simulations'");
     println!("claim of §I, made concrete.");
+
+    // --- host-side section: real SPH per-rank cost at projection scale ----
+    // The projection argument leans on per-GPU work staying constant; the
+    // real host loop at fixed particles/rank shows exactly that (per-rank
+    // CPU time per steady step flat as ranks grow).
+    let per_rank = if cli.check { 2_000 } else { 25_000 };
+    let host = bench::host_weak_scaling(&[1, 2, 4], per_rank, if cli.check { 2 } else { 3 }, None);
+    println!("\nHost-side SPH per-rank cost ({per_rank} particles/rank, CPU s per steady step):");
+    let host_rows: Vec<Vec<String>> = host
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                r.particles.to_string(),
+                format!("{:.3}", r.cpu_s_per_rank_step),
+                format!("{:.3}", r.cpu_norm),
+            ]
+        })
+        .collect();
+    print_table(&["ranks", "particles", "cpu s/step", "norm"], &host_rows);
+
     cli.maybe_write_json(&data);
 }

@@ -95,5 +95,26 @@ fn main() {
     );
     println!("the regime in which the paper's per-GPU percentage savings translate directly");
     println!("to megajoules at the 14.7 B-particle scale of Table I.");
+
+    // --- host-side section: the *real* SPH loop, not the execution model --
+    // Per-rank CPU time per steady step at a fixed particles/rank — the
+    // laptop-scale analogue of the table above (10⁵ particles at 4 ranks;
+    // `bench_scaling` covers the 10⁶ row and the checked-in artifact).
+    let per_rank = if cli.check { 2_000 } else { 25_000 };
+    let host = bench::host_weak_scaling(&[1, 2, 4], per_rank, if cli.check { 2 } else { 3 }, None);
+    println!("\nHost-side SPH weak scaling ({per_rank} particles/rank, CPU s per steady step):");
+    let host_rows: Vec<Vec<String>> = host
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                r.particles.to_string(),
+                format!("{:.3}", r.cpu_s_per_rank_step),
+                format!("{:.3}", r.cpu_norm),
+            ]
+        })
+        .collect();
+    print_table(&["ranks", "particles", "cpu s/step", "norm"], &host_rows);
+
     cli.maybe_write_json(&data);
 }

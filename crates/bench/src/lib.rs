@@ -81,6 +81,11 @@ pub fn production_spec(
         memory_clock: None,
         faults: None,
         scenario: None,
+        checkpoint_dir: None,
+        checkpoint_every: 0,
+        restore_from: None,
+        repart_skew_threshold: None,
+        halo_overlap: true,
     }
 }
 
@@ -177,6 +182,104 @@ pub fn refuse_single_core_overwrite(
     }
 }
 
+/// CPU time (user + system) consumed by the *calling thread*, in seconds,
+/// from `/proc/thread-self/stat`. Unlike wall clock, per-thread CPU time is
+/// insensitive to oversubscription, so weak-scaling flatness measured with
+/// it is meaningful even when all rank threads share one core. Returns 0.0
+/// where procfs is unavailable.
+pub fn thread_cpu_time_s() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
+        return 0.0;
+    };
+    // Skip past the parenthesised comm field (it may contain spaces).
+    let Some(rest) = stat.rfind(')').map(|i| &stat[i + 1..]) else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // stat fields are 1-based with comm = 2; after ')' the state (field 3)
+    // is index 0, so utime (14) and stime (15) are indices 11 and 12.
+    let utime: f64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let stime: f64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    // USER_HZ is 100 on every mainstream Linux.
+    (utime + stime) / 100.0
+}
+
+/// One rank-count row of a host-side weak-scaling measurement.
+#[derive(Debug, serde::Serialize)]
+pub struct HostScalingRow {
+    pub ranks: usize,
+    /// Total particles across all ranks (≈ `ranks × per_rank`).
+    pub particles: usize,
+    /// Slowest rank's CPU seconds per steady step (step 0 — initial
+    /// partition, first neighbor build — excluded).
+    pub cpu_s_per_rank_step: f64,
+    /// `cpu_s_per_rank_step` normalized to the first row: weak scaling
+    /// holds when this stays near 1.
+    pub cpu_norm: f64,
+    /// Steps that recomputed the SFC partition (including step 0).
+    pub repartitions: u64,
+    /// Particles that changed owner *after* the initial partition.
+    pub migrated_after_first: u64,
+}
+
+/// Run the real host-side SPH step loop (no instrumentation) at a fixed
+/// per-rank particle count for each entry of `rank_counts`, and report
+/// per-rank CPU time per steady step. `repart_skew_threshold: None` keeps
+/// the incremental default; `Some(x)` overrides it (a sub-1 threshold
+/// forces a full repartition every step).
+pub fn host_weak_scaling(
+    rank_counts: &[usize],
+    per_rank: usize,
+    steps: usize,
+    repart_skew_threshold: Option<f64>,
+) -> Vec<HostScalingRow> {
+    assert!(steps >= 2, "need at least one steady step after step 0");
+    let mut rows: Vec<HostScalingRow> = Vec::new();
+    for &ranks in rank_counts {
+        let n_side = ((ranks * per_rank) as f64).cbrt().round().max(4.0) as usize;
+        let ic = sph::subsonic_turbulence(n_side, 0.3, 11);
+        let particles = ic.parts.x.len();
+        let cfg = sph::SimConfig {
+            target_neighbors: 40,
+            repart_skew_threshold: repart_skew_threshold
+                .unwrap_or_else(|| sph::SimConfig::default().repart_skew_threshold),
+            ..sph::SimConfig::default()
+        };
+        let outs = ranks::run(ranks, CommCost::default(), |ctx| {
+            let mut sim = sph::Simulation::distribute_ref(&ic, cfg, ctx.rank(), ctx.size());
+            let first = sim.step(ctx, &mut sph::NullObserver);
+            let mut reparts = u64::from(first.repartitioned);
+            let mut migrated = 0u64;
+            let t0 = thread_cpu_time_s();
+            for _ in 1..steps {
+                let s = sim.step(ctx, &mut sph::NullObserver);
+                reparts += u64::from(s.repartitioned);
+                migrated += s.migrated;
+            }
+            (thread_cpu_time_s() - t0, reparts, migrated)
+        });
+        let cpu = outs
+            .iter()
+            .map(|(t, _, _)| t / (steps - 1) as f64)
+            .fold(0.0, f64::max);
+        // Repartition decisions are collective and migration counts are
+        // allreduced, so rank 0 speaks for the job.
+        let (_, repartitions, migrated_after_first) = outs[0];
+        let base = rows
+            .first()
+            .map_or(cpu, |r: &HostScalingRow| r.cpu_s_per_rank_step);
+        rows.push(HostScalingRow {
+            ranks,
+            particles,
+            cpu_s_per_rank_step: cpu,
+            cpu_norm: if base > 0.0 { cpu / base } else { 1.0 },
+            repartitions,
+            migrated_after_first,
+        });
+    }
+    rows
+}
+
 /// Print a header band for a figure/table.
 pub fn banner(title: &str, caption: &str) {
     println!("{}", "=".repeat(78));
@@ -264,6 +367,45 @@ mod tests {
         assert!(sparkline(&[]).is_empty());
         // Flat series renders but does not panic on zero span.
         assert_eq!(sparkline(&[2.0, 2.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn thread_cpu_time_advances_under_load() {
+        let t0 = thread_cpu_time_s();
+        // Burn enough CPU to tick the 10 ms USER_HZ counter at least once.
+        let mut acc = 0u64;
+        while thread_cpu_time_s() - t0 < 0.03 {
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        }
+        assert!(thread_cpu_time_s() >= t0 + 0.03, "CPU time is monotonic");
+    }
+
+    #[test]
+    fn host_weak_scaling_reports_sane_rows() {
+        let rows = host_weak_scaling(&[1, 2], 1_000, 2, None);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].ranks, 1);
+        assert!(rows[0].particles >= 900, "~per_rank particles at 1 rank");
+        assert!(rows[1].particles >= 1_800, "weak scaling doubles the total");
+        assert!(
+            (rows[0].cpu_norm - 1.0).abs() < 1e-12,
+            "first row is the base"
+        );
+        assert!(
+            rows.iter().all(|r| r.repartitions >= 1),
+            "step 0 partitions"
+        );
+        // Balanced turbulence at default threshold: no re-partitions after
+        // the first, and migration stays a small fraction of the total.
+        assert!(
+            rows[1].migrated_after_first < rows[1].particles as u64 / 5,
+            "incremental repartitioning moves <20%: {} of {}",
+            rows[1].migrated_after_first,
+            rows[1].particles
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn usage() -> ! {
         "usage: freqscale-run [--jobs N] [--out merged.json] [--trace-out trace.json]\n\
          \x20                 [--metrics-out metrics.txt] [--timeline-csv timeline.csv]\n\
          \x20                 [--fault-profile default|profile.json] [--print-model]\n\
+         \x20                 [--checkpoint-dir DIR] [--checkpoint-every N] [--restore DIR]\n\
          \x20                 <spec.json>... | -\n\
          \x20      freqscale-run <spec.json> [report.json]\n\
          \x20      freqscale-run --print-template | --print-online-template\n\
@@ -67,6 +68,10 @@ fn usage() -> ! {
          \x20 --timeline-csv   CSV merging span boundaries with GPU power samples\n\
          \x20 --fault-profile  chaos run: inject the given fault profile into\n\
          \x20                  every spec (`default` = the standard chaos mix)\n\
+         \x20 --checkpoint-dir write periodic checkpoints under DIR (see\n\
+         \x20                  --checkpoint-every; default every 5 steps)\n\
+         \x20 --restore        resume from the newest committed checkpoint\n\
+         \x20                  under DIR; the continuation is bit-identical\n\
          \x20 --print-model    dump the fitted per-kernel model coefficients\n\
          \x20                  (predictive policy) as JSON to stdout; the\n\
          \x20                  report then only goes to --out\n\
@@ -89,6 +94,9 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut timeline_csv: Option<String> = None;
     let mut fault_profile: Option<faults::FaultProfile> = None;
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut checkpoint_every: usize = 0;
+    let mut restore_from: Option<std::path::PathBuf> = None;
     let mut print_model = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -145,6 +153,22 @@ fn main() {
                 jobs = v
                     .parse()
                     .unwrap_or_else(|e| fail(format!("--jobs {v}: {e}")));
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--checkpoint-every" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                checkpoint_every = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--checkpoint-every {v}: {e}")));
+            }
+            "--restore" => {
+                restore_from = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ));
             }
             "--out" => out = Some(it.next().unwrap_or_else(|| usage())),
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
@@ -224,9 +248,46 @@ fn main() {
             if let Some(profile) = &fault_profile {
                 spec.faults = Some(profile.clone());
             }
+            if let Some(dir) = &checkpoint_dir {
+                spec.checkpoint_dir = Some(dir.clone());
+            }
+            if checkpoint_every > 0 {
+                spec.checkpoint_every = checkpoint_every;
+            }
+            if let Some(dir) = &restore_from {
+                spec.restore_from = Some(dir.clone());
+            }
             spec
         })
         .collect();
+    // Checkpoint/restore failure modes surface here, before any simulation
+    // work: an unwritable checkpoint directory or a missing / mismatched
+    // restore point is a clean CLI error, not a mid-run panic.
+    for spec in &specs {
+        if let Some(dir) = &spec.checkpoint_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail(format!(
+                    "checkpoint dir {} is not writable: {e}",
+                    dir.display()
+                ));
+            }
+            let probe = dir.join(format!(".probe.{}", std::process::id()));
+            match std::fs::write(&probe, b"probe") {
+                Ok(()) => {
+                    let _ = std::fs::remove_file(&probe);
+                }
+                Err(e) => fail(format!(
+                    "checkpoint dir {} is not writable: {e}",
+                    dir.display()
+                )),
+            }
+        }
+        if let Some(dir) = &spec.restore_from {
+            if let Err(e) = freqscale::RestorePoint::discover(dir, spec) {
+                fail(format!("--restore {}: {e}", dir.display()));
+            }
+        }
+    }
     if fault_profile.is_some() && !faults::ENABLED {
         eprintln!("warning: built without the `faults` feature; the fault profile is a no-op");
     }

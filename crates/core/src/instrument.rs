@@ -290,6 +290,14 @@ impl EnergyInstrument {
         table
     }
 
+    /// The predictive tuner's fitted models by kernel name, as persisted in
+    /// checkpoint manifests. Empty for every other policy.
+    pub fn models_snapshot(&self) -> online::StoredModels {
+        self.predictive
+            .as_ref()
+            .map_or_else(Default::default, |t| online::models_by_name(t.models()))
+    }
+
     /// Apply a clock request, tolerating `NO_PERMISSION` like the paper's
     /// production systems require and riding out transient driver errors.
     ///
@@ -779,6 +787,7 @@ mod tests {
                 target_particles_per_rank: 450.0f64.powi(3),
                 target_neighbors: 30,
                 bucket_size: 32,
+                ..SimConfig::default()
             };
             let mut sim = Simulation::new(ic, cfg);
             let mut inst = EnergyInstrument::new(&nvml, ctx.rank(), policy.clone())
@@ -903,6 +912,7 @@ mod tests {
                 target_particles_per_rank: 450.0f64.powi(3),
                 target_neighbors: 30,
                 bucket_size: 32,
+                ..SimConfig::default()
             };
             let mut sim = Simulation::new(ic, cfg);
             let mut inst = EnergyInstrument::new(&nvml, ctx.rank(), policy.clone()).unwrap();

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod instrument;
 pub mod policy;
 pub mod report;
@@ -47,6 +48,9 @@ pub mod serving;
 pub use analysis::{
     best_edp, compare_tables, dominated_area, learned_table_of, max_deviation_mhz, pareto_front,
     tables_within_bin, PolicyPoint, TableDeviation,
+};
+pub use checkpoint::{
+    latest_checkpoint, load_manifest, spec_hash, Checkpointer, Manifest, RestorePoint,
 };
 pub use instrument::EnergyInstrument;
 pub use policy::{paper_mandyn_table, tune_table, FreqPolicy, FreqTable};

@@ -164,6 +164,18 @@ pub struct ExperimentResult {
     /// (all zero otherwise, and in builds without the `faults` feature).
     #[serde(default)]
     pub fault_stats: faults::FaultStats,
+    /// Rank-ordered FNV-1a digest of every rank's final carried state —
+    /// equal digests between two runs mean bit-identical trajectories
+    /// (the kill→restore acceptance check compares exactly this).
+    #[serde(default)]
+    pub state_digest: u64,
+    /// How many steps recomputed the SFC partition (the incremental
+    /// repartitioner's whole point is keeping this far below `steps`).
+    #[serde(default)]
+    pub repartitions: u64,
+    /// Total particles that changed owner across the run (allreduced).
+    #[serde(default)]
+    pub migrated_particles: u64,
 }
 
 impl ExperimentResult {

@@ -140,6 +140,33 @@ pub struct ExperimentSpec {
     /// silent fall-through to a default IC.
     #[serde(default)]
     pub scenario: Option<String>,
+    /// When set, periodic checkpoints (particle snapshots + tuner state +
+    /// SFC splits) are written here every `checkpoint_every` steps; see
+    /// [`crate::checkpoint`].
+    #[serde(default)]
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Steps between checkpoints. `0` (the default) means every 5 steps
+    /// when `checkpoint_dir` is set.
+    #[serde(default)]
+    pub checkpoint_every: usize,
+    /// Restore from the newest committed checkpoint under this directory
+    /// and continue to `steps`. The checkpoint's spec hash and rank count
+    /// must match; a damaged rank snapshot cold-starts instead.
+    #[serde(default)]
+    pub restore_from: Option<std::path::PathBuf>,
+    /// Override the incremental-repartition skew threshold
+    /// ([`SimConfig::repart_skew_threshold`], default 1.15). Values below
+    /// 1.0 rebuild the partition every step (the pre-incremental behavior).
+    #[serde(default)]
+    pub repart_skew_threshold: Option<f64>,
+    /// Overlap deferred halo-field communication with interior compute
+    /// ([`SimConfig::halo_overlap`]); bit-identical on or off.
+    #[serde(default = "default_halo_overlap")]
+    pub halo_overlap: bool,
+}
+
+fn default_halo_overlap() -> bool {
+    true
 }
 
 impl ExperimentSpec {
@@ -170,6 +197,11 @@ impl ExperimentSpec {
             memory_clock: None,
             faults: None,
             scenario: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            restore_from: None,
+            repart_skew_threshold: None,
+            halo_overlap: true,
         }
     }
 
@@ -337,6 +369,46 @@ pub fn run_experiment_with_warm_start(
             _ => (None, None),
         };
 
+    // --- checkpoint/restart plumbing -------------------------------------
+    let spec_hash = crate::checkpoint::spec_hash(spec);
+    let checkpointer = spec.checkpoint_dir.as_ref().map(|dir| {
+        let every = if spec.checkpoint_every == 0 {
+            5
+        } else {
+            spec.checkpoint_every as u64
+        };
+        crate::checkpoint::Checkpointer::new(dir, every, spec_hash)
+    });
+    // The manifest is validated once, up front (the CLI has already turned
+    // a mismatch into a clean error; a programmatic caller gets the panic).
+    let restore = spec.restore_from.as_ref().map(|dir| {
+        crate::checkpoint::RestorePoint::discover(dir, spec)
+            .unwrap_or_else(|e| panic!("cannot restore: {e}"))
+    });
+    // A checkpoint's tuner state warm-starts the restored run exactly like
+    // a table-store entry would, overriding store/external warm state.
+    let (warm_table, warm_models) = match &restore {
+        Some(rp) => {
+            let table: FreqTable = rp
+                .manifest
+                .learned_table
+                .iter()
+                .filter_map(|(name, mhz)| FuncId::from_name(name).map(|f| (f, MegaHertz(*mhz))))
+                .collect();
+            let models: ModelTable = rp
+                .manifest
+                .models
+                .iter()
+                .filter_map(|(name, m)| FuncId::from_name(name).map(|f| (f, m.clone())))
+                .collect();
+            (
+                (!table.is_empty()).then_some(table).or(warm_table),
+                (!models.is_empty()).then_some(models).or(warm_models),
+            )
+        }
+        None => (warm_table, warm_models),
+    };
+
     // One (device budget, clock ceiling) per rank. The budget is enforced on
     // the device; the ceiling keeps an online search out of throttled rungs.
     let power_allocs: Option<Vec<(Watts, MegaHertz)>> = spec.power_cap_w.map(|w| {
@@ -360,8 +432,12 @@ pub fn run_experiment_with_warm_start(
         target_particles_per_rank: spec.target_particles_per_rank,
         target_neighbors: spec.target_neighbors,
         bucket_size: 32,
+        repart_skew_threshold: spec
+            .repart_skew_threshold
+            .unwrap_or_else(|| SimConfig::default().repart_skew_threshold),
+        halo_overlap: spec.halo_overlap,
     };
-    let outputs: Vec<(RankReport, u64)> = ranks::run(spec.ranks, spec.comm, |ctx| {
+    let outputs: Vec<(RankReport, u64, u64, u64, u64)> = ranks::run(spec.ranks, spec.comm, |ctx| {
         if injector.is_active() {
             // Straggler stalls key on the rank id, not the GPU id, so the
             // schedule survives re-binding ranks to different devices.
@@ -374,6 +450,30 @@ pub fn run_experiment_with_warm_start(
         } else {
             Simulation::distribute(ic, sim_cfg, ctx.rank(), ctx.size())
         };
+        // Restore is collective: every rank loads its own blob, then the
+        // ranks agree (allreduce Min over ok flags) — one damaged blob makes
+        // the whole job cold-start, never a half-restored mix.
+        if let Some(rp) = &restore {
+            let loaded = match rp.rank_particles(ctx.rank()) {
+                Ok(parts) => Some(parts),
+                Err(e) => {
+                    eprintln!("warning: rank {}: {e}; cold-starting", ctx.rank());
+                    None
+                }
+            };
+            let everywhere = ctx.allreduce_u64(loaded.is_some() as u64, ranks::Op::Min);
+            if everywhere == 1 {
+                if let Some(splits) = &rp.manifest.splits {
+                    sim.set_assignment_splits(splits.clone());
+                }
+                sim.restore_snapshot(
+                    loaded.expect("all ranks loaded"),
+                    rp.manifest.step,
+                    rp.manifest.time_bits,
+                    rp.manifest.dt_bits,
+                );
+            }
+        }
         let (node_idx, _dev_idx) = cluster.place_rank(ctx.rank());
         let nvml = Nvml::init_for_node(&cluster.nodes()[node_idx]);
         let mut inst = EnergyInstrument::new(&nvml, ctx.rank(), spec.policy.clone())
@@ -393,17 +493,60 @@ pub fn run_experiment_with_warm_start(
             let (budget, ceiling) = allocs[ctx.rank()];
             inst = inst.with_power_cap(budget, ceiling);
         }
-        for _ in 0..spec.steps {
-            sim.step(ctx, &mut inst);
+        let mut repartitions = 0u64;
+        let mut migrated = 0u64;
+        while sim.step_index() < spec.steps as u64 {
+            let stats = sim.step(ctx, &mut inst);
+            repartitions += stats.repartitioned as u64;
+            migrated += stats.migrated;
+            if let Some(ck) = &checkpointer {
+                if ck.due(sim.step_index()) {
+                    // Barrier sequencing makes the manifest a commit marker:
+                    // rank 0 creates the directory before anyone writes, and
+                    // writes the manifest only after every rank file landed.
+                    let step = sim.step_index();
+                    if ctx.rank() == 0 {
+                        ck.prepare(step);
+                    }
+                    ctx.barrier();
+                    ck.write_rank(step, ctx.rank(), &sim.capture_snapshot());
+                    ctx.barrier();
+                    if ctx.rank() == 0 {
+                        ck.commit(&crate::checkpoint::Manifest {
+                            version: crate::checkpoint::MANIFEST_VERSION,
+                            step,
+                            time_bits: sim.time().to_bits(),
+                            dt_bits: sim.dt().to_bits(),
+                            ranks: ctx.size(),
+                            spec_hash: ck.spec_hash(),
+                            workload: format!("{:?}", spec.workload),
+                            splits: sim.assignment_splits().map(<[u64]>::to_vec),
+                            learned_table: inst
+                                .learned_table()
+                                .into_iter()
+                                .map(|(f, mhz)| (f.name().to_string(), mhz.0))
+                                .collect(),
+                            models: inst.models_snapshot(),
+                        });
+                    }
+                }
+            }
         }
         let end = ctx.now();
-        (inst.finish(ctx), end.as_nanos())
+        let digest = sim.state_digest();
+        (
+            inst.finish(ctx),
+            end.as_nanos(),
+            digest,
+            repartitions,
+            migrated,
+        )
     });
 
     let global_end = SimInstant::from_nanos(
         outputs
             .iter()
-            .map(|(_, end)| *end)
+            .map(|(_, end, ..)| *end)
             .max()
             .expect("at least one rank"),
     )
@@ -447,7 +590,21 @@ pub fn run_experiment_with_warm_start(
         .and_then(|r| r.consumed_energy_j)
         .expect("energy TRES enabled");
 
-    let mut per_rank: Vec<RankReport> = outputs.into_iter().map(|(r, _)| r).collect();
+    // Rank-order digest-of-digests: equal values on two runs mean every
+    // rank's carried state (and the clocks) matched bit for bit.
+    let state_digest = {
+        let mut bytes = Vec::with_capacity(outputs.len() * 8);
+        for (_, _, digest, _, _) in &outputs {
+            bytes.extend_from_slice(&digest.to_le_bytes());
+        }
+        sph::fnv1a(&bytes)
+    };
+    // Repartition count is a collective decision (every rank agrees), and
+    // migration counts are already allreduced inside the step — rank 0's
+    // totals are the job's totals.
+    let repartitions = outputs.first().map_or(0, |(_, _, _, r, _)| *r);
+    let migrated_particles = outputs.first().map_or(0, |(_, _, _, _, m)| *m);
+    let mut per_rank: Vec<RankReport> = outputs.into_iter().map(|(r, ..)| r).collect();
 
     // Post-hoc CPU attribution: the host package draws near-constant power
     // during the GPU-resident loop, so each function's CPU energy is its
@@ -511,6 +668,9 @@ pub fn run_experiment_with_warm_start(
         slurm_consumed_j,
         node_loop_j,
         fault_stats: injector.stats(),
+        state_digest,
+        repartitions,
+        migrated_particles,
     };
 
     if let Some(dir) = &spec.report_dir {
@@ -615,6 +775,11 @@ mod tests {
             memory_clock: None,
             faults: None,
             scenario: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            restore_from: None,
+            repart_skew_threshold: None,
+            halo_overlap: true,
         };
         let r = run_experiment(&spec);
         assert_eq!(r.per_rank.len(), 8);
@@ -668,6 +833,11 @@ mod tests {
             memory_clock: None,
             faults: None,
             scenario: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            restore_from: None,
+            repart_skew_threshold: None,
+            halo_overlap: true,
         };
         let low = run_experiment(&spec);
         // User-level control is still denied (Baseline tries to pin 1410 and

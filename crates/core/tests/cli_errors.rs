@@ -189,6 +189,89 @@ fn empty_stdin_spec_list_fails_cleanly() {
     assert_clean_failure(&out, "stdin (`-`) supplied no spec paths");
 }
 
+fn write_spec(tag: &str, spec: &freqscale::ExperimentSpec) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("freqscale-{tag}-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_string(spec).unwrap()).unwrap();
+    path
+}
+
+#[test]
+fn unwritable_checkpoint_dir_fails_cleanly() {
+    // /dev/null is a file, so a directory can't be created beneath it; the
+    // failure must surface before any simulation work, as a clean error.
+    let spec = freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    let path = write_spec("ckpt-unwritable", &spec);
+    let out = run(&[
+        path.to_str().unwrap(),
+        "--checkpoint-dir",
+        "/dev/null/checkpoints",
+    ]);
+    assert_clean_failure(&out, "not writable");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn restore_from_missing_dir_fails_cleanly() {
+    let spec = freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    let path = write_spec("restore-missing", &spec);
+    let out = run(&[
+        path.to_str().unwrap(),
+        "--restore",
+        "/nonexistent/checkpoints",
+    ]);
+    assert_clean_failure(&out, "no committed checkpoint");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn restore_from_dir_without_committed_checkpoint_fails_cleanly() {
+    // An existing but empty directory (or one holding only an uncommitted
+    // step dir with no manifest) has nothing to restore from.
+    let dir = std::env::temp_dir().join(format!("freqscale-ckpt-empty-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("step-000005")).unwrap();
+    let spec = freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 1);
+    let path = write_spec("restore-empty", &spec);
+    let out = run(&[path.to_str().unwrap(), "--restore", dir.to_str().unwrap()]);
+    assert_clean_failure(&out, "no committed checkpoint");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_under_a_different_spec_is_refused() {
+    // Checkpoint a 2-step turbulence run, then try to restore it under a
+    // different workload: the physics-identity hash must refuse the mix
+    // with a clean error naming the problem.
+    let tmp = std::env::temp_dir().join(format!("freqscale-ckpt-mix-{}", std::process::id()));
+    let ckpt = tmp.join("checkpoints");
+    std::fs::create_dir_all(&tmp).unwrap();
+
+    let mut spec =
+        freqscale::ExperimentSpec::minihpc_turbulence(freqscale::FreqPolicy::Baseline, 2);
+    spec.checkpoint_every = 1;
+    let path = write_spec("ckpt-mix-a", &spec);
+    let out = run(&[
+        path.to_str().unwrap(),
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{}", stderr(&out));
+
+    let mut other = spec.clone();
+    other.workload = freqscale::WorkloadKind::Sod { n_side: 8 };
+    let other_path = write_spec("ckpt-mix-b", &other);
+    let out = run(&[
+        other_path.to_str().unwrap(),
+        "--restore",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_clean_failure(&out, "different experiment");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&other_path);
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
 #[test]
 fn no_arguments_prints_usage_exit_2() {
     let out = run(&[]);

@@ -61,6 +61,25 @@ impl Assignment {
     }
 }
 
+/// Load skew of a per-rank particle census: `max / mean` of the counts.
+///
+/// This is the repartition trigger the incremental decomposition uses: a
+/// perfectly balanced assignment scores 1.0, and a rank carrying twice its
+/// share scores ≥ 2.0. An empty census (or all-empty ranks) scores 1.0 —
+/// nothing to balance, so nothing to trigger.
+pub fn load_skew(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / counts.len() as f64;
+    let max = counts.iter().copied().max().unwrap_or(0) as f64;
+    max / mean
+}
+
 /// Axis-aligned bounding box of a rank's particles, exchanged during halo
 /// discovery.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -238,6 +257,97 @@ mod tests {
     }
 
     #[test]
+    fn key_exactly_on_a_split_boundary_routes_right() {
+        // A key equal to `splits[r]` is the *first* key of rank r's
+        // half-open range `[splits[r], splits[r+1])` — it must never land
+        // on rank r-1.
+        let a = Assignment::from_splits(vec![0, 100, 200, KEY_END]);
+        assert_eq!(a.rank_of_key(99), 0);
+        assert_eq!(a.rank_of_key(100), 1);
+        assert_eq!(a.rank_of_key(101), 1);
+        assert_eq!(a.rank_of_key(199), 1);
+        assert_eq!(a.rank_of_key(200), 2);
+        assert_eq!(a.rank_of_key(0), 0);
+        assert_eq!(a.rank_of_key(KEY_END - 1), 2);
+    }
+
+    #[test]
+    fn empty_domains_are_skipped_by_key_routing() {
+        // Consecutive equal splits describe ranks that own zero keys. A key
+        // on the collapsed boundary must go to the *last* rank of the tie —
+        // the only one whose half-open range actually contains it.
+        let a = Assignment::from_splits(vec![0, 50, 50, 50, KEY_END]);
+        assert_eq!(a.parts(), 4);
+        assert_eq!(a.rank_of_key(49), 0);
+        // Ranks 1 and 2 own [50, 50) = ∅; key 50 belongs to rank 3's
+        // [50, KEY_END).
+        let r = a.rank_of_key(50);
+        let (s, e) = a.range(r);
+        assert!(s <= 50 && 50 < e, "routed to an empty range [{s}, {e})");
+        assert_eq!(r, 3);
+        // Empty ranges really are empty.
+        assert_eq!(a.range(1), (50, 50));
+        assert_eq!(a.range(2), (50, 50));
+    }
+
+    #[test]
+    fn trailing_empty_domains_clamp_to_a_real_owner() {
+        // All keys collapsed into rank 0; the trailing ranks share
+        // [KEY_END, KEY_END) = ∅. Every key must route to rank 0 — the
+        // `.min(parts - 1)` clamp must not hand keys to an empty tail rank.
+        let a = Assignment::from_splits(vec![0, KEY_END, KEY_END, KEY_END]);
+        assert_eq!(a.parts(), 3);
+        for k in [0, 1, KEY_END / 2, KEY_END - 1] {
+            assert_eq!(a.rank_of_key(k), 0, "key {k}");
+        }
+    }
+
+    #[test]
+    fn load_skew_measures_imbalance() {
+        assert_eq!(load_skew(&[]), 1.0);
+        assert_eq!(load_skew(&[0, 0, 0]), 1.0);
+        assert_eq!(load_skew(&[100]), 1.0);
+        assert_eq!(load_skew(&[100, 100, 100, 100]), 1.0);
+        // One rank at 2x its share.
+        let s = load_skew(&[200, 100, 100, 0]);
+        assert!((s - 2.0).abs() < 1e-12, "skew {s}");
+        // Mild imbalance stays under a 1.15 trigger.
+        assert!(load_skew(&[105, 100, 95, 100]) < 1.15);
+    }
+
+    #[test]
+    fn degenerate_point_box_still_measures_distance() {
+        // A peer box collapsed to a single point (one-particle domain).
+        let b = Aabb::of_points(&[0.5], &[0.5], &[0.5]);
+        assert!(!b.is_empty());
+        let bbox = Box3::cube(0.0, 1.0, false);
+        assert_eq!(b.dist2_to_point(0.5, 0.5, 0.5, &bbox), 0.0);
+        let d2 = b.dist2_to_point(0.6, 0.5, 0.5, &bbox);
+        assert!((d2 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halo_candidates_empty_peer_box_selects_nothing() {
+        // An empty peer domain (rank with zero particles) must produce zero
+        // halo candidates — infinite distance, not a panic or a full send.
+        let bbox = Box3::unit_periodic();
+        let x = vec![0.1, 0.5, 0.9];
+        let y = vec![0.5; 3];
+        let z = vec![0.5; 3];
+        let got = halo_candidates(&x, &y, &z, &Aabb::empty(), 10.0, &bbox);
+        assert!(got.is_empty(), "empty box produced candidates: {got:?}");
+    }
+
+    #[test]
+    fn halo_candidates_degenerate_sender_set() {
+        // No local particles at all: nothing to offer any peer.
+        let bbox = Box3::unit_periodic();
+        let peer = Aabb::of_points(&[0.4, 0.6], &[0.4, 0.6], &[0.4, 0.6]);
+        let got = halo_candidates(&[], &[], &[], &peer, 0.2, &bbox);
+        assert!(got.is_empty());
+    }
+
+    #[test]
     fn halo_candidates_selects_boundary_particles() {
         let bbox = Box3::cube(0.0, 1.0, false);
         let x = vec![0.10, 0.48, 0.90];
@@ -262,6 +372,47 @@ mod tests {
                 let (s, e) = a.range(r);
                 prop_assert!(s <= k && k < e);
             }
+        }
+
+        #[test]
+        fn prop_split_boundary_keys_route_into_their_own_range(
+            seed in 0u64..200, parts in 2usize..12
+        ) {
+            // Every interior split key is the first key of some rank's
+            // half-open range; `rank_of_key` must return a rank whose range
+            // contains it — even when neighboring ranges are empty.
+            let keys = sorted_keys(500, seed);
+            let tree = Octree::build(&keys, 32);
+            let a = Assignment::from_octree(&tree, parts);
+            for &s in &a.splits()[..a.parts()] {
+                if s >= KEY_END {
+                    continue;
+                }
+                let r = a.rank_of_key(s);
+                let (lo, hi) = a.range(r);
+                prop_assert!(lo <= s && s < hi, "split {s} -> rank {r} [{lo},{hi})");
+            }
+        }
+
+        #[test]
+        fn prop_empty_domains_never_own_keys(
+            raw in (0u64..KEY_END, 0u64..KEY_END, 0u64..KEY_END, 0u64..KEY_END, 0u64..KEY_END),
+            n_cuts in 1usize..=5,
+            probe in 0u64..KEY_END
+        ) {
+            // Arbitrary split vectors (duplicates allowed -> empty domains):
+            // routing always returns a non-empty range containing the key.
+            let mut cuts = vec![raw.0, raw.1, raw.2, raw.3, raw.4];
+            cuts.truncate(n_cuts);
+            cuts.sort_unstable();
+            let mut splits = vec![0u64];
+            splits.extend(cuts);
+            splits.push(KEY_END);
+            let a = Assignment::from_splits(splits);
+            let r = a.rank_of_key(probe);
+            let (lo, hi) = a.range(r);
+            prop_assert!(lo < hi, "key {probe} routed to empty rank {r}");
+            prop_assert!(lo <= probe && probe < hi);
         }
 
         #[test]

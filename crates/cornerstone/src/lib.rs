@@ -21,7 +21,7 @@ pub mod simd;
 
 pub use box3::Box3;
 pub use celllist::{brute_force_neighbors, CellList};
-pub use domain::{halo_candidates, Aabb, Assignment};
+pub use domain::{halo_candidates, load_skew, Aabb, Assignment};
 pub use key::{decode, encode, key_of, node_range, node_size, KEY_END, MAX_LEVEL};
 pub use neighborlist::{FilteredRow, NeighborList, NeighborSearch, ScalarReplay};
 pub use octree::Octree;

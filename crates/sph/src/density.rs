@@ -67,6 +67,34 @@ pub fn density_gradh<N: NeighborSearch + Sync>(
     }
 }
 
+/// Density + grad-h over an explicit row subset of the shared CSR list —
+/// the interior/boundary split the halo-overlap step schedule uses.
+///
+/// Each listed row computes exactly what [`density_gradh`] computes for it
+/// (same per-row gather, same in-row order), and rows never read the
+/// fields this sweep writes (`rho`, `gradh`) of *other* particles — only
+/// `m`/positions — so running the owned range as two disjoint subsets in
+/// any order produces bit-identical results to the single full sweep.
+pub fn density_gradh_rows(
+    parts: &mut Particles,
+    nl: &NeighborList,
+    kernel: Kernel,
+    rows: &[usize],
+) {
+    let p = &*parts;
+    let sums: Vec<(f64, f64)> =
+        par::par_map(rows.len(), |k| density_row_blocked(p, nl, rows[k], kernel));
+    for (k, (rho_i, dh_i)) in sums.into_iter().enumerate() {
+        let i = rows[k];
+        parts.rho[i] = rho_i;
+        parts.gradh[i] = if rho_i > 0.0 {
+            (1.0 + parts.h[i] / (3.0 * rho_i) * dh_i).max(0.1)
+        } else {
+            1.0
+        };
+    }
+}
+
 /// Blocked density row: filter-free. The raw CSR row (recorded at the
 /// step's per-pair superset radius) is consumed whole — distances, then
 /// the fused `(W, dW/dh)` over every candidate with the hoisted-`h`

@@ -41,7 +41,15 @@ impl Eos {
     /// The `EquationOfState` step: fill `p` and `c` for every particle
     /// (owned and halo — halos need pressure for the force loop).
     pub fn apply(&self, parts: &mut Particles) {
-        for i in 0..parts.len() {
+        self.apply_range(parts, 0, parts.len());
+    }
+
+    /// Fill `p` and `c` for an index range. The halo-overlap schedule runs
+    /// the owned range in the `EquationOfState` phase and the halo tail when
+    /// deferred halo fields arrive; the per-particle math is identical, so
+    /// the split composes bit-identically with [`Eos::apply`].
+    pub fn apply_range(&self, parts: &mut Particles, start: usize, end: usize) {
+        for i in start..end {
             parts.p[i] = self.pressure(parts.rho[i], parts.u[i]);
             parts.c[i] = self.sound_speed(parts.rho[i], parts.u[i]);
         }

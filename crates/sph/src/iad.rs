@@ -129,6 +129,36 @@ pub fn iad_divv_curlv<N: NeighborSearch + Sync>(
     write_iad(parts, per_particle);
 }
 
+/// IAD tensors + divergence/curl over an explicit row subset of the shared
+/// CSR list (interior/boundary split).
+///
+/// Per-row math is identical to [`iad_divv_curlv`]'s list path, and the
+/// sweep's outputs (`c11..c33`, `divv`, `curlv`) are never inputs to other
+/// rows of the same sweep — it reads `rho`/`m`/velocities, written by
+/// earlier phases — so two disjoint subsets compose bit-identically with
+/// the full sweep.
+pub fn iad_divv_curlv_rows(
+    parts: &mut Particles,
+    nl: &NeighborList,
+    kernel: Kernel,
+    rows: &[usize],
+) {
+    let p = &*parts;
+    let per_row: Vec<([f64; 6], f64, [f64; 3])> =
+        par::par_map(rows.len(), |k| iad_row_blocked(p, nl, rows[k], kernel));
+    for (k, (t, divv, [cx, cy, cz])) in per_row.into_iter().enumerate() {
+        let i = rows[k];
+        parts.c11[i] = t[0];
+        parts.c12[i] = t[1];
+        parts.c13[i] = t[2];
+        parts.c22[i] = t[3];
+        parts.c23[i] = t[4];
+        parts.c33[i] = t[5];
+        parts.divv[i] = divv;
+        parts.curlv[i] = (cx * cx + cy * cy + cz * cz).sqrt();
+    }
+}
+
 fn write_iad(parts: &mut Particles, per_particle: Vec<([f64; 6], f64, [f64; 3])>) {
     for (i, (t, divv, [cx, cy, cz])) in per_particle.into_iter().enumerate() {
         parts.c11[i] = t[0];

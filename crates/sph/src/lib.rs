@@ -28,6 +28,7 @@ pub mod momentum;
 pub mod nbody;
 pub mod particles;
 pub mod sim;
+pub mod snapshot;
 pub mod timestep;
 pub mod update;
 
@@ -41,3 +42,4 @@ pub use kernels::Kernel;
 pub use nbody::{plummer, NBody, NBODY_FUNCS};
 pub use particles::Particles;
 pub use sim::{NeighborPath, NullObserver, SimConfig, Simulation, StepObserver, StepStats};
+pub use snapshot::{decode_particles, encode_particles, fnv1a, SNAPSHOT_VERSION};

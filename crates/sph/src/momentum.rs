@@ -97,6 +97,30 @@ pub fn momentum_energy<N: NeighborSearch + Sync>(
     write_rates(parts, rates);
 }
 
+/// Momentum + energy rates over an explicit row subset of the shared CSR
+/// list (interior/boundary split).
+///
+/// Per-row math is identical to [`momentum_energy`]'s list path; the
+/// outputs (`ax/ay/az/du`) are never inputs to any row of this sweep, so
+/// disjoint subsets compose bit-identically with the full sweep.
+pub fn momentum_energy_rows(
+    parts: &mut Particles,
+    nl: &NeighborList,
+    kernel: Kernel,
+    rows: &[usize],
+) {
+    let p = &*parts;
+    let rates: Vec<(f64, f64, f64, f64)> =
+        par::par_map(rows.len(), |k| momentum_row_blocked(p, nl, rows[k], kernel));
+    for (k, (axi, ayi, azi, dui)) in rates.into_iter().enumerate() {
+        let i = rows[k];
+        parts.ax[i] = axi;
+        parts.ay[i] = ayi;
+        parts.az[i] = azi;
+        parts.du[i] = dui;
+    }
+}
+
 fn write_rates(parts: &mut Particles, rates: Vec<(f64, f64, f64, f64)>) {
     for (i, (axi, ayi, azi, dui)) in rates.into_iter().enumerate() {
         parts.ax[i] = axi;

@@ -240,6 +240,9 @@ impl NBody {
             budget,
             n_local: self.parts.n_local,
             n_halo: 0,
+            migrated: 0,
+            repartitioned: false,
+            skew: 1.0,
         }
     }
 

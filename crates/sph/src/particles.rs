@@ -270,6 +270,117 @@ impl Particles {
         }
     }
 
+    /// Number of f64 fields in a stage-A (position) halo record: `x, y, z,
+    /// h, m` — exactly what grid/CSR construction and the density sweep
+    /// read of a neighbor.
+    pub const POS_PACK_FIELDS: usize = 5;
+
+    /// Number of f64 fields in a stage-B (deferred) halo record: `vx, vy,
+    /// vz, rho, u, alpha`. Together with stage A this covers every
+    /// halo-read field that is not recomputed locally (`xmass` from
+    /// `m/rho`, `p`/`c` from the EOS); 5 + 6 = 11 f64 per halo, less than
+    /// the 13-field combined pack.
+    pub const FIELD_PACK_FIELDS: usize = 6;
+
+    /// Stage A of the split halo exchange: pack only what the neighbor
+    /// search and the density sweep need (`x, y, z, h, m`).
+    pub fn pack_halo_positions(&self, indices: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(indices.len() * Self::POS_PACK_FIELDS);
+        for &i in indices {
+            out.extend_from_slice(&[self.x[i], self.y[i], self.z[i], self.h[i], self.m[i]]);
+        }
+        out
+    }
+
+    /// Append stage-A halos. Deferred fields start at the same defaults
+    /// [`Particles::unpack_halo`] uses (and are never read before
+    /// [`Particles::fill_halo_fields`] overwrites them — the density sweep
+    /// only touches `m` of a neighbor).
+    pub fn unpack_halo_positions(&mut self, data: &[f64]) {
+        assert_eq!(
+            data.len() % Self::POS_PACK_FIELDS,
+            0,
+            "position-halo buffer must be {} f64 per particle",
+            Self::POS_PACK_FIELDS
+        );
+        for chunk in data.chunks_exact(Self::POS_PACK_FIELDS) {
+            self.x.push(chunk[0]);
+            self.y.push(chunk[1]);
+            self.z.push(chunk[2]);
+            self.vx.push(0.0);
+            self.vy.push(0.0);
+            self.vz.push(0.0);
+            self.m.push(chunk[4]);
+            self.h.push(chunk[3]);
+            self.rho.push(0.0);
+            self.p.push(0.0);
+            self.c.push(0.0);
+            self.u.push(0.0);
+            self.du.push(0.0);
+            self.ax.push(0.0);
+            self.ay.push(0.0);
+            self.az.push(0.0);
+            self.gradh.push(1.0);
+            self.xmass.push(chunk[4]);
+            self.divv.push(0.0);
+            self.curlv.push(0.0);
+            self.alpha.push(crate::av::ALPHA_MIN);
+            self.c11.push(0.0);
+            self.c12.push(0.0);
+            self.c13.push(0.0);
+            self.c22.push(0.0);
+            self.c23.push(0.0);
+            self.c33.push(0.0);
+        }
+    }
+
+    /// Stage B of the split halo exchange: the remaining halo-read fields.
+    pub fn pack_halo_fields(&self, indices: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(indices.len() * Self::FIELD_PACK_FIELDS);
+        for &i in indices {
+            out.extend_from_slice(&[
+                self.vx[i],
+                self.vy[i],
+                self.vz[i],
+                self.rho[i],
+                self.u[i],
+                self.alpha[i],
+            ]);
+        }
+        out
+    }
+
+    /// Complete stage-A halos starting at index `start` with their deferred
+    /// fields, recomputing `xmass` with the same bootstrap rule
+    /// [`crate::density::xmass`] applies (`m/rho`, or `m` while `rho` is
+    /// still zero) so the result is bit-identical to the unsplit exchange.
+    pub fn fill_halo_fields(&mut self, start: usize, data: &[f64]) {
+        assert_eq!(
+            data.len() % Self::FIELD_PACK_FIELDS,
+            0,
+            "field-halo buffer must be {} f64 per particle",
+            Self::FIELD_PACK_FIELDS
+        );
+        assert!(
+            start >= self.n_local && start + data.len() / Self::FIELD_PACK_FIELDS <= self.len(),
+            "field fill must target the halo region"
+        );
+        for (k, chunk) in data.chunks_exact(Self::FIELD_PACK_FIELDS).enumerate() {
+            let i = start + k;
+            self.vx[i] = chunk[0];
+            self.vy[i] = chunk[1];
+            self.vz[i] = chunk[2];
+            self.rho[i] = chunk[3];
+            self.u[i] = chunk[4];
+            self.alpha[i] = chunk[5];
+            self.xmass[i] = if chunk[3] > 0.0 {
+                self.m[i] / chunk[3]
+            } else {
+                self.m[i]
+            };
+        }
+    }
+
     /// Keep only owned particles selected by `keep` (used when re-assigning
     /// domains); halo region must already be truncated.
     pub fn retain_owned(&mut self, keep: &[bool]) {
@@ -392,6 +503,65 @@ mod tests {
         assert_eq!(dst.m[4], 4.0);
         dst.truncate_halos();
         assert_eq!(dst.len(), 3);
+    }
+
+    #[test]
+    fn split_halo_pack_matches_combined_pack() {
+        // Stage A + stage B (+ the local xmass/EOS recomputation the sim
+        // performs) must reconstruct exactly what the 13-field pack carries.
+        let mut src = three();
+        src.rho[0] = 2.0;
+        src.rho[2] = 4.0;
+        src.alpha[2] = 0.7;
+
+        let mut combined = three();
+        combined.unpack_halo(&src.pack_halo(&[0, 2]));
+
+        let mut split = three();
+        let start = split.len();
+        split.unpack_halo_positions(&src.pack_halo_positions(&[0, 2]));
+        assert_eq!(split.len(), 5);
+        // Pre-arrival: placeholders, positions/h/m real.
+        assert_eq!(split.x[3], 0.1);
+        assert_eq!(split.h[4], 0.07);
+        assert_eq!(split.rho[3], 0.0);
+        split.fill_halo_fields(start, &src.pack_halo_fields(&[0, 2]));
+
+        for i in start..split.len() {
+            for (name, a, b) in [
+                ("x", split.x[i], combined.x[i]),
+                ("y", split.y[i], combined.y[i]),
+                ("z", split.z[i], combined.z[i]),
+                ("vx", split.vx[i], combined.vx[i]),
+                ("vy", split.vy[i], combined.vy[i]),
+                ("vz", split.vz[i], combined.vz[i]),
+                ("m", split.m[i], combined.m[i]),
+                ("h", split.h[i], combined.h[i]),
+                ("rho", split.rho[i], combined.rho[i]),
+                ("u", split.u[i], combined.u[i]),
+                ("alpha", split.alpha[i], combined.alpha[i]),
+                ("gradh", split.gradh[i], combined.gradh[i]),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}[{i}]");
+            }
+            // The split path recomputes xmass from the shipped rho — the
+            // value the XMass phase derives for combined-pack halos.
+            let expect = if split.rho[i] > 0.0 {
+                split.m[i] / split.rho[i]
+            } else {
+                split.m[i]
+            };
+            assert_eq!(split.xmass[i].to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "halo region")]
+    fn fill_halo_fields_rejects_owned_region() {
+        let mut p = three();
+        let src = three();
+        p.unpack_halo_positions(&src.pack_halo_positions(&[0]));
+        p.fill_halo_fields(0, &src.pack_halo_fields(&[0]));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! low-overhead profiling hooks (§III-B).
 
 use archsim::{KernelWorkload, SimDuration};
-use cornerstone::{halo_candidates, Aabb, Assignment, Box3, CellList, NeighborList, Octree};
+use cornerstone::{
+    halo_candidates, load_skew, Aabb, Assignment, Box3, CellList, NeighborList, Octree,
+};
 use ranks::{Op, RankCtx};
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +20,7 @@ use crate::density::{density_gradh, neighbor_counts, xmass};
 use crate::eos::Eos;
 use crate::funcs::{FuncId, WorkloadProfile};
 use crate::gravity::BhTree;
-use crate::iad::iad_divv_curlv;
+use crate::iad::{iad_divv_curlv, iad_divv_curlv_rows};
 use crate::ic::InitialConditions;
 use crate::kernels::Kernel;
 use crate::momentum::momentum_energy;
@@ -83,6 +85,29 @@ pub struct SimConfig {
     pub target_neighbors: usize,
     /// Octree leaf bucket size.
     pub bucket_size: usize,
+    /// Load-skew threshold (max/mean owned-particle count) above which
+    /// `DomainDecompAndSync` recomputes the SFC splits from a fresh global
+    /// octree. Below it the retained splits are reused: only the one-word
+    /// census and the (usually tiny) migration run, skipping the full
+    /// global key gather + octree rebuild that used to happen every step.
+    #[serde(default = "default_repart_skew_threshold")]
+    pub repart_skew_threshold: f64,
+    /// Overlap deferred halo-field communication with interior compute:
+    /// `DomainDecompAndSync` sends halo kinematics immediately but leaves
+    /// the derived-field payload in flight; density and the interior IAD
+    /// rows run first, and the deferred payload is drained only before the
+    /// boundary rows. Applies to the [`NeighborPath::SharedList`] path;
+    /// results are bit-identical with it on or off.
+    #[serde(default = "default_halo_overlap")]
+    pub halo_overlap: bool,
+}
+
+fn default_repart_skew_threshold() -> f64 {
+    1.15
+}
+
+fn default_halo_overlap() -> bool {
+    true
 }
 
 impl Default for SimConfig {
@@ -92,6 +117,8 @@ impl Default for SimConfig {
             target_particles_per_rank: 150e6,
             target_neighbors: 60,
             bucket_size: 64,
+            repart_skew_threshold: default_repart_skew_threshold(),
+            halo_overlap: default_halo_overlap(),
         }
     }
 }
@@ -123,6 +150,15 @@ pub struct StepStats {
     pub budget: EnergyBudget,
     pub n_local: usize,
     pub n_halo: usize,
+    /// Particles that changed owner this step, summed over all ranks.
+    #[serde(default)]
+    pub migrated: u64,
+    /// Whether this step recomputed the SFC splits (vs reusing them).
+    #[serde(default)]
+    pub repartitioned: bool,
+    /// Owned-count load skew (max/mean) seen by this step's census.
+    #[serde(default)]
+    pub skew: f64,
 }
 
 /// One rank's share of the simulation.
@@ -154,19 +190,42 @@ pub struct Simulation {
     /// per step by `DomainDecompAndSync` and reused by `build_grid` (the
     /// full-array fold used to be repeated every grid build).
     h_max_all: f64,
+    /// SFC splits retained across steps. `None` until the first step (or
+    /// after a rank-count change) forces a full rebuild.
+    assignment: Option<Assignment>,
+    /// One-shot flag: the next `DomainDecompAndSync` rebuilds the splits
+    /// regardless of skew (checkpoint restore without saved splits, tests).
+    force_repart: bool,
+    /// Deferred stage-B halo receives for the overlap schedule:
+    /// `(peer, halo range start, halo count)` in receive order.
+    pending_fields: Vec<(usize, usize, usize)>,
+    /// Owned rows whose CSR neighbor rows contain no halo index — safe to
+    /// sweep before the deferred halo fields arrive.
+    interior_rows: Vec<usize>,
+    /// Owned rows with at least one halo neighbor; swept after the drain.
+    boundary_rows: Vec<usize>,
+    last_migrated: u64,
+    last_repartitioned: bool,
+    last_skew: f64,
 }
 
 impl Simulation {
-    /// Single-rank simulation over a full initial model.
-    pub fn new(ic: InitialConditions, cfg: SimConfig) -> Self {
+    fn assemble(
+        parts: Particles,
+        bbox: Box3,
+        eos: Eos,
+        gravity: bool,
+        name: &'static str,
+        cfg: SimConfig,
+    ) -> Self {
         Simulation {
             cfg,
-            parts: ic.parts,
-            bbox: ic.bbox,
-            eos: ic.eos,
-            gravity: ic.gravity,
-            name: ic.name,
-            profile: WorkloadProfile::for_scenario(ic.name),
+            parts,
+            bbox,
+            eos,
+            gravity,
+            name,
+            profile: WorkloadProfile::for_scenario(name),
             neighbor_path: NeighborPath::default(),
             nlist: NeighborList::new(),
             nlist_radii: Vec::new(),
@@ -176,12 +235,37 @@ impl Simulation {
             step_index: 0,
             potential: 0.0,
             h_max_all: 1e-6,
+            assignment: None,
+            force_repart: false,
+            pending_fields: Vec::new(),
+            interior_rows: Vec::new(),
+            boundary_rows: Vec::new(),
+            last_migrated: 0,
+            last_repartitioned: false,
+            last_skew: 1.0,
         }
+    }
+
+    /// Single-rank simulation over a full initial model.
+    pub fn new(ic: InitialConditions, cfg: SimConfig) -> Self {
+        Self::assemble(ic.parts, ic.bbox, ic.eos, ic.gravity, ic.name, cfg)
     }
 
     /// Split a global initial model among ranks by SFC order — the initial
     /// decomposition every rank computes identically.
     pub fn distribute(ic: InitialConditions, cfg: SimConfig, rank: usize, size: usize) -> Self {
+        Self::distribute_ref(&ic, cfg, rank, size)
+    }
+
+    /// Like [`Simulation::distribute`], but borrows the initial model — the
+    /// scaling benches build one 10⁶-particle model and carve every rank's
+    /// share from it without cloning the whole IC per rank.
+    pub fn distribute_ref(
+        ic: &InitialConditions,
+        cfg: SimConfig,
+        rank: usize,
+        size: usize,
+    ) -> Self {
         let mut keys: Vec<(u64, usize)> = (0..ic.parts.len())
             .map(|i| {
                 (
@@ -196,24 +280,7 @@ impl Simulation {
         let hi = n * (rank + 1) / size;
         let indices: Vec<usize> = keys[lo..hi].iter().map(|&(_, i)| i).collect();
         let parts = ic.parts.extract(&indices);
-        Simulation {
-            cfg,
-            parts,
-            bbox: ic.bbox,
-            eos: ic.eos,
-            gravity: ic.gravity,
-            name: ic.name,
-            profile: WorkloadProfile::for_scenario(ic.name),
-            neighbor_path: NeighborPath::default(),
-            nlist: NeighborList::new(),
-            nlist_radii: Vec::new(),
-            nn: Vec::new(),
-            dt: 0.0,
-            time: 0.0,
-            step_index: 0,
-            potential: 0.0,
-            h_max_all: 1e-6,
-        }
+        Self::assemble(parts, ic.bbox, ic.eos, ic.gravity, ic.name, cfg)
     }
 
     pub fn time(&self) -> f64 {
@@ -226,6 +293,54 @@ impl Simulation {
 
     pub fn step_index(&self) -> u64 {
         self.step_index
+    }
+
+    /// Force a full SFC repartition at the next `DomainDecompAndSync`,
+    /// regardless of the measured load skew.
+    pub fn force_repartition(&mut self) {
+        self.force_repart = true;
+    }
+
+    /// The SFC splits currently in force, if a partition has been computed.
+    pub fn assignment_splits(&self) -> Option<&[u64]> {
+        self.assignment.as_ref().map(|a| a.splits())
+    }
+
+    /// Adopt previously-saved SFC splits (checkpoint restore: resuming with
+    /// the interrupted run's partition makes migration and halo traffic —
+    /// and therefore the trajectory — replay bit-identically).
+    pub fn set_assignment_splits(&mut self, splits: Vec<u64>) {
+        self.assignment = Some(Assignment::from_splits(splits));
+    }
+
+    /// Serialize this rank's owned carried state as a versioned snapshot
+    /// (see [`crate::snapshot`]). Halo copies are not persisted.
+    pub fn capture_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::encode_particles(&self.parts)
+    }
+
+    /// Replace particle state and integrator clocks from a decoded
+    /// snapshot. The next step re-derives everything else (neighbor lists,
+    /// halos, rates) exactly as an uninterrupted run would.
+    pub fn restore_snapshot(&mut self, parts: Particles, step: u64, time_bits: u64, dt_bits: u64) {
+        self.parts = parts;
+        self.step_index = step;
+        self.time = f64::from_bits(time_bits);
+        self.dt = f64::from_bits(dt_bits);
+        self.nn.clear();
+        self.pending_fields.clear();
+        self.h_max_all = 1e-6;
+    }
+
+    /// Order-sensitive digest of the carried state (pack-blob bits plus the
+    /// integrator clocks). Equal digests on every rank of two runs mean the
+    /// runs continue bit-identically.
+    pub fn state_digest(&self) -> u64 {
+        let mut bytes = crate::snapshot::encode_particles(&self.parts);
+        bytes.extend_from_slice(&self.step_index.to_le_bytes());
+        bytes.extend_from_slice(&self.time.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&self.dt.to_bits().to_le_bytes());
+        crate::snapshot::fnv1a(&bytes)
     }
 
     /// The functions this workload actually calls (Evrard includes Gravity).
@@ -292,6 +407,23 @@ impl Simulation {
                     telemetry::gauge_set("neighbors/build_ms", t0.elapsed().as_secs_f64() * 1e3);
                 }
                 self.nn = neighbor_counts(&self.parts, &self.nlist, &self.bbox, kernel);
+                // Overlap schedule: split owned rows by whether their CSR
+                // row references any halo index (halos sit past n_local).
+                // Interior rows never read deferred halo fields, so they
+                // can sweep before the stage-B payload is drained.
+                self.interior_rows.clear();
+                self.boundary_rows.clear();
+                if !self.pending_fields.is_empty() {
+                    let n_local = self.parts.n_local;
+                    for i in 0..n_local {
+                        let (jj, _, _, _) = self.nlist.row_deltas(i);
+                        if jj.iter().any(|&j| j as usize >= n_local) {
+                            self.boundary_rows.push(i);
+                        } else {
+                            self.interior_rows.push(i);
+                        }
+                    }
+                }
             }
             NeighborPath::CellGrid => {
                 self.nn = neighbor_counts(&self.parts, &grid, &self.bbox, kernel);
@@ -337,7 +469,14 @@ impl Simulation {
         // ---- EquationOfState -------------------------------------------
         let sp = func_span(FuncId::EquationOfState, self.step_index, ctx);
         obs.before(FuncId::EquationOfState, ctx);
-        self.eos.apply(&mut self.parts);
+        if self.pending_fields.is_empty() {
+            self.eos.apply(&mut self.parts);
+        } else {
+            // Halo rho/u are still in flight; their p/c are computed with
+            // the same per-particle math when the deferred payload lands.
+            let (eos, n_local) = (self.eos, self.parts.n_local);
+            eos.apply_range(&mut self.parts, 0, n_local);
+        }
         obs.after(
             FuncId::EquationOfState,
             &self.profile.workload(FuncId::EquationOfState, target),
@@ -350,6 +489,16 @@ impl Simulation {
         let sp = func_span(FuncId::IADVelocityDivCurl, self.step_index, ctx);
         obs.before(FuncId::IADVelocityDivCurl, ctx);
         match self.neighbor_path {
+            NeighborPath::SharedList if !self.pending_fields.is_empty() => {
+                // Overlap: interior rows read only owned neighbors, so they
+                // sweep while the stage-B halo payload is still in flight;
+                // the drain fills halo fields, then the boundary rows run.
+                // Rows scatter only to themselves and the two subsets are
+                // disjoint, so the split is bit-identical to the full sweep.
+                iad_divv_curlv_rows(&mut self.parts, &self.nlist, kernel, &self.interior_rows);
+                self.drain_halo_fields(ctx);
+                iad_divv_curlv_rows(&mut self.parts, &self.nlist, kernel, &self.boundary_rows);
+            }
             NeighborPath::SharedList => {
                 iad_divv_curlv(&mut self.parts, &self.nlist, &self.bbox, kernel)
             }
@@ -489,6 +638,9 @@ impl Simulation {
             budget,
             n_local: self.parts.n_local,
             n_halo: self.parts.len() - self.parts.n_local,
+            migrated: self.last_migrated,
+            repartitioned: self.last_repartitioned,
+            skew: self.last_skew,
         }
     }
 
@@ -531,30 +683,80 @@ impl Simulation {
         keyed.into_iter().map(|(k, _)| k).collect()
     }
 
-    /// The full `DomainDecompAndSync` phase: SFC sort, global octree and
-    /// partition, particle migration, halo discovery and exchange.
+    /// Whether this step defers the halo derived-field payload (stage B)
+    /// past the interior sweeps. Requires the shared CSR list — the row
+    /// classification comes from it.
+    fn overlap_active(&self, size: usize) -> bool {
+        self.cfg.halo_overlap && size > 1 && self.neighbor_path == NeighborPath::SharedList
+    }
+
+    /// Drain the deferred stage-B halo payload: receive each peer's derived
+    /// fields in the stage-A peer order, scatter them into the halo tail,
+    /// then derive halo pressure/sound speed — the same per-particle EOS
+    /// math the classic path applies to packed halo state. Runs exactly
+    /// once per step when the overlap schedule deferred anything, so the
+    /// per-pair FIFO stays aligned with the next step's migration exchange.
+    fn drain_halo_fields(&mut self, ctx: &mut RankCtx) {
+        let pending = std::mem::take(&mut self.pending_fields);
+        for (peer, start, _count) in pending {
+            let data = bytes_to_f64s(&ctx.recv(peer));
+            self.parts.fill_halo_fields(start, &data);
+        }
+        let eos = self.eos;
+        let (n_local, len) = (self.parts.n_local, self.parts.len());
+        eos.apply_range(&mut self.parts, n_local, len);
+    }
+
+    /// The full `DomainDecompAndSync` phase: SFC sort, incremental
+    /// repartitioning, particle migration, halo discovery and exchange.
     fn domain_decomp_and_sync(&mut self, ctx: &mut RankCtx) {
         self.parts.truncate_halos();
         let keys = self.sort_owned();
 
-        // Global octree from everyone's keys (laptop scale: the global key
-        // set fits comfortably; production codes merge distributed trees).
-        let key_bytes: Vec<u8> = keys.iter().flat_map(|k| k.to_le_bytes()).collect();
-        let gathered = ctx.allgather_bytes(key_bytes);
-        let mut global_keys: Vec<u64> = gathered
+        // ---- Incremental repartitioning ------------------------------
+        // Cheap census every step: one f64 per rank. Every rank computes
+        // the same skew from the same census, so the rebuild decision is
+        // collective without an extra agreement round. The O(N_global) key
+        // gather + octree rebuild below only runs when the partition has
+        // actually degraded (or on first use / forced refresh).
+        let counts: Vec<usize> = ctx
+            .allgather_f64s(&[self.parts.n_local as f64])
             .iter()
-            .flat_map(|b| {
-                b.chunks_exact(8)
-                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte keys")))
-            })
+            .map(|v| v[0] as usize)
             .collect();
-        global_keys.sort_unstable();
-        let tree = Octree::build(&global_keys, self.cfg.bucket_size);
-        let assignment = Assignment::from_octree(&tree, ctx.size());
+        let skew = load_skew(&counts);
+        let stale = match &self.assignment {
+            None => true,
+            Some(a) => a.parts() != ctx.size(),
+        };
+        let repartition = stale || self.force_repart || skew > self.cfg.repart_skew_threshold;
+        self.force_repart = false;
+        self.last_skew = skew;
+        self.last_repartitioned = repartition;
+        if repartition {
+            // Global octree from everyone's keys (laptop scale: the global
+            // key set fits comfortably; production codes merge distributed
+            // trees).
+            let key_bytes: Vec<u8> = keys.iter().flat_map(|k| k.to_le_bytes()).collect();
+            let gathered = ctx.allgather_bytes(key_bytes);
+            let mut global_keys: Vec<u64> = gathered
+                .iter()
+                .flat_map(|b| {
+                    b.chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte keys")))
+                })
+                .collect();
+            global_keys.sort_unstable();
+            let tree = Octree::build(&global_keys, self.cfg.bucket_size);
+            self.assignment = Some(Assignment::from_octree(&tree, ctx.size()));
+        }
+        let assignment = self.assignment.clone().expect("splits exist after census");
 
-        // Migrate misplaced particles to their owners.
+        // Migrate misplaced particles to their owners. This runs every step
+        // against the retained splits — ownership is always correct; only
+        // the *balance* of the partition ages between rebuilds.
+        let mut migrated_local = 0u64;
         if ctx.size() > 1 {
-            let keys = self.sort_owned();
             let me = ctx.rank();
             let mut outgoing_idx: Vec<Vec<usize>> = vec![Vec::new(); ctx.size()];
             for (i, &k) in keys.iter().enumerate() {
@@ -565,6 +767,7 @@ impl Simulation {
             }
             let mut keep = vec![true; self.parts.n_local];
             for peer_list in &outgoing_idx {
+                migrated_local += peer_list.len() as u64;
                 for &i in peer_list {
                     keep[i] = false;
                 }
@@ -581,6 +784,9 @@ impl Simulation {
             }
             self.parts.n_local = self.parts.len();
             self.sort_owned();
+            self.last_migrated = ctx.allreduce_u64(migrated_local, Op::Sum);
+        } else {
+            self.last_migrated = 0;
         }
 
         // Halo discovery: everyone needs each peer's bounding box and the
@@ -605,11 +811,13 @@ impl Simulation {
             my_box.zmax,
         ]);
 
+        self.pending_fields.clear();
         if ctx.size() > 1 {
             let me = ctx.rank();
-            let outgoing: Vec<(usize, Vec<u8>)> = (0..ctx.size())
-                .filter(|&p| p != me)
-                .map(|p| {
+            let peers: Vec<usize> = (0..ctx.size()).filter(|&p| p != me).collect();
+            let cands: Vec<Vec<usize>> = peers
+                .iter()
+                .map(|&p| {
                     let b = &boxes[p];
                     let peer_box = Aabb {
                         xmin: b[0],
@@ -619,20 +827,44 @@ impl Simulation {
                         zmin: b[4],
                         zmax: b[5],
                     };
-                    let cands = halo_candidates(
+                    halo_candidates(
                         &self.parts.x[..self.parts.n_local],
                         &self.parts.y[..self.parts.n_local],
                         &self.parts.z[..self.parts.n_local],
                         &peer_box,
                         radius,
                         &self.bbox,
-                    );
-                    (p, f64s_to_bytes(&self.parts.pack_halo(&cands)))
+                    )
                 })
                 .collect();
-            let incoming = ctx.exchange(outgoing);
-            for (_, data) in incoming {
-                self.parts.unpack_halo(&bytes_to_f64s(&data));
+            if self.overlap_active(ctx.size()) {
+                // Two-stage exchange: stage A (positions, h, m — everything
+                // the grid/CSR build and density need) is received now, in
+                // the same ascending-peer order the classic exchange uses,
+                // so halo indices — and every CSR row — are identical.
+                // Stage B (velocities, rho, u, alpha — first read by the
+                // boundary IAD rows) stays in flight until the drain.
+                for (k, &p) in peers.iter().enumerate() {
+                    ctx.send(p, f64s_to_bytes(&self.parts.pack_halo_positions(&cands[k])));
+                    ctx.send(p, f64s_to_bytes(&self.parts.pack_halo_fields(&cands[k])));
+                }
+                for &p in &peers {
+                    let data = bytes_to_f64s(&ctx.recv(p));
+                    let start = self.parts.len();
+                    self.parts.unpack_halo_positions(&data);
+                    self.pending_fields
+                        .push((p, start, self.parts.len() - start));
+                }
+            } else {
+                let outgoing: Vec<(usize, Vec<u8>)> = peers
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &p)| (p, f64s_to_bytes(&self.parts.pack_halo(&cands[k]))))
+                    .collect();
+                let incoming = ctx.exchange(outgoing);
+                for (_, data) in incoming {
+                    self.parts.unpack_halo(&bytes_to_f64s(&data));
+                }
             }
         }
 
@@ -716,6 +948,7 @@ mod tests {
             target_particles_per_rank: 1e6,
             target_neighbors,
             bucket_size: 32,
+            ..SimConfig::default()
         }
     }
 
@@ -963,6 +1196,176 @@ mod tests {
             multi.dt,
             single.dt
         );
+    }
+
+    /// Full per-rank state fingerprint: digest of every carried field plus
+    /// the integrator clocks.
+    fn run_digest(ranks: usize, steps: usize, cfg: SimConfig) -> Vec<u64> {
+        ranks::run(ranks, CommCost::default(), move |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut sim = if ctx.size() == 1 {
+                Simulation::new(ic, cfg)
+            } else {
+                Simulation::distribute(ic, cfg, ctx.rank(), ctx.size())
+            };
+            for _ in 0..steps {
+                sim.step(ctx, &mut NullObserver);
+            }
+            sim.state_digest()
+        })
+    }
+
+    #[test]
+    fn halo_overlap_is_bitwise_identical_to_classic_exchange() {
+        let classic = run_digest(
+            4,
+            3,
+            SimConfig {
+                halo_overlap: false,
+                ..small_cfg(40)
+            },
+        );
+        let overlapped = run_digest(
+            4,
+            3,
+            SimConfig {
+                halo_overlap: true,
+                ..small_cfg(40)
+            },
+        );
+        assert_eq!(
+            classic, overlapped,
+            "deferred stage-B halo exchange must not change any bit"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically_single_rank() {
+        let full = run_digest(1, 6, small_cfg(40));
+        let resumed = ranks::run(1, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut first = Simulation::new(ic, small_cfg(40));
+            for _ in 0..3 {
+                first.step(ctx, &mut NullObserver);
+            }
+            let blob = first.capture_snapshot();
+            let (step, time, dt) = (first.step_index(), first.time(), first.dt());
+            drop(first);
+
+            // A "fresh process": new Simulation from the same IC, state
+            // replaced wholesale from the snapshot.
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut sim = Simulation::new(ic, small_cfg(40));
+            let parts = crate::snapshot::decode_particles(&blob).expect("own snapshot");
+            sim.restore_snapshot(parts, step, time.to_bits(), dt.to_bits());
+            for _ in 0..3 {
+                sim.step(ctx, &mut NullObserver);
+            }
+            sim.state_digest()
+        });
+        assert_eq!(full, resumed, "kill/restore must be invisible to physics");
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically_multirank() {
+        let full = run_digest(4, 6, small_cfg(40));
+        let resumed = ranks::run(4, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut first = Simulation::distribute(ic, small_cfg(40), ctx.rank(), ctx.size());
+            for _ in 0..3 {
+                first.step(ctx, &mut NullObserver);
+            }
+            let blob = first.capture_snapshot();
+            let splits = first
+                .assignment_splits()
+                .expect("partition exists after stepping")
+                .to_vec();
+            let (step, time, dt) = (first.step_index(), first.time(), first.dt());
+            drop(first);
+
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut sim = Simulation::distribute(ic, small_cfg(40), ctx.rank(), ctx.size());
+            let parts = crate::snapshot::decode_particles(&blob).expect("own snapshot");
+            sim.restore_snapshot(parts, step, time.to_bits(), dt.to_bits());
+            sim.set_assignment_splits(splits);
+            for _ in 0..3 {
+                sim.step(ctx, &mut NullObserver);
+            }
+            sim.state_digest()
+        });
+        assert_eq!(
+            full, resumed,
+            "multirank kill/restore must replay migration and halos exactly"
+        );
+    }
+
+    #[test]
+    fn repartitioning_is_incremental_under_balanced_load() {
+        let stats = ranks::run(4, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let mut sim = Simulation::distribute(ic, small_cfg(40), ctx.rank(), ctx.size());
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                out.push(sim.step(ctx, &mut NullObserver));
+            }
+            // A forced refresh must rebuild on the next step.
+            sim.force_repartition();
+            out.push(sim.step(ctx, &mut NullObserver));
+            out
+        })
+        .remove(0);
+        assert!(
+            stats[0].repartitioned,
+            "first step must build the partition"
+        );
+        for s in &stats[1..4] {
+            assert!(
+                !s.repartitioned,
+                "balanced subsonic box must reuse splits (skew {})",
+                s.skew
+            );
+            assert!(
+                s.skew >= 1.0 && s.skew <= 1.15,
+                "skew {} out of band",
+                s.skew
+            );
+        }
+        assert!(stats[4].repartitioned, "force_repartition must rebuild");
+        // Migration still runs every step and the moved fraction stays far
+        // below a full redistribution.
+        for s in &stats {
+            assert!(
+                (s.migrated as f64) < 0.2 * 512.0,
+                "step {} moved {} of 512 particles",
+                s.step,
+                s.migrated
+            );
+        }
+    }
+
+    #[test]
+    fn skew_one_threshold_repartitions_every_step() {
+        let stats = ranks::run(2, CommCost::default(), |ctx| {
+            let ic = subsonic_turbulence(8, 0.3, 11);
+            let cfg = SimConfig {
+                repart_skew_threshold: 0.99,
+                ..small_cfg(40)
+            };
+            let mut sim = Simulation::distribute(ic, cfg, ctx.rank(), ctx.size());
+            (0..3)
+                .map(|_| sim.step(ctx, &mut NullObserver))
+                .collect::<Vec<_>>()
+        })
+        .remove(0);
+        // Skew is always >= 1.0, so a sub-1 threshold rebuilds every step —
+        // the knob CI's scaling smoke test uses to exercise repartitioning.
+        for s in &stats {
+            assert!(
+                s.repartitioned,
+                "sub-1 threshold must force rebuilds (skew {})",
+                s.skew
+            );
+        }
     }
 
     #[test]

@@ -38,6 +38,11 @@ fn main() {
         memory_clock: None,
         faults: None,
         scenario: None,
+        checkpoint_dir: None,
+        checkpoint_every: 0,
+        restore_from: None,
+        repart_skew_threshold: None,
+        halo_overlap: true,
     };
     println!(
         "running {} on {} with {} ranks ({} steps, 150 M particles/GPU at paper scale)...",

@@ -33,6 +33,11 @@ fn small_spec(system: archsim::SystemSpec, ranks: usize, policy: FreqPolicy) -> 
         memory_clock: None,
         faults: None,
         scenario: None,
+        checkpoint_dir: None,
+        checkpoint_every: 0,
+        restore_from: None,
+        repart_skew_threshold: None,
+        halo_overlap: true,
     }
 }
 

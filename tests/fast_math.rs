@@ -21,6 +21,7 @@ fn collapse(kernel: Kernel, steps: usize) -> (Vec<StepStats>, f64, f64) {
             target_particles_per_rank: 1e6,
             target_neighbors: 40,
             bucket_size: 32,
+            ..SimConfig::default()
         };
         let mut sim = Simulation::new(evrard(10), cfg);
         sim.neighbor_path = NeighborPath::SharedList; // the blocked (fast) path

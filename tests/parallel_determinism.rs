@@ -67,6 +67,7 @@ fn evrard_step_at(threads: usize, path: NeighborPath) -> (Vec<u64>, StepStats) {
             target_particles_per_rank: 1e6,
             target_neighbors: 40,
             bucket_size: 32,
+            ..SimConfig::default()
         };
         let mut sim = Simulation::new(evrard(8), cfg);
         sim.neighbor_path = path;
@@ -87,6 +88,7 @@ fn evrard_run_via(path: NeighborPath, kernel: Kernel) -> (Vec<u64>, Vec<StepStat
             target_particles_per_rank: 1e6,
             target_neighbors: 40,
             bucket_size: 32,
+            ..SimConfig::default()
         };
         let mut sim = Simulation::new(evrard(8), cfg);
         sim.neighbor_path = path;

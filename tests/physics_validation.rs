@@ -14,6 +14,7 @@ fn cfg(neighbors: usize) -> SimConfig {
         target_particles_per_rank: 1e6,
         target_neighbors: neighbors,
         bucket_size: 32,
+        ..SimConfig::default()
     }
 }
 
